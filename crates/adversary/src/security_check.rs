@@ -1,0 +1,148 @@
+//! Empirical checker for the **partitioned data security** definition (§III).
+//!
+//! The definition has two conditions:
+//!
+//! 1. *Association indistinguishability* — for every encrypted value `e_i`
+//!    and non-sensitive value `ns_j`, `Pr[e_i ≐ ns_j | X] =
+//!    Pr[e_i ≐ ns_j | X, AV]`: observing query executions must not change
+//!    the adversary's belief about which clear-text value an encrypted
+//!    tuple carries.
+//! 2. *Count-relationship indistinguishability* — for every pair of domain
+//!    values, the adversary's belief about the relation (`<`, `=`, `>`)
+//!    between their sensitive tuple counts must not change.
+//!
+//! These are probability statements; the checker verifies the observable
+//! symmetry conditions that make them hold for the retrieval mechanisms in
+//! this workspace (and that the paper's proofs reduce to):
+//!
+//! * condition 1 holds when no surviving match is dropped — the bin
+//!   co-occurrence graph is complete and every returned encrypted tuple
+//!   retains every observed non-sensitive value as a candidate association;
+//! * condition 2 holds when every episode returns the same number of
+//!   encrypted tuples, so output sizes carry no information about per-value
+//!   counts.
+
+use pds_cloud::AdversarialView;
+
+use crate::bipartite::SurvivingMatches;
+
+/// The outcome of checking a view against the security definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityReport {
+    /// Condition 1: no association candidate was dropped.
+    pub association_indistinguishable: bool,
+    /// Condition 2: sensitive output sizes are uniform across episodes.
+    pub counts_indistinguishable: bool,
+    /// Minimum association ambiguity observed (1.0 = nothing learned).
+    pub min_ambiguity: f64,
+    /// Distinct sensitive output sizes observed across episodes.
+    pub distinct_output_sizes: usize,
+    /// Number of dropped surviving matches (bin-pair level).
+    pub dropped_matches: usize,
+    /// Number of episodes examined.
+    pub episodes: usize,
+}
+
+impl SecurityReport {
+    /// Whether both conditions of partitioned data security hold.
+    pub fn is_secure(&self) -> bool {
+        self.association_indistinguishable && self.counts_indistinguishable
+    }
+}
+
+/// Checks an adversarial view against the partitioned data security
+/// definition (empirically, as described in the module docs).
+pub fn check_partitioned_security(view: &AdversarialView) -> SecurityReport {
+    let matches = SurvivingMatches::from_view(view);
+    let dropped = matches.dropped_edges().len();
+    let min_ambiguity = matches.min_ambiguity();
+    let association_indistinguishable = dropped == 0 && (min_ambiguity - 1.0).abs() < 1e-12;
+
+    let mut sizes: Vec<usize> =
+        view.episodes().iter().map(|ep| ep.sensitive_output_size()).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let distinct_output_sizes = sizes.len();
+    // With zero or one episode there is nothing to distinguish.
+    let counts_indistinguishable = distinct_output_sizes <= 1;
+
+    SecurityReport {
+        association_indistinguishable,
+        counts_indistinguishable,
+        min_ambiguity,
+        distinct_output_sizes,
+        dropped_matches: dropped,
+        episodes: view.episodes().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_common::{TupleId, Value};
+
+    fn episode(av: &mut AdversarialView, sids: &[u64], ns: &[&str]) {
+        av.begin_episode();
+        let values: Vec<Value> = ns.iter().map(|&v| Value::from(v)).collect();
+        av.observe_plaintext_request(&values);
+        let ids: Vec<TupleId> = sids.iter().map(|&i| TupleId::new(i)).collect();
+        av.observe_sensitive_result(&ids);
+        av.end_episode();
+    }
+
+    #[test]
+    fn qb_like_view_is_secure() {
+        // Two sensitive bins x two non-sensitive bins, all pairs observed,
+        // constant output size.
+        let mut av = AdversarialView::new();
+        episode(&mut av, &[1, 2], &["a", "b"]);
+        episode(&mut av, &[1, 2], &["c", "d"]);
+        episode(&mut av, &[3, 4], &["a", "b"]);
+        episode(&mut av, &[3, 4], &["c", "d"]);
+        let report = check_partitioned_security(&av);
+        assert!(report.is_secure(), "{report:?}");
+        assert_eq!(report.dropped_matches, 0);
+        assert_eq!(report.distinct_output_sizes, 1);
+    }
+
+    #[test]
+    fn naive_view_violates_both_conditions() {
+        let mut av = AdversarialView::new();
+        episode(&mut av, &[1], &["E259"]);
+        episode(&mut av, &[], &["E199"]);
+        episode(&mut av, &[2, 3, 4], &["E101"]);
+        let report = check_partitioned_security(&av);
+        assert!(!report.association_indistinguishable);
+        assert!(!report.counts_indistinguishable);
+        assert!(!report.is_secure());
+        assert!(report.distinct_output_sizes > 1);
+    }
+
+    #[test]
+    fn fixed_pairing_violates_condition_one_only() {
+        // Output sizes equal, but bins always paired the same way.
+        let mut av = AdversarialView::new();
+        episode(&mut av, &[1, 2], &["a", "b"]);
+        episode(&mut av, &[3, 4], &["c", "d"]);
+        let report = check_partitioned_security(&av);
+        assert!(!report.association_indistinguishable);
+        assert!(report.counts_indistinguishable);
+        assert!(!report.is_secure());
+    }
+
+    #[test]
+    fn empty_view_is_trivially_secure() {
+        let report = check_partitioned_security(&AdversarialView::new());
+        assert!(report.is_secure());
+        assert_eq!(report.episodes, 0);
+    }
+
+    #[test]
+    fn single_episode_is_secure() {
+        let mut av = AdversarialView::new();
+        episode(&mut av, &[1, 2], &["a", "b"]);
+        let report = check_partitioned_security(&av);
+        assert!(report.is_secure());
+        assert_eq!(report.episodes, 1);
+    }
+}

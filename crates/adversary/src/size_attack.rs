@@ -1,0 +1,159 @@
+//! The size attack (attack (i) of §I; §IV-B "size attack scenario").
+//!
+//! "An adversary having some background knowledge can deduce the
+//! full/partial outputs by simply observing the output sizes."
+//!
+//! Concretely, in the §IV-B scenario the adversary observes, per query
+//! episode, how many encrypted tuples were returned.  If different sensitive
+//! values have different tuple counts and no padding is used, the output
+//! size identifies (or narrows down) the queried value and reveals the
+//! count of the sensitive value — e.g. "1000 people in the sensitive
+//! relation earn salary ns1".  QB's general case defeats the attack by
+//! making every sensitive bin the same size with fake tuples.
+
+use std::collections::HashMap;
+
+use pds_cloud::AdversarialView;
+use pds_common::Value;
+
+/// Ground truth used to *evaluate* (not to mount) the attack: which value
+/// each episode actually queried and how many sensitive tuples that value
+/// has.
+#[derive(Debug, Clone, Default)]
+pub struct SizeAttackGroundTruth {
+    /// For episode `i`, the value the owner actually queried.
+    pub queried_values: Vec<Value>,
+    /// True number of sensitive tuples per value.
+    pub sensitive_counts: HashMap<Value, u64>,
+}
+
+/// Result of mounting the size attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeAttackOutcome {
+    /// Per-episode estimate of the queried value's sensitive tuple count.
+    pub estimated_counts: Vec<u64>,
+    /// Fraction of episodes whose estimate exactly equals the true count of
+    /// the queried value (1.0 = the attack reads counts straight off).
+    pub exact_rate: f64,
+    /// Number of *distinct* output sizes observed.  A single distinct size
+    /// means the adversary cannot distinguish any two queries by size.
+    pub distinct_sizes: usize,
+    /// Fraction of episode pairs the adversary can distinguish by their
+    /// sensitive output size (0.0 = perfectly indistinguishable).
+    pub distinguishable_pair_rate: f64,
+}
+
+/// The size attack.
+#[derive(Debug, Default)]
+pub struct SizeAttack;
+
+impl SizeAttack {
+    /// Mounts the attack: the adversary's estimate for each episode is
+    /// simply the number of encrypted tuples returned in that episode.
+    pub fn run(view: &AdversarialView, truth: &SizeAttackGroundTruth) -> SizeAttackOutcome {
+        let episodes = view.episodes();
+        let estimated_counts: Vec<u64> =
+            episodes.iter().map(|ep| ep.sensitive_output_size() as u64).collect();
+
+        let mut exact = 0usize;
+        let evaluable = episodes.len().min(truth.queried_values.len());
+        for i in 0..evaluable {
+            let true_count =
+                truth.sensitive_counts.get(&truth.queried_values[i]).copied().unwrap_or(0);
+            if estimated_counts[i] == true_count {
+                exact += 1;
+            }
+        }
+        let exact_rate = if evaluable == 0 { 0.0 } else { exact as f64 / evaluable as f64 };
+
+        let mut sizes = estimated_counts.clone();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let distinct_sizes = sizes.len();
+
+        let n = estimated_counts.len();
+        let mut distinguishable = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                pairs += 1;
+                if estimated_counts[i] != estimated_counts[j] {
+                    distinguishable += 1;
+                }
+            }
+        }
+        let distinguishable_pair_rate =
+            if pairs == 0 { 0.0 } else { distinguishable as f64 / pairs as f64 };
+
+        SizeAttackOutcome { estimated_counts, exact_rate, distinct_sizes, distinguishable_pair_rate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_common::TupleId;
+
+    fn view_with_sizes(sizes: &[usize]) -> AdversarialView {
+        let mut av = AdversarialView::new();
+        let mut next = 0u64;
+        for &s in sizes {
+            av.begin_episode();
+            let ids: Vec<TupleId> = (0..s).map(|_| {
+                next += 1;
+                TupleId::new(next)
+            }).collect();
+            av.observe_sensitive_result(&ids);
+            av.end_episode();
+        }
+        av
+    }
+
+    fn truth(values: &[(&str, u64)], queried: &[&str]) -> SizeAttackGroundTruth {
+        SizeAttackGroundTruth {
+            queried_values: queried.iter().map(|&v| Value::from(v)).collect(),
+            sensitive_counts: values.iter().map(|&(v, c)| (Value::from(v), c)).collect(),
+        }
+    }
+
+    #[test]
+    fn attack_succeeds_without_padding() {
+        // Three values with counts 5, 2, 1; naive execution returns exactly
+        // those many sensitive tuples.
+        let av = view_with_sizes(&[5, 2, 1]);
+        let t = truth(&[("a", 5), ("b", 2), ("c", 1)], &["a", "b", "c"]);
+        let out = SizeAttack::run(&av, &t);
+        assert_eq!(out.exact_rate, 1.0);
+        assert_eq!(out.distinct_sizes, 3);
+        assert_eq!(out.distinguishable_pair_rate, 1.0);
+    }
+
+    #[test]
+    fn attack_defeated_by_equal_bin_sizes() {
+        // QB general case: every episode returns the same number of
+        // encrypted tuples (real + fake).
+        let av = view_with_sizes(&[6, 6, 6]);
+        let t = truth(&[("a", 5), ("b", 2), ("c", 1)], &["a", "b", "c"]);
+        let out = SizeAttack::run(&av, &t);
+        assert_eq!(out.distinct_sizes, 1);
+        assert_eq!(out.distinguishable_pair_rate, 0.0);
+        assert!(out.exact_rate < 1.0);
+    }
+
+    #[test]
+    fn empty_view_yields_neutral_outcome() {
+        let out = SizeAttack::run(&AdversarialView::new(), &SizeAttackGroundTruth::default());
+        assert_eq!(out.exact_rate, 0.0);
+        assert_eq!(out.distinct_sizes, 0);
+        assert_eq!(out.distinguishable_pair_rate, 0.0);
+    }
+
+    #[test]
+    fn partial_ground_truth_only_scores_known_episodes() {
+        let av = view_with_sizes(&[3, 4]);
+        let t = truth(&[("a", 3)], &["a"]);
+        let out = SizeAttack::run(&av, &t);
+        assert_eq!(out.exact_rate, 1.0);
+        assert_eq!(out.estimated_counts, vec![3, 4]);
+    }
+}

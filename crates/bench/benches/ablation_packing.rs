@@ -1,0 +1,60 @@
+//! Ablation — heavy-hitter packing strategies (Figure 5a vs 5b): how many
+//! fake tuples the greedy general-case assignment needs compared with the
+//! naive round-robin base case, and how long bin construction takes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pds_common::Value;
+use pds_core::{BinningConfig, QueryBinning};
+use pds_storage::AttributeStats;
+
+fn heavy_hitter_inputs(n: usize) -> (Vec<Value>, Vec<Value>, AttributeStats, AttributeStats) {
+    let sensitive: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+    let nonsensitive: Vec<Value> = (0..n as i64).map(|i| Value::Int(i + 1_000_000)).collect();
+    let s_stats = AttributeStats::from_counts(
+        (0..n as i64).map(|i| (Value::Int(i), (i as u64 + 1) * 10)).collect(),
+    );
+    let ns_stats = AttributeStats::from_values(nonsensitive.iter());
+    (sensitive, nonsensitive, s_stats, ns_stats)
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_packing");
+    for &n in &[100usize, 1_000] {
+        let (s, ns, s_stats, ns_stats) = heavy_hitter_inputs(n);
+        group.bench_with_input(BenchmarkId::new("greedy_general_case", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    QueryBinning::build_from_values(
+                        "K",
+                        s.clone(),
+                        ns.clone(),
+                        s_stats.clone(),
+                        ns_stats.clone(),
+                        BinningConfig::default(),
+                    )
+                    .unwrap()
+                    .total_fake_tuples(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin_base_case", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    QueryBinning::build_from_values(
+                        "K",
+                        s.clone(),
+                        ns.clone(),
+                        s_stats.clone(),
+                        ns_stats.clone(),
+                        BinningConfig::base_case(7),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

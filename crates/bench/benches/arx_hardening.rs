@@ -1,0 +1,19 @@
+//! §VI — Arx with and without QB: query latency and attack evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pds_bench::attacks;
+
+fn bench_arx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arx_hardening");
+    group.sample_size(10);
+    group.bench_function("arx_alone_workload_and_attacks", |b| {
+        b.iter(|| black_box(attacks::arx_without_qb(1_200, 40, 0.4, 42).unwrap()))
+    });
+    group.bench_function("arx_with_qb_workload_and_attacks", |b| {
+        b.iter(|| black_box(attacks::arx_with_qb(1_200, 40, 0.4, 42).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_arx);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 6a — benchmark of the analytical η model evaluation and the
+//! underlying bin-shape computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pds_bench::fig6a;
+use pds_core::shape::{approx_square_factors, BinShape};
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_model");
+    group.bench_function("paper_series", |b| b.iter(|| black_box(fig6a::paper_series())));
+    group.bench_function("approx_square_factors_1e6", |b| {
+        b.iter(|| black_box(approx_square_factors(black_box(999_983))))
+    });
+    group.bench_function("bin_shape_for_counts_20000", |b| {
+        b.iter(|| black_box(BinShape::for_counts(black_box(10_000), black_box(20_000)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6a);
+criterion_main!(benches);

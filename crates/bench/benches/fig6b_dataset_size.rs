@@ -1,0 +1,19 @@
+//! Figure 6b — measured η vs α across dataset sizes (scaled down so the
+//! bench completes quickly; the shape of the result is what matters).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pds_bench::fig6b;
+
+fn bench_fig6b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_dataset_size");
+    group.sample_size(10);
+    for &tuples in &[1_000usize, 4_000] {
+        group.bench_with_input(BenchmarkId::new("eta_sweep", tuples), &tuples, |b, &tuples| {
+            b.iter(|| black_box(fig6b::run(&[tuples], &[0.2, 0.6], 3, 42).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6b);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table VI — QB composed with the Opaque and Jana cost simulators at
+//! several sensitivity levels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pds_bench::table6;
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_backends");
+    group.sample_size(10);
+    for alpha in [0.05, 0.4] {
+        group.bench_with_input(
+            BenchmarkId::new("qb_oblivious_backends", format!("alpha_{alpha}")),
+            &alpha,
+            |b, &alpha| b.iter(|| black_box(table6::run(1_500, &[alpha], 2, 42).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! Shared experiment machinery: deployments, workloads and cost accounting.
+
+use pds_common::{Result, Value};
+use pds_cloud::{CloudServer, DbOwner, Metrics, NetworkModel};
+use pds_core::{BinningConfig, QbExecutor, QueryBinning};
+use pds_storage::{PartitionedRelation, Partitioner, Relation};
+use pds_systems::SecureSelectionEngine;
+use pds_workload::{QueryWorkload, SensitivityAssigner, TpchConfig, TpchGenerator};
+
+/// The searchable attribute every TPC-H-style experiment uses.
+pub const SEARCH_ATTR: &str = "L_PARTKEY";
+
+/// Cost of a query (or a batch of queries), split by origin.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Simulated computation seconds (crypto + plaintext + owner work).
+    pub computation_sec: f64,
+    /// Simulated communication seconds (bytes over the network model).
+    pub communication_sec: f64,
+    /// Number of queries the cost covers.
+    pub queries: usize,
+}
+
+impl CostBreakdown {
+    /// Total simulated seconds.
+    pub fn total_sec(&self) -> f64 {
+        self.computation_sec + self.communication_sec
+    }
+
+    /// Average simulated seconds per query.
+    pub fn per_query_sec(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_sec() / self.queries as f64
+        }
+    }
+}
+
+/// Combines the cloud's and the owner's work counters into one object.
+pub fn combined_metrics(cloud: &CloudServer, owner: &DbOwner) -> Metrics {
+    let mut m = *cloud.metrics();
+    m.absorb(owner.metrics());
+    m
+}
+
+/// Generates the standard experiment relation: a pseudo-TPC-H LINEITEM.
+pub fn lineitem(tuples: usize, seed: u64) -> Relation {
+    TpchGenerator::new(TpchConfig {
+        lineitem_tuples: tuples,
+        distinct_partkeys: (tuples / 8).max(16),
+        distinct_suppkeys: (tuples / 150).max(4),
+        skew: 0.0,
+        seed,
+    })
+    .lineitem()
+}
+
+/// Splits a relation at sensitivity ratio `alpha` over [`SEARCH_ATTR`].
+pub fn partition_at_alpha(relation: &Relation, alpha: f64, seed: u64) -> Result<PartitionedRelation> {
+    let attr = relation.schema().attr_id(SEARCH_ATTR)?;
+    let policy = SensitivityAssigner::new(seed).by_value_fraction(relation, attr, alpha)?;
+    Partitioner::new(policy).split(relation)
+}
+
+/// A fully wired QB deployment ready to answer queries.
+pub struct QbDeployment<E: SecureSelectionEngine> {
+    /// The trusted owner.
+    pub owner: DbOwner,
+    /// The untrusted cloud.
+    pub cloud: CloudServer,
+    /// The QB executor.
+    pub executor: QbExecutor<E>,
+    /// The partitioned relation it serves.
+    pub parts: PartitionedRelation,
+}
+
+/// Builds and outsources a QB deployment over `relation` at sensitivity
+/// `alpha` using the given back-end engine.
+pub fn qb_deployment<E: SecureSelectionEngine>(
+    relation: &Relation,
+    alpha: f64,
+    engine: E,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<QbDeployment<E>> {
+    let parts = partition_at_alpha(relation, alpha, seed)?;
+    let binning = QueryBinning::build(&parts, SEARCH_ATTR, BinningConfig::default())?;
+    let mut executor = QbExecutor::new(binning, engine);
+    let mut owner = DbOwner::new(seed.wrapping_add(7));
+    let mut cloud = CloudServer::new(network);
+    executor.outsource(&mut owner, &mut cloud, &parts)?;
+    // Outsourcing costs are not part of per-query measurements.
+    cloud.reset_metrics();
+    owner.reset_metrics();
+    Ok(QbDeployment { owner, cloud, executor, parts })
+}
+
+impl<E: SecureSelectionEngine> QbDeployment<E> {
+    /// Runs a workload of point queries and returns its cost under the
+    /// engine's cost profile.
+    pub fn run_and_cost(&mut self, queries: &[Value]) -> Result<CostBreakdown> {
+        let before_metrics = combined_metrics(&self.cloud, &self.owner);
+        let before_comm = self.cloud.comm_time();
+        for q in queries {
+            self.executor.select(&mut self.owner, &mut self.cloud, q)?;
+        }
+        let delta = combined_metrics(&self.cloud, &self.owner).delta_since(&before_metrics);
+        let profile = self.executor.engine().cost_profile();
+        Ok(CostBreakdown {
+            computation_sec: pds_systems::cost::computation_time_for_queries(
+                &delta,
+                &profile,
+                queries.len() as u64,
+            ),
+            communication_sec: self.cloud.comm_time() - before_comm,
+            queries: queries.len(),
+        })
+    }
+
+    /// A uniform workload over the distinct values of the search attribute.
+    pub fn workload(&self, seed: u64) -> Result<QueryWorkload> {
+        let attr = self.parts.nonsensitive.schema().attr_id(SEARCH_ATTR)?;
+        // Use the union of both sides' values by drawing from the original
+        // distinct values of the non-sensitive part plus the sensitive part.
+        let mut all = self.parts.nonsensitive.distinct_values(attr);
+        for v in self.parts.sensitive.distinct_values(attr) {
+            if !all.contains(&v) {
+                all.push(v);
+            }
+        }
+        QueryWorkload::explicit(all, seed)
+    }
+}
+
+/// A fully-encrypted baseline deployment: the *entire* relation goes through
+/// the engine (this is the `Cost_crypt(1, D)` denominator of the η model).
+pub struct FullEncryptionDeployment<E: SecureSelectionEngine> {
+    /// The trusted owner.
+    pub owner: DbOwner,
+    /// The untrusted cloud.
+    pub cloud: CloudServer,
+    engine: E,
+}
+
+/// Builds and outsources the fully encrypted baseline.
+pub fn full_encryption_deployment<E: SecureSelectionEngine>(
+    relation: &Relation,
+    mut engine: E,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<FullEncryptionDeployment<E>> {
+    let attr = relation.schema().attr_id(SEARCH_ATTR)?;
+    let mut owner = DbOwner::new(seed.wrapping_add(13));
+    let mut cloud = CloudServer::new(network);
+    engine.outsource(&mut owner, &mut cloud, relation, attr)?;
+    cloud.reset_metrics();
+    owner.reset_metrics();
+    Ok(FullEncryptionDeployment { owner, cloud, engine })
+}
+
+impl<E: SecureSelectionEngine> FullEncryptionDeployment<E> {
+    /// Runs point queries (one value each) over the fully encrypted data and
+    /// returns their cost under the engine's profile.
+    pub fn run_and_cost(&mut self, queries: &[Value]) -> Result<CostBreakdown> {
+        let before_metrics = combined_metrics(&self.cloud, &self.owner);
+        let before_comm = self.cloud.comm_time();
+        for q in queries {
+            self.engine.select(&mut self.owner, &mut self.cloud, std::slice::from_ref(q))?;
+        }
+        let delta = combined_metrics(&self.cloud, &self.owner).delta_since(&before_metrics);
+        let profile = self.engine.cost_profile();
+        Ok(CostBreakdown {
+            computation_sec: pds_systems::cost::computation_time_for_queries(
+                &delta,
+                &profile,
+                queries.len() as u64,
+            ),
+            communication_sec: self.cloud.comm_time() - before_comm,
+            queries: queries.len(),
+        })
+    }
+}
+
+/// Scales a measured cost from an `actual`-tuple dataset to a `modelled`
+/// dataset size, assuming the dominant costs scale linearly with the number
+/// of tuples processed (true for every full-scan back-end).
+pub fn scale_cost(cost: CostBreakdown, actual_tuples: usize, modelled_tuples: usize) -> CostBreakdown {
+    if actual_tuples == 0 {
+        return cost;
+    }
+    let f = modelled_tuples as f64 / actual_tuples as f64;
+    CostBreakdown {
+        computation_sec: cost.computation_sec * f,
+        communication_sec: cost.communication_sec * f,
+        queries: cost.queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_systems::NonDetScanEngine;
+
+    #[test]
+    fn qb_deployment_answers_queries_and_costs_them() {
+        let rel = lineitem(2_000, 3);
+        let mut dep =
+            qb_deployment(&rel, 0.3, NonDetScanEngine::new(), NetworkModel::paper_wan(), 1)
+                .unwrap();
+        let queries = dep.workload(5).unwrap().draw(10);
+        let cost = dep.run_and_cost(&queries).unwrap();
+        assert!(cost.total_sec() > 0.0);
+        assert!(cost.per_query_sec() > 0.0);
+        assert_eq!(cost.queries, 10);
+    }
+
+    #[test]
+    fn full_encryption_costs_more_than_qb_at_low_alpha() {
+        let rel = lineitem(2_000, 4);
+        let queries: Vec<Value> = {
+            let attr = rel.schema().attr_id(SEARCH_ATTR).unwrap();
+            rel.distinct_values(attr).into_iter().take(5).collect()
+        };
+        let mut qb =
+            qb_deployment(&rel, 0.1, NonDetScanEngine::new(), NetworkModel::paper_wan(), 2)
+                .unwrap();
+        let qb_cost = qb.run_and_cost(&queries).unwrap();
+        let mut full = full_encryption_deployment(
+            &rel,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            2,
+        )
+        .unwrap();
+        let full_cost = full.run_and_cost(&queries).unwrap();
+        assert!(
+            qb_cost.computation_sec < full_cost.computation_sec,
+            "QB at α=0.1 should compute less than full encryption: {} vs {}",
+            qb_cost.computation_sec,
+            full_cost.computation_sec
+        );
+    }
+
+    #[test]
+    fn scale_cost_is_linear() {
+        let c = CostBreakdown { computation_sec: 1.0, communication_sec: 0.5, queries: 1 };
+        let scaled = scale_cost(c, 100, 1000);
+        assert!((scaled.computation_sec - 10.0).abs() < 1e-9);
+        assert!((scaled.communication_sec - 5.0).abs() < 1e-9);
+        assert_eq!(scale_cost(c, 0, 10), c);
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 6a — the analytical efficiency model.
+//!
+//! The paper plots `η = α + ρ(|SB| + |NSB|)/γ` as a function of γ for
+//! sensitivity ratios α ∈ {0.3, 0.6, 0.9, 1.0} at ρ = 10 %.  QB beats the
+//! fully encrypted baseline wherever η < 1.
+
+use pds_core::EtaModel;
+
+/// One point of the Figure 6a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6aPoint {
+    /// Sensitivity ratio α.
+    pub alpha: f64,
+    /// γ = Ce / Ccom.
+    pub gamma: f64,
+    /// The predicted η.
+    pub eta: f64,
+}
+
+/// Computes the Figure 6a series: for each α, η over a sweep of γ.
+///
+/// `rho` is the query selectivity (the paper uses 10 %); `bin_size` is the
+/// common bin size |SB| = |NSB| (the paper's optimum √|NS|).
+pub fn series(alphas: &[f64], gammas: &[f64], rho: f64, bin_size: usize) -> Vec<Fig6aPoint> {
+    let mut out = Vec::with_capacity(alphas.len() * gammas.len());
+    for &alpha in alphas {
+        for &gamma in gammas {
+            let model = EtaModel::new(alpha, rho, gamma, 1_000.0, bin_size, bin_size, 1_000_000);
+            out.push(Fig6aPoint { alpha, gamma, eta: model.eta_simplified() });
+        }
+    }
+    out
+}
+
+/// The paper's parameterisation of Figure 6a: α ∈ {0.3, 0.6, 0.9, 1.0},
+/// γ from 100 to 50 000, ρ = 10 %, 100-value bins.
+pub fn paper_series() -> Vec<Fig6aPoint> {
+    let gammas: Vec<f64> =
+        [100.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 50_000.0].to_vec();
+    series(&[0.3, 0.6, 0.9, 1.0], &gammas, 0.1, 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_monotone_in_alpha_and_gamma() {
+        let pts = paper_series();
+        // For a fixed γ, η grows with α.
+        let at_gamma = |g: f64, a: f64| {
+            pts.iter().find(|p| (p.gamma - g).abs() < 1e-9 && (p.alpha - a).abs() < 1e-9).unwrap().eta
+        };
+        assert!(at_gamma(10_000.0, 0.3) < at_gamma(10_000.0, 0.6));
+        assert!(at_gamma(10_000.0, 0.6) < at_gamma(10_000.0, 0.9));
+        // For a fixed α, η shrinks as γ grows.
+        assert!(at_gamma(100.0, 0.3) > at_gamma(50_000.0, 0.3));
+    }
+
+    #[test]
+    fn alpha_one_never_below_one() {
+        for p in paper_series().iter().filter(|p| (p.alpha - 1.0).abs() < 1e-9) {
+            assert!(p.eta >= 1.0);
+        }
+    }
+
+    #[test]
+    fn large_gamma_converges_to_alpha() {
+        let pts = series(&[0.6], &[1.0e7], 0.1, 100);
+        assert!((pts[0].eta - 0.6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn figure_has_expected_cardinality() {
+        assert_eq!(paper_series().len(), 4 * 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 6b — measured η as a function of sensitivity α for three dataset
+//! sizes (150 K, 1.5 M, 4.5 M tuples in the paper).
+//!
+//! η here is *measured*, not modelled: the same workload is executed once
+//! through QB (non-sensitive part in clear-text, sensitive part through the
+//! back-end) and once over the fully encrypted relation, and η is the ratio
+//! of the two simulated end-to-end costs.  The paper's claim is that η < 1
+//! across all three dataset sizes and all α < 1.
+
+use pds_common::Result;
+use pds_cloud::NetworkModel;
+use pds_systems::NonDetScanEngine;
+
+use crate::deploy::{full_encryption_deployment, lineitem, qb_deployment};
+
+/// One measured point of Figure 6b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6bPoint {
+    /// Dataset size in tuples (the size actually generated).
+    pub tuples: usize,
+    /// Sensitivity ratio α requested.
+    pub alpha: f64,
+    /// Measured QB cost per query (seconds, simulated).
+    pub qb_sec: f64,
+    /// Measured fully-encrypted cost per query (seconds, simulated).
+    pub full_sec: f64,
+    /// Measured η = qb / full.
+    pub eta: f64,
+}
+
+/// Runs the Figure 6b experiment.
+///
+/// * `dataset_sizes` — tuple counts to generate (the paper uses 150 K,
+///   1.5 M, 4.5 M; benches use scaled-down sizes);
+/// * `alphas` — sensitivity ratios to sweep;
+/// * `queries_per_point` — how many point queries to average over.
+pub fn run(
+    dataset_sizes: &[usize],
+    alphas: &[f64],
+    queries_per_point: usize,
+    seed: u64,
+) -> Result<Vec<Fig6bPoint>> {
+    let mut out = Vec::new();
+    for &tuples in dataset_sizes {
+        let relation = lineitem(tuples, seed);
+        // The fully encrypted baseline does not depend on α: measure once.
+        let mut full = full_encryption_deployment(
+            &relation,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            seed,
+        )?;
+        let attr = relation.schema().attr_id(crate::deploy::SEARCH_ATTR)?;
+        let queries: Vec<_> =
+            relation.distinct_values(attr).into_iter().take(queries_per_point).collect();
+        let full_cost = full.run_and_cost(&queries)?;
+
+        for &alpha in alphas {
+            let mut qb = qb_deployment(
+                &relation,
+                alpha,
+                NonDetScanEngine::new(),
+                NetworkModel::paper_wan(),
+                seed,
+            )?;
+            let qb_cost = qb.run_and_cost(&queries)?;
+            let eta = pds_core::cost::measured_eta(qb_cost.total_sec(), full_cost.total_sec());
+            out.push(Fig6bPoint {
+                tuples,
+                alpha,
+                qb_sec: qb_cost.per_query_sec(),
+                full_sec: full_cost.per_query_sec(),
+                eta,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The paper's sweep, scaled down by `scale` so it completes quickly
+/// (`scale = 1.0` reproduces the paper's 150 K / 1.5 M / 4.5 M sizes).
+pub fn paper_run(scale: f64, seed: u64) -> Result<Vec<Fig6bPoint>> {
+    let sizes: Vec<usize> = [150_000usize, 1_500_000, 4_500_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(200))
+        .collect();
+    run(&sizes, &[0.1, 0.2, 0.4, 0.6, 0.8, 0.9], 5, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_below_one_for_partial_sensitivity() {
+        let pts = run(&[1_500], &[0.2, 0.6], 4, 11).unwrap();
+        for p in &pts {
+            assert!(p.eta < 1.0, "η must be < 1 at α={} (got {})", p.alpha, p.eta);
+            assert!(p.eta > 0.0);
+        }
+    }
+
+    #[test]
+    fn eta_grows_with_alpha() {
+        let pts = run(&[1_500], &[0.1, 0.5, 0.9], 4, 12).unwrap();
+        assert!(pts[0].eta < pts[1].eta);
+        assert!(pts[1].eta < pts[2].eta);
+    }
+
+    #[test]
+    fn eta_roughly_stable_across_dataset_sizes() {
+        // The paper's point: η stays below 1 irrespective of dataset size.
+        let pts = run(&[800, 3_200], &[0.4], 3, 13).unwrap();
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.eta < 1.0);
+        }
+    }
+}

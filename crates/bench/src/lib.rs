@@ -1,0 +1,28 @@
+//! # pds-bench
+//!
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (§V, §VI), shared between the `experiments` binary (which
+//! prints the same rows/series the paper reports) and the Criterion
+//! benchmarks under `benches/`.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`fig6a`] | Figure 6a — analytical η vs γ for several sensitivity ratios |
+//! | [`fig6b`] | Figure 6b — measured η vs α for three dataset sizes |
+//! | [`fig6c`] | Figure 6c — retrieval time vs bin-size imbalance |
+//! | [`table6`] | Table VI — QB composed with Opaque and Jana at 1–60 % sensitivity |
+//! | [`attacks`] | §VI — Arx hardening (size / frequency / workload-skew attacks with and without QB) and the §I/§V headline numbers |
+//!
+//! [`deploy`] holds the shared machinery: building a partitioned TPC-H-like
+//! deployment at a target sensitivity ratio, running workloads, and
+//! converting work counters into simulated seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod deploy;
+pub mod fig6a;
+pub mod fig6b;
+pub mod fig6c;
+pub mod table6;

@@ -1,0 +1,44 @@
+//! # pds-cloud
+//!
+//! The simulated **untrusted public cloud** of the paper's system model
+//! (§II), together with the trusted **DB owner** client.
+//!
+//! The cloud stores two things for a partitioned relation:
+//!
+//! * the non-sensitive part `Rns` in clear-text (a [`pds_storage::Relation`]
+//!   plus a hash index on the searchable attribute), and
+//! * the sensitive part `Rs` as non-deterministically encrypted tuples
+//!   (an [`store::EncryptedStore`]), optionally with cloud-side searchable
+//!   tags for the indexable back-ends (CryptDB-style deterministic tags,
+//!   Arx-style counter tokens).
+//!
+//! Every request the owner sends and every tuple the cloud returns is
+//! recorded in an [`view::AdversarialView`], which is exactly the information
+//! the honest-but-curious adversary of §II observes.  The adversary crate
+//! (`pds-adversary`) and the security tests consume that view.
+//!
+//! The crate also provides:
+//!
+//! * [`network::NetworkModel`] — a byte-accurate communication cost model
+//!   (the `Ccom` of the paper's §V-A analysis), and
+//! * [`metrics::Metrics`] — counters of plaintext work, cryptographic work
+//!   and bytes moved, from which the experiment harness derives simulated
+//!   wall-clock times for back-ends (Opaque, Jana) that would be too slow to
+//!   run for real.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod network;
+pub mod owner;
+pub mod server;
+pub mod store;
+pub mod view;
+
+pub use metrics::Metrics;
+pub use network::NetworkModel;
+pub use owner::DbOwner;
+pub use server::CloudServer;
+pub use store::{EncryptedRow, EncryptedStore};
+pub use view::{AdversarialView, QueryEpisode};

@@ -1,0 +1,107 @@
+//! Work counters for cost accounting.
+//!
+//! The experiment harness never times Opaque- or Jana-class back-ends
+//! directly (the real systems take minutes to hours per query); instead each
+//! component increments these counters and the cost models in
+//! `pds-systems`/`pds-core` convert counts and bytes into simulated seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of work performed during one or more query executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Tuples examined by plaintext predicate evaluation on the cloud.
+    pub plaintext_tuples_scanned: u64,
+    /// Plaintext index lookups performed on the cloud.
+    pub plaintext_index_lookups: u64,
+    /// Encrypted tuples scanned/processed by a cryptographic back-end.
+    pub encrypted_tuples_scanned: u64,
+    /// Ciphertexts decrypted at the DB owner.
+    pub owner_decryptions: u64,
+    /// Values encrypted at the DB owner (query tokens + outsourcing).
+    pub owner_encryptions: u64,
+    /// Bytes sent from the owner to the cloud (queries, uploads).
+    pub bytes_uploaded: u64,
+    /// Bytes sent from the cloud to the owner (results).
+    pub bytes_downloaded: u64,
+    /// Number of request round trips between owner and cloud.
+    pub round_trips: u64,
+    /// Tuples returned to the owner (sensitive + non-sensitive).
+    pub tuples_returned: u64,
+    /// Fake tuples returned (QB general case padding).
+    pub fake_tuples_returned: u64,
+}
+
+impl Metrics {
+    /// A zeroed metrics object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another metrics object into this one.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.plaintext_tuples_scanned += other.plaintext_tuples_scanned;
+        self.plaintext_index_lookups += other.plaintext_index_lookups;
+        self.encrypted_tuples_scanned += other.encrypted_tuples_scanned;
+        self.owner_decryptions += other.owner_decryptions;
+        self.owner_encryptions += other.owner_encryptions;
+        self.bytes_uploaded += other.bytes_uploaded;
+        self.bytes_downloaded += other.bytes_downloaded;
+        self.round_trips += other.round_trips;
+        self.tuples_returned += other.tuples_returned;
+        self.fake_tuples_returned += other.fake_tuples_returned;
+    }
+
+    /// Difference `self - baseline`, useful to isolate the cost of one query
+    /// when counters accumulate across a session.
+    pub fn delta_since(&self, baseline: &Metrics) -> Metrics {
+        Metrics {
+            plaintext_tuples_scanned: self.plaintext_tuples_scanned
+                - baseline.plaintext_tuples_scanned,
+            plaintext_index_lookups: self.plaintext_index_lookups
+                - baseline.plaintext_index_lookups,
+            encrypted_tuples_scanned: self.encrypted_tuples_scanned
+                - baseline.encrypted_tuples_scanned,
+            owner_decryptions: self.owner_decryptions - baseline.owner_decryptions,
+            owner_encryptions: self.owner_encryptions - baseline.owner_encryptions,
+            bytes_uploaded: self.bytes_uploaded - baseline.bytes_uploaded,
+            bytes_downloaded: self.bytes_downloaded - baseline.bytes_downloaded,
+            round_trips: self.round_trips - baseline.round_trips,
+            tuples_returned: self.tuples_returned - baseline.tuples_returned,
+            fake_tuples_returned: self.fake_tuples_returned - baseline.fake_tuples_returned,
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_uploaded + self.bytes_downloaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = Metrics { plaintext_tuples_scanned: 1, bytes_uploaded: 10, ..Default::default() };
+        let b = Metrics { plaintext_tuples_scanned: 2, bytes_downloaded: 5, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.plaintext_tuples_scanned, 3);
+        assert_eq!(a.total_bytes(), 15);
+    }
+
+    #[test]
+    fn delta_isolates_one_query() {
+        let before = Metrics { owner_decryptions: 5, round_trips: 2, ..Default::default() };
+        let after = Metrics { owner_decryptions: 9, round_trips: 3, ..Default::default() };
+        let d = after.delta_since(&before);
+        assert_eq!(d.owner_decryptions, 4);
+        assert_eq!(d.round_trips, 1);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Metrics::new().total_bytes(), 0);
+    }
+}

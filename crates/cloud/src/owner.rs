@@ -1,0 +1,257 @@
+//! The trusted DB owner.
+//!
+//! The owner (§II) is the only party holding keys.  It encrypts sensitive
+//! tuples before outsourcing, issues queries, decrypts returned ciphertexts,
+//! filters out padding/fake tuples and merges the sensitive and
+//! non-sensitive result streams.  The owner also keeps the metadata QB needs
+//! (searchable values and their frequency counts) — that metadata lives in
+//! `pds-core::metadata`, built on [`pds_storage::AttributeStats`].
+
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
+use pds_crypto::{Ciphertext, DeterministicTagger, Key128, NonDetCipher};
+use pds_storage::{Relation, Tuple};
+use rand::rngs::StdRng;
+
+use crate::metrics::Metrics;
+use crate::store::EncryptedRow;
+
+/// The trusted client that owns the data and the keys.
+pub struct DbOwner {
+    cipher: NonDetCipher,
+    tagger: DeterministicTagger,
+    rng: StdRng,
+    metrics: Metrics,
+}
+
+impl DbOwner {
+    /// Creates an owner whose keys and randomness derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        DbOwner {
+            cipher: NonDetCipher::new(
+                Key128::derive(seed, "owner-enc"),
+                Key128::derive(seed, "owner-mac"),
+            ),
+            tagger: DeterministicTagger::new(Key128::derive(seed, "owner-det")),
+            rng: pds_common::rng::seeded_rng(pds_common::rng::derive_seed(seed, "owner-rng")),
+            metrics: Metrics::new(),
+        }
+    }
+
+    // ----- value-level primitives -------------------------------------------
+
+    /// Non-deterministically encrypts a single value.
+    pub fn encrypt_value(&mut self, value: &Value) -> Ciphertext {
+        self.metrics.owner_encryptions += 1;
+        self.cipher.encrypt(&value.encode(), &mut self.rng)
+    }
+
+    /// Decrypts a value ciphertext.
+    pub fn decrypt_value(&mut self, ct: &Ciphertext) -> Result<Value> {
+        self.metrics.owner_decryptions += 1;
+        let bytes = self.cipher.decrypt(ct)?;
+        Value::decode(&bytes)
+            .ok_or_else(|| PdsError::Crypto("decrypted bytes are not a valid value".into()))
+    }
+
+    /// Deterministic equality tag of a value (for indexable back-ends).
+    pub fn det_tag(&mut self, value: &Value) -> Vec<u8> {
+        self.metrics.owner_encryptions += 1;
+        self.tagger.tag_vec(&value.encode())
+    }
+
+    /// Arx-style per-occurrence tag of `(value, occurrence)`.
+    pub fn counter_tag(&mut self, value: &Value, occurrence: u64) -> Vec<u8> {
+        self.metrics.owner_encryptions += 1;
+        let mut input = value.encode();
+        input.extend_from_slice(&occurrence.to_be_bytes());
+        self.tagger.tag_vec(&input)
+    }
+
+    // ----- tuple-level primitives --------------------------------------------
+
+    /// Non-deterministically encrypts a whole tuple.
+    pub fn encrypt_tuple(&mut self, tuple: &Tuple) -> Ciphertext {
+        self.metrics.owner_encryptions += 1;
+        self.cipher.encrypt(&tuple.encode(), &mut self.rng)
+    }
+
+    /// Decrypts a tuple ciphertext.
+    pub fn decrypt_tuple(&mut self, ct: &Ciphertext) -> Result<Tuple> {
+        self.metrics.owner_decryptions += 1;
+        let bytes = self.cipher.decrypt(ct)?;
+        Tuple::decode(&bytes)
+            .ok_or_else(|| PdsError::Crypto("decrypted bytes are not a valid tuple".into()))
+    }
+
+    /// Encrypts one sensitive tuple into the row format the cloud stores:
+    /// the searchable attribute value and the full tuple are encrypted
+    /// separately; `tags` carry optional cloud-side searchable tags.
+    pub fn encrypt_row(&mut self, tuple: &Tuple, attr: AttrId, tags: Vec<Vec<u8>>) -> EncryptedRow {
+        let attr_ct = self.encrypt_value(tuple.value(attr));
+        let tuple_ct = self.encrypt_tuple(tuple);
+        EncryptedRow { id: tuple.id, attr_ct, tuple_ct, search_tags: tags }
+    }
+
+    /// Encrypts an entire sensitive relation (no cloud-side tags).
+    pub fn encrypt_relation(&mut self, relation: &Relation, attr: AttrId) -> Vec<EncryptedRow> {
+        relation.tuples().iter().map(|t| self.encrypt_row(t, attr, Vec::new())).collect()
+    }
+
+    /// Builds the plaintext form of a fake tuple (QB general-case padding).
+    ///
+    /// The fake tuple carries a *real* searchable value at position `attr`
+    /// so that the cloud — which matches on that value (or on its tag) —
+    /// returns the padding row alongside the real ones; every other position
+    /// holds the reserved marker so the owner (and only the owner, after
+    /// decryption) can recognise and drop it.
+    pub fn make_fake_tuple(id: TupleId, attr: AttrId, attr_value: &Value, arity: usize) -> Tuple {
+        let arity = arity.max(2);
+        let mut values = vec![Self::fake_marker(); arity];
+        let idx = attr.index().min(arity - 1);
+        values[idx] = attr_value.clone();
+        Tuple::new(id, values)
+    }
+
+    /// Encrypts a fake padding row directly (convenience over
+    /// [`DbOwner::make_fake_tuple`] + [`DbOwner::encrypt_row`]).
+    pub fn encrypt_fake_row(
+        &mut self,
+        id: TupleId,
+        attr: AttrId,
+        attr_value: &Value,
+        arity: usize,
+    ) -> EncryptedRow {
+        let tuple = Self::make_fake_tuple(id, attr, attr_value, arity);
+        let attr_ct = self.encrypt_value(attr_value);
+        let tuple_ct = self.encrypt_tuple(&tuple);
+        EncryptedRow { id, attr_ct, tuple_ct, search_tags: Vec::new() }
+    }
+
+    /// The reserved marker value stored inside fake tuples.
+    pub fn fake_marker() -> Value {
+        Value::Text("__PDS_FAKE__".to_string())
+    }
+
+    /// Whether a decrypted tuple is a padding row (any position holds the
+    /// reserved marker).
+    pub fn is_fake(tuple: &Tuple) -> bool {
+        let marker = Self::fake_marker();
+        tuple.values.iter().any(|v| v == &marker)
+    }
+
+    // ----- observability ------------------------------------------------------
+
+    /// Owner-side work counters (encryptions/decryptions performed).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets owner-side work counters.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::new();
+    }
+}
+
+impl std::fmt::Debug for DbOwner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbOwner").field("metrics", &self.metrics).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_storage::{DataType, Schema};
+
+    fn sample_tuple() -> Tuple {
+        Tuple::new(TupleId::new(4), vec![Value::from("E259"), Value::Int(6), Value::from("Defense")])
+    }
+
+    #[test]
+    fn value_roundtrip_and_nondeterminism() {
+        let mut owner = DbOwner::new(7);
+        let v = Value::from("E152");
+        let c1 = owner.encrypt_value(&v);
+        let c2 = owner.encrypt_value(&v);
+        assert_ne!(c1, c2, "non-deterministic encryption");
+        assert_eq!(owner.decrypt_value(&c1).unwrap(), v);
+        assert_eq!(owner.decrypt_value(&c2).unwrap(), v);
+        assert_eq!(owner.metrics().owner_encryptions, 2);
+        assert_eq!(owner.metrics().owner_decryptions, 2);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let mut owner = DbOwner::new(7);
+        let t = sample_tuple();
+        let ct = owner.encrypt_tuple(&t);
+        assert_eq!(owner.decrypt_tuple(&ct).unwrap(), t);
+    }
+
+    #[test]
+    fn det_tags_are_deterministic_counter_tags_are_not_equal_across_occurrences() {
+        let mut owner = DbOwner::new(7);
+        let v = Value::from("E259");
+        assert_eq!(owner.det_tag(&v), owner.det_tag(&v));
+        assert_ne!(owner.counter_tag(&v, 0), owner.counter_tag(&v, 1));
+        assert_ne!(owner.det_tag(&v), owner.det_tag(&Value::from("E101")));
+    }
+
+    #[test]
+    fn encrypt_row_and_relation() {
+        let mut owner = DbOwner::new(7);
+        let schema =
+            Schema::from_pairs(&[("EId", DataType::Text), ("Office", DataType::Int)]).unwrap();
+        let mut r = Relation::new("Emp", schema);
+        r.insert(vec![Value::from("E101"), Value::Int(1)]).unwrap();
+        r.insert(vec![Value::from("E259"), Value::Int(6)]).unwrap();
+        let attr = r.schema().attr_id("EId").unwrap();
+        let rows = owner.encrypt_relation(&r, attr);
+        assert_eq!(rows.len(), 2);
+        // Decrypting the attribute ciphertext recovers the searchable value.
+        assert_eq!(owner.decrypt_value(&rows[1].attr_ct).unwrap(), Value::from("E259"));
+        let t = owner.decrypt_tuple(&rows[0].tuple_ct).unwrap();
+        assert_eq!(t.id, r.tuples()[0].id);
+    }
+
+    #[test]
+    fn fake_rows_are_recognised_by_owner_only() {
+        let mut owner = DbOwner::new(7);
+        let attr = AttrId::new(0);
+        let fake = owner.encrypt_fake_row(TupleId::new(77), attr, &Value::from("E259"), 3);
+        let decrypted = owner.decrypt_tuple(&fake.tuple_ct).unwrap();
+        assert!(DbOwner::is_fake(&decrypted));
+        // The fake carries the real searchable value so the cloud matches it.
+        assert_eq!(decrypted.value(attr), &Value::from("E259"));
+        assert_eq!(owner.decrypt_value(&fake.attr_ct).unwrap(), Value::from("E259"));
+        assert!(!DbOwner::is_fake(&sample_tuple()));
+        assert!(!fake.tuple_ct.is_empty());
+    }
+
+    #[test]
+    fn fake_tuple_marker_survives_nonzero_attr_position() {
+        let t = DbOwner::make_fake_tuple(TupleId::new(1), AttrId::new(2), &Value::Int(9), 4);
+        assert_eq!(t.value(AttrId::new(2)), &Value::Int(9));
+        assert!(DbOwner::is_fake(&t));
+        // Arity of one is promoted to two so the marker is always present.
+        let t1 = DbOwner::make_fake_tuple(TupleId::new(2), AttrId::new(0), &Value::Int(9), 1);
+        assert!(DbOwner::is_fake(&t1));
+        assert_eq!(t1.values.len(), 2);
+    }
+
+    #[test]
+    fn wrong_owner_cannot_decrypt() {
+        let mut owner = DbOwner::new(7);
+        let mut other = DbOwner::new(8);
+        let ct = owner.encrypt_value(&Value::from("secret"));
+        assert!(other.decrypt_value(&ct).is_err());
+    }
+
+    #[test]
+    fn reset_metrics() {
+        let mut owner = DbOwner::new(7);
+        owner.encrypt_value(&Value::Int(1));
+        owner.reset_metrics();
+        assert_eq!(owner.metrics().owner_encryptions, 0);
+    }
+}

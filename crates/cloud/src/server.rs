@@ -1,0 +1,421 @@
+//! The untrusted public cloud server.
+//!
+//! One [`CloudServer`] hosts the outsourced pair of relations for one
+//! partitioned relation: `Rns` in clear-text (with a hash index on the
+//! searchable attribute, as the paper's cloud-side indexes allow) and `Rs`
+//! as an [`EncryptedStore`].  Every interaction is recorded in the
+//! [`AdversarialView`] and counted in [`Metrics`].
+
+use pds_common::{AttrId, PdsError, QueryId, Result, TupleId, Value};
+use pds_crypto::Ciphertext;
+use pds_storage::{HashIndex, Relation, Tuple};
+
+use crate::metrics::Metrics;
+use crate::network::NetworkModel;
+use crate::store::{EncryptedRow, EncryptedStore};
+use crate::view::AdversarialView;
+
+/// The plaintext (non-sensitive) side of the deployment.
+#[derive(Debug, Clone)]
+struct PlainSide {
+    relation: Relation,
+    attr: AttrId,
+    index: HashIndex,
+}
+
+/// The simulated untrusted public cloud.
+#[derive(Debug, Clone)]
+pub struct CloudServer {
+    plain: Option<PlainSide>,
+    encrypted: EncryptedStore,
+    view: AdversarialView,
+    metrics: Metrics,
+    network: NetworkModel,
+    comm_time: f64,
+}
+
+impl Default for CloudServer {
+    fn default() -> Self {
+        Self::new(NetworkModel::paper_wan())
+    }
+}
+
+impl CloudServer {
+    /// Creates a cloud with the given network model.
+    pub fn new(network: NetworkModel) -> Self {
+        CloudServer {
+            plain: None,
+            encrypted: EncryptedStore::new(),
+            view: AdversarialView::new(),
+            metrics: Metrics::new(),
+            network,
+            comm_time: 0.0,
+        }
+    }
+
+    // ----- outsourcing -----------------------------------------------------
+
+    /// Uploads the clear-text non-sensitive relation and builds the
+    /// cloud-side index on `searchable_attr`.
+    pub fn upload_plaintext(&mut self, relation: Relation, searchable_attr: &str) -> Result<()> {
+        let attr = relation.schema().attr_id(searchable_attr)?;
+        let index = HashIndex::build(&relation, attr);
+        let bytes = relation.size_bytes();
+        self.metrics.bytes_uploaded += bytes as u64;
+        self.comm_time += self.network.transfer_time(bytes);
+        self.plain = Some(PlainSide { relation, attr, index });
+        Ok(())
+    }
+
+    /// Uploads encrypted sensitive rows.
+    pub fn upload_encrypted(&mut self, rows: Vec<EncryptedRow>) -> Result<()> {
+        let bytes: usize = rows.iter().map(EncryptedRow::size_bytes).sum();
+        self.metrics.bytes_uploaded += bytes as u64;
+        self.comm_time += self.network.transfer_time(bytes);
+        self.encrypted.insert_many(rows)
+    }
+
+    // ----- query episode management ----------------------------------------
+
+    /// Starts a new query episode in the adversarial view.
+    pub fn begin_query(&mut self) -> QueryId {
+        self.view.begin_episode()
+    }
+
+    /// Ends the current query episode.
+    pub fn end_query(&mut self) {
+        self.view.end_episode();
+    }
+
+    /// Notes that the owner sent `count` encrypted (opaque) search values as
+    /// part of the current query (QB sends |SB| of them).
+    pub fn note_encrypted_request(&mut self, count: usize, bytes: usize) {
+        self.view.observe_encrypted_request(count);
+        self.metrics.bytes_uploaded += bytes as u64;
+        self.comm_time += self.network.transfer_time(bytes);
+        self.metrics.round_trips += 1;
+    }
+
+    // ----- plaintext side ---------------------------------------------------
+
+    /// Executes a clear-text `IN` selection on the non-sensitive relation.
+    pub fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>> {
+        let plain = self
+            .plain
+            .as_ref()
+            .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
+        let ids = plain.index.lookup_many(values);
+        let tuples: Vec<Tuple> =
+            ids.iter().filter_map(|&id| plain.relation.get(id).cloned()).collect();
+        let attr = plain.attr;
+
+        // Adversarial view: the request values arrive in clear-text, and the
+        // full matching tuples go back in clear-text.
+        self.view.observe_plaintext_request(values);
+        let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
+        self.view.observe_nonsensitive_result(&ids, &returned_values);
+
+        // Metrics: index lookups, bytes for request and response.
+        let request_bytes: usize = values.iter().map(Value::size_bytes).sum();
+        let response_bytes: usize = tuples.iter().map(Tuple::size_bytes).sum();
+        self.metrics.plaintext_index_lookups += values.len() as u64;
+        self.metrics.plaintext_tuples_scanned += tuples.len() as u64;
+        self.metrics.tuples_returned += tuples.len() as u64;
+        self.metrics.bytes_uploaded += request_bytes as u64;
+        self.metrics.bytes_downloaded += response_bytes as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(request_bytes + response_bytes);
+        Ok(tuples)
+    }
+
+    /// Full scan of the plaintext relation with an arbitrary predicate
+    /// (used by baselines that do not exploit the index).
+    pub fn plain_select_scan(
+        &mut self,
+        predicate: &pds_storage::Predicate,
+    ) -> Result<Vec<Tuple>> {
+        let plain = self
+            .plain
+            .as_ref()
+            .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
+        let query = pds_storage::SelectionQuery::new(predicate.clone());
+        let tuples = plain.relation.select(&query);
+        let attr = plain.attr;
+        let ids: Vec<TupleId> = tuples.iter().map(|t| t.id).collect();
+        let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
+        self.view.observe_nonsensitive_result(&ids, &returned_values);
+        let response_bytes: usize = tuples.iter().map(Tuple::size_bytes).sum();
+        self.metrics.plaintext_tuples_scanned += plain.relation.len() as u64;
+        self.metrics.tuples_returned += tuples.len() as u64;
+        self.metrics.bytes_downloaded += response_bytes as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(response_bytes);
+        Ok(tuples)
+    }
+
+    /// The outsourced plaintext relation, if any.
+    pub fn plain_relation(&self) -> Option<&Relation> {
+        self.plain.as_ref().map(|p| &p.relation)
+    }
+
+    /// The searchable attribute of the plaintext relation.
+    pub fn plain_searchable_attr(&self) -> Option<AttrId> {
+        self.plain.as_ref().map(|p| p.attr)
+    }
+
+    // ----- encrypted side ---------------------------------------------------
+
+    /// Downloads the encrypted searchable-attribute column (id, ciphertext)
+    /// — the first step of the paper's §V-B search procedure.
+    pub fn download_encrypted_attr_column(&mut self) -> Vec<(TupleId, Ciphertext)> {
+        let out: Vec<(TupleId, Ciphertext)> =
+            self.encrypted.rows().iter().map(|r| (r.id, r.attr_ct.clone())).collect();
+        let bytes = self.encrypted.attr_column_bytes();
+        self.metrics.bytes_downloaded += bytes as u64;
+        self.metrics.encrypted_tuples_scanned += out.len() as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(bytes);
+        out
+    }
+
+    /// Fetches full encrypted tuples by storage address.  The addresses are
+    /// what access-pattern leakage reveals, so they enter the adversarial
+    /// view as the sensitive side of the episode.
+    pub fn fetch_encrypted(&mut self, ids: &[TupleId]) -> Result<Vec<(TupleId, Ciphertext)>> {
+        let rows = self.encrypted.fetch(ids)?;
+        let out: Vec<(TupleId, Ciphertext)> =
+            rows.iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
+        self.view.observe_sensitive_result(ids);
+        let request_bytes = ids.len() * 8;
+        let response_bytes: usize = rows.iter().map(|r| 8 + r.tuple_ct.len()).sum();
+        self.metrics.tuples_returned += out.len() as u64;
+        self.metrics.bytes_uploaded += request_bytes as u64;
+        self.metrics.bytes_downloaded += response_bytes as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(request_bytes + response_bytes);
+        Ok(out)
+    }
+
+    /// Returns every encrypted tuple (full scan), as strongly secure
+    /// back-ends that hide access patterns effectively do.
+    pub fn scan_encrypted(&mut self) -> Vec<(TupleId, Ciphertext)> {
+        let out: Vec<(TupleId, Ciphertext)> =
+            self.encrypted.rows().iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
+        let ids: Vec<TupleId> = out.iter().map(|(id, _)| *id).collect();
+        self.view.observe_sensitive_result(&ids);
+        let bytes: usize = out.iter().map(|(_, ct)| 8 + ct.len()).sum();
+        self.metrics.encrypted_tuples_scanned += out.len() as u64;
+        self.metrics.tuples_returned += out.len() as u64;
+        self.metrics.bytes_downloaded += bytes as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(bytes);
+        out
+    }
+
+    /// Notes that a cloud-side secure execution environment (an SGX enclave
+    /// or an MPC committee) obliviously processed `tuples` encrypted tuples
+    /// without shipping them to the owner.  Only work counters move; no
+    /// data is returned and nothing enters the adversarial view beyond the
+    /// fact that a query arrived.
+    pub fn note_oblivious_scan(&mut self, tuples: usize, request_bytes: usize) {
+        self.metrics.encrypted_tuples_scanned += tuples as u64;
+        self.metrics.bytes_uploaded += request_bytes as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(request_bytes);
+    }
+
+    /// Cloud-side search by opaque tags (deterministic tags or Arx counter
+    /// tokens).  The cloud matches tags against its index without learning
+    /// plaintext values.
+    pub fn tag_select(&mut self, tags: &[Vec<u8>]) -> Vec<(TupleId, Ciphertext)> {
+        let mut ids: Vec<TupleId> = Vec::new();
+        for tag in tags {
+            ids.extend_from_slice(self.encrypted.lookup_tag(tag));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let out: Vec<(TupleId, Ciphertext)> = ids
+            .iter()
+            .filter_map(|&id| self.encrypted.get(id).map(|r| (r.id, r.tuple_ct.clone())))
+            .collect();
+        self.view.observe_encrypted_request(tags.len());
+        self.view.observe_sensitive_result(&ids);
+        let request_bytes: usize = tags.iter().map(Vec::len).sum();
+        let response_bytes: usize = out.iter().map(|(_, ct)| 8 + ct.len()).sum();
+        self.metrics.plaintext_index_lookups += tags.len() as u64;
+        self.metrics.tuples_returned += out.len() as u64;
+        self.metrics.bytes_uploaded += request_bytes as u64;
+        self.metrics.bytes_downloaded += response_bytes as u64;
+        self.metrics.round_trips += 1;
+        self.comm_time += self.network.transfer_time(request_bytes + response_bytes);
+        out
+    }
+
+    /// Number of encrypted rows stored.
+    pub fn encrypted_len(&self) -> usize {
+        self.encrypted.len()
+    }
+
+    /// The raw encrypted store.  The honest-but-curious adversary *is* the
+    /// cloud, so everything stored here (ciphertexts, search tags, storage
+    /// addresses) is adversary-visible; `pds-adversary` reads it through this
+    /// accessor.
+    pub fn encrypted_store(&self) -> &EncryptedStore {
+        &self.encrypted
+    }
+
+    /// Number of plaintext tuples stored.
+    pub fn plain_len(&self) -> usize {
+        self.plain.as_ref().map_or(0, |p| p.relation.len())
+    }
+
+    // ----- observability ----------------------------------------------------
+
+    /// The adversarial view accumulated so far.
+    pub fn adversarial_view(&self) -> &AdversarialView {
+        &self.view
+    }
+
+    /// Work counters accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Simulated communication time accumulated so far, in seconds.
+    pub fn comm_time(&self) -> f64 {
+        self.comm_time
+    }
+
+    /// The network model in force.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Resets metrics and communication time (the adversarial view is *not*
+    /// cleared — the adversary never forgets).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::new();
+        self.comm_time = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_crypto::NonDetCipher;
+    use pds_storage::{DataType, Schema};
+
+    fn plain_relation() -> Relation {
+        let schema =
+            Schema::from_pairs(&[("EId", DataType::Text), ("Dept", DataType::Text)]).unwrap();
+        let mut r = Relation::new("Employee3", schema);
+        for (e, d) in [("E259", "Design"), ("E199", "Design"), ("E254", "Design"), ("E152", "Design")] {
+            r.insert(vec![Value::from(e), Value::from(d)]).unwrap();
+        }
+        r
+    }
+
+    fn encrypted_rows(n: u64) -> Vec<EncryptedRow> {
+        let cipher = NonDetCipher::from_seed(9);
+        let mut rng = pds_common::rng::seeded_rng(1);
+        (0..n)
+            .map(|i| EncryptedRow {
+                id: TupleId::new(100 + i),
+                attr_ct: cipher.encrypt(format!("v{i}").as_bytes(), &mut rng),
+                tuple_ct: cipher.encrypt(format!("tuple{i}").as_bytes(), &mut rng),
+                search_tags: vec![vec![i as u8]],
+            })
+            .collect()
+    }
+
+    fn server() -> CloudServer {
+        let mut s = CloudServer::new(NetworkModel::paper_wan());
+        s.upload_plaintext(plain_relation(), "EId").unwrap();
+        s.upload_encrypted(encrypted_rows(4)).unwrap();
+        s
+    }
+
+    #[test]
+    fn upload_counts_bytes() {
+        let s = server();
+        assert!(s.metrics().bytes_uploaded > 0);
+        assert_eq!(s.plain_len(), 4);
+        assert_eq!(s.encrypted_len(), 4);
+        assert!(s.comm_time() > 0.0);
+    }
+
+    #[test]
+    fn plain_select_records_view() {
+        let mut s = server();
+        s.begin_query();
+        let out = s.plain_select_in(&[Value::from("E259"), Value::from("E254")]).unwrap();
+        s.end_query();
+        assert_eq!(out.len(), 2);
+        let ep = &s.adversarial_view().episodes()[0];
+        assert_eq!(ep.plaintext_request.len(), 2);
+        assert_eq!(ep.nonsensitive_returned.len(), 2);
+        assert_eq!(ep.nonsensitive_values.len(), 2);
+        assert!(ep.sensitive_returned.is_empty());
+    }
+
+    #[test]
+    fn plain_select_without_upload_errors() {
+        let mut s = CloudServer::default();
+        assert!(s.plain_select_in(&[Value::from("x")]).is_err());
+    }
+
+    #[test]
+    fn fetch_encrypted_records_access_pattern() {
+        let mut s = server();
+        s.begin_query();
+        s.note_encrypted_request(2, 64);
+        let out = s.fetch_encrypted(&[TupleId::new(101), TupleId::new(103)]).unwrap();
+        s.end_query();
+        assert_eq!(out.len(), 2);
+        let ep = &s.adversarial_view().episodes()[0];
+        assert_eq!(ep.encrypted_request_size, 2);
+        assert_eq!(ep.sensitive_returned, vec![TupleId::new(101), TupleId::new(103)]);
+        assert!(s.fetch_encrypted(&[TupleId::new(999)]).is_err());
+    }
+
+    #[test]
+    fn attr_column_download_scans_everything() {
+        let mut s = server();
+        let col = s.download_encrypted_attr_column();
+        assert_eq!(col.len(), 4);
+        assert_eq!(s.metrics().encrypted_tuples_scanned, 4);
+    }
+
+    #[test]
+    fn scan_encrypted_returns_all() {
+        let mut s = server();
+        s.begin_query();
+        let all = s.scan_encrypted();
+        s.end_query();
+        assert_eq!(all.len(), 4);
+        assert_eq!(s.adversarial_view().episodes()[0].sensitive_returned.len(), 4);
+    }
+
+    #[test]
+    fn tag_select_uses_index() {
+        let mut s = server();
+        s.begin_query();
+        let out = s.tag_select(&[vec![0u8], vec![2u8], vec![77u8]]);
+        s.end_query();
+        assert_eq!(out.len(), 2);
+        let ep = &s.adversarial_view().episodes()[0];
+        assert_eq!(ep.encrypted_request_size, 3);
+        assert_eq!(ep.sensitive_returned.len(), 2);
+    }
+
+    #[test]
+    fn reset_metrics_keeps_view() {
+        let mut s = server();
+        s.begin_query();
+        s.plain_select_in(&[Value::from("E259")]).unwrap();
+        s.end_query();
+        s.reset_metrics();
+        assert_eq!(s.metrics().total_bytes(), 0);
+        assert_eq!(s.adversarial_view().len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cloud-side storage of the encrypted sensitive relation.
+//!
+//! Each sensitive tuple is stored as an [`EncryptedRow`]:
+//!
+//! * `tuple_ct` — the whole tuple under non-deterministic encryption;
+//! * `attr_ct` — the searchable attribute value alone, also under
+//!   non-deterministic encryption (the "No-Ind" search procedure of §V-B
+//!   downloads this column, decrypts it owner-side and selects addresses);
+//! * `search_tags` — optional cloud-side searchable tags (deterministic
+//!   equality tags for the CryptDB-style back-end, per-occurrence counter
+//!   tokens for the Arx-style back-end). Absent for strongly secure
+//!   back-ends.
+//!
+//! Fake tuples injected by QB's general case are ordinary encrypted rows
+//! flagged server-side only in the sense that the *owner* knows their ids;
+//! to the cloud and the adversary they are indistinguishable from real rows.
+
+use std::collections::HashMap;
+
+use pds_common::{PdsError, Result, TupleId};
+use pds_crypto::Ciphertext;
+
+/// One encrypted sensitive tuple as stored by the cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedRow {
+    /// Storage address / tuple id (what access-pattern leakage reveals).
+    pub id: TupleId,
+    /// Encryption of the searchable attribute value.
+    pub attr_ct: Ciphertext,
+    /// Encryption of the full tuple.
+    pub tuple_ct: Ciphertext,
+    /// Cloud-side searchable tags (empty for non-indexable back-ends).
+    pub search_tags: Vec<Vec<u8>>,
+}
+
+impl EncryptedRow {
+    /// Total stored size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        8 + self.attr_ct.len()
+            + self.tuple_ct.len()
+            + self.search_tags.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// The encrypted store: rows plus an (optional) tag index.
+#[derive(Debug, Clone, Default)]
+pub struct EncryptedStore {
+    rows: Vec<EncryptedRow>,
+    by_id: HashMap<TupleId, usize>,
+    tag_index: HashMap<Vec<u8>, Vec<TupleId>>,
+}
+
+impl EncryptedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a row; ids must be unique.
+    pub fn insert(&mut self, row: EncryptedRow) -> Result<()> {
+        if self.by_id.contains_key(&row.id) {
+            return Err(PdsError::Cloud(format!("duplicate encrypted tuple id {}", row.id)));
+        }
+        self.by_id.insert(row.id, self.rows.len());
+        for tag in &row.search_tags {
+            self.tag_index.entry(tag.clone()).or_default().push(row.id);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_many(&mut self, rows: Vec<EncryptedRow>) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Number of stored rows (including any fake rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in storage order.
+    pub fn rows(&self) -> &[EncryptedRow] {
+        &self.rows
+    }
+
+    /// Fetches one row by id.
+    pub fn get(&self, id: TupleId) -> Option<&EncryptedRow> {
+        self.by_id.get(&id).map(|&i| &self.rows[i])
+    }
+
+    /// Fetches rows by id, erroring on unknown ids.
+    pub fn fetch(&self, ids: &[TupleId]) -> Result<Vec<&EncryptedRow>> {
+        ids.iter()
+            .map(|&id| {
+                self.get(id)
+                    .ok_or_else(|| PdsError::Cloud(format!("unknown encrypted tuple id {id}")))
+            })
+            .collect()
+    }
+
+    /// Ids of rows carrying the given searchable tag (empty when the tag is
+    /// unknown or the store is not tag-indexed).
+    pub fn lookup_tag(&self, tag: &[u8]) -> &[TupleId] {
+        self.tag_index.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total size of the attribute-ciphertext column in bytes.
+    pub fn attr_column_bytes(&self) -> usize {
+        self.rows.iter().map(|r| 8 + r.attr_ct.len()).sum()
+    }
+
+    /// Total stored size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.rows.iter().map(EncryptedRow::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_crypto::NonDetCipher;
+
+    fn row(id: u64, tags: Vec<Vec<u8>>) -> EncryptedRow {
+        let cipher = NonDetCipher::from_seed(1);
+        let mut rng = pds_common::rng::seeded_rng(id);
+        EncryptedRow {
+            id: TupleId::new(id),
+            attr_ct: cipher.encrypt(b"attr", &mut rng),
+            tuple_ct: cipher.encrypt(b"tuple-payload", &mut rng),
+            search_tags: tags,
+        }
+    }
+
+    #[test]
+    fn insert_get_fetch() {
+        let mut store = EncryptedStore::new();
+        store.insert(row(0, vec![])).unwrap();
+        store.insert(row(1, vec![])).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.get(TupleId::new(1)).is_some());
+        assert!(store.get(TupleId::new(9)).is_none());
+        assert_eq!(store.fetch(&[TupleId::new(0), TupleId::new(1)]).unwrap().len(), 2);
+        assert!(store.fetch(&[TupleId::new(7)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut store = EncryptedStore::new();
+        store.insert(row(0, vec![])).unwrap();
+        assert!(store.insert(row(0, vec![])).is_err());
+    }
+
+    #[test]
+    fn tag_index_lookup() {
+        let mut store = EncryptedStore::new();
+        store.insert(row(0, vec![vec![1, 2, 3]])).unwrap();
+        store.insert(row(1, vec![vec![1, 2, 3], vec![9]])).unwrap();
+        store.insert(row(2, vec![])).unwrap();
+        assert_eq!(store.lookup_tag(&[1, 2, 3]).len(), 2);
+        assert_eq!(store.lookup_tag(&[9]).len(), 1);
+        assert_eq!(store.lookup_tag(&[0]).len(), 0);
+    }
+
+    #[test]
+    fn sizes_are_positive() {
+        let mut store = EncryptedStore::new();
+        store.insert_many(vec![row(0, vec![]), row(1, vec![vec![5; 16]])]).unwrap();
+        assert!(store.attr_column_bytes() > 0);
+        assert!(store.size_bytes() > store.attr_column_bytes());
+    }
+}

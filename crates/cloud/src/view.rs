@@ -1,0 +1,233 @@
+//! The adversarial view (§II of the paper).
+//!
+//! "When executing a query, an adversary knows which encrypted sensitive
+//! tuples and cleartext non-sensitive tuples are sent in response to a query.
+//! We refer this as the adversarial view, AV = Inc ∪ Opc."
+//!
+//! Every query the DB owner runs against the [`crate::CloudServer`] produces
+//! one [`QueryEpisode`]: what arrived at the cloud (the clear-text
+//! non-sensitive request and the *number* of opaque encrypted request
+//! values) and what was returned (ids of encrypted tuples, and ids plus
+//! clear-text searchable values of non-sensitive tuples).  The adversary
+//! crate mounts all of its attacks on this structure alone.
+
+use pds_common::{QueryId, TupleId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Everything the honest-but-curious cloud observes for a single query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryEpisode {
+    /// Identifier of the query episode.
+    pub id: QueryId,
+    /// Clear-text values requested on the non-sensitive relation
+    /// (`q(Wns)(Rns)` — visible to the adversary in full).
+    pub plaintext_request: Vec<Value>,
+    /// Number of encrypted values requested on the sensitive relation
+    /// (`|Ws|`); the values themselves are ciphertexts and carry no content.
+    pub encrypted_request_size: usize,
+    /// Ids of non-sensitive tuples returned.
+    pub nonsensitive_returned: Vec<TupleId>,
+    /// Clear-text searchable-attribute values of the returned non-sensitive
+    /// tuples (the adversary sees the full tuples; the searchable value is
+    /// what the attacks need).
+    pub nonsensitive_values: Vec<Value>,
+    /// Ids (storage addresses) of encrypted sensitive tuples returned.
+    pub sensitive_returned: Vec<TupleId>,
+}
+
+impl QueryEpisode {
+    fn new(id: QueryId) -> Self {
+        QueryEpisode {
+            id,
+            plaintext_request: Vec::new(),
+            encrypted_request_size: 0,
+            nonsensitive_returned: Vec::new(),
+            nonsensitive_values: Vec::new(),
+            sensitive_returned: Vec::new(),
+        }
+    }
+
+    /// Total number of tuples (both kinds) returned in this episode — the
+    /// quantity a size attack observes.
+    pub fn output_size(&self) -> usize {
+        self.nonsensitive_returned.len() + self.sensitive_returned.len()
+    }
+
+    /// Number of sensitive tuples returned.
+    pub fn sensitive_output_size(&self) -> usize {
+        self.sensitive_returned.len()
+    }
+
+    /// Number of non-sensitive tuples returned.
+    pub fn nonsensitive_output_size(&self) -> usize {
+        self.nonsensitive_returned.len()
+    }
+}
+
+/// The accumulated adversarial view across all queries of a session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialView {
+    episodes: Vec<QueryEpisode>,
+    in_progress: Option<QueryEpisode>,
+    next_id: u64,
+}
+
+impl AdversarialView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording a new query episode and returns its id.
+    pub fn begin_episode(&mut self) -> QueryId {
+        // A dangling in-progress episode (owner never called `end`) is
+        // committed first so nothing observed is ever dropped.
+        if let Some(ep) = self.in_progress.take() {
+            self.episodes.push(ep);
+        }
+        let id = QueryId::new(self.next_id);
+        self.next_id += 1;
+        self.in_progress = Some(QueryEpisode::new(id));
+        id
+    }
+
+    /// Finishes the episode in progress (no-op when none is active).
+    pub fn end_episode(&mut self) {
+        if let Some(ep) = self.in_progress.take() {
+            self.episodes.push(ep);
+        }
+    }
+
+    fn current(&mut self) -> &mut QueryEpisode {
+        if self.in_progress.is_none() {
+            // Observations outside an explicit episode still get recorded.
+            let id = QueryId::new(self.next_id);
+            self.next_id += 1;
+            self.in_progress = Some(QueryEpisode::new(id));
+        }
+        self.in_progress.as_mut().expect("episode just ensured")
+    }
+
+    /// Records the clear-text request values observed on the plaintext side.
+    pub fn observe_plaintext_request(&mut self, values: &[Value]) {
+        self.current().plaintext_request.extend_from_slice(values);
+    }
+
+    /// Records the number of opaque encrypted request values observed.
+    pub fn observe_encrypted_request(&mut self, count: usize) {
+        self.current().encrypted_request_size += count;
+    }
+
+    /// Records non-sensitive tuples returned to the owner.
+    pub fn observe_nonsensitive_result(&mut self, ids: &[TupleId], values: &[Value]) {
+        let ep = self.current();
+        ep.nonsensitive_returned.extend_from_slice(ids);
+        ep.nonsensitive_values.extend_from_slice(values);
+    }
+
+    /// Records encrypted sensitive tuples returned to the owner.
+    pub fn observe_sensitive_result(&mut self, ids: &[TupleId]) {
+        self.current().sensitive_returned.extend_from_slice(ids);
+    }
+
+    /// All completed episodes, in order.
+    pub fn episodes(&self) -> &[QueryEpisode] {
+        &self.episodes
+    }
+
+    /// Number of completed episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Whether no episode has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Renders the view as the paper renders its tables (one row per query):
+    /// `query -> {encrypted ids} | {clear-text values}`.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for ep in &self.episodes {
+            let enc: Vec<String> = ep.sensitive_returned.iter().map(|t| format!("E({t})")).collect();
+            let ns: Vec<String> = ep.nonsensitive_values.iter().map(|v| v.to_string()).collect();
+            let req: Vec<String> = ep.plaintext_request.iter().map(|v| v.to_string()).collect();
+            out.push_str(&format!(
+                "{}: request[{}] -> sensitive[{}] nonsensitive[{}]\n",
+                ep.id,
+                req.join(", "),
+                if enc.is_empty() { "null".to_string() } else { enc.join(", ") },
+                if ns.is_empty() { "null".to_string() } else { ns.join(", ") },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_lifecycle() {
+        let mut av = AdversarialView::new();
+        assert!(av.is_empty());
+        let q0 = av.begin_episode();
+        av.observe_plaintext_request(&[Value::from("E259")]);
+        av.observe_encrypted_request(2);
+        av.observe_nonsensitive_result(&[TupleId::new(2)], &[Value::from("E259")]);
+        av.observe_sensitive_result(&[TupleId::new(4)]);
+        av.end_episode();
+        assert_eq!(av.len(), 1);
+        let ep = &av.episodes()[0];
+        assert_eq!(ep.id, q0);
+        assert_eq!(ep.output_size(), 2);
+        assert_eq!(ep.sensitive_output_size(), 1);
+        assert_eq!(ep.nonsensitive_output_size(), 1);
+        assert_eq!(ep.encrypted_request_size, 2);
+    }
+
+    #[test]
+    fn dangling_episode_is_committed_on_next_begin() {
+        let mut av = AdversarialView::new();
+        av.begin_episode();
+        av.observe_sensitive_result(&[TupleId::new(1)]);
+        // No end_episode; the next begin flushes it.
+        av.begin_episode();
+        av.end_episode();
+        assert_eq!(av.len(), 2);
+        assert_eq!(av.episodes()[0].sensitive_returned.len(), 1);
+    }
+
+    #[test]
+    fn observations_without_episode_are_not_lost() {
+        let mut av = AdversarialView::new();
+        av.observe_plaintext_request(&[Value::from("x")]);
+        av.end_episode();
+        assert_eq!(av.len(), 1);
+        assert_eq!(av.episodes()[0].plaintext_request.len(), 1);
+    }
+
+    #[test]
+    fn render_table_mentions_null_for_empty_sides() {
+        let mut av = AdversarialView::new();
+        av.begin_episode();
+        av.observe_plaintext_request(&[Value::from("E199")]);
+        av.observe_nonsensitive_result(&[TupleId::new(3)], &[Value::from("E199")]);
+        av.end_episode();
+        let table = av.render_table();
+        assert!(table.contains("sensitive[null]"));
+        assert!(table.contains("E199"));
+    }
+
+    #[test]
+    fn episode_ids_are_unique_and_increasing() {
+        let mut av = AdversarialView::new();
+        let a = av.begin_episode();
+        av.end_episode();
+        let b = av.begin_episode();
+        av.end_episode();
+        assert!(b > a);
+    }
+}

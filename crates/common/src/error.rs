@@ -1,0 +1,102 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience result alias used across all `pds-*` crates.
+pub type Result<T> = std::result::Result<T, PdsError>;
+
+/// Errors surfaced by the partitioned data security workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdsError {
+    /// A schema lookup failed (unknown attribute / relation).
+    Schema(String),
+    /// A query referenced something that does not exist or is malformed.
+    Query(String),
+    /// Encryption or decryption failed (wrong key, corrupted ciphertext,
+    /// MAC mismatch, ...).
+    Crypto(String),
+    /// Bin construction failed (e.g. more sensitive values than the binning
+    /// layout can accommodate).
+    Binning(String),
+    /// The cloud was asked to do something inconsistent with its stored
+    /// state (unknown relation, unknown tuple id, ...).
+    Cloud(String),
+    /// The security analysis detected an inconsistency (used by tests and
+    /// the adversary crate when an internal invariant breaks).
+    Security(String),
+    /// Invalid configuration or parameter.
+    Config(String),
+}
+
+impl PdsError {
+    /// Short machine-readable category name.
+    pub fn category(&self) -> &'static str {
+        match self {
+            PdsError::Schema(_) => "schema",
+            PdsError::Query(_) => "query",
+            PdsError::Crypto(_) => "crypto",
+            PdsError::Binning(_) => "binning",
+            PdsError::Cloud(_) => "cloud",
+            PdsError::Security(_) => "security",
+            PdsError::Config(_) => "config",
+        }
+    }
+
+    /// The human readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            PdsError::Schema(m)
+            | PdsError::Query(m)
+            | PdsError::Crypto(m)
+            | PdsError::Binning(m)
+            | PdsError::Cloud(m)
+            | PdsError::Security(m)
+            | PdsError::Config(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for PdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for PdsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = PdsError::Binning("no square factors".into());
+        assert_eq!(e.to_string(), "binning error: no square factors");
+        assert_eq!(e.category(), "binning");
+        assert_eq!(e.message(), "no square factors");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PdsError::Cloud("x".into()), PdsError::Cloud("x".into()));
+        assert_ne!(PdsError::Cloud("x".into()), PdsError::Query("x".into()));
+    }
+
+    #[test]
+    fn all_categories_have_names() {
+        let errs = [
+            PdsError::Schema(String::new()),
+            PdsError::Query(String::new()),
+            PdsError::Crypto(String::new()),
+            PdsError::Binning(String::new()),
+            PdsError::Cloud(String::new()),
+            PdsError::Security(String::new()),
+            PdsError::Config(String::new()),
+        ];
+        let names: Vec<_> = errs.iter().map(|e| e.category()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! The analytical performance model of §V-A.
+//!
+//! The paper compares the cost of running a selection with QB against the
+//! cost of running it over a fully encrypted database with the same
+//! cryptographic technique:
+//!
+//! ```text
+//! η = Cost_crypt(|SB|, S)/Cost_crypt(1, D)  +  Cost_plain(|NSB|, NS)/Cost_crypt(1, D)
+//! ```
+//!
+//! which, after substitution and dropping negligible terms, simplifies to
+//!
+//! ```text
+//! η ≈ α + ρ · (|SB| + |NSB|) / γ
+//! ```
+//!
+//! with α the sensitivity ratio, ρ the query selectivity, γ = Ce/Ccom the
+//! ratio between encrypted-search and per-tuple communication cost, and
+//! |SB| / |NSB| the bin sizes.  QB wins whenever η < 1, i.e.
+//! `α < 1 − 2ρ√|NS|/γ`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the η model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EtaModel {
+    /// Sensitivity ratio α = |S| / (|S| + |NS|), measured in tuples.
+    pub alpha: f64,
+    /// Selectivity ρ of a selection query (fraction of the database a query
+    /// returns); the paper approximates ρ ≈ 1/|distinct values| under a
+    /// uniform distribution.
+    pub rho: f64,
+    /// γ = Ce / Ccom: encrypted per-predicate search cost over per-tuple
+    /// communication cost.
+    pub gamma: f64,
+    /// β = Ce / Cp: encrypted over plaintext per-predicate processing cost.
+    pub beta: f64,
+    /// Number of values per sensitive bin (|SB|).
+    pub sensitive_bin_size: f64,
+    /// Number of values per non-sensitive bin (|NSB|).
+    pub nonsensitive_bin_size: f64,
+    /// Total number of tuples D in the database.
+    pub database_tuples: f64,
+}
+
+impl EtaModel {
+    /// Builds the model from the quantities experiments naturally have.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        alpha: f64,
+        rho: f64,
+        gamma: f64,
+        beta: f64,
+        sensitive_bin_size: usize,
+        nonsensitive_bin_size: usize,
+        database_tuples: usize,
+    ) -> Self {
+        EtaModel {
+            alpha,
+            rho,
+            gamma,
+            beta,
+            sensitive_bin_size: sensitive_bin_size as f64,
+            nonsensitive_bin_size: nonsensitive_bin_size as f64,
+            database_tuples: database_tuples as f64,
+        }
+    }
+
+    /// The simplified model the paper plots (Figure 6a):
+    /// `η = α + ρ(|SB| + |NSB|)/γ`.
+    pub fn eta_simplified(&self) -> f64 {
+        self.alpha + self.rho * (self.sensitive_bin_size + self.nonsensitive_bin_size) / self.gamma
+    }
+
+    /// The fuller expression before the final simplification, keeping the
+    /// `log(D)·|NSB| / (D·β)` plaintext-processing term and the
+    /// `1/(1 + ρ/γ)` normalisation.
+    pub fn eta_full(&self) -> f64 {
+        let norm = 1.0 + self.rho / self.gamma;
+        let d = self.database_tuples.max(1.0);
+        let plaintext_term = d.log2() * self.nonsensitive_bin_size / (d * self.beta.max(1.0));
+        (self.alpha + plaintext_term
+            + self.rho * (self.sensitive_bin_size + self.nonsensitive_bin_size) / self.gamma)
+            / norm
+    }
+
+    /// Whether QB is predicted to beat the fully encrypted baseline.
+    pub fn qb_wins(&self) -> bool {
+        self.eta_simplified() < 1.0
+    }
+
+    /// The α threshold below which QB wins:
+    /// `α < 1 − ρ(|SB| + |NSB|)/γ`.
+    pub fn alpha_threshold(&self) -> f64 {
+        1.0 - self.rho * (self.sensitive_bin_size + self.nonsensitive_bin_size) / self.gamma
+    }
+}
+
+/// The closed-form α threshold of the paper with square bins
+/// (`|SB| = |NSB| = √|NS|`) and uniform selectivity (`ρ ≈ 1/|NS|`):
+/// `α < 1 − 2/(γ·√|NS|)`.
+pub fn alpha_threshold_uniform(gamma: f64, distinct_nonsensitive: usize) -> f64 {
+    let ns = (distinct_nonsensitive.max(1)) as f64;
+    1.0 - 2.0 / (gamma * ns.sqrt())
+}
+
+/// Measured η: ratio of the measured QB cost (computation + communication,
+/// in seconds) to the measured fully-encrypted cost for the same query.
+pub fn measured_eta(qb_cost_sec: f64, full_encryption_cost_sec: f64) -> f64 {
+    if full_encryption_cost_sec <= 0.0 {
+        return f64::INFINITY;
+    }
+    qb_cost_sec / full_encryption_cost_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(alpha: f64, gamma: f64) -> EtaModel {
+        // 10 000 distinct non-sensitive values → 100-value bins, ρ = 1/10 000.
+        EtaModel::new(alpha, 1e-4, gamma, 500.0, 100, 100, 1_000_000)
+    }
+
+    #[test]
+    fn eta_increases_with_alpha() {
+        let low = model(0.1, 1000.0).eta_simplified();
+        let high = model(0.9, 1000.0).eta_simplified();
+        assert!(low < high);
+    }
+
+    #[test]
+    fn eta_decreases_with_gamma() {
+        let slow_network = model(0.3, 10.0).eta_simplified();
+        let fast_crypto_ratio = model(0.3, 10_000.0).eta_simplified();
+        assert!(fast_crypto_ratio < slow_network);
+    }
+
+    #[test]
+    fn figure6a_shape_alpha_one_never_wins() {
+        // With α = 1 there is no non-sensitive data to exploit: η ≥ 1.
+        for gamma in [100.0, 1_000.0, 50_000.0] {
+            let m = model(1.0, gamma);
+            assert!(m.eta_simplified() >= 1.0);
+            assert!(!m.qb_wins());
+        }
+    }
+
+    #[test]
+    fn figure6a_shape_small_alpha_wins_for_large_gamma() {
+        let m = model(0.3, 25_000.0);
+        assert!(m.qb_wins());
+        assert!(m.eta_simplified() < 0.35);
+    }
+
+    #[test]
+    fn alpha_threshold_matches_simplified_model() {
+        let m = model(0.0, 2_000.0);
+        let threshold = m.alpha_threshold();
+        // At the threshold η = 1 exactly.
+        let at = EtaModel { alpha: threshold, ..m };
+        assert!((at.eta_simplified() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_threshold_close_to_one_for_paper_parameters() {
+        // γ ≈ 25 000 (secret sharing over TPC-H Customer): QB wins for
+        // almost any α, as the paper argues.
+        let t = alpha_threshold_uniform(25_000.0, 10_000);
+        assert!(t > 0.999);
+        // A tiny γ (cheap crypto) shrinks the winning region.
+        let t = alpha_threshold_uniform(2.0, 100);
+        assert!(t < 0.95);
+    }
+
+    #[test]
+    fn eta_full_close_to_simplified_for_large_d() {
+        let m = model(0.4, 5_000.0);
+        let diff = (m.eta_full() - m.eta_simplified()).abs();
+        assert!(diff < 0.01, "full vs simplified differ by {diff}");
+    }
+
+    #[test]
+    fn measured_eta_ratio() {
+        assert!((measured_eta(2.0, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(measured_eta(1.0, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,463 @@
+//! End-to-end partitioned query execution with Query Binning.
+//!
+//! [`QbExecutor`] glues everything together:
+//!
+//! 1. **Outsourcing** — the non-sensitive part `Rns` is uploaded in
+//!    clear-text; the sensitive part `Rs` is augmented with the fake tuples
+//!    the general case requires (so every sensitive bin answers with the
+//!    same number of tuples) and handed to the configured
+//!    [`SecureSelectionEngine`] for encryption/upload.
+//! 2. **Selection** — a query for a value `w` is rewritten by Algorithm 2
+//!    into one sensitive bin and one non-sensitive bin; the clear-text
+//!    sub-query runs through the cloud index, the encrypted sub-query runs
+//!    through the engine; the owner decrypts, drops fake tuples and false
+//!    positives, and merges the two result streams (`qmerge` of §II).
+
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
+use pds_cloud::{CloudServer, DbOwner};
+use pds_storage::{PartitionedRelation, Relation, Tuple};
+use pds_systems::SecureSelectionEngine;
+
+use crate::binning::QueryBinning;
+
+/// Counters describing one QB selection (used by experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Values requested on the sensitive (encrypted) side.
+    pub sensitive_values_requested: usize,
+    /// Values requested on the non-sensitive (clear-text) side.
+    pub nonsensitive_values_requested: usize,
+    /// Tuples returned by the two sub-queries before owner-side filtering.
+    pub tuples_before_filter: usize,
+    /// Tuples in the final answer.
+    pub tuples_in_answer: usize,
+}
+
+/// The end-to-end Query Binning executor over a chosen secure back-end.
+pub struct QbExecutor<E: SecureSelectionEngine> {
+    binning: QueryBinning,
+    engine: E,
+    sensitive_attr: Option<AttrId>,
+    outsourced: bool,
+    fake_tuple_ids: Vec<TupleId>,
+    last_stats: SelectionStats,
+}
+
+impl<E: SecureSelectionEngine> QbExecutor<E> {
+    /// Creates an executor from a binning and a back-end engine.
+    pub fn new(binning: QueryBinning, engine: E) -> Self {
+        QbExecutor {
+            binning,
+            engine,
+            sensitive_attr: None,
+            outsourced: false,
+            fake_tuple_ids: Vec::new(),
+            last_stats: SelectionStats::default(),
+        }
+    }
+
+    /// The binning metadata in force.
+    pub fn binning(&self) -> &QueryBinning {
+        &self.binning
+    }
+
+    /// The back-end engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Ids of the fake tuples added during outsourcing.
+    pub fn fake_tuple_ids(&self) -> &[TupleId] {
+        &self.fake_tuple_ids
+    }
+
+    /// The searchable attribute's position in the partitioned schemas
+    /// (available once outsourced).
+    pub fn searchable_attr(&self) -> Option<AttrId> {
+        self.sensitive_attr
+    }
+
+    /// Counters describing the most recent selection.
+    pub fn last_stats(&self) -> SelectionStats {
+        self.last_stats
+    }
+
+    /// Outsources the partitioned relation: `Rns` in clear-text, `Rs`
+    /// (augmented with fake tuples) through the engine.
+    pub fn outsource(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        partitioned: &PartitionedRelation,
+    ) -> Result<()> {
+        let attr_name = self.binning.attr_name().to_string();
+        let s_attr = partitioned.sensitive.schema().attr_id(&attr_name)?;
+        self.sensitive_attr = Some(s_attr);
+
+        // Clear-text non-sensitive side with its cloud-side index.
+        cloud.upload_plaintext(partitioned.nonsensitive.clone(), &attr_name)?;
+
+        // Sensitive side: clone and append fake tuples per bin.
+        let augmented = self.augment_with_fakes(&partitioned.sensitive, s_attr)?;
+        self.engine.outsource(owner, cloud, &augmented, s_attr)?;
+        self.outsourced = true;
+        Ok(())
+    }
+
+    /// Builds the augmented sensitive relation containing the fake tuples
+    /// the general case prescribes (each fake carries a value of its bin so
+    /// the cloud returns it whenever that bin is queried).
+    ///
+    /// Every non-searchable attribute of a fake tuple is `NULL`; after
+    /// encryption the fake is indistinguishable from a real row to the
+    /// cloud, while the owner recognises fakes by their tuple ids (tracked
+    /// in [`QbExecutor::fake_tuple_ids`]).
+    fn augment_with_fakes(&mut self, sensitive: &Relation, attr: AttrId) -> Result<Relation> {
+        let mut augmented = sensitive.clone();
+        let arity = sensitive.schema().arity();
+        let mut next_id = sensitive
+            .tuples()
+            .iter()
+            .map(|t| t.id.raw())
+            .max()
+            .map_or(1_000_000, |m| m + 1_000_000);
+        self.fake_tuple_ids.clear();
+        for bin in 0..self.binning.sensitive_bin_count() {
+            let budget = self.binning.fake_tuples_per_bin()[bin];
+            if budget == 0 {
+                continue;
+            }
+            let bin_values = self.binning.sensitive_bin(bin);
+            if bin_values.is_empty() {
+                continue;
+            }
+            for k in 0..budget {
+                // Spread fakes across the bin's values round-robin so no
+                // single value's padded count looks anomalous.
+                let value = &bin_values[(k as usize) % bin_values.len()];
+                let id = TupleId::new(next_id);
+                next_id += 1;
+                let mut values = vec![Value::Null; arity];
+                values[attr.index()] = value.clone();
+                augmented.insert_with_id(id, values)?;
+                self.fake_tuple_ids.push(id);
+            }
+        }
+        Ok(augmented)
+    }
+
+    /// Runs a QB selection for a single value.
+    pub fn select(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        value: &Value,
+    ) -> Result<Vec<Tuple>> {
+        if !self.outsourced {
+            return Err(PdsError::Query("deployment not outsourced yet".into()));
+        }
+        let Some(pair) = self.binning.retrieve(value) else {
+            // The value occurs nowhere; nothing needs to be retrieved
+            // (Algorithm 2's final case).
+            self.last_stats = SelectionStats::default();
+            return Ok(Vec::new());
+        };
+        let s_attr = self.sensitive_attr.expect("set during outsourcing");
+
+        let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
+        let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
+
+        cloud.begin_query();
+        // Clear-text sub-query over Rns.
+        let ns_tuples = if nonsensitive_values.is_empty() {
+            Vec::new()
+        } else {
+            cloud.plain_select_in(&nonsensitive_values)?
+        };
+        // Encrypted sub-query over Rs through the back-end engine.
+        let s_tuples = if sensitive_values.is_empty() {
+            Vec::new()
+        } else {
+            self.engine.select(owner, cloud, &sensitive_values)?
+        };
+        cloud.end_query();
+
+        // qmerge: drop fake tuples (recognised by their ids, which only the
+        // owner knows), keep only tuples matching the actual query value,
+        // and concatenate.
+        let before = ns_tuples.len() + s_tuples.len();
+        let ns_attr = cloud
+            .plain_searchable_attr()
+            .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
+        let fake_ids: std::collections::HashSet<TupleId> =
+            self.fake_tuple_ids.iter().copied().collect();
+        let mut answer: Vec<Tuple> = Vec::new();
+        for t in s_tuples {
+            if !fake_ids.contains(&t.id) && !DbOwner::is_fake(&t) && t.value(s_attr) == value {
+                answer.push(t);
+            }
+        }
+        for t in ns_tuples {
+            if t.value(ns_attr) == value {
+                answer.push(t);
+            }
+        }
+
+        self.last_stats = SelectionStats {
+            sensitive_values_requested: sensitive_values.len(),
+            nonsensitive_values_requested: nonsensitive_values.len(),
+            tuples_before_filter: before,
+            tuples_in_answer: answer.len(),
+        };
+        Ok(answer)
+    }
+
+    /// Retrieves one bin pair exactly as a point query would (same
+    /// adversarial view, same costs) and returns *all* real tuples of both
+    /// bins without filtering to a particular value.  The range, aggregate
+    /// and join extensions build on this.
+    pub fn fetch_bin_pair(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        pair: crate::binning::BinPair,
+    ) -> Result<Vec<Tuple>> {
+        if !self.outsourced {
+            return Err(PdsError::Query("deployment not outsourced yet".into()));
+        }
+        let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
+        let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
+        cloud.begin_query();
+        let ns_tuples = if nonsensitive_values.is_empty() {
+            Vec::new()
+        } else {
+            cloud.plain_select_in(&nonsensitive_values)?
+        };
+        let s_tuples = if sensitive_values.is_empty() {
+            Vec::new()
+        } else {
+            self.engine.select(owner, cloud, &sensitive_values)?
+        };
+        cloud.end_query();
+        let fake_ids: std::collections::HashSet<TupleId> =
+            self.fake_tuple_ids.iter().copied().collect();
+        let mut out: Vec<Tuple> = Vec::with_capacity(s_tuples.len() + ns_tuples.len());
+        for t in s_tuples {
+            if !fake_ids.contains(&t.id) && !DbOwner::is_fake(&t) {
+                out.push(t);
+            }
+        }
+        out.extend(ns_tuples);
+        Ok(out)
+    }
+
+    /// Runs a whole workload of point queries, returning the per-query
+    /// answer sizes (used by experiments that only need cardinalities).
+    pub fn run_workload(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        values: &[Value],
+    ) -> Result<Vec<usize>> {
+        values.iter().map(|v| self.select(owner, cloud, v).map(|ts| ts.len())).collect()
+    }
+}
+
+impl<E: SecureSelectionEngine> std::fmt::Debug for QbExecutor<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QbExecutor")
+            .field("engine", &self.engine.name())
+            .field("outsourced", &self.outsourced)
+            .field("fake_tuples", &self.fake_tuple_ids.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A non-QB ("naive partitioned") executor used as the insecure baseline in
+/// tests, examples and attack demonstrations: each query is sent as-is to
+/// both sides, which is exactly the leaky execution of Example 2.
+pub struct NaivePartitionedExecutor<E: SecureSelectionEngine> {
+    engine: E,
+    attr_name: String,
+    sensitive_attr: Option<AttrId>,
+    outsourced: bool,
+}
+
+impl<E: SecureSelectionEngine> NaivePartitionedExecutor<E> {
+    /// Creates the naive executor for a searchable attribute.
+    pub fn new(attr_name: impl Into<String>, engine: E) -> Self {
+        NaivePartitionedExecutor {
+            engine,
+            attr_name: attr_name.into(),
+            sensitive_attr: None,
+            outsourced: false,
+        }
+    }
+
+    /// Outsources both parts without any binning or padding.
+    pub fn outsource(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        partitioned: &PartitionedRelation,
+    ) -> Result<()> {
+        let s_attr = partitioned.sensitive.schema().attr_id(&self.attr_name)?;
+        self.sensitive_attr = Some(s_attr);
+        cloud.upload_plaintext(partitioned.nonsensitive.clone(), &self.attr_name)?;
+        self.engine.outsource(owner, cloud, &partitioned.sensitive, s_attr)?;
+        self.outsourced = true;
+        Ok(())
+    }
+
+    /// Runs a naive partitioned selection: the exact value goes to both
+    /// sides in a single episode.
+    pub fn select(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        value: &Value,
+    ) -> Result<Vec<Tuple>> {
+        if !self.outsourced {
+            return Err(PdsError::Query("deployment not outsourced yet".into()));
+        }
+        cloud.begin_query();
+        let ns = cloud.plain_select_in(std::slice::from_ref(value))?;
+        let s = self.engine.select(owner, cloud, std::slice::from_ref(value))?;
+        cloud.end_query();
+        let mut answer = s;
+        answer.extend(ns);
+        Ok(answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinningConfig;
+    use pds_adversary::check_partitioned_security;
+    use pds_cloud::NetworkModel;
+    use pds_storage::Partitioner;
+    use pds_systems::NonDetScanEngine;
+    use pds_workload::{employee_relation, employee_sensitivity_policy};
+
+    fn employee_parts() -> PartitionedRelation {
+        let rel = employee_relation();
+        let policy = employee_sensitivity_policy(&rel).unwrap();
+        Partitioner::new(policy).split(&rel).unwrap()
+    }
+
+    fn qb_setup() -> (DbOwner, CloudServer, QbExecutor<NonDetScanEngine>, PartitionedRelation) {
+        let parts = employee_parts();
+        let binning =
+            QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut executor = QbExecutor::new(binning, NonDetScanEngine::new());
+        let mut owner = DbOwner::new(5);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        executor.outsource(&mut owner, &mut cloud, &parts).unwrap();
+        (owner, cloud, executor, parts)
+    }
+
+    #[test]
+    fn qb_answers_match_direct_execution() {
+        let (mut owner, mut cloud, mut executor, parts) = qb_setup();
+        let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+        // Ground truth: run the selection directly over the original parts.
+        for eid in ["E259", "E101", "E199", "E152", "E254", "E159"] {
+            let value = Value::from(eid);
+            let expected: usize = parts
+                .sensitive
+                .tuples()
+                .iter()
+                .chain(parts.nonsensitive.tuples())
+                .filter(|t| t.value(attr) == &value)
+                .count();
+            let got = executor.select(&mut owner, &mut cloud, &value).unwrap();
+            assert_eq!(got.len(), expected, "answer size for {eid}");
+            assert!(got.iter().all(|t| t.value(attr) == &value));
+            assert!(got.iter().all(|t| !DbOwner::is_fake(t)));
+        }
+    }
+
+    #[test]
+    fn unknown_value_returns_empty_without_touching_cloud() {
+        let (mut owner, mut cloud, mut executor, _) = qb_setup();
+        let before = cloud.adversarial_view().len();
+        let got = executor.select(&mut owner, &mut cloud, &Value::from("E999")).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(cloud.adversarial_view().len(), before, "no episode recorded");
+    }
+
+    #[test]
+    fn qb_execution_satisfies_partitioned_security() {
+        let (mut owner, mut cloud, mut executor, parts) = qb_setup();
+        let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+        // Query every value on either side (the exhaustive workload).
+        let mut all_values = parts.sensitive.distinct_values(attr);
+        for v in parts.nonsensitive.distinct_values(attr) {
+            if !all_values.contains(&v) {
+                all_values.push(v);
+            }
+        }
+        for v in &all_values {
+            executor.select(&mut owner, &mut cloud, v).unwrap();
+        }
+        let report = check_partitioned_security(cloud.adversarial_view());
+        assert!(report.is_secure(), "{report:?}");
+    }
+
+    #[test]
+    fn naive_execution_violates_partitioned_security() {
+        let parts = employee_parts();
+        let mut naive = NaivePartitionedExecutor::new("EId", NonDetScanEngine::new());
+        let mut owner = DbOwner::new(6);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        naive.outsource(&mut owner, &mut cloud, &parts).unwrap();
+        for eid in ["E259", "E101", "E199"] {
+            naive.select(&mut owner, &mut cloud, &Value::from(eid)).unwrap();
+        }
+        let report = check_partitioned_security(cloud.adversarial_view());
+        assert!(!report.is_secure(), "naive partitioned execution must leak: {report:?}");
+    }
+
+    #[test]
+    fn stats_reflect_bin_sizes() {
+        let (mut owner, mut cloud, mut executor, _) = qb_setup();
+        executor.select(&mut owner, &mut cloud, &Value::from("E259")).unwrap();
+        let stats = executor.last_stats();
+        assert!(stats.sensitive_values_requested >= 1);
+        assert!(stats.nonsensitive_values_requested >= 1);
+        assert!(stats.tuples_before_filter >= stats.tuples_in_answer);
+        assert_eq!(stats.tuples_in_answer, 2, "E259 has one Defense and one Design tuple");
+    }
+
+    #[test]
+    fn select_before_outsource_errors() {
+        let parts = employee_parts();
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut executor = QbExecutor::new(binning, NonDetScanEngine::new());
+        let mut owner = DbOwner::new(5);
+        let mut cloud = CloudServer::default();
+        assert!(executor.select(&mut owner, &mut cloud, &Value::from("E259")).is_err());
+        let mut naive = NaivePartitionedExecutor::new("EId", NonDetScanEngine::new());
+        assert!(naive.select(&mut owner, &mut cloud, &Value::from("E259")).is_err());
+    }
+
+    #[test]
+    fn run_workload_returns_answer_sizes() {
+        let (mut owner, mut cloud, mut executor, _) = qb_setup();
+        let sizes = executor
+            .run_workload(
+                &mut owner,
+                &mut cloud,
+                &[Value::from("E259"), Value::from("E199"), Value::from("nope")],
+            )
+            .unwrap();
+        assert_eq!(sizes, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn debug_renders_engine_name() {
+        let (_, _, executor, _) = qb_setup();
+        assert!(format!("{executor:?}").contains("nondet-scan"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Insert handling for QB deployments.
+//!
+//! The full version of the paper discusses how QB copes with data changes.
+//! The owner-side part of the problem is: *where does a newly inserted value
+//! belong?*  Three cases arise:
+//!
+//! * the value is already binned — the new tuple simply joins its bin (the
+//!   owner may need to add one fake tuple elsewhere to keep sensitive bins
+//!   size-balanced);
+//! * the value is new but some bin on the appropriate side has spare
+//!   capacity — the value takes the first free slot;
+//! * no bin has room — the binning must be rebuilt (Algorithm 1 again over
+//!   the enlarged value set).
+//!
+//! [`InsertPlanner`] computes which case applies and, for the first two,
+//! returns the target slot.  Actually re-encrypting/uploading the new tuple
+//! is the job of the back-end engine and is outside the planner's scope.
+
+use pds_common::Value;
+
+use crate::binning::{BinAssignment, QueryBinning};
+
+/// The outcome of planning an insert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertPlan {
+    /// The value is already assigned; the new tuple joins this bin.
+    ExistingAssignment {
+        /// Whether the existing assignment is on the sensitive side.
+        sensitive: bool,
+        /// The bin and position the value already occupies.
+        assignment: BinAssignment,
+    },
+    /// The value is new and fits into a spare slot of an existing bin.
+    NewValue {
+        /// Whether the slot is on the sensitive side.
+        sensitive: bool,
+        /// The bin and position to place the value at.
+        assignment: BinAssignment,
+    },
+    /// No spare capacity: the binning must be rebuilt over the enlarged
+    /// value set.
+    RequiresRebuild,
+}
+
+/// Plans inserts against a [`QueryBinning`].
+#[derive(Debug, Clone)]
+pub struct InsertPlanner<'a> {
+    binning: &'a QueryBinning,
+}
+
+impl<'a> InsertPlanner<'a> {
+    /// Creates a planner over the current binning.
+    pub fn new(binning: &'a QueryBinning) -> Self {
+        InsertPlanner { binning }
+    }
+
+    /// Plans the insertion of a tuple whose searchable value is `value`,
+    /// destined for the sensitive (`sensitive = true`) or non-sensitive
+    /// side.
+    pub fn plan(&self, value: &Value, sensitive: bool) -> InsertPlan {
+        // Case 1: already assigned on the destination side.
+        let existing = if sensitive {
+            self.binning.sensitive_assignment(value)
+        } else {
+            self.binning.nonsensitive_assignment(value)
+        };
+        if let Some(assignment) = existing {
+            return InsertPlan::ExistingAssignment { sensitive, assignment };
+        }
+
+        // Case 2: find a spare slot on the destination side.
+        let shape = self.binning.shape();
+        if sensitive {
+            for bin in 0..self.binning.sensitive_bin_count() {
+                let used = self.binning.sensitive_bin(bin).len();
+                if used < shape.sensitive_bin_capacity {
+                    return InsertPlan::NewValue {
+                        sensitive: true,
+                        assignment: BinAssignment { bin, position: used },
+                    };
+                }
+            }
+        } else {
+            for bin in 0..self.binning.nonsensitive_bin_count() {
+                let used = self.binning.nonsensitive_bin(bin).len();
+                if used < shape.nonsensitive_bin_capacity {
+                    return InsertPlan::NewValue {
+                        sensitive: false,
+                        assignment: BinAssignment { bin, position: used },
+                    };
+                }
+            }
+        }
+
+        // Case 3: everything is full.
+        InsertPlan::RequiresRebuild
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinningConfig;
+    use pds_storage::AttributeStats;
+
+    fn binning(sensitive: &[&str], nonsensitive: &[&str]) -> QueryBinning {
+        let s: Vec<Value> = sensitive.iter().map(|&v| Value::from(v)).collect();
+        let ns: Vec<Value> = nonsensitive.iter().map(|&v| Value::from(v)).collect();
+        QueryBinning::build_from_values(
+            "A",
+            s.clone(),
+            ns.clone(),
+            AttributeStats::from_values(s.iter()),
+            AttributeStats::from_values(ns.iter()),
+            BinningConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn existing_value_reuses_assignment() {
+        let qb = binning(&["a", "b", "c", "d"], &["a", "e", "f", "g"]);
+        let planner = InsertPlanner::new(&qb);
+        match planner.plan(&Value::from("a"), true) {
+            InsertPlan::ExistingAssignment { sensitive: true, assignment } => {
+                assert_eq!(Some(assignment), qb.sensitive_assignment(&Value::from("a")));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        match planner.plan(&Value::from("e"), false) {
+            InsertPlan::ExistingAssignment { sensitive: false, .. } => {}
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_value_takes_spare_slot_when_available() {
+        // 3 sensitive values in a shape sized for 4 → one spare slot.
+        let qb = binning(&["a", "b", "c"], &["d", "e", "f", "g"]);
+        let planner = InsertPlanner::new(&qb);
+        match planner.plan(&Value::from("zz"), true) {
+            InsertPlan::NewValue { sensitive: true, assignment } => {
+                assert!(assignment.bin < qb.sensitive_bin_count());
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_side_requires_rebuild() {
+        // Shape for (4, 4) is 2×2 on both sides: fully packed.
+        let qb = binning(&["a", "b", "c", "d"], &["e", "f", "g", "h"]);
+        let planner = InsertPlanner::new(&qb);
+        assert_eq!(planner.plan(&Value::from("new-ns"), false), InsertPlan::RequiresRebuild);
+        assert_eq!(planner.plan(&Value::from("new-s"), true), InsertPlan::RequiresRebuild);
+    }
+
+    #[test]
+    fn rebuild_after_insert_covers_new_value() {
+        // Demonstrate the rebuild path: add the value and rebuild Algorithm 1.
+        let qb = binning(&["a", "b", "c", "d"], &["e", "f", "g", "h"]);
+        assert_eq!(
+            InsertPlanner::new(&qb).plan(&Value::from("i"), false),
+            InsertPlan::RequiresRebuild
+        );
+        let s: Vec<Value> = ["a", "b", "c", "d"].iter().map(|&v| Value::from(v)).collect();
+        let ns: Vec<Value> =
+            ["e", "f", "g", "h", "i"].iter().map(|&v| Value::from(v)).collect();
+        let rebuilt = QueryBinning::build_from_values(
+            "A",
+            s.clone(),
+            ns.clone(),
+            AttributeStats::from_values(s.iter()),
+            AttributeStats::from_values(ns.iter()),
+            BinningConfig::default(),
+        )
+        .unwrap();
+        assert!(rebuilt.retrieve(&Value::from("i")).is_some());
+    }
+}

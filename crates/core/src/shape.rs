@@ -1,0 +1,354 @@
+//! Bin-shape computation: approximately-square factors and the near-square
+//! extension (§IV-A).
+//!
+//! Algorithm 1 derives the layout from the number of distinct non-sensitive
+//! values `|NS|`: it finds approximately square factors `x × y = |NS|`
+//! (`x ≥ y`), creates `x` sensitive bins of capacity `y` and `y`
+//! non-sensitive bins of capacity `x`.  When `|NS|` has only lopsided factor
+//! pairs (e.g. 82 = 41 × 2, or a prime), the "simple extension" instead uses
+//! the square number closest to `|NS|`, whichever choice retrieves fewer
+//! values per query.
+
+use pds_common::{PdsError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The layout of a Query Binning instance.
+///
+/// Invariants (enforced by [`BinShape::validate`]):
+/// * `sensitive_bin_capacity == nonsensitive_bins` — the position of a value
+///   inside a sensitive bin indexes a non-sensitive bin (retrieval rule R1);
+/// * `nonsensitive_bin_capacity == sensitive_bins` — and vice versa (R2);
+/// * total capacity covers the respective value counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinShape {
+    /// Number of sensitive bins (`SB` in the paper, equal to `x`).
+    pub sensitive_bins: usize,
+    /// Maximum number of values per sensitive bin (`|SB|`, equal to `y`).
+    pub sensitive_bin_capacity: usize,
+    /// Number of non-sensitive bins (`NSB`, equal to `y`).
+    pub nonsensitive_bins: usize,
+    /// Maximum number of values per non-sensitive bin (`|NSB|`, equal to `x`).
+    pub nonsensitive_bin_capacity: usize,
+}
+
+impl BinShape {
+    /// Per-query retrieval breadth: how many distinct values one query asks
+    /// for across both sides (`|SB| + |NSB|`).  This is the quantity the
+    /// paper's η model charges communication for.
+    pub fn retrieval_cost(&self) -> usize {
+        self.sensitive_bin_capacity + self.nonsensitive_bin_capacity
+    }
+
+    /// Absolute difference between the two bin sizes — Figure 6c sweeps this
+    /// imbalance and finds the minimum retrieval time at zero.
+    pub fn imbalance(&self) -> usize {
+        self.sensitive_bin_capacity.abs_diff(self.nonsensitive_bin_capacity)
+    }
+
+    /// Checks the structural invariants against the value counts.
+    pub fn validate(&self, num_sensitive: usize, num_nonsensitive: usize) -> Result<()> {
+        if self.sensitive_bins == 0 || self.nonsensitive_bins == 0 {
+            return Err(PdsError::Binning("bin counts must be positive".into()));
+        }
+        if self.sensitive_bin_capacity != self.nonsensitive_bins {
+            return Err(PdsError::Binning(
+                "sensitive bin capacity must equal the number of non-sensitive bins".into(),
+            ));
+        }
+        if self.nonsensitive_bin_capacity != self.sensitive_bins {
+            return Err(PdsError::Binning(
+                "non-sensitive bin capacity must equal the number of sensitive bins".into(),
+            ));
+        }
+        if self.sensitive_bins * self.sensitive_bin_capacity < num_sensitive {
+            return Err(PdsError::Binning(format!(
+                "sensitive capacity {} cannot hold {num_sensitive} values",
+                self.sensitive_bins * self.sensitive_bin_capacity
+            )));
+        }
+        if self.nonsensitive_bins * self.nonsensitive_bin_capacity < num_nonsensitive {
+            return Err(PdsError::Binning(format!(
+                "non-sensitive capacity {} cannot hold {num_nonsensitive} values",
+                self.nonsensitive_bins * self.nonsensitive_bin_capacity
+            )));
+        }
+        Ok(())
+    }
+
+    /// A shape built directly from the factor pair `(x, y)` of Algorithm 1:
+    /// `x` sensitive bins of capacity `y`, `y` non-sensitive bins of
+    /// capacity `x`.
+    pub fn from_factors(x: usize, y: usize) -> Self {
+        BinShape {
+            sensitive_bins: x,
+            sensitive_bin_capacity: y,
+            nonsensitive_bins: y,
+            nonsensitive_bin_capacity: x,
+        }
+    }
+
+    /// Computes the shape for the given numbers of distinct sensitive and
+    /// non-sensitive values, choosing between the exact factorisation and
+    /// the near-square extension (whichever retrieves fewer values per
+    /// query) and handling the `|S| > |NS|` case by factorising `|S|`
+    /// instead (the "reverse" application the paper mentions).
+    pub fn for_counts(num_sensitive: usize, num_nonsensitive: usize) -> Result<Self> {
+        if num_sensitive == 0 && num_nonsensitive == 0 {
+            return Err(PdsError::Binning("no values to bin".into()));
+        }
+        // Degenerate sides: a single bin on the empty/tiny side still works
+        // as long as the invariants hold.
+        let driver = num_nonsensitive.max(num_sensitive).max(1);
+
+        // Candidate 1: approximately-square factors of the driving count.
+        let (x, y) = approx_square_factors(driver);
+        let candidate_factor = shape_for_driver(x, y, num_sensitive, num_nonsensitive);
+
+        // Candidate 2: the near-square extension — use ceil(sqrt(driver)) as
+        // the number of sensitive bins and pack the driving side into bins
+        // of that size.
+        let root = (driver as f64).sqrt().round().max(1.0) as usize;
+        let other = driver.div_ceil(root);
+        let candidate_square =
+            shape_for_driver(root.max(other), root.min(other), num_sensitive, num_nonsensitive);
+
+        // Prefer the exact factorisation; switch to the near-square layout
+        // only when it strictly lowers the per-query retrieval cost.
+        let best = match (candidate_factor, candidate_square) {
+            (Some(f), Some(s)) => {
+                if s.retrieval_cost() < f.retrieval_cost() {
+                    s
+                } else {
+                    f
+                }
+            }
+            (Some(f), None) => f,
+            (None, Some(s)) => s,
+            (None, None) => return Err(PdsError::Binning("no feasible bin shape".into())),
+        };
+        best.validate(num_sensitive, num_nonsensitive)?;
+        Ok(best)
+    }
+
+    /// Builds the shape with an explicit number of sensitive bins — used by
+    /// the Figure 6c sweep over bin-size imbalance.  `sensitive_bins`
+    /// sensitive bins are created; capacities follow from the value counts.
+    pub fn with_sensitive_bins(
+        sensitive_bins: usize,
+        num_sensitive: usize,
+        num_nonsensitive: usize,
+    ) -> Result<Self> {
+        if sensitive_bins == 0 {
+            return Err(PdsError::Binning("need at least one sensitive bin".into()));
+        }
+        let sensitive_bin_capacity = num_sensitive.div_ceil(sensitive_bins).max(1);
+        // Non-sensitive bins: one per position in a sensitive bin; capacity
+        // must fit all non-sensitive values and equal `sensitive_bins`.
+        let mut nonsensitive_bins = sensitive_bin_capacity;
+        let needed_bins = num_nonsensitive.div_ceil(sensitive_bins).max(1);
+        if needed_bins > nonsensitive_bins {
+            nonsensitive_bins = needed_bins;
+        }
+        let shape = BinShape {
+            sensitive_bins,
+            sensitive_bin_capacity: nonsensitive_bins,
+            nonsensitive_bins,
+            nonsensitive_bin_capacity: sensitive_bins,
+        };
+        shape.validate(num_sensitive, num_nonsensitive)?;
+        Ok(shape)
+    }
+}
+
+/// Builds a shape from a driver factor pair, orienting it so the *sensitive*
+/// bins are the smaller side (the paper keeps sensitive bins smaller because
+/// encrypted search is costlier), then growing whichever side is too small
+/// to hold its values.
+fn shape_for_driver(
+    x: usize,
+    y: usize,
+    num_sensitive: usize,
+    num_nonsensitive: usize,
+) -> Option<BinShape> {
+    // x >= y: x sensitive bins of capacity y; y non-sensitive bins of capacity x.
+    let mut sensitive_bins = x.max(1);
+    let mut nonsensitive_bins = y.max(1);
+    // Algorithm 1 assumes |S| ≥ x (no empty sensitive bins): an empty bin
+    // would answer queries with zero encrypted tuples, breaking the
+    // uniform-output-size property.  Clamp each side's bin count to its
+    // value count (keeping at least one bin).
+    if num_sensitive > 0 {
+        sensitive_bins = sensitive_bins.min(num_sensitive);
+    }
+    if num_nonsensitive > 0 {
+        nonsensitive_bins = nonsensitive_bins.min(num_nonsensitive);
+    }
+    // Grow whichever side may still grow (without violating its clamp)
+    // until both value sets fit.  The product |S|·|NS| always suffices, so
+    // this terminates.
+    let needed = num_sensitive.max(num_nonsensitive);
+    while sensitive_bins * nonsensitive_bins < needed {
+        let can_grow_ns = num_nonsensitive == 0 || nonsensitive_bins < num_nonsensitive;
+        let can_grow_s = num_sensitive == 0 || sensitive_bins < num_sensitive;
+        if can_grow_ns && (nonsensitive_bins <= sensitive_bins || !can_grow_s) {
+            nonsensitive_bins += 1;
+        } else if can_grow_s {
+            sensitive_bins += 1;
+        } else {
+            // Both clamps reached; fall back to growing the non-sensitive
+            // side (cannot happen when both counts are positive).
+            nonsensitive_bins += 1;
+        }
+    }
+    let shape = BinShape {
+        sensitive_bins,
+        sensitive_bin_capacity: nonsensitive_bins,
+        nonsensitive_bins,
+        nonsensitive_bin_capacity: sensitive_bins,
+    };
+    shape.validate(num_sensitive, num_nonsensitive).ok()?;
+    Some(shape)
+}
+
+/// Returns the approximately-square factor pair `(x, y)` of `n` with
+/// `x ≥ y`, `x · y = n`, minimising `x − y` (§IV-A).
+pub fn approx_square_factors(n: usize) -> (usize, usize) {
+    if n == 0 {
+        return (1, 1);
+    }
+    let mut best = (n, 1);
+    let mut d = 1usize;
+    while d * d <= n {
+        if n % d == 0 {
+            best = (n / d, d);
+        }
+        d += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn approx_square_factors_examples() {
+        assert_eq!(approx_square_factors(16), (4, 4));
+        assert_eq!(approx_square_factors(10), (5, 2));
+        assert_eq!(approx_square_factors(82), (41, 2));
+        assert_eq!(approx_square_factors(81), (9, 9));
+        assert_eq!(approx_square_factors(7), (7, 1));
+        assert_eq!(approx_square_factors(1), (1, 1));
+        assert_eq!(approx_square_factors(0), (1, 1));
+    }
+
+    #[test]
+    fn paper_example_16_values() {
+        // §IV: 16 values arranged in a 4×4 matrix — 4 sensitive bins of 4,
+        // 4 non-sensitive bins of 4.
+        let shape = BinShape::for_counts(16, 16).unwrap();
+        assert_eq!(shape.sensitive_bins, 4);
+        assert_eq!(shape.sensitive_bin_capacity, 4);
+        assert_eq!(shape.nonsensitive_bins, 4);
+        assert_eq!(shape.nonsensitive_bin_capacity, 4);
+        assert_eq!(shape.imbalance(), 0);
+    }
+
+    #[test]
+    fn paper_example_10_values() {
+        // Example 3: 10 sensitive + 10 non-sensitive values → 5 sensitive
+        // bins of 2 and 2 non-sensitive bins of 5.
+        let shape = BinShape::for_counts(10, 10).unwrap();
+        assert_eq!(shape.sensitive_bins, 5);
+        assert_eq!(shape.sensitive_bin_capacity, 2);
+        assert_eq!(shape.nonsensitive_bins, 2);
+        assert_eq!(shape.nonsensitive_bin_capacity, 5);
+    }
+
+    #[test]
+    fn near_square_extension_beats_lopsided_factors() {
+        // §IV-A: 41 sensitive and 82 non-sensitive values.  Exact factors of
+        // 82 give 41×2 (cost 43); the near-square extension gives ≈9×10
+        // (cost ≈19) and must win.
+        let shape = BinShape::for_counts(41, 82).unwrap();
+        assert!(shape.retrieval_cost() <= 20, "retrieval cost {}", shape.retrieval_cost());
+        shape.validate(41, 82).unwrap();
+    }
+
+    #[test]
+    fn prime_counts_are_handled() {
+        let shape = BinShape::for_counts(13, 13).unwrap();
+        shape.validate(13, 13).unwrap();
+        assert!(shape.retrieval_cost() <= 9);
+    }
+
+    #[test]
+    fn asymmetric_counts() {
+        // Fewer sensitive than non-sensitive values (the common case).
+        let shape = BinShape::for_counts(5, 100).unwrap();
+        shape.validate(5, 100).unwrap();
+        // More sensitive than non-sensitive (the reverse case).
+        let shape = BinShape::for_counts(100, 5).unwrap();
+        shape.validate(100, 5).unwrap();
+        // One side empty.
+        let shape = BinShape::for_counts(0, 30).unwrap();
+        shape.validate(0, 30).unwrap();
+        let shape = BinShape::for_counts(30, 0).unwrap();
+        shape.validate(30, 0).unwrap();
+    }
+
+    #[test]
+    fn no_values_is_an_error() {
+        assert!(BinShape::for_counts(0, 0).is_err());
+    }
+
+    #[test]
+    fn explicit_sensitive_bins_sweep() {
+        for bins in [1usize, 2, 4, 8, 16, 64] {
+            let shape = BinShape::with_sensitive_bins(bins, 64, 64).unwrap();
+            shape.validate(64, 64).unwrap();
+            assert_eq!(shape.sensitive_bins, bins);
+        }
+        assert!(BinShape::with_sensitive_bins(0, 10, 10).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_shapes() {
+        let bad = BinShape {
+            sensitive_bins: 3,
+            sensitive_bin_capacity: 2,
+            nonsensitive_bins: 4,
+            nonsensitive_bin_capacity: 3,
+        };
+        assert!(bad.validate(6, 12).is_err());
+        let too_small = BinShape::from_factors(2, 2);
+        assert!(too_small.validate(10, 4).is_err());
+        let zero = BinShape::from_factors(0, 0);
+        assert!(zero.validate(0, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn factors_multiply_back(n in 1usize..100_000) {
+            let (x, y) = approx_square_factors(n);
+            prop_assert_eq!(x * y, n);
+            prop_assert!(x >= y);
+        }
+
+        #[test]
+        fn for_counts_always_valid(s in 0usize..2_000, ns in 0usize..2_000) {
+            prop_assume!(s + ns > 0);
+            let shape = BinShape::for_counts(s, ns).unwrap();
+            prop_assert!(shape.validate(s, ns).is_ok());
+            // The number of *actual* values a query retrieves (capacities
+            // clipped to the value counts, since bins cannot hold more
+            // values than exist) stays within a small factor of 2·sqrt(max).
+            let effective_cost = shape.sensitive_bin_capacity.min(s.max(1))
+                + shape.nonsensitive_bin_capacity.min(ns.max(1));
+            let bound = 6.0 * ((s.max(ns) as f64).sqrt() + 1.0) + 8.0;
+            prop_assert!((effective_cost as f64) <= bound,
+                "cost {} exceeds bound {} for s={}, ns={}", effective_cost, bound, s, ns);
+        }
+    }
+}

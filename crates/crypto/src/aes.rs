@@ -1,0 +1,292 @@
+//! AES-128 block cipher (FIPS-197), table-free byte-oriented implementation.
+//!
+//! This is a straightforward, readable implementation: the S-box is a static
+//! table but MixColumns and the key schedule are computed directly.  It is
+//! *not* constant-time and must not be used outside this simulation.
+
+use crate::Key128;
+
+/// The AES S-box.
+#[rustfmt::skip]
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse S-box (computed once at first use).
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiplication in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+const ROUNDS: usize = 10;
+
+/// AES-128 with a precomputed key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands the key schedule from a 128-bit key.
+    pub fn new(key: &Key128) -> Self {
+        const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+        // 44 words of 4 bytes.
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key.0[i * 4..i * 4 + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let inv = inv_sbox();
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    }
+
+    /// State layout: column-major, state[r + 4c] is row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        // Row 1: shift left by 1.
+        let t = state[1];
+        state[1] = state[5];
+        state[5] = state[9];
+        state[9] = state[13];
+        state[13] = t;
+        // Row 2: shift left by 2.
+        state.swap(2, 10);
+        state.swap(6, 14);
+        // Row 3: shift left by 3 (right by 1).
+        let t = state[15];
+        state[15] = state[11];
+        state[11] = state[7];
+        state[7] = state[3];
+        state[3] = t;
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        // Row 1: shift right by 1.
+        let t = state[13];
+        state[13] = state[9];
+        state[9] = state[5];
+        state[5] = state[1];
+        state[1] = t;
+        // Row 2.
+        state.swap(2, 10);
+        state.swap(6, 14);
+        // Row 3: shift right by 3 (left by 1).
+        let t = state[3];
+        state[3] = state[7];
+        state[7] = state[11];
+        state[11] = state[15];
+        state[15] = t;
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+            state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c + 1] =
+                gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[4 * c + 2] =
+                gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[4 * c + 3] =
+                gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[r]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Decrypts a single 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        for r in (1..ROUNDS).rev() {
+            Self::inv_shift_rows(&mut state);
+            Self::inv_sub_bytes(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[r]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        Self::inv_sub_bytes(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// FIPS-197 Appendix B test vector.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = Key128([
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ]);
+        let plaintext: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+        assert_eq!(aes.decrypt_block(&expected), plaintext);
+    }
+
+    /// FIPS-197 Appendix C.1 test vector.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = Key128([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]);
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+        assert_eq!(aes.decrypt_block(&expected), plaintext);
+    }
+
+    #[test]
+    fn gmul_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(0x01, 0xff), 0xff);
+        assert_eq!(gmul(0x00, 0xff), 0x00);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &b in SBOX.iter() {
+            assert!(!seen[b as usize]);
+            seen[b as usize] = true;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn encrypt_decrypt_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                                     block in prop::array::uniform16(any::<u8>())) {
+            let aes = Aes128::new(&Key128(key));
+            let ct = aes.encrypt_block(&block);
+            prop_assert_eq!(aes.decrypt_block(&ct), block);
+        }
+
+        #[test]
+        fn encryption_changes_block(key in prop::array::uniform16(any::<u8>()),
+                                    block in prop::array::uniform16(any::<u8>())) {
+            let aes = Aes128::new(&Key128(key));
+            let ct = aes.encrypt_block(&block);
+            // With overwhelming probability a random block does not map to itself.
+            prop_assert_ne!(ct, block);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Counter (CTR) mode over AES-128.
+
+use crate::aes::Aes128;
+
+/// Length of the CTR nonce in bytes. The remaining 8 bytes of the block hold
+/// the big-endian block counter, allowing messages up to 2^64 blocks.
+pub const NONCE_LEN: usize = 8;
+
+/// Produces the keystream block for (nonce, counter).
+fn keystream_block(aes: &Aes128, nonce: &[u8; NONCE_LEN], counter: u64) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[..NONCE_LEN].copy_from_slice(nonce);
+    block[NONCE_LEN..].copy_from_slice(&counter.to_be_bytes());
+    aes.encrypt_block(&block)
+}
+
+/// Encrypts or decrypts `data` in place under CTR mode (the operation is an
+/// involution: applying it twice with the same nonce restores the input).
+pub fn ctr_xor(aes: &Aes128, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(16).enumerate() {
+        let ks = keystream_block(aes, nonce, i as u64);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience wrapper returning a new vector instead of mutating in place.
+pub fn ctr_transform(aes: &Aes128, nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    ctr_xor(aes, nonce, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key128;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_short_and_long() {
+        let aes = Aes128::new(&Key128::derive(1, "ctr"));
+        let nonce = [7u8; NONCE_LEN];
+        for len in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = ctr_transform(&aes, &nonce, &data);
+            if len > 0 {
+                assert_ne!(ct, data, "ciphertext should differ, len {len}");
+            }
+            assert_eq!(ctr_transform(&aes, &nonce, &ct), data);
+        }
+    }
+
+    #[test]
+    fn different_nonces_give_different_ciphertexts() {
+        let aes = Aes128::new(&Key128::derive(1, "ctr"));
+        let data = vec![0u8; 64];
+        let c1 = ctr_transform(&aes, &[0u8; NONCE_LEN], &data);
+        let c2 = ctr_transform(&aes, &[1u8; NONCE_LEN], &data);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn keystream_blocks_differ_per_counter() {
+        let aes = Aes128::new(&Key128::derive(2, "ctr"));
+        let nonce = [3u8; NONCE_LEN];
+        assert_ne!(keystream_block(&aes, &nonce, 0), keystream_block(&aes, &nonce, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_property(data in proptest::collection::vec(any::<u8>(), 0..256),
+                              nonce in prop::array::uniform8(any::<u8>()),
+                              seed in any::<u64>()) {
+            let aes = Aes128::new(&Key128::derive(seed, "ctr"));
+            let ct = ctr_transform(&aes, &nonce, &data);
+            prop_assert_eq!(ctr_transform(&aes, &nonce, &ct), data);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Selection predicates and queries.
+//!
+//! The paper focuses on single-attribute selection queries (`q(w)` for a
+//! predicate value `w`), which Query Binning rewrites into *set* queries
+//! (`q(W)` for a bin of values).  Range and conjunctive predicates are also
+//! provided because the QB extensions (range queries, §IV of the full
+//! version) need them.
+
+use pds_common::{AttrId, PdsError, Result, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A boolean predicate over a tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `attr = value`
+    Eq {
+        /// Attribute position.
+        attr: AttrId,
+        /// Value to compare against.
+        value: Value,
+    },
+    /// `attr IN (values)` — this is the shape QB produces: one query for a
+    /// whole bin of values.
+    InSet {
+        /// Attribute position.
+        attr: AttrId,
+        /// Set of values; a tuple matches if its attribute equals any of them.
+        values: Vec<Value>,
+    },
+    /// `lo <= attr <= hi` (both bounds inclusive).
+    Range {
+        /// Attribute position.
+        attr: AttrId,
+        /// Lower inclusive bound.
+        lo: Value,
+        /// Upper inclusive bound.
+        hi: Value,
+    },
+    /// Conjunction of predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of predicates.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Matches every tuple.
+    True,
+}
+
+impl Predicate {
+    /// Convenience constructor for an equality predicate by attribute name.
+    pub fn eq(schema: &Schema, attr: &str, value: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Eq { attr: schema.attr_id(attr)?, value: value.into() })
+    }
+
+    /// Convenience constructor for an `IN` predicate by attribute name.
+    pub fn in_set(schema: &Schema, attr: &str, values: Vec<Value>) -> Result<Predicate> {
+        Ok(Predicate::InSet { attr: schema.attr_id(attr)?, values })
+    }
+
+    /// Convenience constructor for a range predicate by attribute name.
+    pub fn range(
+        schema: &Schema,
+        attr: &str,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Result<Predicate> {
+        Ok(Predicate::Range { attr: schema.attr_id(attr)?, lo: lo.into(), hi: hi.into() })
+    }
+
+    /// Evaluates the predicate on a tuple.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::Eq { attr, value } => tuple.value(*attr) == value,
+            Predicate::InSet { attr, values } => values.contains(tuple.value(*attr)),
+            Predicate::Range { attr, lo, hi } => {
+                let v = tuple.value(*attr);
+                !v.is_null() && v >= lo && v <= hi
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(tuple)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(tuple)),
+            Predicate::Not(p) => !p.matches(tuple),
+            Predicate::True => true,
+        }
+    }
+
+    /// All equality-searchable values mentioned by the predicate on `attr`
+    /// (used by back-ends that answer point/IN queries through an index).
+    pub fn point_values(&self, attr: AttrId) -> Vec<Value> {
+        match self {
+            Predicate::Eq { attr: a, value } if *a == attr => vec![value.clone()],
+            Predicate::InSet { attr: a, values } if *a == attr => values.clone(),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().flat_map(|p| p.point_values(attr)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A selection query: a predicate plus an optional projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionQuery {
+    /// The predicate tuples must satisfy.
+    pub predicate: Predicate,
+    /// Attribute positions to return; `None` means all attributes.
+    pub projection: Option<Vec<AttrId>>,
+}
+
+impl SelectionQuery {
+    /// Selects whole tuples matching `predicate`.
+    pub fn new(predicate: Predicate) -> Self {
+        SelectionQuery { predicate, projection: None }
+    }
+
+    /// Point query `attr = value` by attribute name.
+    pub fn point(schema: &Schema, attr: &str, value: impl Into<Value>) -> Result<Self> {
+        Ok(SelectionQuery::new(Predicate::eq(schema, attr, value)?))
+    }
+
+    /// Set query `attr IN values` by attribute name.
+    pub fn points(schema: &Schema, attr: &str, values: Vec<Value>) -> Result<Self> {
+        Ok(SelectionQuery::new(Predicate::in_set(schema, attr, values)?))
+    }
+
+    /// Adds a projection by attribute names.
+    pub fn with_projection(mut self, schema: &Schema, attrs: &[&str]) -> Result<Self> {
+        let ids = attrs.iter().map(|a| schema.attr_id(a)).collect::<Result<Vec<_>>>()?;
+        if ids.is_empty() {
+            return Err(PdsError::Query("projection cannot be empty".into()));
+        }
+        self.projection = Some(ids);
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use pds_common::TupleId;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("EId", DataType::Text), ("Office", DataType::Int)]).unwrap()
+    }
+
+    fn tuple(eid: &str, office: i64) -> Tuple {
+        Tuple::new(TupleId::new(0), vec![Value::from(eid), Value::Int(office)])
+    }
+
+    #[test]
+    fn eq_and_in_set() {
+        let s = schema();
+        let p = Predicate::eq(&s, "EId", "E259").unwrap();
+        assert!(p.matches(&tuple("E259", 2)));
+        assert!(!p.matches(&tuple("E101", 2)));
+
+        let p = Predicate::in_set(&s, "EId", vec![Value::from("E101"), Value::from("E259")])
+            .unwrap();
+        assert!(p.matches(&tuple("E259", 2)));
+        assert!(!p.matches(&tuple("E777", 2)));
+    }
+
+    #[test]
+    fn range_predicate() {
+        let s = schema();
+        let p = Predicate::range(&s, "Office", 2, 4).unwrap();
+        assert!(p.matches(&tuple("x", 2)));
+        assert!(p.matches(&tuple("x", 4)));
+        assert!(!p.matches(&tuple("x", 5)));
+        assert!(!p.matches(&tuple("x", 1)));
+    }
+
+    #[test]
+    fn null_never_matches_range() {
+        let s = schema();
+        let p = Predicate::range(&s, "Office", 0, 100).unwrap();
+        let t = Tuple::new(TupleId::new(0), vec![Value::from("x"), Value::Null]);
+        assert!(!p.matches(&t));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let a = Predicate::eq(&s, "EId", "E259").unwrap();
+        let b = Predicate::range(&s, "Office", 0, 3).unwrap();
+        assert!(Predicate::And(vec![a.clone(), b.clone()]).matches(&tuple("E259", 2)));
+        assert!(!Predicate::And(vec![a.clone(), b.clone()]).matches(&tuple("E259", 9)));
+        assert!(Predicate::Or(vec![a.clone(), b.clone()]).matches(&tuple("E999", 1)));
+        assert!(Predicate::Not(Box::new(a)).matches(&tuple("E999", 1)));
+        assert!(Predicate::True.matches(&tuple("anything", 0)));
+    }
+
+    #[test]
+    fn point_values_extraction() {
+        let s = schema();
+        let attr = s.attr_id("EId").unwrap();
+        let p = Predicate::Or(vec![
+            Predicate::eq(&s, "EId", "a").unwrap(),
+            Predicate::in_set(&s, "EId", vec![Value::from("b"), Value::from("c")]).unwrap(),
+            Predicate::range(&s, "Office", 0, 9).unwrap(),
+        ]);
+        let vals = p.point_values(attr);
+        assert_eq!(vals, vec![Value::from("a"), Value::from("b"), Value::from("c")]);
+    }
+
+    #[test]
+    fn query_builders() {
+        let s = schema();
+        let q = SelectionQuery::point(&s, "EId", "E101").unwrap();
+        assert!(q.projection.is_none());
+        let q = q.with_projection(&s, &["Office"]).unwrap();
+        assert_eq!(q.projection.unwrap().len(), 1);
+        assert!(SelectionQuery::point(&s, "EId", "x").unwrap().with_projection(&s, &[]).is_err());
+        assert!(SelectionQuery::point(&s, "Missing", "x").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-attribute value statistics.
+//!
+//! The DB owner's metadata (§II "the DB owner has to store metadata such as
+//! searchable values and their frequency counts") is exactly an
+//! [`AttributeStats`] for the searchable attribute of each of `Rs` and
+//! `Rns`.  The general-case binning algorithm (§IV-B) consumes these counts
+//! to equalise the number of tuples per sensitive bin with fake tuples.
+
+use std::collections::HashMap;
+
+use pds_common::Value;
+
+/// Frequency statistics of one attribute of one relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeStats {
+    counts: HashMap<Value, u64>,
+    total: u64,
+}
+
+impl AttributeStats {
+    /// Builds statistics from a value→count map.
+    pub fn from_counts(counts: HashMap<Value, u64>) -> Self {
+        let total = counts.values().sum();
+        AttributeStats { counts, total }
+    }
+
+    /// Builds statistics from an iterator of values (counting occurrences).
+    pub fn from_values<'a, I: IntoIterator<Item = &'a Value>>(values: I) -> Self {
+        let mut counts: HashMap<Value, u64> = HashMap::new();
+        for v in values {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        Self::from_counts(counts)
+    }
+
+    /// Number of tuples having `value` (0 when the value never occurs —
+    /// this is the paper's `#s(v) = 0` convention for absent domain values).
+    pub fn count(&self, value: &Value) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of tuples counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any value has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(value, count)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, u64)> {
+        self.counts.iter().map(|(v, &c)| (v, c))
+    }
+
+    /// The distinct values, sorted by descending count then by value (a
+    /// stable order for the greedy packing of §IV-B step (i)).
+    pub fn values_by_descending_count(&self) -> Vec<(Value, u64)> {
+        let mut v: Vec<(Value, u64)> = self.counts.iter().map(|(v, &c)| (v.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The maximum per-value count (0 when empty). Heavy hitters drive the
+    /// number of fake tuples QB must add.
+    pub fn max_count(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Average selectivity `ρ` of a point query assuming values are queried
+    /// uniformly: `1 / distinct` (0 when empty).
+    pub fn uniform_selectivity(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            1.0 / self.counts.len() as f64
+        }
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &AttributeStats) {
+        for (v, c) in other.iter() {
+            *self.counts.entry(v.clone()).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> AttributeStats {
+        let values = vec![
+            Value::from("a"),
+            Value::from("b"),
+            Value::from("b"),
+            Value::from("c"),
+            Value::from("c"),
+            Value::from("c"),
+        ];
+        AttributeStats::from_values(values.iter())
+    }
+
+    #[test]
+    fn counting() {
+        let s = stats();
+        assert_eq!(s.count(&Value::from("a")), 1);
+        assert_eq!(s.count(&Value::from("c")), 3);
+        assert_eq!(s.count(&Value::from("zzz")), 0);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.max_count(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn descending_order_is_stable() {
+        let s = stats();
+        let v = s.values_by_descending_count();
+        assert_eq!(v[0], (Value::from("c"), 3));
+        assert_eq!(v[1], (Value::from("b"), 2));
+        assert_eq!(v[2], (Value::from("a"), 1));
+    }
+
+    #[test]
+    fn selectivity() {
+        let s = stats();
+        assert!((s.uniform_selectivity() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(AttributeStats::default().uniform_selectivity(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = stats();
+        let b = AttributeStats::from_values([Value::from("a"), Value::from("d")].iter());
+        a.merge(&b);
+        assert_eq!(a.count(&Value::from("a")), 2);
+        assert_eq!(a.count(&Value::from("d")), 1);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.distinct(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cost profiles: converting work counters into simulated wall-clock time.
+//!
+//! The paper's §V-A model is parameterised by
+//!
+//! * `Cp` — processing cost of a selection on plaintext,
+//! * `Ce` — processing cost of a selection on encrypted data,
+//! * `Ccom` — cost of moving one tuple over the network,
+//! * `β = Ce/Cp` and `γ = Ce/Ccom`.
+//!
+//! Real Opaque/Jana/MPC executions are far too slow to run inside a
+//! benchmark harness, so each back-end carries a [`CostProfile`] whose
+//! constants are calibrated to the figures the paper reports, and
+//! [`computation_time`] turns the [`Metrics`] counted during a (real,
+//! functional) simulated execution into seconds.
+
+use pds_cloud::Metrics;
+
+/// Per-operation cost constants of one back-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Cost of processing one tuple under encryption (`Ce` per tuple), s.
+    pub per_encrypted_tuple_sec: f64,
+    /// Cost of processing one tuple in plaintext (`Cp` per tuple), s.
+    pub per_plaintext_tuple_sec: f64,
+    /// Cost of one cloud-side index lookup, s.
+    pub per_index_lookup_sec: f64,
+    /// Cost of one owner-side decryption, s.
+    pub per_owner_decrypt_sec: f64,
+    /// Cost of one owner-side encryption (query token generation), s.
+    pub per_owner_encrypt_sec: f64,
+    /// Fixed per-query cost (setup, enclave entry, MPC round setup...), s.
+    pub per_query_fixed_sec: f64,
+}
+
+impl CostProfile {
+    /// Clear-text processing: the paper reports ≈0.2 ms for a selection over
+    /// 700 MB / 6 M tuples through an index, i.e. effectively the cost of an
+    /// index lookup plus the matching tuples.
+    pub fn cleartext() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 0.0,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 2e-6,
+            per_owner_decrypt_sec: 0.0,
+            per_owner_encrypt_sec: 0.0,
+            per_query_fixed_sec: 100e-6,
+        }
+    }
+
+    /// Owner-side decrypt-and-filter over non-deterministic encryption
+    /// ("No-Ind" on systems A/B in §V-B).  AES-CTR + HMAC per value.
+    pub fn nondet_scan() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 1.5e-6,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 2e-6,
+            per_owner_decrypt_sec: 1.5e-6,
+            per_owner_encrypt_sec: 1.5e-6,
+            per_query_fixed_sec: 200e-6,
+        }
+    }
+
+    /// CryptDB-style deterministic index: β close to 1 (index lookup over
+    /// tags), small owner cost for tag generation.
+    pub fn det_index() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 40e-9,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 2.5e-6,
+            per_owner_decrypt_sec: 1.5e-6,
+            per_owner_encrypt_sec: 1.0e-6,
+            per_query_fixed_sec: 200e-6,
+        }
+    }
+
+    /// Arx-style counter index: the paper measures β ≈ 1.4 (system A) to
+    /// 2.5 (system B) relative to cleartext.
+    pub fn arx() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 40e-9,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 4e-6,
+            per_owner_decrypt_sec: 1.5e-6,
+            per_owner_encrypt_sec: 1.0e-6,
+            per_query_fixed_sec: 300e-6,
+        }
+    }
+
+    /// Secret-sharing (Emekçi et al. [5]): the paper quotes ≈10 ms per
+    /// predicate search; the scan touches every shared value.
+    pub fn secret_sharing() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 10e-6,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 0.0,
+            per_owner_decrypt_sec: 2e-6,
+            per_owner_encrypt_sec: 2e-6,
+            per_query_fixed_sec: 10e-3,
+        }
+    }
+
+    /// Two-server DPF ([6]): linear scan with cheap per-tuple PRF work but a
+    /// full-domain evaluation per query.
+    pub fn dpf() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 2e-6,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 0.0,
+            per_owner_decrypt_sec: 1.5e-6,
+            per_owner_encrypt_sec: 1.5e-6,
+            per_query_fixed_sec: 1e-3,
+        }
+    }
+
+    /// Opaque [16]: 89 s for a selection over 700 MB ≈ 6 M tuples gives
+    /// ≈ 14.8 µs of oblivious work per tuple.
+    pub fn opaque() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 14.8e-6,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 0.0,
+            per_owner_decrypt_sec: 1.5e-6,
+            per_owner_encrypt_sec: 1.5e-6,
+            per_query_fixed_sec: 0.5,
+        }
+    }
+
+    /// Jana [37]: 1051 s for a selection over 1 M tuples ≈ 1.05 ms of MPC
+    /// work per tuple.
+    pub fn jana() -> Self {
+        CostProfile {
+            per_encrypted_tuple_sec: 1.05e-3,
+            per_plaintext_tuple_sec: 20e-9,
+            per_index_lookup_sec: 0.0,
+            per_owner_decrypt_sec: 2e-6,
+            per_owner_encrypt_sec: 2e-6,
+            per_query_fixed_sec: 1.0,
+        }
+    }
+
+    /// The paper's β for this profile (ratio of encrypted to plaintext
+    /// per-tuple processing cost).
+    pub fn beta(&self) -> f64 {
+        if self.per_plaintext_tuple_sec == 0.0 {
+            return f64::INFINITY;
+        }
+        (self.per_encrypted_tuple_sec + self.per_owner_decrypt_sec).max(self.per_plaintext_tuple_sec)
+            / self.per_plaintext_tuple_sec
+    }
+
+    /// The paper's γ = Ce / Ccom for a given per-tuple communication cost.
+    pub fn gamma(&self, ccom_per_tuple_sec: f64) -> f64 {
+        if ccom_per_tuple_sec == 0.0 {
+            return f64::INFINITY;
+        }
+        (self.per_encrypted_tuple_sec + self.per_owner_decrypt_sec) / ccom_per_tuple_sec
+    }
+}
+
+/// Converts work counters into simulated computation seconds under a
+/// profile.  Communication time is *not* included (the cloud tracks it
+/// separately via its [`pds_cloud::NetworkModel`]); add
+/// [`pds_cloud::CloudServer::comm_time`] for the total.
+pub fn computation_time(metrics: &Metrics, profile: &CostProfile) -> f64 {
+    profile.per_query_fixed_sec * f64::from(u8::from(metrics.round_trips > 0))
+        + metrics.encrypted_tuples_scanned as f64 * profile.per_encrypted_tuple_sec
+        + metrics.plaintext_tuples_scanned as f64 * profile.per_plaintext_tuple_sec
+        + metrics.plaintext_index_lookups as f64 * profile.per_index_lookup_sec
+        + metrics.owner_decryptions as f64 * profile.per_owner_decrypt_sec
+        + metrics.owner_encryptions as f64 * profile.per_owner_encrypt_sec
+}
+
+/// Computation time when the work spans several queries: the fixed per-query
+/// cost is charged `queries` times.
+pub fn computation_time_for_queries(
+    metrics: &Metrics,
+    profile: &CostProfile,
+    queries: u64,
+) -> f64 {
+    let mut t = computation_time(metrics, profile);
+    // `computation_time` charged the fixed cost at most once.
+    if queries > 1 && metrics.round_trips > 0 {
+        t += profile.per_query_fixed_sec * (queries - 1) as f64;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opaque_calibration_matches_headline() {
+        // 6M tuples * 14.8 µs ≈ 88.8 s ≈ the paper's 89 s figure.
+        let m = Metrics { encrypted_tuples_scanned: 6_000_000, round_trips: 1, ..Default::default() };
+        let t = computation_time(&m, &CostProfile::opaque());
+        assert!((t - 89.0).abs() < 2.0, "t = {t}");
+    }
+
+    #[test]
+    fn jana_calibration_matches_headline() {
+        // 1M tuples * 1.05 ms ≈ 1050 s ≈ the paper's 1051 s figure.
+        let m = Metrics { encrypted_tuples_scanned: 1_000_000, round_trips: 1, ..Default::default() };
+        let t = computation_time(&m, &CostProfile::jana());
+        assert!((t - 1051.0).abs() < 5.0, "t = {t}");
+    }
+
+    #[test]
+    fn cleartext_is_sub_millisecond_for_point_lookup() {
+        let m = Metrics {
+            plaintext_index_lookups: 1,
+            plaintext_tuples_scanned: 100,
+            round_trips: 1,
+            ..Default::default()
+        };
+        let t = computation_time(&m, &CostProfile::cleartext());
+        assert!(t < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn beta_ordering_matches_paper() {
+        // Strong back-ends have (much) larger β than indexable ones.
+        let arx = CostProfile::arx().beta();
+        let ss = CostProfile::secret_sharing().beta();
+        let opaque = CostProfile::opaque().beta();
+        assert!(arx < ss);
+        assert!(ss < opaque);
+    }
+
+    #[test]
+    fn gamma_large_for_strong_crypto() {
+        // Secret sharing: Ce ≈ 10 ms per predicate over ... the paper's γ ≈ 25000
+        // with Ccom ≈ 4 µs per tuple — here per-tuple Ce is 10 µs so γ is smaller,
+        // but still far above 1.
+        let gamma = CostProfile::secret_sharing().gamma(4e-6);
+        assert!(gamma > 1.0);
+        assert_eq!(CostProfile::secret_sharing().gamma(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fixed_cost_charged_once_or_per_query() {
+        let m = Metrics { round_trips: 3, ..Default::default() };
+        let p = CostProfile::opaque();
+        let one = computation_time(&m, &p);
+        assert!((one - p.per_query_fixed_sec).abs() < 1e-9);
+        let many = computation_time_for_queries(&m, &p, 4);
+        assert!((many - 4.0 * p.per_query_fixed_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_metrics_zero_time() {
+        assert_eq!(computation_time(&Metrics::new(), &CostProfile::opaque()), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The common interface of secure selection back-ends.
+
+use pds_common::{AttrId, Result, Value};
+use pds_cloud::{CloudServer, DbOwner};
+use pds_storage::{Relation, Tuple};
+
+use crate::cost::CostProfile;
+
+/// A cryptographic technique able to outsource a relation and answer
+/// equality / `IN`-set selection queries over the encrypted data.
+///
+/// The workflow is always:
+/// 1. [`SecureSelectionEngine::outsource`] — encrypt and upload the relation
+///    (plus whatever cloud-side index structures the technique uses);
+/// 2. repeated [`SecureSelectionEngine::select`] calls — each one runs a
+///    selection for a *set* of values (Query Binning always asks for a whole
+///    sensitive bin at once) and returns the decrypted, filtered tuples.
+///
+/// Implementations must only return **real** tuples whose searchable
+/// attribute is one of the requested values; fake/padding tuples and false
+/// positives are filtered owner-side before returning.
+pub trait SecureSelectionEngine {
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Encrypts `relation` (searchable attribute `attr`) and uploads it.
+    fn outsource(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        relation: &Relation,
+        attr: AttrId,
+    ) -> Result<()>;
+
+    /// Runs an encrypted selection for the given set of values and returns
+    /// the matching decrypted tuples.
+    fn select(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        values: &[Value],
+    ) -> Result<Vec<Tuple>>;
+
+    /// The cost profile used to convert work counters into simulated time.
+    fn cost_profile(&self) -> CostProfile;
+
+    /// Whether the technique hides which encrypted tuples satisfied the
+    /// query (access-pattern hiding).  QB does not require it; the paper
+    /// notes access-pattern-hiding back-ends compose with QB too.
+    fn hides_access_pattern(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,179 @@
+//! The "No-Ind" back-end of §V-B: owner-side search over non-deterministic
+//! encryption.
+//!
+//! Neither commercial system the paper evaluates can search inside
+//! non-deterministically encrypted columns, so the paper implements search
+//! as: *"retrieve the searching attribute of a sensitive relation at the DB
+//! owner side, decrypt the attributes, and search for records that match
+//! |SB|. It then retrieves full tuples corresponding to |SB| predicates'
+//! addresses."*  This module reproduces exactly that procedure.
+
+use pds_common::{AttrId, PdsError, Result, Value};
+use pds_cloud::{CloudServer, DbOwner};
+use pds_storage::{Relation, Tuple};
+
+use crate::cost::CostProfile;
+use crate::engine::SecureSelectionEngine;
+
+/// Owner-side decrypt-and-filter over non-deterministically encrypted rows.
+#[derive(Debug, Default)]
+pub struct NonDetScanEngine {
+    attr: Option<AttrId>,
+    outsourced: bool,
+}
+
+impl NonDetScanEngine {
+    /// Creates a fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SecureSelectionEngine for NonDetScanEngine {
+    fn name(&self) -> &'static str {
+        "nondet-scan"
+    }
+
+    fn outsource(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        relation: &Relation,
+        attr: AttrId,
+    ) -> Result<()> {
+        let rows = owner.encrypt_relation(relation, attr);
+        cloud.upload_encrypted(rows)?;
+        self.attr = Some(attr);
+        self.outsourced = true;
+        Ok(())
+    }
+
+    fn select(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut CloudServer,
+        values: &[Value],
+    ) -> Result<Vec<Tuple>> {
+        if !self.outsourced {
+            return Err(PdsError::Query("relation not outsourced yet".into()));
+        }
+        let attr = self.attr.expect("attr set at outsource time");
+
+        // Step 1: download the encrypted searchable-attribute column.
+        let column = cloud.download_encrypted_attr_column();
+
+        // Step 2: decrypt owner-side and collect matching addresses.
+        let mut matching = Vec::new();
+        for (id, ct) in &column {
+            let value = owner.decrypt_value(ct)?;
+            if values.contains(&value) {
+                matching.push(*id);
+            }
+        }
+
+        // Step 3: fetch the full encrypted tuples at those addresses and
+        // decrypt them.
+        if matching.is_empty() {
+            return Ok(Vec::new());
+        }
+        let fetched = cloud.fetch_encrypted(&matching)?;
+        let mut out = Vec::with_capacity(fetched.len());
+        for (_, ct) in &fetched {
+            let tuple = owner.decrypt_tuple(ct)?;
+            if DbOwner::is_fake(&tuple) {
+                continue;
+            }
+            if values.contains(tuple.value(attr)) {
+                out.push(tuple);
+            }
+        }
+        Ok(out)
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile::nondet_scan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_cloud::NetworkModel;
+    use pds_storage::{DataType, Schema};
+
+    fn sample_relation() -> Relation {
+        let schema =
+            Schema::from_pairs(&[("EId", DataType::Text), ("Office", DataType::Int)]).unwrap();
+        let mut r = Relation::new("Employee2", schema);
+        for (e, o) in [("E101", 1), ("E259", 6), ("E152", 1), ("E159", 2)] {
+            r.insert(vec![Value::from(e), Value::Int(o)]).unwrap();
+        }
+        r
+    }
+
+    fn setup() -> (DbOwner, CloudServer, NonDetScanEngine, AttrId) {
+        let mut owner = DbOwner::new(11);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        let mut engine = NonDetScanEngine::new();
+        let rel = sample_relation();
+        let attr = rel.schema().attr_id("EId").unwrap();
+        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        (owner, cloud, engine, attr)
+    }
+
+    #[test]
+    fn select_finds_matching_tuples() {
+        let (mut owner, mut cloud, mut engine, attr) = setup();
+        cloud.begin_query();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::from("E259"), Value::from("E101")])
+            .unwrap();
+        cloud.end_query();
+        assert_eq!(out.len(), 2);
+        let values: Vec<&Value> = out.iter().map(|t| t.value(attr)).collect();
+        assert!(values.contains(&&Value::from("E259")));
+        assert!(values.contains(&&Value::from("E101")));
+    }
+
+    #[test]
+    fn select_empty_result() {
+        let (mut owner, mut cloud, mut engine, _) = setup();
+        let out = engine.select(&mut owner, &mut cloud, &[Value::from("E999")]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_before_outsource_errors() {
+        let mut owner = DbOwner::new(1);
+        let mut cloud = CloudServer::default();
+        let mut engine = NonDetScanEngine::new();
+        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn whole_column_is_scanned_every_query() {
+        let (mut owner, mut cloud, mut engine, _) = setup();
+        let before = *cloud.metrics();
+        engine.select(&mut owner, &mut cloud, &[Value::from("E101")]).unwrap();
+        let delta = cloud.metrics().delta_since(&before);
+        assert_eq!(delta.encrypted_tuples_scanned, 4);
+    }
+
+    #[test]
+    fn access_pattern_is_recorded_in_view() {
+        let (mut owner, mut cloud, mut engine, _) = setup();
+        cloud.begin_query();
+        engine.select(&mut owner, &mut cloud, &[Value::from("E152")]).unwrap();
+        cloud.end_query();
+        let ep = &cloud.adversarial_view().episodes()[0];
+        assert_eq!(ep.sensitive_returned.len(), 1);
+        assert!(!engine.hides_access_pattern());
+    }
+
+    #[test]
+    fn cost_profile_is_nondet() {
+        let engine = NonDetScanEngine::new();
+        assert_eq!(engine.cost_profile(), CostProfile::nondet_scan());
+        assert_eq!(engine.name(), "nondet-scan");
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's running Employee example (Figure 1, Example 1).
+
+use pds_common::{Result, Value};
+use pds_storage::{DataType, Predicate, Relation, Schema, SensitivityPolicy};
+
+/// Builds the Employee relation of Figure 1 (8 tuples, 6 attributes).
+///
+/// Tuple ids 0..7 correspond to the paper's t1..t8.
+pub fn employee_relation() -> Relation {
+    let schema = Schema::from_pairs(&[
+        ("EId", DataType::Text),
+        ("FirstName", DataType::Text),
+        ("LastName", DataType::Text),
+        ("SSN", DataType::Int),
+        ("Office", DataType::Int),
+        ("Dept", DataType::Text),
+    ])
+    .expect("employee schema is valid");
+    let mut r = Relation::new("Employee", schema);
+    let rows: [(&str, &str, &str, i64, i64, &str); 8] = [
+        ("E101", "Adam", "Smith", 111, 1, "Defense"),
+        ("E259", "John", "Williams", 222, 2, "Design"),
+        ("E199", "Eve", "Smith", 333, 2, "Design"),
+        ("E259", "John", "Williams", 222, 6, "Defense"),
+        ("E152", "Clark", "Cook", 444, 1, "Defense"),
+        ("E254", "David", "Watts", 555, 4, "Design"),
+        ("E159", "Lisa", "Ross", 666, 2, "Defense"),
+        ("E152", "Clark", "Cook", 444, 3, "Design"),
+    ];
+    for (eid, first, last, ssn, office, dept) in rows {
+        r.insert(vec![
+            Value::from(eid),
+            Value::from(first),
+            Value::from(last),
+            Value::Int(ssn),
+            Value::Int(office),
+            Value::from(dept),
+        ])
+        .expect("employee rows conform to the schema");
+    }
+    r
+}
+
+/// The sensitivity policy of Example 1: the `SSN` attribute is sensitive for
+/// every tuple (vertical split keyed by `EId`), and every tuple of the
+/// Defense department is sensitive (row-level split).
+pub fn employee_sensitivity_policy(relation: &Relation) -> Result<SensitivityPolicy> {
+    Ok(SensitivityPolicy::rows(Predicate::eq(relation.schema(), "Dept", "Defense")?)
+        .with_sensitive_attributes("EId", vec!["SSN".to_string()]))
+}
+
+/// The EIds of the sensitive (Defense) tuples, in paper order.
+pub fn sensitive_eids() -> Vec<Value> {
+    ["E101", "E259", "E152", "E159"].iter().map(|&s| Value::from(s)).collect()
+}
+
+/// The EIds of the non-sensitive (Design) tuples, in paper order.
+pub fn nonsensitive_eids() -> Vec<Value> {
+    ["E259", "E199", "E254", "E152"].iter().map(|&s| Value::from(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_storage::Partitioner;
+
+    #[test]
+    fn figure1_shape() {
+        let r = employee_relation();
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.schema().arity(), 6);
+    }
+
+    #[test]
+    fn example1_partition_matches_figure2() {
+        let r = employee_relation();
+        let policy = employee_sensitivity_policy(&r).unwrap();
+        let parts = Partitioner::new(policy).split(&r).unwrap();
+        // Employee2 (sensitive rows): 4 Defense tuples t1, t4, t5, t7.
+        assert_eq!(parts.sensitive.len(), 4);
+        // Employee3 (non-sensitive rows): 4 Design tuples.
+        assert_eq!(parts.nonsensitive.len(), 4);
+        // Employee1 (EId, SSN): all 8 tuples, 2 attributes.
+        let cols = parts.sensitive_columns.as_ref().unwrap();
+        assert_eq!(cols.len(), 8);
+        assert_eq!(cols.schema().arity(), 2);
+        // α = 0.5 for the row-level split.
+        assert!((parts.alpha() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eid_lists_match_figure2() {
+        let r = employee_relation();
+        let policy = employee_sensitivity_policy(&r).unwrap();
+        let parts = Partitioner::new(policy).split(&r).unwrap();
+        let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+        let s_eids: Vec<Value> =
+            parts.sensitive.tuples().iter().map(|t| t.value(attr).clone()).collect();
+        assert_eq!(s_eids, sensitive_eids());
+        let ns_eids: Vec<Value> =
+            parts.nonsensitive.tuples().iter().map(|t| t.value(attr).clone()).collect();
+        assert_eq!(ns_eids, nonsensitive_eids());
+    }
+
+    #[test]
+    fn eid_association_is_one_to_one() {
+        // Base-case precondition of §IV-A: a sensitive tuple is associated
+        // with at most one non-sensitive tuple and vice versa.
+        let s = sensitive_eids();
+        let ns = nonsensitive_eids();
+        for v in &s {
+            assert!(s.iter().filter(|&x| x == v).count() == 1);
+        }
+        for v in &ns {
+            assert!(ns.iter().filter(|&x| x == v).count() == 1);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # pds-workload
+//!
+//! Workload generation for the experiments:
+//!
+//! * [`employee`] — the paper's running Employee example (Figure 1 and the
+//!   three derived relations of Figure 2).
+//! * [`tpch`] — a deterministic pseudo-TPC-H generator producing
+//!   LINEITEM-like and CUSTOMER-like relations with the tuple counts, key
+//!   domains and selectivities the paper's experiments use (150 K / 1.5 M /
+//!   4.5 M / 6 M tuples).
+//! * [`zipf`] — a Zipf sampler for skewed data and skewed query workloads.
+//! * [`queries`] — selection-query workload generators (uniform and skewed).
+//! * [`sensitivity`] — assigners that mark an α-fraction of a relation
+//!   sensitive, by tuple or by value, producing the
+//!   [`pds_storage::SensitivityPolicy`] the partitioner consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod employee;
+pub mod queries;
+pub mod sensitivity;
+pub mod tpch;
+pub mod zipf;
+
+pub use employee::{employee_relation, employee_sensitivity_policy};
+pub use queries::QueryWorkload;
+pub use sensitivity::SensitivityAssigner;
+pub use tpch::{TpchConfig, TpchGenerator};
+pub use zipf::Zipf;

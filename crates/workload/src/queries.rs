@@ -1,0 +1,158 @@
+//! Selection-query workload generation.
+//!
+//! Experiments issue sequences of point-selection queries over the
+//! searchable attribute.  Two shapes matter:
+//!
+//! * **uniform** — every distinct value equally likely (the paper's η model
+//!   assumes ρ ≈ 1/|distinct values|);
+//! * **skewed** — Zipf-distributed query popularity, the setting in which
+//!   the workload-skew attack becomes meaningful.
+
+use pds_common::{AttrId, PdsError, Result, Value};
+use pds_storage::Relation;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// A generator of point-query values over a relation's attribute.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    values: Vec<Value>,
+    zipf: Option<Zipf>,
+    seed: u64,
+}
+
+impl QueryWorkload {
+    /// Uniform workload over the distinct values of `attr` in `relation`.
+    pub fn uniform(relation: &Relation, attr: AttrId, seed: u64) -> Result<Self> {
+        let values = relation.distinct_values(attr);
+        if values.is_empty() {
+            return Err(PdsError::Config("cannot build a workload over an empty relation".into()));
+        }
+        Ok(QueryWorkload { values, zipf: None, seed })
+    }
+
+    /// Zipf-skewed workload over the distinct values of `attr` (the most
+    /// frequent value in the data is also the most frequently queried —
+    /// rank order follows data frequency, which is the worst case for the
+    /// workload-skew attack).
+    pub fn zipf(relation: &Relation, attr: AttrId, exponent: f64, seed: u64) -> Result<Self> {
+        let stats = relation.attribute_stats(attr);
+        if stats.is_empty() {
+            return Err(PdsError::Config("cannot build a workload over an empty relation".into()));
+        }
+        let values: Vec<Value> =
+            stats.values_by_descending_count().into_iter().map(|(v, _)| v).collect();
+        let zipf = Zipf::new(values.len(), exponent);
+        Ok(QueryWorkload { values, zipf: Some(zipf), seed })
+    }
+
+    /// Explicit workload over a fixed list of values (queried uniformly).
+    pub fn explicit(values: Vec<Value>, seed: u64) -> Result<Self> {
+        if values.is_empty() {
+            return Err(PdsError::Config("explicit workload needs at least one value".into()));
+        }
+        Ok(QueryWorkload { values, zipf: None, seed })
+    }
+
+    /// The distinct values the workload draws from, most popular first.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Draws a sequence of `n` query values.
+    pub fn draw(&self, n: usize) -> Vec<Value> {
+        let mut rng = pds_common::rng::seeded_rng(self.seed);
+        (0..n)
+            .map(|_| {
+                let idx = match &self.zipf {
+                    Some(z) => z.sample(&mut rng),
+                    None => rng.gen_range(0..self.values.len()),
+                };
+                self.values[idx].clone()
+            })
+            .collect()
+    }
+
+    /// One query for every distinct value, in a deterministic shuffled
+    /// order — the "ask everything once" workload the surviving-matches
+    /// analysis needs.
+    pub fn exhaustive(&self) -> Vec<Value> {
+        let mut values = self.values.clone();
+        let mut rng = pds_common::rng::seeded_rng(self.seed.wrapping_add(1));
+        pds_common::rng::shuffle(&mut values, &mut rng);
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{TpchConfig, TpchGenerator};
+
+    fn rel() -> Relation {
+        TpchGenerator::new(TpchConfig {
+            lineitem_tuples: 500,
+            distinct_partkeys: 40,
+            distinct_suppkeys: 10,
+            skew: 0.8,
+            seed: 11,
+        })
+        .lineitem()
+    }
+
+    #[test]
+    fn uniform_draw_covers_domain() {
+        let r = rel();
+        let attr = r.schema().attr_id("L_PARTKEY").unwrap();
+        let w = QueryWorkload::uniform(&r, attr, 1).unwrap();
+        let qs = w.draw(2_000);
+        assert_eq!(qs.len(), 2_000);
+        let distinct: std::collections::HashSet<_> = qs.iter().collect();
+        assert!(distinct.len() as f64 > 0.8 * w.values().len() as f64);
+    }
+
+    #[test]
+    fn zipf_draw_is_skewed() {
+        let r = rel();
+        let attr = r.schema().attr_id("L_PARTKEY").unwrap();
+        let w = QueryWorkload::zipf(&r, attr, 1.2, 2).unwrap();
+        let qs = w.draw(3_000);
+        let top = w.values()[0].clone();
+        let top_count = qs.iter().filter(|&v| *v == top).count();
+        assert!(top_count as f64 > 3_000.0 / w.values().len() as f64 * 3.0);
+    }
+
+    #[test]
+    fn exhaustive_hits_every_value_once() {
+        let r = rel();
+        let attr = r.schema().attr_id("L_SUPPKEY").unwrap();
+        let w = QueryWorkload::uniform(&r, attr, 3).unwrap();
+        let all = w.exhaustive();
+        assert_eq!(all.len(), w.values().len());
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn explicit_and_errors() {
+        let w = QueryWorkload::explicit(vec![Value::Int(1), Value::Int(2)], 0).unwrap();
+        assert!(w.draw(10).iter().all(|v| v == &Value::Int(1) || v == &Value::Int(2)));
+        assert!(QueryWorkload::explicit(vec![], 0).is_err());
+        let empty = Relation::new(
+            "E",
+            pds_storage::Schema::from_pairs(&[("A", pds_storage::DataType::Int)]).unwrap(),
+        );
+        let attr = empty.schema().attr_id("A").unwrap();
+        assert!(QueryWorkload::uniform(&empty, attr, 0).is_err());
+        assert!(QueryWorkload::zipf(&empty, attr, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let r = rel();
+        let attr = r.schema().attr_id("L_PARTKEY").unwrap();
+        let w = QueryWorkload::uniform(&r, attr, 7).unwrap();
+        assert_eq!(w.draw(50), w.draw(50));
+    }
+}

@@ -1,0 +1,133 @@
+//! Attack demonstration (§I and §VI): size, frequency-count and
+//! workload-skew attacks against a weak indexable back-end (Arx-style),
+//! with and without Query Binning.
+//!
+//! ```text
+//! cargo run --example attack_demonstration
+//! ```
+
+use std::collections::HashMap;
+
+use partitioned_data_security::adversary::size_attack::SizeAttackGroundTruth;
+use partitioned_data_security::adversary::{FrequencyAttack, SizeAttack, WorkloadSkewAttack};
+use partitioned_data_security::prelude::*;
+
+fn skewed_payroll() -> Relation {
+    // A low-entropy salary column: a classic frequency-attack target.
+    let schema = Schema::from_pairs(&[
+        ("Salary", DataType::Int),
+        ("Name", DataType::Text),
+    ])
+    .expect("schema");
+    let mut r = Relation::new("Payroll", schema);
+    let salaries = [50_000i64; 12]
+        .iter()
+        .chain([65_000i64; 6].iter())
+        .chain([80_000i64; 3].iter())
+        .chain([120_000i64; 1].iter())
+        .copied()
+        .collect::<Vec<_>>();
+    for (i, s) in salaries.iter().enumerate() {
+        r.insert(vec![Value::Int(*s), Value::from(format!("employee-{i}"))]).expect("row");
+    }
+    r
+}
+
+fn main() -> Result<()> {
+    let relation = skewed_payroll();
+    let attr = relation.schema().attr_id("Salary")?;
+
+    // ----- Frequency-count attack against deterministic encryption ----------
+    println!("== Frequency-count attack against a deterministic-encryption index ==");
+    let mut owner = DbOwner::new(7);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    let mut det = DeterministicIndexEngine::new();
+    det.outsource(&mut owner, &mut cloud, &relation, attr)?;
+    let auxiliary: HashMap<Value, u64> =
+        relation.attribute_stats(attr).iter().map(|(v, c)| (v.clone(), c)).collect();
+    let mut ground_truth = HashMap::new();
+    for t in relation.tuples() {
+        ground_truth.insert(owner.det_tag(t.value(attr)), t.value(attr).clone());
+    }
+    let outcome = FrequencyAttack::run(cloud.encrypted_store(), &auxiliary, &ground_truth);
+    println!(
+        "  {} distinct tags on the cloud; {:.0}% of tuples' salaries recovered\n",
+        outcome.distinct_tags,
+        outcome.recovery_rate * 100.0
+    );
+
+    // ----- Size + workload-skew attacks: naive partitioning vs QB ----------
+    let policy = SensitivityPolicy::rows(Predicate::range(relation.schema(), "Salary", 0, 70_000)?);
+    let parts = Partitioner::new(policy).split(&relation)?;
+    let values: Vec<Value> = relation.distinct_values(attr);
+
+    let run_attacks = |cloud: &CloudServer, issued: &[Value]| {
+        let truth = SizeAttackGroundTruth {
+            queried_values: issued.to_vec(),
+            sensitive_counts: parts
+                .sensitive
+                .attribute_stats(parts.sensitive.schema().attr_id("Salary").unwrap())
+                .iter()
+                .map(|(v, c)| (v.clone(), c))
+                .collect(),
+        };
+        let size = SizeAttack::run(cloud.adversarial_view(), &truth);
+        let skew = WorkloadSkewAttack::run(cloud.adversarial_view(), &values, issued);
+        let report = check_partitioned_security(cloud.adversarial_view());
+        (size, skew, report)
+    };
+
+    println!("== Size / workload-skew attacks without QB ==");
+    let mut naive = NaivePartitionedExecutor::new("Salary", ArxEngine::new());
+    let mut owner = DbOwner::new(8);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    naive.outsource(&mut owner, &mut cloud, &parts)?;
+    let mut issued = Vec::new();
+    for v in &values {
+        for _ in 0..3 {
+            naive.select(&mut owner, &mut cloud, v)?;
+            issued.push(v.clone());
+        }
+    }
+    let (size, skew, report) = run_attacks(&cloud, &issued);
+    println!(
+        "  size attack reads exact sensitive counts for {:.0}% of queries; {} distinct output sizes",
+        size.exact_rate * 100.0,
+        size.distinct_sizes
+    );
+    println!(
+        "  workload-skew attack links hot values to fingerprints with {:.0}% accuracy",
+        skew.hit_rate * 100.0
+    );
+    println!("  partitioned data security: {}\n", if report.is_secure() { "HOLDS" } else { "VIOLATED" });
+
+    println!("== The same workload through QB + Arx ==");
+    let binning = QueryBinning::build(&parts, "Salary", BinningConfig::default())?;
+    let mut qb = QbExecutor::new(binning, ArxEngine::new());
+    let mut owner = DbOwner::new(8);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    qb.outsource(&mut owner, &mut cloud, &parts)?;
+    let mut issued = Vec::new();
+    for v in &values {
+        for _ in 0..3 {
+            qb.select(&mut owner, &mut cloud, v)?;
+            issued.push(v.clone());
+        }
+    }
+    let (size, skew, report) = run_attacks(&cloud, &issued);
+    println!(
+        "  size attack exact-count rate drops to {:.0}%; {} distinct output size(s)",
+        size.exact_rate * 100.0,
+        size.distinct_sizes
+    );
+    println!(
+        "  workload-skew fingerprints now hide {:.1} values each (hit rate {:.0}%)",
+        skew.mean_anonymity_set,
+        skew.hit_rate * 100.0
+    );
+    println!(
+        "  partitioned data security: {}",
+        if report.is_secure() { "HOLDS" } else { "VIOLATED" }
+    );
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Integration test for experiment E7 (§VI): the size, frequency-count and
+//! workload-skew attacks succeed against weak configurations and are
+//! defeated once Query Binning is layered on top.
+
+use std::collections::HashMap;
+
+use partitioned_data_security::adversary::size_attack::SizeAttackGroundTruth;
+use partitioned_data_security::adversary::{FrequencyAttack, SizeAttack, WorkloadSkewAttack};
+use partitioned_data_security::prelude::*;
+
+/// A skewed relation whose salary column is a classic inference target.
+fn payroll() -> Relation {
+    let schema =
+        Schema::from_pairs(&[("Salary", DataType::Int), ("Name", DataType::Text)]).unwrap();
+    let mut r = Relation::new("Payroll", schema);
+    let mut counts = vec![(40_000i64, 20), (55_000i64, 10), (70_000i64, 5), (90_000i64, 2), (250_000i64, 1)];
+    let mut i = 0;
+    for (salary, n) in counts.drain(..) {
+        for _ in 0..n {
+            r.insert(vec![Value::Int(salary), Value::from(format!("p{i}"))]).unwrap();
+            i += 1;
+        }
+    }
+    r
+}
+
+#[test]
+fn frequency_attack_breaks_deterministic_but_not_arx_tokens() {
+    let relation = payroll();
+    let attr = relation.schema().attr_id("Salary").unwrap();
+    let auxiliary: HashMap<Value, u64> =
+        relation.attribute_stats(attr).iter().map(|(v, c)| (v.clone(), c)).collect();
+
+    // Deterministic tags: full recovery.
+    let mut owner = DbOwner::new(1);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    let mut det = DeterministicIndexEngine::new();
+    det.outsource(&mut owner, &mut cloud, &relation, attr).unwrap();
+    let truth: HashMap<Vec<u8>, Value> = relation
+        .tuples()
+        .iter()
+        .map(|t| (owner.det_tag(t.value(attr)), t.value(attr).clone()))
+        .collect();
+    let det_outcome = FrequencyAttack::run(cloud.encrypted_store(), &auxiliary, &truth);
+    assert_eq!(det_outcome.recovery_rate, 1.0);
+
+    // Arx per-occurrence tokens: every tag unique, frequency matching fails.
+    let mut owner = DbOwner::new(1);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    let mut arx = ArxEngine::new();
+    arx.outsource(&mut owner, &mut cloud, &relation, attr).unwrap();
+    let mut occurrence: HashMap<Value, u64> = HashMap::new();
+    let arx_truth: HashMap<Vec<u8>, Value> = relation
+        .tuples()
+        .iter()
+        .map(|t| {
+            let v = t.value(attr).clone();
+            let occ = occurrence.entry(v.clone()).or_insert(0);
+            let tag = owner.counter_tag(&v, *occ);
+            *occ += 1;
+            (tag, v)
+        })
+        .collect();
+    let arx_outcome = FrequencyAttack::run(cloud.encrypted_store(), &auxiliary, &arx_truth);
+    assert!(arx_outcome.recovery_rate < det_outcome.recovery_rate);
+}
+
+fn run_workload_and_attack(
+    use_qb: bool,
+) -> (f64, f64, bool) {
+    let relation = payroll();
+    let attr = relation.schema().attr_id("Salary").unwrap();
+    // Salaries at or below 55k are sensitive.
+    let policy =
+        SensitivityPolicy::rows(Predicate::range(relation.schema(), "Salary", 0, 56_000).unwrap());
+    let parts = Partitioner::new(policy).split(&relation).unwrap();
+    let values = relation.distinct_values(attr);
+
+    let mut owner = DbOwner::new(9);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    let mut issued = Vec::new();
+
+    if use_qb {
+        let binning = QueryBinning::build(&parts, "Salary", BinningConfig::default()).unwrap();
+        let mut qb = QbExecutor::new(binning, ArxEngine::new());
+        qb.outsource(&mut owner, &mut cloud, &parts).unwrap();
+        for v in &values {
+            for _ in 0..2 {
+                qb.select(&mut owner, &mut cloud, v).unwrap();
+                issued.push(v.clone());
+            }
+        }
+    } else {
+        let mut naive = NaivePartitionedExecutor::new("Salary", ArxEngine::new());
+        naive.outsource(&mut owner, &mut cloud, &parts).unwrap();
+        for v in &values {
+            for _ in 0..2 {
+                naive.select(&mut owner, &mut cloud, v).unwrap();
+                issued.push(v.clone());
+            }
+        }
+    }
+
+    let s_attr = parts.sensitive.schema().attr_id("Salary").unwrap();
+    let truth = SizeAttackGroundTruth {
+        queried_values: issued.clone(),
+        sensitive_counts: parts
+            .sensitive
+            .attribute_stats(s_attr)
+            .iter()
+            .map(|(v, c)| (v.clone(), c))
+            .collect(),
+    };
+    let size = SizeAttack::run(cloud.adversarial_view(), &truth);
+    let skew = WorkloadSkewAttack::run(cloud.adversarial_view(), &values, &issued);
+    let report = check_partitioned_security(cloud.adversarial_view());
+    (size.exact_rate, skew.mean_anonymity_set, report.is_secure())
+}
+
+#[test]
+fn size_and_skew_attacks_succeed_without_qb() {
+    let (size_exact, anonymity, secure) = run_workload_and_attack(false);
+    assert!(size_exact > 0.9, "size attack reads counts directly: {size_exact}");
+    assert!(anonymity <= 1.0 + 1e-9, "each fingerprint identifies one value");
+    assert!(!secure);
+}
+
+#[test]
+fn qb_defeats_size_and_skew_attacks() {
+    let (size_exact, anonymity, secure) = run_workload_and_attack(true);
+    let (naive_exact, naive_anonymity, _) = run_workload_and_attack(false);
+    assert!(size_exact < naive_exact, "QB must reduce size-attack accuracy");
+    assert!(anonymity >= naive_anonymity, "QB fingerprints hide at least as many values");
+    assert!(secure, "QB execution satisfies partitioned data security");
+}

@@ -1,0 +1,109 @@
+//! Integration test for experiment E1 (Tables II and III of the paper):
+//! the adversarial views of naive partitioned execution versus Query
+//! Binning on the Employee example.
+
+use partitioned_data_security::prelude::*;
+
+fn employee_parts() -> pds_storage::PartitionedRelation {
+    let relation = employee_relation();
+    let policy = employee_sensitivity_policy(&relation).unwrap();
+    Partitioner::new(policy).split(&relation).unwrap()
+}
+
+/// Table II: without QB, the three queries of Example 2 produce episodes
+/// whose output sizes and plaintext/ciphertext pairing identify which
+/// employees are sensitive-only, non-sensitive-only, or both.
+#[test]
+fn naive_execution_reproduces_table2_leakage() {
+    let parts = employee_parts();
+    let mut naive = NaivePartitionedExecutor::new("EId", NonDetScanEngine::new());
+    let mut owner = DbOwner::new(1);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    naive.outsource(&mut owner, &mut cloud, &parts).unwrap();
+
+    for eid in ["E259", "E101", "E199"] {
+        naive.select(&mut owner, &mut cloud, &eid.into()).unwrap();
+    }
+    let eps = cloud.adversarial_view().episodes();
+    assert_eq!(eps.len(), 3);
+    // E259: one encrypted tuple AND one clear-text tuple → "works in both".
+    assert_eq!(eps[0].sensitive_output_size(), 1);
+    assert_eq!(eps[0].nonsensitive_output_size(), 1);
+    // E101: only an encrypted tuple → "works only in a sensitive department".
+    assert_eq!(eps[1].sensitive_output_size(), 1);
+    assert_eq!(eps[1].nonsensitive_output_size(), 0);
+    // E199: only a clear-text tuple → "works only in a non-sensitive department".
+    assert_eq!(eps[2].sensitive_output_size(), 0);
+    assert_eq!(eps[2].nonsensitive_output_size(), 1);
+
+    // The formal definition is violated.
+    let report = check_partitioned_security(cloud.adversarial_view());
+    assert!(!report.is_secure());
+}
+
+/// Table III: with QB the same three queries return indistinguishable
+/// episodes — every episode carries one whole sensitive bin and one whole
+/// non-sensitive bin, and the query value cannot be located in either.
+#[test]
+fn qb_execution_reproduces_table3_shape() {
+    let parts = employee_parts();
+    let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+    let shape = *binning.shape();
+    let mut qb = QbExecutor::new(binning, NonDetScanEngine::new());
+    let mut owner = DbOwner::new(1);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    qb.outsource(&mut owner, &mut cloud, &parts).unwrap();
+
+    let answers: Vec<usize> = ["E259", "E101", "E199"]
+        .iter()
+        .map(|eid| qb.select(&mut owner, &mut cloud, &(*eid).into()).unwrap().len())
+        .collect();
+    // Query answers themselves are still exact.
+    assert_eq!(answers, vec![2, 1, 1]);
+
+    let eps = cloud.adversarial_view().episodes();
+    assert_eq!(eps.len(), 3);
+    for ep in eps {
+        // Every episode requests whole bins...
+        assert_eq!(ep.plaintext_request.len(), shape.nonsensitive_bin_capacity);
+        assert_eq!(ep.encrypted_request_size, 0); // nondet-scan sends no tokens
+        // ...and returns the same number of encrypted tuples each time.
+        assert_eq!(ep.sensitive_output_size(), eps[0].sensitive_output_size());
+    }
+}
+
+/// After querying every value once, the full partitioned-data-security
+/// definition (both conditions of §III) holds for QB and fails for the
+/// naive execution.
+#[test]
+fn exhaustive_workload_security_verdicts() {
+    let parts = employee_parts();
+    let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+    let mut all_values = parts.sensitive.distinct_values(attr);
+    for v in parts.nonsensitive.distinct_values(attr) {
+        if !all_values.contains(&v) {
+            all_values.push(v);
+        }
+    }
+
+    // QB.
+    let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+    let mut qb = QbExecutor::new(binning, NonDetScanEngine::new());
+    let mut owner = DbOwner::new(2);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    qb.outsource(&mut owner, &mut cloud, &parts).unwrap();
+    for v in &all_values {
+        qb.select(&mut owner, &mut cloud, v).unwrap();
+    }
+    assert!(check_partitioned_security(cloud.adversarial_view()).is_secure());
+
+    // Naive.
+    let mut naive = NaivePartitionedExecutor::new("EId", NonDetScanEngine::new());
+    let mut owner = DbOwner::new(2);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    naive.outsource(&mut owner, &mut cloud, &parts).unwrap();
+    for v in &all_values {
+        naive.select(&mut owner, &mut cloud, v).unwrap();
+    }
+    assert!(!check_partitioned_security(cloud.adversarial_view()).is_secure());
+}

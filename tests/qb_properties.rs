@@ -1,0 +1,153 @@
+//! Property-based integration tests: Query Binning must stay correct and
+//! size-uniform for arbitrary value distributions, sensitivity ratios and
+//! seeds.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use partitioned_data_security::prelude::*;
+use pds_storage::AttributeStats;
+
+/// Builds a relation with the given per-value tuple counts.
+fn relation_from_counts(counts: &[(i64, u8)]) -> Relation {
+    let schema = Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Int)]).unwrap();
+    let mut r = Relation::new("T", schema);
+    let mut payload = 0i64;
+    for &(value, n) in counts {
+        for _ in 0..n {
+            payload += 1;
+            r.insert(vec![Value::Int(value), Value::Int(payload)]).unwrap();
+        }
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// QB answers exactly match a direct scan for every queried value,
+    /// whatever the value counts, sensitivity ratio and seed.
+    #[test]
+    fn qb_answers_equal_direct_scan(
+        counts in proptest::collection::vec((0i64..40, 1u8..5), 4..24),
+        alpha in 0.05f64..0.95,
+        seed in 0u64..1_000,
+    ) {
+        // Deduplicate values (the generator may repeat keys).
+        let mut dedup: Vec<(i64, u8)> = Vec::new();
+        for (v, n) in counts {
+            if let Some(e) = dedup.iter_mut().find(|(x, _)| *x == v) {
+                e.1 = e.1.saturating_add(n);
+            } else {
+                dedup.push((v, n));
+            }
+        }
+        let relation = relation_from_counts(&dedup);
+        let attr = relation.schema().attr_id("K").unwrap();
+        let policy = SensitivityAssigner::new(seed)
+            .by_value_fraction(&relation, attr, alpha)
+            .unwrap();
+        let parts = Partitioner::new(policy).split(&relation).unwrap();
+        prop_assume!(parts.total_tuples() > 0);
+
+        let binning = QueryBinning::build(
+            &parts,
+            "K",
+            BinningConfig { seed, ..Default::default() },
+        ).unwrap();
+        binning.check_invariants().unwrap();
+
+        let mut executor = QbExecutor::new(binning, NonDetScanEngine::new());
+        let mut owner = DbOwner::new(seed);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        executor.outsource(&mut owner, &mut cloud, &parts).unwrap();
+
+        for (value, _) in dedup.iter().take(8) {
+            let v = Value::Int(*value);
+            let expected: BTreeSet<u64> = relation
+                .tuples()
+                .iter()
+                .filter(|t| t.value(attr) == &v)
+                .map(|t| t.id.raw())
+                .collect();
+            let got: BTreeSet<u64> = executor
+                .select(&mut owner, &mut cloud, &v)
+                .unwrap()
+                .iter()
+                .map(|t| t.id.raw())
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        // Condition 2 of the security definition: uniform sensitive output.
+        let sizes: BTreeSet<usize> = cloud
+            .adversarial_view()
+            .episodes()
+            .iter()
+            .map(|ep| ep.sensitive_output_size())
+            .collect();
+        prop_assert!(sizes.len() <= 1, "non-uniform sensitive output sizes {:?}", sizes);
+    }
+
+    /// Bin creation never loses or duplicates a value, and the padded
+    /// per-bin tuple totals are always equal.
+    #[test]
+    fn binning_invariants_hold(
+        s_values in proptest::collection::btree_set(0i64..1_000, 1..60),
+        ns_values in proptest::collection::btree_set(0i64..1_000, 1..60),
+        heavy in proptest::collection::vec(1u64..200, 1..60),
+    ) {
+        let sensitive: Vec<Value> = s_values.iter().copied().map(Value::Int).collect();
+        let nonsensitive: Vec<Value> = ns_values.iter().copied().map(Value::Int).collect();
+        let s_stats = AttributeStats::from_counts(
+            sensitive
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v.clone(), heavy[i % heavy.len()]))
+                .collect(),
+        );
+        let ns_stats = AttributeStats::from_values(nonsensitive.iter());
+        let qb = QueryBinning::build_from_values(
+            "K",
+            sensitive.clone(),
+            nonsensitive.clone(),
+            s_stats.clone(),
+            ns_stats,
+            BinningConfig::default(),
+        ).unwrap();
+        qb.check_invariants().unwrap();
+
+        // Every value appears in exactly one bin.
+        let mut seen_s = BTreeSet::new();
+        for i in 0..qb.sensitive_bin_count() {
+            for v in qb.sensitive_bin(i) {
+                prop_assert!(seen_s.insert(v.clone()), "sensitive value {} duplicated", v);
+            }
+        }
+        prop_assert_eq!(seen_s.len(), sensitive.len());
+        let mut seen_ns = BTreeSet::new();
+        for j in 0..qb.nonsensitive_bin_count() {
+            for v in qb.nonsensitive_bin(j) {
+                prop_assert!(seen_ns.insert(v.clone()), "non-sensitive value {} duplicated", v);
+            }
+        }
+        prop_assert_eq!(seen_ns.len(), nonsensitive.len());
+
+        // Padded tuple totals are equal across sensitive bins.
+        let totals: BTreeSet<u64> = (0..qb.sensitive_bin_count())
+            .map(|i| {
+                qb.sensitive_bin(i).iter().map(|v| s_stats.count(v)).sum::<u64>()
+                    + qb.fake_tuples_per_bin()[i]
+            })
+            .collect();
+        prop_assert!(totals.len() <= 1, "unequal padded bin totals {:?}", totals);
+
+        // Every value retrieves a valid bin pair.
+        for v in sensitive.iter().chain(nonsensitive.iter()) {
+            let pair = qb.retrieve(v).unwrap();
+            prop_assert!(pair.sensitive_bin < qb.sensitive_bin_count());
+            prop_assert!(pair.nonsensitive_bin < qb.nonsensitive_bin_count());
+        }
+    }
+}

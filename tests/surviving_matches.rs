@@ -1,0 +1,132 @@
+//! Integration test for experiment E2 (Example 3, Example 4, Figure 4):
+//! the surviving-matches analysis over the 10-sensitive / 10-non-sensitive
+//! value example, with and without following Algorithm 2.
+
+use partitioned_data_security::adversary::SurvivingMatches;
+use partitioned_data_security::prelude::*;
+use pds_storage::AttributeStats;
+
+/// Builds the Example-3 binning: sensitive values s1..s10, non-sensitive
+/// values {s1, s2, s3, s5, s6} (associated) ∪ {ns11..ns15}.
+fn example3_binning() -> QueryBinning {
+    let sensitive: Vec<Value> =
+        (1..=10).map(|i| Value::from(format!("s{i}"))).collect();
+    let nonsensitive: Vec<Value> = ["s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15"]
+        .iter()
+        .map(|&v| Value::from(v))
+        .collect();
+    QueryBinning::build_from_values(
+        "EId",
+        sensitive.clone(),
+        nonsensitive.clone(),
+        AttributeStats::from_values(sensitive.iter()),
+        AttributeStats::from_values(nonsensitive.iter()),
+        BinningConfig::default(),
+    )
+    .unwrap()
+}
+
+fn all_example3_values() -> Vec<Value> {
+    let mut values: Vec<Value> = (1..=10).map(|i| Value::from(format!("s{i}"))).collect();
+    values.extend((11..=15).map(|i| Value::from(format!("ns{i}"))));
+    values
+}
+
+/// Simulates the adversarial view produced by answering every query with
+/// the bin pair Algorithm 2 prescribes.
+fn view_following_algorithm2(qb: &QueryBinning) -> AdversarialView {
+    let mut view = AdversarialView::new();
+    for value in all_example3_values() {
+        let Some(pair) = qb.retrieve(&value) else { continue };
+        view.begin_episode();
+        view.observe_plaintext_request(&qb.nonsensitive_bin(pair.nonsensitive_bin));
+        let ids: Vec<pds_common::TupleId> = qb
+            .sensitive_bin(pair.sensitive_bin)
+            .iter()
+            .enumerate()
+            .map(|(i, _)| pds_common::TupleId::new((pair.sensitive_bin * 100 + i) as u64))
+            .collect();
+        view.observe_sensitive_result(&ids);
+        view.end_episode();
+    }
+    view
+}
+
+/// Simulates Example 4: non-associated values are answered with an
+/// arbitrary fixed pairing instead of the Algorithm-2 pairing.
+fn view_violating_algorithm2(qb: &QueryBinning) -> AdversarialView {
+    let mut view = AdversarialView::new();
+    for value in all_example3_values() {
+        let Some(pair) = qb.retrieve(&value) else { continue };
+        // Break the rule for non-associated values: always pair with bin 0.
+        let nonsensitive_bin = if qb.sensitive_assignment(&value).is_some()
+            && qb.nonsensitive_assignment(&value).is_some()
+        {
+            pair.nonsensitive_bin
+        } else {
+            0
+        };
+        view.begin_episode();
+        view.observe_plaintext_request(&qb.nonsensitive_bin(nonsensitive_bin));
+        let ids: Vec<pds_common::TupleId> = qb
+            .sensitive_bin(pair.sensitive_bin)
+            .iter()
+            .enumerate()
+            .map(|(i, _)| pds_common::TupleId::new((pair.sensitive_bin * 100 + i) as u64))
+            .collect();
+        view.observe_sensitive_result(&ids);
+        view.end_episode();
+    }
+    view
+}
+
+#[test]
+fn example3_layout_matches_paper() {
+    let qb = example3_binning();
+    assert_eq!(qb.shape().sensitive_bins, 5);
+    assert_eq!(qb.shape().sensitive_bin_capacity, 2);
+    assert_eq!(qb.shape().nonsensitive_bins, 2);
+    assert_eq!(qb.shape().nonsensitive_bin_capacity, 5);
+    qb.check_invariants().unwrap();
+}
+
+#[test]
+fn algorithm2_preserves_all_surviving_matches() {
+    // Figure 4a: every sensitive bin ends up associated with every
+    // non-sensitive bin, so the adversary cannot drop any candidate
+    // association.
+    let qb = example3_binning();
+    let view = view_following_algorithm2(&qb);
+    let matches = SurvivingMatches::from_view(&view);
+    assert_eq!(matches.sensitive_groups().len(), 5);
+    assert_eq!(matches.nonsensitive_groups().len(), 2);
+    assert!(matches.is_complete(), "all 10 bin pairs must be observed");
+    assert!(matches.dropped_edges().is_empty());
+    assert!((matches.min_ambiguity() - 1.0).abs() < 1e-12);
+    assert!(check_partitioned_security(&view).is_secure());
+}
+
+#[test]
+fn ignoring_algorithm2_drops_surviving_matches() {
+    // Figure 4b / Example 4: pairing bins arbitrarily lets the adversary
+    // rule out associations.
+    let qb = example3_binning();
+    let view = view_violating_algorithm2(&qb);
+    let matches = SurvivingMatches::from_view(&view);
+    assert!(!matches.is_complete());
+    assert!(!matches.dropped_edges().is_empty());
+    assert!(!check_partitioned_security(&view).is_secure());
+}
+
+#[test]
+fn associated_values_share_one_bin_pair_via_both_rules() {
+    let qb = example3_binning();
+    for name in ["s1", "s2", "s3", "s5", "s6"] {
+        let v = Value::from(name);
+        let via_sensitive = qb.sensitive_assignment(&v).unwrap();
+        let via_nonsensitive = qb.nonsensitive_assignment(&v).unwrap();
+        // R1 and R2 must agree (the value sits at transposed coordinates).
+        assert_eq!(via_sensitive.bin, via_nonsensitive.position);
+        assert_eq!(via_sensitive.position, via_nonsensitive.bin);
+    }
+}
