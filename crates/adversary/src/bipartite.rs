@@ -61,7 +61,10 @@ impl SurvivingMatches {
             let ns_idx = Self::intern(&mut nonsensitive_groups, ns_group.clone());
             edges.insert((s_idx, ns_idx));
             for &tid in &s_group {
-                value_candidates.entry(tid).or_default().extend(ns_group.iter().cloned());
+                value_candidates
+                    .entry(tid)
+                    .or_default()
+                    .extend(ns_group.iter().cloned());
             }
         }
 

@@ -58,8 +58,10 @@ impl FrequencyAttack {
         // deterministically so the attack is reproducible).
         let mut tags: Vec<(Vec<u8>, u64)> = tag_counts.into_iter().collect();
         tags.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let mut plain: Vec<(Value, u64)> =
-            auxiliary_histogram.iter().map(|(v, &c)| (v.clone(), c)).collect();
+        let mut plain: Vec<(Value, u64)> = auxiliary_histogram
+            .iter()
+            .map(|(v, &c)| (v.clone(), c))
+            .collect();
         plain.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         let inferred: HashMap<Vec<u8>, Value> = tags
@@ -82,10 +84,17 @@ impl FrequencyAttack {
                 }
             }
         }
-        let recovery_rate =
-            if total_tuples == 0 { 0.0 } else { correct_tuples as f64 / total_tuples as f64 };
+        let recovery_rate = if total_tuples == 0 {
+            0.0
+        } else {
+            correct_tuples as f64 / total_tuples as f64
+        };
 
-        FrequencyAttackOutcome { inferred, recovery_rate, distinct_tags }
+        FrequencyAttackOutcome {
+            inferred,
+            recovery_rate,
+            distinct_tags,
+        }
     }
 }
 
@@ -99,7 +108,9 @@ mod tests {
     /// Outsources a skewed relation twice: once with deterministic tags
     /// (vulnerable) and once with per-occurrence tags (Arx-style, resistant
     /// to this particular attack since every tag is unique).
-    fn outsource(deterministic: bool) -> (CloudServer, HashMap<Value, u64>, HashMap<Vec<u8>, Value>) {
+    fn outsource(
+        deterministic: bool,
+    ) -> (CloudServer, HashMap<Value, u64>, HashMap<Vec<u8>, Value>) {
         let schema = Schema::from_pairs(&[("Salary", DataType::Int)]).unwrap();
         let mut rel = Relation::new("Payroll", schema);
         // Value 100 x 6, 200 x 3, 300 x 1 — a skewed, low-entropy column.
@@ -144,7 +155,10 @@ mod tests {
         let (cloud, hist, truth) = outsource(true);
         let out = FrequencyAttack::run(cloud.encrypted_store(), &hist, &truth);
         assert_eq!(out.distinct_tags, 3);
-        assert_eq!(out.recovery_rate, 1.0, "skewed deterministic column is fully recovered");
+        assert_eq!(
+            out.recovery_rate, 1.0,
+            "skewed deterministic column is fully recovered"
+        );
     }
 
     #[test]

@@ -58,8 +58,11 @@ pub fn check_partitioned_security(view: &AdversarialView) -> SecurityReport {
     let min_ambiguity = matches.min_ambiguity();
     let association_indistinguishable = dropped == 0 && (min_ambiguity - 1.0).abs() < 1e-12;
 
-    let mut sizes: Vec<usize> =
-        view.episodes().iter().map(|ep| ep.sensitive_output_size()).collect();
+    let mut sizes: Vec<usize> = view
+        .episodes()
+        .iter()
+        .map(|ep| ep.sensitive_output_size())
+        .collect();
     sizes.sort_unstable();
     sizes.dedup();
     let distinct_output_sizes = sizes.len();

@@ -52,19 +52,28 @@ impl SizeAttack {
     /// simply the number of encrypted tuples returned in that episode.
     pub fn run(view: &AdversarialView, truth: &SizeAttackGroundTruth) -> SizeAttackOutcome {
         let episodes = view.episodes();
-        let estimated_counts: Vec<u64> =
-            episodes.iter().map(|ep| ep.sensitive_output_size() as u64).collect();
+        let estimated_counts: Vec<u64> = episodes
+            .iter()
+            .map(|ep| ep.sensitive_output_size() as u64)
+            .collect();
 
         let mut exact = 0usize;
         let evaluable = episodes.len().min(truth.queried_values.len());
-        for i in 0..evaluable {
-            let true_count =
-                truth.sensitive_counts.get(&truth.queried_values[i]).copied().unwrap_or(0);
-            if estimated_counts[i] == true_count {
+        for (i, &estimated) in estimated_counts.iter().take(evaluable).enumerate() {
+            let true_count = truth
+                .sensitive_counts
+                .get(&truth.queried_values[i])
+                .copied()
+                .unwrap_or(0);
+            if estimated == true_count {
                 exact += 1;
             }
         }
-        let exact_rate = if evaluable == 0 { 0.0 } else { exact as f64 / evaluable as f64 };
+        let exact_rate = if evaluable == 0 {
+            0.0
+        } else {
+            exact as f64 / evaluable as f64
+        };
 
         let mut sizes = estimated_counts.clone();
         sizes.sort_unstable();
@@ -82,10 +91,18 @@ impl SizeAttack {
                 }
             }
         }
-        let distinguishable_pair_rate =
-            if pairs == 0 { 0.0 } else { distinguishable as f64 / pairs as f64 };
+        let distinguishable_pair_rate = if pairs == 0 {
+            0.0
+        } else {
+            distinguishable as f64 / pairs as f64
+        };
 
-        SizeAttackOutcome { estimated_counts, exact_rate, distinct_sizes, distinguishable_pair_rate }
+        SizeAttackOutcome {
+            estimated_counts,
+            exact_rate,
+            distinct_sizes,
+            distinguishable_pair_rate,
+        }
     }
 }
 
@@ -99,10 +116,12 @@ mod tests {
         let mut next = 0u64;
         for &s in sizes {
             av.begin_episode();
-            let ids: Vec<TupleId> = (0..s).map(|_| {
-                next += 1;
-                TupleId::new(next)
-            }).collect();
+            let ids: Vec<TupleId> = (0..s)
+                .map(|_| {
+                    next += 1;
+                    TupleId::new(next)
+                })
+                .collect();
             av.observe_sensitive_result(&ids);
             av.end_episode();
         }

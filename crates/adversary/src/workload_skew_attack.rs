@@ -91,8 +91,13 @@ impl WorkloadSkewAttack {
         let mut values_per_fp: HashMap<Fingerprint, BTreeSet<Value>> = HashMap::new();
         for (i, fp) in per_episode.iter().enumerate() {
             if let Some(v) = ground_truth_queries.get(i) {
-                true_fp_of_value.entry(v.clone()).or_insert_with(|| fp.clone());
-                values_per_fp.entry(fp.clone()).or_default().insert(v.clone());
+                true_fp_of_value
+                    .entry(v.clone())
+                    .or_insert_with(|| fp.clone());
+                values_per_fp
+                    .entry(fp.clone())
+                    .or_default()
+                    .insert(v.clone());
             }
         }
         let mut hits = 0usize;
@@ -105,16 +110,24 @@ impl WorkloadSkewAttack {
                 }
             }
         }
-        let hit_rate = if evaluated == 0 { 0.0 } else { hits as f64 / evaluated as f64 };
+        let hit_rate = if evaluated == 0 {
+            0.0
+        } else {
+            hits as f64 / evaluated as f64
+        };
 
         let mean_anonymity_set = if values_per_fp.is_empty() {
             0.0
         } else {
-            values_per_fp.values().map(|s| s.len() as f64).sum::<f64>()
-                / values_per_fp.len() as f64
+            values_per_fp.values().map(|s| s.len() as f64).sum::<f64>() / values_per_fp.len() as f64
         };
 
-        WorkloadSkewOutcome { ranked_fingerprints: ranked, inferred, hit_rate, mean_anonymity_set }
+        WorkloadSkewOutcome {
+            ranked_fingerprints: ranked,
+            inferred,
+            hit_rate,
+            mean_anonymity_set,
+        }
     }
 }
 
@@ -137,7 +150,10 @@ mod tests {
                 let (sens, ns): (Vec<TupleId>, Vec<Value>) = if binned {
                     let bin = value_idx / 2;
                     (
-                        vec![TupleId::new(2 * bin as u64), TupleId::new(2 * bin as u64 + 1)],
+                        vec![
+                            TupleId::new(2 * bin as u64),
+                            TupleId::new(2 * bin as u64 + 1),
+                        ],
                         vec![Value::Int(2 * bin as i64), Value::Int(2 * bin as i64 + 1)],
                     )
                 } else {
@@ -150,9 +166,12 @@ mod tests {
             }
         }
         // Popularity ranking: by descending frequency.
-        let mut pop: Vec<(usize, u64)> =
-            freqs.iter().enumerate().map(|(i, &(_, c))| (i, c)).collect();
-        pop.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut pop: Vec<(usize, u64)> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, c))| (i, c))
+            .collect();
+        pop.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         let popularity: Vec<Value> = pop.into_iter().map(|(i, _)| Value::Int(i as i64)).collect();
         (av, popularity, queries)
     }

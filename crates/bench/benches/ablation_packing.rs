@@ -11,7 +11,9 @@ fn heavy_hitter_inputs(n: usize) -> (Vec<Value>, Vec<Value>, AttributeStats, Att
     let sensitive: Vec<Value> = (0..n as i64).map(Value::Int).collect();
     let nonsensitive: Vec<Value> = (0..n as i64).map(|i| Value::Int(i + 1_000_000)).collect();
     let s_stats = AttributeStats::from_counts(
-        (0..n as i64).map(|i| (Value::Int(i), (i as u64 + 1) * 10)).collect(),
+        (0..n as i64)
+            .map(|i| (Value::Int(i), (i as u64 + 1) * 10))
+            .collect(),
     );
     let ns_stats = AttributeStats::from_values(nonsensitive.iter());
     (sensitive, nonsensitive, s_stats, ns_stats)

@@ -7,7 +7,9 @@ use pds_core::shape::{approx_square_factors, BinShape};
 
 fn bench_fig6a(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6a_model");
-    group.bench_function("paper_series", |b| b.iter(|| black_box(fig6a::paper_series())));
+    group.bench_function("paper_series", |b| {
+        b.iter(|| black_box(fig6a::paper_series()))
+    });
     group.bench_function("approx_square_factors_1e6", |b| {
         b.iter(|| black_box(approx_square_factors(black_box(999_983))))
     });

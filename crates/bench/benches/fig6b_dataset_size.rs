@@ -8,9 +8,11 @@ fn bench_fig6b(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6b_dataset_size");
     group.sample_size(10);
     for &tuples in &[1_000usize, 4_000] {
-        group.bench_with_input(BenchmarkId::new("eta_sweep", tuples), &tuples, |b, &tuples| {
-            b.iter(|| black_box(fig6b::run(&[tuples], &[0.2, 0.6], 3, 42).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eta_sweep", tuples),
+            &tuples,
+            |b, &tuples| b.iter(|| black_box(fig6b::run(&[tuples], &[0.2, 0.6], 3, 42).unwrap())),
+        );
     }
     group.finish();
 }

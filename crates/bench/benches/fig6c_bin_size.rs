@@ -7,9 +7,11 @@ fn bench_fig6c(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6c_bin_size");
     group.sample_size(10);
     for &bins in &[2usize, 16, 128] {
-        group.bench_with_input(BenchmarkId::new("sensitive_bins", bins), &bins, |b, &bins| {
-            b.iter(|| black_box(fig6c::run(2_000, 0.5, &[bins], 4, 42).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sensitive_bins", bins),
+            &bins,
+            |b, &bins| b.iter(|| black_box(fig6c::run(2_000, 0.5, &[bins], 4, 42).unwrap())),
+        );
     }
     group.finish();
 }

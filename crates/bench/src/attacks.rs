@@ -6,12 +6,11 @@
 //! the same Arx index underneath QB defeats all three (at the price of up to
 //! |SB| index traversals per query).
 
-use pds_common::{Result, Value};
-use pds_cloud::NetworkModel;
 use pds_adversary::{
-    check_partitioned_security, size_attack::SizeAttackGroundTruth, SizeAttack,
-    WorkloadSkewAttack,
+    check_partitioned_security, size_attack::SizeAttackGroundTruth, SizeAttack, WorkloadSkewAttack,
 };
+use pds_cloud::NetworkModel;
+use pds_common::{Result, Value};
 use pds_core::executor::NaivePartitionedExecutor;
 use pds_systems::ArxEngine;
 use pds_workload::{QueryWorkload, TpchConfig, TpchGenerator, Zipf};
@@ -53,7 +52,12 @@ fn skewed_relation(tuples: usize, seed: u64) -> pds_storage::Relation {
 
 /// Runs the skewed query workload against Arx *without* QB (naive
 /// partitioned execution) and mounts the attacks.
-pub fn arx_without_qb(tuples: usize, queries: usize, alpha: f64, seed: u64) -> Result<AttackOutcome> {
+pub fn arx_without_qb(
+    tuples: usize,
+    queries: usize,
+    alpha: f64,
+    seed: u64,
+) -> Result<AttackOutcome> {
     let relation = skewed_relation(tuples, seed);
     let parts = partition_at_alpha(&relation, alpha, seed)?;
     let mut naive = NaivePartitionedExecutor::new(SEARCH_ATTR, ArxEngine::new());
@@ -73,14 +77,22 @@ pub fn arx_without_qb(tuples: usize, queries: usize, alpha: f64, seed: u64) -> R
 /// Runs the same workload through QB + Arx and mounts the same attacks.
 pub fn arx_with_qb(tuples: usize, queries: usize, alpha: f64, seed: u64) -> Result<AttackOutcome> {
     let relation = skewed_relation(tuples, seed);
-    let mut dep = qb_deployment(&relation, alpha, ArxEngine::new(), NetworkModel::paper_wan(), seed)?;
+    let mut dep = qb_deployment(
+        &relation,
+        alpha,
+        ArxEngine::new(),
+        NetworkModel::paper_wan(),
+        seed,
+    )?;
     let attr = relation.schema().attr_id(SEARCH_ATTR)?;
     let workload = QueryWorkload::zipf(&relation, attr, 1.1, seed)?;
     let issued = attack_workload(&workload, queries);
     for value in &issued {
         dep.executor.select(&mut dep.owner, &mut dep.cloud, value)?;
     }
-    Ok(evaluate(&dep.cloud, &dep.parts, attr, &issued, &workload, true))
+    Ok(evaluate(
+        &dep.cloud, &dep.parts, attr, &issued, &workload, true,
+    ))
 }
 
 /// The adversary "observes many queries" (§II): the attack workload covers
@@ -136,10 +148,18 @@ pub struct HeadlineRow {
 /// clear-text fractions of a millisecond).
 pub fn headline() -> Vec<HeadlineRow> {
     let rows = [
-        ("cleartext-index", 6_000_000usize, pds_systems::CostProfile::cleartext()),
+        (
+            "cleartext-index",
+            6_000_000usize,
+            pds_systems::CostProfile::cleartext(),
+        ),
         ("opaque", 6_000_000, pds_systems::CostProfile::opaque()),
         ("jana", 1_000_000, pds_systems::CostProfile::jana()),
-        ("secret-sharing", 6_000_000, pds_systems::CostProfile::secret_sharing()),
+        (
+            "secret-sharing",
+            6_000_000,
+            pds_systems::CostProfile::secret_sharing(),
+        ),
     ];
     rows.iter()
         .map(|(name, tuples, profile)| {
@@ -153,7 +173,11 @@ pub fn headline() -> Vec<HeadlineRow> {
                 }
                 _ => profile.per_query_fixed_sec + *tuples as f64 * profile.per_encrypted_tuple_sec,
             };
-            HeadlineRow { technique: name, tuples: *tuples, seconds }
+            HeadlineRow {
+                technique: name,
+                tuples: *tuples,
+                seconds,
+            }
         })
         .collect()
 }

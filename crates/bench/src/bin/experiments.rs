@@ -12,13 +12,28 @@ use pds_bench::{attacks, fig6a, fig6b, fig6c, table6};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all").to_string();
+    // The experiment name is optional: `experiments --scale 0.5` runs all.
+    let which = args
+        .first()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or("all")
+        .to_string();
     let scale = args
         .iter()
         .position(|a| a == "--scale")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(0.01);
+
+    const KNOWN: [&str; 8] = [
+        "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "employee",
+    ];
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!("unknown experiment {which:?}");
+        eprintln!("usage: experiments [{}] [--scale <f64>]", KNOWN.join("|"));
+        std::process::exit(2);
+    }
 
     let run_all = which == "all";
     if run_all || which == "fig6a" {
@@ -55,7 +70,10 @@ fn print_fig6a() {
 
 fn print_fig6b(scale: f64) {
     println!("== Figure 6b: measured eta vs alpha for three dataset sizes (scale {scale}) ==");
-    println!("{:>10} {:>8} {:>14} {:>14} {:>8}", "tuples", "alpha", "qb s/query", "full s/query", "eta");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>8}",
+        "tuples", "alpha", "qb s/query", "full s/query", "eta"
+    );
     match fig6b::paper_run(scale, 42) {
         Ok(points) => {
             for p in points {
@@ -73,7 +91,10 @@ fn print_fig6b(scale: f64) {
 fn print_fig6c(scale: f64) {
     let tuples = ((40_000.0 * scale.max(0.01)) as usize).max(2_000);
     println!("== Figure 6c: per-query time vs bin-size imbalance ({tuples} tuples) ==");
-    println!("{:>8} {:>12} {:>16} {:>16}", "SB bins", "||SB|-|NSB||", "sim s/query", "wall s/query");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16}",
+        "SB bins", "||SB|-|NSB||", "sim s/query", "wall s/query"
+    );
     match fig6c::paper_run(tuples, 42) {
         Ok(points) => {
             for p in points {
@@ -90,9 +111,14 @@ fn print_fig6c(scale: f64) {
 
 fn print_table6(scale: f64) {
     let tuples = ((60_000.0 * scale.max(0.01)) as usize).max(2_000);
-    println!("== Table VI: QB + Opaque / QB + Jana at 1-60% sensitivity ({tuples} generated tuples,");
+    println!(
+        "== Table VI: QB + Opaque / QB + Jana at 1-60% sensitivity ({tuples} generated tuples,"
+    );
     println!("   costs scaled to the paper's 6M (Opaque) / 1M (Jana) tuple datasets) ==");
-    println!("{:>12} {:>8} {:>14} {:>16}", "backend", "alpha", "QB sec", "without QB sec");
+    println!(
+        "{:>12} {:>8} {:>14} {:>16}",
+        "backend", "alpha", "QB sec", "without QB sec"
+    );
     match table6::run(tuples, &table6::paper_alphas(), 3, 42) {
         Ok(cells) => {
             for c in cells {
@@ -109,10 +135,17 @@ fn print_table6(scale: f64) {
 
 fn print_arx(scale: f64) {
     let tuples = ((20_000.0 * scale.max(0.05)) as usize).max(1_500);
-    println!("== Section VI: Arx hardening — attacks with and without QB ({tuples} tuples, skewed) ==");
+    println!(
+        "== Section VI: Arx hardening — attacks with and without QB ({tuples} tuples, skewed) =="
+    );
     println!(
         "{:>10} {:>16} {:>18} {:>14} {:>14} {:>10}",
-        "mode", "size exact rate", "size disting. rate", "skew hit rate", "anonymity set", "secure?"
+        "mode",
+        "size exact rate",
+        "size disting. rate",
+        "skew hit rate",
+        "anonymity set",
+        "secure?"
     );
     for (label, result) in [
         ("arx-alone", attacks::arx_without_qb(tuples, 150, 0.4, 42)),
@@ -138,7 +171,10 @@ fn print_headline() {
     println!("== Headline single-selection costs without QB (Section I / V calibration) ==");
     println!("{:>18} {:>12} {:>14}", "technique", "tuples", "seconds");
     for row in attacks::headline() {
-        println!("{:>18} {:>12} {:>14.4}", row.technique, row.tuples, row.seconds);
+        println!(
+            "{:>18} {:>12} {:>14.4}",
+            row.technique, row.tuples, row.seconds
+        );
     }
     println!();
 }

@@ -1,7 +1,7 @@
 //! Shared experiment machinery: deployments, workloads and cost accounting.
 
-use pds_common::{Result, Value};
 use pds_cloud::{CloudServer, DbOwner, Metrics, NetworkModel};
+use pds_common::{Result, Value};
 use pds_core::{BinningConfig, QbExecutor, QueryBinning};
 use pds_storage::{PartitionedRelation, Partitioner, Relation};
 use pds_systems::SecureSelectionEngine;
@@ -57,7 +57,11 @@ pub fn lineitem(tuples: usize, seed: u64) -> Relation {
 }
 
 /// Splits a relation at sensitivity ratio `alpha` over [`SEARCH_ATTR`].
-pub fn partition_at_alpha(relation: &Relation, alpha: f64, seed: u64) -> Result<PartitionedRelation> {
+pub fn partition_at_alpha(
+    relation: &Relation,
+    alpha: f64,
+    seed: u64,
+) -> Result<PartitionedRelation> {
     let attr = relation.schema().attr_id(SEARCH_ATTR)?;
     let policy = SensitivityAssigner::new(seed).by_value_fraction(relation, attr, alpha)?;
     Partitioner::new(policy).split(relation)
@@ -93,7 +97,12 @@ pub fn qb_deployment<E: SecureSelectionEngine>(
     // Outsourcing costs are not part of per-query measurements.
     cloud.reset_metrics();
     owner.reset_metrics();
-    Ok(QbDeployment { owner, cloud, executor, parts })
+    Ok(QbDeployment {
+        owner,
+        cloud,
+        executor,
+        parts,
+    })
 }
 
 impl<E: SecureSelectionEngine> QbDeployment<E> {
@@ -156,7 +165,11 @@ pub fn full_encryption_deployment<E: SecureSelectionEngine>(
     engine.outsource(&mut owner, &mut cloud, relation, attr)?;
     cloud.reset_metrics();
     owner.reset_metrics();
-    Ok(FullEncryptionDeployment { owner, cloud, engine })
+    Ok(FullEncryptionDeployment {
+        owner,
+        cloud,
+        engine,
+    })
 }
 
 impl<E: SecureSelectionEngine> FullEncryptionDeployment<E> {
@@ -166,7 +179,8 @@ impl<E: SecureSelectionEngine> FullEncryptionDeployment<E> {
         let before_metrics = combined_metrics(&self.cloud, &self.owner);
         let before_comm = self.cloud.comm_time();
         for q in queries {
-            self.engine.select(&mut self.owner, &mut self.cloud, std::slice::from_ref(q))?;
+            self.engine
+                .select(&mut self.owner, &mut self.cloud, std::slice::from_ref(q))?;
         }
         let delta = combined_metrics(&self.cloud, &self.owner).delta_since(&before_metrics);
         let profile = self.engine.cost_profile();
@@ -185,7 +199,11 @@ impl<E: SecureSelectionEngine> FullEncryptionDeployment<E> {
 /// Scales a measured cost from an `actual`-tuple dataset to a `modelled`
 /// dataset size, assuming the dominant costs scale linearly with the number
 /// of tuples processed (true for every full-scan back-end).
-pub fn scale_cost(cost: CostBreakdown, actual_tuples: usize, modelled_tuples: usize) -> CostBreakdown {
+pub fn scale_cost(
+    cost: CostBreakdown,
+    actual_tuples: usize,
+    modelled_tuples: usize,
+) -> CostBreakdown {
     if actual_tuples == 0 {
         return cost;
     }
@@ -205,9 +223,14 @@ mod tests {
     #[test]
     fn qb_deployment_answers_queries_and_costs_them() {
         let rel = lineitem(2_000, 3);
-        let mut dep =
-            qb_deployment(&rel, 0.3, NonDetScanEngine::new(), NetworkModel::paper_wan(), 1)
-                .unwrap();
+        let mut dep = qb_deployment(
+            &rel,
+            0.3,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            1,
+        )
+        .unwrap();
         let queries = dep.workload(5).unwrap().draw(10);
         let cost = dep.run_and_cost(&queries).unwrap();
         assert!(cost.total_sec() > 0.0);
@@ -222,17 +245,18 @@ mod tests {
             let attr = rel.schema().attr_id(SEARCH_ATTR).unwrap();
             rel.distinct_values(attr).into_iter().take(5).collect()
         };
-        let mut qb =
-            qb_deployment(&rel, 0.1, NonDetScanEngine::new(), NetworkModel::paper_wan(), 2)
-                .unwrap();
-        let qb_cost = qb.run_and_cost(&queries).unwrap();
-        let mut full = full_encryption_deployment(
+        let mut qb = qb_deployment(
             &rel,
+            0.1,
             NonDetScanEngine::new(),
             NetworkModel::paper_wan(),
             2,
         )
         .unwrap();
+        let qb_cost = qb.run_and_cost(&queries).unwrap();
+        let mut full =
+            full_encryption_deployment(&rel, NonDetScanEngine::new(), NetworkModel::paper_wan(), 2)
+                .unwrap();
         let full_cost = full.run_and_cost(&queries).unwrap();
         assert!(
             qb_cost.computation_sec < full_cost.computation_sec,
@@ -244,7 +268,11 @@ mod tests {
 
     #[test]
     fn scale_cost_is_linear() {
-        let c = CostBreakdown { computation_sec: 1.0, communication_sec: 0.5, queries: 1 };
+        let c = CostBreakdown {
+            computation_sec: 1.0,
+            communication_sec: 0.5,
+            queries: 1,
+        };
         let scaled = scale_cost(c, 100, 1000);
         assert!((scaled.computation_sec - 10.0).abs() < 1e-9);
         assert!((scaled.communication_sec - 5.0).abs() < 1e-9);

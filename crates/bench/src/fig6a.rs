@@ -26,7 +26,11 @@ pub fn series(alphas: &[f64], gammas: &[f64], rho: f64, bin_size: usize) -> Vec<
     for &alpha in alphas {
         for &gamma in gammas {
             let model = EtaModel::new(alpha, rho, gamma, 1_000.0, bin_size, bin_size, 1_000_000);
-            out.push(Fig6aPoint { alpha, gamma, eta: model.eta_simplified() });
+            out.push(Fig6aPoint {
+                alpha,
+                gamma,
+                eta: model.eta_simplified(),
+            });
         }
     }
     out
@@ -35,8 +39,10 @@ pub fn series(alphas: &[f64], gammas: &[f64], rho: f64, bin_size: usize) -> Vec<
 /// The paper's parameterisation of Figure 6a: α ∈ {0.3, 0.6, 0.9, 1.0},
 /// γ from 100 to 50 000, ρ = 10 %, 100-value bins.
 pub fn paper_series() -> Vec<Fig6aPoint> {
-    let gammas: Vec<f64> =
-        [100.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 50_000.0].to_vec();
+    let gammas: Vec<f64> = [
+        100.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 50_000.0,
+    ]
+    .to_vec();
     series(&[0.3, 0.6, 0.9, 1.0], &gammas, 0.1, 100)
 }
 
@@ -49,7 +55,10 @@ mod tests {
         let pts = paper_series();
         // For a fixed γ, η grows with α.
         let at_gamma = |g: f64, a: f64| {
-            pts.iter().find(|p| (p.gamma - g).abs() < 1e-9 && (p.alpha - a).abs() < 1e-9).unwrap().eta
+            pts.iter()
+                .find(|p| (p.gamma - g).abs() < 1e-9 && (p.alpha - a).abs() < 1e-9)
+                .unwrap()
+                .eta
         };
         assert!(at_gamma(10_000.0, 0.3) < at_gamma(10_000.0, 0.6));
         assert!(at_gamma(10_000.0, 0.6) < at_gamma(10_000.0, 0.9));
@@ -59,7 +68,10 @@ mod tests {
 
     #[test]
     fn alpha_one_never_below_one() {
-        for p in paper_series().iter().filter(|p| (p.alpha - 1.0).abs() < 1e-9) {
+        for p in paper_series()
+            .iter()
+            .filter(|p| (p.alpha - 1.0).abs() < 1e-9)
+        {
             assert!(p.eta >= 1.0);
         }
     }

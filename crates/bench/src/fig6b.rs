@@ -7,8 +7,8 @@
 //! of the two simulated end-to-end costs.  The paper's claim is that η < 1
 //! across all three dataset sizes and all α < 1.
 
-use pds_common::Result;
 use pds_cloud::NetworkModel;
+use pds_common::Result;
 use pds_systems::NonDetScanEngine;
 
 use crate::deploy::{full_encryption_deployment, lineitem, qb_deployment};
@@ -51,8 +51,11 @@ pub fn run(
             seed,
         )?;
         let attr = relation.schema().attr_id(crate::deploy::SEARCH_ATTR)?;
-        let queries: Vec<_> =
-            relation.distinct_values(attr).into_iter().take(queries_per_point).collect();
+        let queries: Vec<_> = relation
+            .distinct_values(attr)
+            .into_iter()
+            .take(queries_per_point)
+            .collect();
         let full_cost = full.run_and_cost(&queries)?;
 
         for &alpha in alphas {
@@ -95,7 +98,12 @@ mod tests {
     fn eta_below_one_for_partial_sensitivity() {
         let pts = run(&[1_500], &[0.2, 0.6], 4, 11).unwrap();
         for p in &pts {
-            assert!(p.eta < 1.0, "η must be < 1 at α={} (got {})", p.alpha, p.eta);
+            assert!(
+                p.eta < 1.0,
+                "η must be < 1 at α={} (got {})",
+                p.alpha,
+                p.eta
+            );
             assert!(p.eta > 0.0);
         }
     }

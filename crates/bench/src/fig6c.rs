@@ -5,8 +5,8 @@
 //! is minimised when |SB| = |NSB| — i.e. the optimal layout is the
 //! (approximately) square one, |SB| = |NSB| = √|NS|.
 
-use pds_common::Result;
 use pds_cloud::NetworkModel;
+use pds_common::Result;
 use pds_core::{BinShape, BinningConfig, QbExecutor, QueryBinning};
 use pds_storage::Partitioner;
 use pds_systems::{NonDetScanEngine, SecureSelectionEngine};
@@ -49,7 +49,10 @@ pub fn run(
         let Ok(shape) = BinShape::with_sensitive_bins(bins, s_distinct, ns_distinct) else {
             continue;
         };
-        let config = BinningConfig { shape_override: Some(shape), ..Default::default() };
+        let config = BinningConfig {
+            shape_override: Some(shape),
+            ..Default::default()
+        };
         let binning = QueryBinning::build(&parts, SEARCH_ATTR, config)?;
         let mut executor = QbExecutor::new(binning, NonDetScanEngine::new());
         let mut owner = pds_cloud::DbOwner::new(seed);
@@ -58,8 +61,11 @@ pub fn run(
         cloud.reset_metrics();
         owner.reset_metrics();
 
-        let queries: Vec<_> =
-            relation.distinct_values(attr).into_iter().take(queries_per_point).collect();
+        let queries: Vec<_> = relation
+            .distinct_values(attr)
+            .into_iter()
+            .take(queries_per_point)
+            .collect();
         let start = std::time::Instant::now();
         let before_comm = cloud.comm_time();
         let before = crate::deploy::combined_metrics(&cloud, &owner);
@@ -104,8 +110,10 @@ mod tests {
         assert!(pts.len() >= 3);
         // The minimum-cost point should also be (one of) the least
         // imbalanced layouts tried.
-        let min_cost =
-            pts.iter().min_by(|a, b| a.per_query_sec.total_cmp(&b.per_query_sec)).unwrap();
+        let min_cost = pts
+            .iter()
+            .min_by(|a, b| a.per_query_sec.total_cmp(&b.per_query_sec))
+            .unwrap();
         let min_imbalance = pts.iter().map(|p| p.imbalance).min().unwrap();
         let max_imbalance = pts.iter().map(|p| p.imbalance).max().unwrap();
         assert!(

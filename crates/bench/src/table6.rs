@@ -14,8 +14,8 @@
 //! everything-encrypted cost, because QB only pays the oblivious per-tuple
 //! cost over the sensitive fraction of the data.
 
-use pds_common::Result;
 use pds_cloud::NetworkModel;
+use pds_common::Result;
 
 use crate::deploy::{lineitem, qb_deployment, scale_cost};
 
@@ -53,19 +53,23 @@ pub fn run(
 ) -> Result<Vec<Table6Cell>> {
     let relation = lineitem(actual_tuples, seed);
     let attr = relation.schema().attr_id(crate::deploy::SEARCH_ATTR)?;
-    let queries: Vec<_> =
-        relation.distinct_values(attr).into_iter().take(queries_per_point).collect();
+    let queries: Vec<_> = relation
+        .distinct_values(attr)
+        .into_iter()
+        .take(queries_per_point)
+        .collect();
 
     let mut out = Vec::new();
-    for (backend_name, modelled_tuples) in [("opaque-sim", 6_000_000usize), ("jana-sim", 1_000_000)] {
+    for (backend_name, modelled_tuples) in [("opaque-sim", 6_000_000usize), ("jana-sim", 1_000_000)]
+    {
         // Cost without QB: one oblivious scan of the whole modelled dataset.
         let profile = if backend_name == "opaque-sim" {
             pds_systems::CostProfile::opaque()
         } else {
             pds_systems::CostProfile::jana()
         };
-        let without_qb_sec = profile.per_query_fixed_sec
-            + modelled_tuples as f64 * profile.per_encrypted_tuple_sec;
+        let without_qb_sec =
+            profile.per_query_fixed_sec + modelled_tuples as f64 * profile.per_encrypted_tuple_sec;
 
         for &alpha in alphas {
             let engine = if backend_name == "opaque-sim" {
@@ -73,16 +77,14 @@ pub fn run(
             } else {
                 backends::JanaSimEngine::new()
             };
-            let mut dep =
-                qb_deployment(&relation, alpha, engine, NetworkModel::paper_wan(), seed)?;
+            let mut dep = qb_deployment(&relation, alpha, engine, NetworkModel::paper_wan(), seed)?;
             let cost = dep.run_and_cost(&queries)?;
             let per_query = CostPerQuery::from(cost).0;
             // Only the data-dependent part of the cost scales with the
             // modelled dataset size; the fixed per-query cost (enclave
             // entry / MPC setup) does not.
             let data_dependent = crate::deploy::CostBreakdown {
-                computation_sec: (per_query.computation_sec - profile.per_query_fixed_sec)
-                    .max(0.0),
+                computation_sec: (per_query.computation_sec - profile.per_query_fixed_sec).max(0.0),
                 communication_sec: per_query.communication_sec,
                 queries: 1,
             };

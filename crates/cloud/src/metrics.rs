@@ -84,8 +84,16 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a = Metrics { plaintext_tuples_scanned: 1, bytes_uploaded: 10, ..Default::default() };
-        let b = Metrics { plaintext_tuples_scanned: 2, bytes_downloaded: 5, ..Default::default() };
+        let mut a = Metrics {
+            plaintext_tuples_scanned: 1,
+            bytes_uploaded: 10,
+            ..Default::default()
+        };
+        let b = Metrics {
+            plaintext_tuples_scanned: 2,
+            bytes_downloaded: 5,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.plaintext_tuples_scanned, 3);
         assert_eq!(a.total_bytes(), 15);
@@ -93,8 +101,16 @@ mod tests {
 
     #[test]
     fn delta_isolates_one_query() {
-        let before = Metrics { owner_decryptions: 5, round_trips: 2, ..Default::default() };
-        let after = Metrics { owner_decryptions: 9, round_trips: 3, ..Default::default() };
+        let before = Metrics {
+            owner_decryptions: 5,
+            round_trips: 2,
+            ..Default::default()
+        };
+        let after = Metrics {
+            owner_decryptions: 9,
+            round_trips: 3,
+            ..Default::default()
+        };
         let d = after.delta_since(&before);
         assert_eq!(d.owner_decryptions, 4);
         assert_eq!(d.round_trips, 1);

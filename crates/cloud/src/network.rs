@@ -23,18 +23,27 @@ impl NetworkModel {
     /// (`Ccom` per tuple), so no fixed per-request latency is added here;
     /// use [`NetworkModel::lan`] or a custom model to study latency effects.
     pub fn paper_wan() -> Self {
-        NetworkModel { bandwidth_bytes_per_sec: 30.0e6 / 8.0, latency_sec: 0.0 }
+        NetworkModel {
+            bandwidth_bytes_per_sec: 30.0e6 / 8.0,
+            latency_sec: 0.0,
+        }
     }
 
     /// A fast datacenter-style link (used in ablations).
     pub fn lan() -> Self {
-        NetworkModel { bandwidth_bytes_per_sec: 1.0e9 / 8.0, latency_sec: 0.000_5 }
+        NetworkModel {
+            bandwidth_bytes_per_sec: 1.0e9 / 8.0,
+            latency_sec: 0.000_5,
+        }
     }
 
     /// An idealised infinite-bandwidth, zero-latency link (isolates
     /// computation costs in ablations).
     pub fn free() -> Self {
-        NetworkModel { bandwidth_bytes_per_sec: f64::INFINITY, latency_sec: 0.0 }
+        NetworkModel {
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            latency_sec: 0.0,
+        }
     }
 
     /// Time to transfer `bytes` in one request.
@@ -70,7 +79,10 @@ mod tests {
 
     #[test]
     fn transfer_time_includes_latency() {
-        let net = NetworkModel { bandwidth_bytes_per_sec: 1000.0, latency_sec: 1.0 };
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency_sec: 1.0,
+        };
         assert!((net.transfer_time(500) - 1.5).abs() < 1e-12);
         assert!((net.transfer_time_requests(500, 3) - 3.5).abs() < 1e-12);
     }
@@ -83,6 +95,9 @@ mod tests {
 
     #[test]
     fn lan_faster_than_wan() {
-        assert!(NetworkModel::lan().transfer_time(10_000) < NetworkModel::paper_wan().transfer_time(10_000));
+        assert!(
+            NetworkModel::lan().transfer_time(10_000)
+                < NetworkModel::paper_wan().transfer_time(10_000)
+        );
     }
 }

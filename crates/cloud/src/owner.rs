@@ -89,12 +89,21 @@ impl DbOwner {
     pub fn encrypt_row(&mut self, tuple: &Tuple, attr: AttrId, tags: Vec<Vec<u8>>) -> EncryptedRow {
         let attr_ct = self.encrypt_value(tuple.value(attr));
         let tuple_ct = self.encrypt_tuple(tuple);
-        EncryptedRow { id: tuple.id, attr_ct, tuple_ct, search_tags: tags }
+        EncryptedRow {
+            id: tuple.id,
+            attr_ct,
+            tuple_ct,
+            search_tags: tags,
+        }
     }
 
     /// Encrypts an entire sensitive relation (no cloud-side tags).
     pub fn encrypt_relation(&mut self, relation: &Relation, attr: AttrId) -> Vec<EncryptedRow> {
-        relation.tuples().iter().map(|t| self.encrypt_row(t, attr, Vec::new())).collect()
+        relation
+            .tuples()
+            .iter()
+            .map(|t| self.encrypt_row(t, attr, Vec::new()))
+            .collect()
     }
 
     /// Builds the plaintext form of a fake tuple (QB general-case padding).
@@ -124,7 +133,12 @@ impl DbOwner {
         let tuple = Self::make_fake_tuple(id, attr, attr_value, arity);
         let attr_ct = self.encrypt_value(attr_value);
         let tuple_ct = self.encrypt_tuple(&tuple);
-        EncryptedRow { id, attr_ct, tuple_ct, search_tags: Vec::new() }
+        EncryptedRow {
+            id,
+            attr_ct,
+            tuple_ct,
+            search_tags: Vec::new(),
+        }
     }
 
     /// The reserved marker value stored inside fake tuples.
@@ -154,7 +168,9 @@ impl DbOwner {
 
 impl std::fmt::Debug for DbOwner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DbOwner").field("metrics", &self.metrics).finish_non_exhaustive()
+        f.debug_struct("DbOwner")
+            .field("metrics", &self.metrics)
+            .finish_non_exhaustive()
     }
 }
 
@@ -164,7 +180,10 @@ mod tests {
     use pds_storage::{DataType, Schema};
 
     fn sample_tuple() -> Tuple {
-        Tuple::new(TupleId::new(4), vec![Value::from("E259"), Value::Int(6), Value::from("Defense")])
+        Tuple::new(
+            TupleId::new(4),
+            vec![Value::from("E259"), Value::Int(6), Value::from("Defense")],
+        )
     }
 
     #[test]
@@ -209,7 +228,10 @@ mod tests {
         let rows = owner.encrypt_relation(&r, attr);
         assert_eq!(rows.len(), 2);
         // Decrypting the attribute ciphertext recovers the searchable value.
-        assert_eq!(owner.decrypt_value(&rows[1].attr_ct).unwrap(), Value::from("E259"));
+        assert_eq!(
+            owner.decrypt_value(&rows[1].attr_ct).unwrap(),
+            Value::from("E259")
+        );
         let t = owner.decrypt_tuple(&rows[0].tuple_ct).unwrap();
         assert_eq!(t.id, r.tuples()[0].id);
     }
@@ -223,7 +245,10 @@ mod tests {
         assert!(DbOwner::is_fake(&decrypted));
         // The fake carries the real searchable value so the cloud matches it.
         assert_eq!(decrypted.value(attr), &Value::from("E259"));
-        assert_eq!(owner.decrypt_value(&fake.attr_ct).unwrap(), Value::from("E259"));
+        assert_eq!(
+            owner.decrypt_value(&fake.attr_ct).unwrap(),
+            Value::from("E259")
+        );
         assert!(!DbOwner::is_fake(&sample_tuple()));
         assert!(!fake.tuple_ct.is_empty());
     }

@@ -63,7 +63,11 @@ impl CloudServer {
         let bytes = relation.size_bytes();
         self.metrics.bytes_uploaded += bytes as u64;
         self.comm_time += self.network.transfer_time(bytes);
-        self.plain = Some(PlainSide { relation, attr, index });
+        self.plain = Some(PlainSide {
+            relation,
+            attr,
+            index,
+        });
         Ok(())
     }
 
@@ -105,15 +109,18 @@ impl CloudServer {
             .as_ref()
             .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
         let ids = plain.index.lookup_many(values);
-        let tuples: Vec<Tuple> =
-            ids.iter().filter_map(|&id| plain.relation.get(id).cloned()).collect();
+        let tuples: Vec<Tuple> = ids
+            .iter()
+            .filter_map(|&id| plain.relation.get(id).cloned())
+            .collect();
         let attr = plain.attr;
 
         // Adversarial view: the request values arrive in clear-text, and the
         // full matching tuples go back in clear-text.
         self.view.observe_plaintext_request(values);
         let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
-        self.view.observe_nonsensitive_result(&ids, &returned_values);
+        self.view
+            .observe_nonsensitive_result(&ids, &returned_values);
 
         // Metrics: index lookups, bytes for request and response.
         let request_bytes: usize = values.iter().map(Value::size_bytes).sum();
@@ -130,10 +137,7 @@ impl CloudServer {
 
     /// Full scan of the plaintext relation with an arbitrary predicate
     /// (used by baselines that do not exploit the index).
-    pub fn plain_select_scan(
-        &mut self,
-        predicate: &pds_storage::Predicate,
-    ) -> Result<Vec<Tuple>> {
+    pub fn plain_select_scan(&mut self, predicate: &pds_storage::Predicate) -> Result<Vec<Tuple>> {
         let plain = self
             .plain
             .as_ref()
@@ -143,7 +147,8 @@ impl CloudServer {
         let attr = plain.attr;
         let ids: Vec<TupleId> = tuples.iter().map(|t| t.id).collect();
         let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
-        self.view.observe_nonsensitive_result(&ids, &returned_values);
+        self.view
+            .observe_nonsensitive_result(&ids, &returned_values);
         let response_bytes: usize = tuples.iter().map(Tuple::size_bytes).sum();
         self.metrics.plaintext_tuples_scanned += plain.relation.len() as u64;
         self.metrics.tuples_returned += tuples.len() as u64;
@@ -168,8 +173,12 @@ impl CloudServer {
     /// Downloads the encrypted searchable-attribute column (id, ciphertext)
     /// — the first step of the paper's §V-B search procedure.
     pub fn download_encrypted_attr_column(&mut self) -> Vec<(TupleId, Ciphertext)> {
-        let out: Vec<(TupleId, Ciphertext)> =
-            self.encrypted.rows().iter().map(|r| (r.id, r.attr_ct.clone())).collect();
+        let out: Vec<(TupleId, Ciphertext)> = self
+            .encrypted
+            .rows()
+            .iter()
+            .map(|r| (r.id, r.attr_ct.clone()))
+            .collect();
         let bytes = self.encrypted.attr_column_bytes();
         self.metrics.bytes_downloaded += bytes as u64;
         self.metrics.encrypted_tuples_scanned += out.len() as u64;
@@ -199,8 +208,12 @@ impl CloudServer {
     /// Returns every encrypted tuple (full scan), as strongly secure
     /// back-ends that hide access patterns effectively do.
     pub fn scan_encrypted(&mut self) -> Vec<(TupleId, Ciphertext)> {
-        let out: Vec<(TupleId, Ciphertext)> =
-            self.encrypted.rows().iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
+        let out: Vec<(TupleId, Ciphertext)> = self
+            .encrypted
+            .rows()
+            .iter()
+            .map(|r| (r.id, r.tuple_ct.clone()))
+            .collect();
         let ids: Vec<TupleId> = out.iter().map(|(id, _)| *id).collect();
         self.view.observe_sensitive_result(&ids);
         let bytes: usize = out.iter().map(|(_, ct)| 8 + ct.len()).sum();
@@ -309,7 +322,12 @@ mod tests {
         let schema =
             Schema::from_pairs(&[("EId", DataType::Text), ("Dept", DataType::Text)]).unwrap();
         let mut r = Relation::new("Employee3", schema);
-        for (e, d) in [("E259", "Design"), ("E199", "Design"), ("E254", "Design"), ("E152", "Design")] {
+        for (e, d) in [
+            ("E259", "Design"),
+            ("E199", "Design"),
+            ("E254", "Design"),
+            ("E152", "Design"),
+        ] {
             r.insert(vec![Value::from(e), Value::from(d)]).unwrap();
         }
         r
@@ -348,7 +366,9 @@ mod tests {
     fn plain_select_records_view() {
         let mut s = server();
         s.begin_query();
-        let out = s.plain_select_in(&[Value::from("E259"), Value::from("E254")]).unwrap();
+        let out = s
+            .plain_select_in(&[Value::from("E259"), Value::from("E254")])
+            .unwrap();
         s.end_query();
         assert_eq!(out.len(), 2);
         let ep = &s.adversarial_view().episodes()[0];
@@ -369,12 +389,17 @@ mod tests {
         let mut s = server();
         s.begin_query();
         s.note_encrypted_request(2, 64);
-        let out = s.fetch_encrypted(&[TupleId::new(101), TupleId::new(103)]).unwrap();
+        let out = s
+            .fetch_encrypted(&[TupleId::new(101), TupleId::new(103)])
+            .unwrap();
         s.end_query();
         assert_eq!(out.len(), 2);
         let ep = &s.adversarial_view().episodes()[0];
         assert_eq!(ep.encrypted_request_size, 2);
-        assert_eq!(ep.sensitive_returned, vec![TupleId::new(101), TupleId::new(103)]);
+        assert_eq!(
+            ep.sensitive_returned,
+            vec![TupleId::new(101), TupleId::new(103)]
+        );
         assert!(s.fetch_encrypted(&[TupleId::new(999)]).is_err());
     }
 
@@ -393,7 +418,10 @@ mod tests {
         let all = s.scan_encrypted();
         s.end_query();
         assert_eq!(all.len(), 4);
-        assert_eq!(s.adversarial_view().episodes()[0].sensitive_returned.len(), 4);
+        assert_eq!(
+            s.adversarial_view().episodes()[0].sensitive_returned.len(),
+            4
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl EncryptedStore {
     /// Inserts a row; ids must be unique.
     pub fn insert(&mut self, row: EncryptedRow) -> Result<()> {
         if self.by_id.contains_key(&row.id) {
-            return Err(PdsError::Cloud(format!("duplicate encrypted tuple id {}", row.id)));
+            return Err(PdsError::Cloud(format!(
+                "duplicate encrypted tuple id {}",
+                row.id
+            )));
         }
         self.by_id.insert(row.id, self.rows.len());
         for tag in &row.search_tags {
@@ -148,7 +151,13 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert!(store.get(TupleId::new(1)).is_some());
         assert!(store.get(TupleId::new(9)).is_none());
-        assert_eq!(store.fetch(&[TupleId::new(0), TupleId::new(1)]).unwrap().len(), 2);
+        assert_eq!(
+            store
+                .fetch(&[TupleId::new(0), TupleId::new(1)])
+                .unwrap()
+                .len(),
+            2
+        );
         assert!(store.fetch(&[TupleId::new(7)]).is_err());
     }
 
@@ -173,7 +182,9 @@ mod tests {
     #[test]
     fn sizes_are_positive() {
         let mut store = EncryptedStore::new();
-        store.insert_many(vec![row(0, vec![]), row(1, vec![vec![5; 16]])]).unwrap();
+        store
+            .insert_many(vec![row(0, vec![]), row(1, vec![vec![5; 16]])])
+            .unwrap();
         assert!(store.attr_column_bytes() > 0);
         assert!(store.size_bytes() > store.attr_column_bytes());
     }

@@ -150,15 +150,31 @@ impl AdversarialView {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         for ep in &self.episodes {
-            let enc: Vec<String> = ep.sensitive_returned.iter().map(|t| format!("E({t})")).collect();
-            let ns: Vec<String> = ep.nonsensitive_values.iter().map(|v| v.to_string()).collect();
+            let enc: Vec<String> = ep
+                .sensitive_returned
+                .iter()
+                .map(|t| format!("E({t})"))
+                .collect();
+            let ns: Vec<String> = ep
+                .nonsensitive_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
             let req: Vec<String> = ep.plaintext_request.iter().map(|v| v.to_string()).collect();
             out.push_str(&format!(
                 "{}: request[{}] -> sensitive[{}] nonsensitive[{}]\n",
                 ep.id,
                 req.join(", "),
-                if enc.is_empty() { "null".to_string() } else { enc.join(", ") },
-                if ns.is_empty() { "null".to_string() } else { ns.join(", ") },
+                if enc.is_empty() {
+                    "null".to_string()
+                } else {
+                    enc.join(", ")
+                },
+                if ns.is_empty() {
+                    "null".to_string()
+                } else {
+                    ns.join(", ")
+                },
             ));
         }
         out

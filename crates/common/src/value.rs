@@ -337,7 +337,10 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip_bool_and_null() {
-        assert_eq!(Value::decode(&Value::Bool(true).encode()), Some(Value::Bool(true)));
+        assert_eq!(
+            Value::decode(&Value::Bool(true).encode()),
+            Some(Value::Bool(true))
+        );
         assert_eq!(Value::decode(&Value::Null.encode()), Some(Value::Null));
     }
 

@@ -32,7 +32,11 @@ pub struct BinningConfig {
 
 impl Default for BinningConfig {
     fn default() -> Self {
-        BinningConfig { seed: 0x0b1a5, balance_tuple_counts: true, shape_override: None }
+        BinningConfig {
+            seed: 0x0b1a5,
+            balance_tuple_counts: true,
+            shape_override: None,
+        }
     }
 }
 
@@ -40,7 +44,11 @@ impl BinningConfig {
     /// Config reproducing the plain base-case algorithm (no fake-tuple
     /// balancing), used by the ablation benches and the size-attack demo.
     pub fn base_case(seed: u64) -> Self {
-        BinningConfig { seed, balance_tuple_counts: false, shape_override: None }
+        BinningConfig {
+            seed,
+            balance_tuple_counts: false,
+            shape_override: None,
+        }
     }
 }
 
@@ -112,7 +120,9 @@ impl QueryBinning {
         config: BinningConfig,
     ) -> Result<Self> {
         if sensitive_values.is_empty() && nonsensitive_values.is_empty() {
-            return Err(PdsError::Binning("nothing to bin: both sides are empty".into()));
+            return Err(PdsError::Binning(
+                "nothing to bin: both sides are empty".into(),
+            ));
         }
         let shape = match config.shape_override {
             Some(s) => {
@@ -164,8 +174,8 @@ impl QueryBinning {
         // even when the bins are not completely full.
         let mut covered = vec![vec![false; shape.nonsensitive_bins]; shape.sensitive_bins];
         for (bin, values) in sensitive_bins.iter().enumerate() {
-            for pos in 0..values.len() {
-                covered[bin][pos] = true;
+            for slot in covered[bin].iter_mut().take(values.len()) {
+                *slot = true;
             }
         }
         for assign in placed.values() {
@@ -185,7 +195,13 @@ impl QueryBinning {
                 .next()
                 .ok_or_else(|| PdsError::Binning("ran out of non-sensitive slots".into()))?;
             nonsensitive_bins[slot.0][slot.1] = Some(ns.clone());
-            placed.insert(ns.clone(), BinAssignment { bin: slot.0, position: slot.1 });
+            placed.insert(
+                ns.clone(),
+                BinAssignment {
+                    bin: slot.0,
+                    position: slot.1,
+                },
+            );
         }
 
         // --- Step 3: fake-tuple budget per sensitive bin (general case). ----
@@ -225,10 +241,16 @@ impl QueryBinning {
     /// to be retrieved).
     pub fn retrieve(&self, w: &Value) -> Option<BinPair> {
         if let Some(assign) = self.sensitive_pos.get(w) {
-            return Some(BinPair { sensitive_bin: assign.bin, nonsensitive_bin: assign.position });
+            return Some(BinPair {
+                sensitive_bin: assign.bin,
+                nonsensitive_bin: assign.position,
+            });
         }
         if let Some(assign) = self.nonsensitive_pos.get(w) {
-            return Some(BinPair { sensitive_bin: assign.position, nonsensitive_bin: assign.bin });
+            return Some(BinPair {
+                sensitive_bin: assign.position,
+                nonsensitive_bin: assign.bin,
+            });
         }
         None
     }
@@ -252,7 +274,11 @@ impl QueryBinning {
 
     /// The values of non-sensitive bin `j` (skipping empty slots).
     pub fn nonsensitive_bin(&self, j: usize) -> Vec<Value> {
-        self.nonsensitive_bins[j].iter().flatten().cloned().collect()
+        self.nonsensitive_bins[j]
+            .iter()
+            .flatten()
+            .cloned()
+            .collect()
     }
 
     /// Number of sensitive bins actually populated.
@@ -391,8 +417,7 @@ fn assign_sensitive_balanced(
     // Only consider values that actually occur on the sensitive side, in
     // descending count order (stable tie-break on the value itself).
     let ordered: Vec<(Value, u64)> = {
-        let mut v: Vec<(Value, u64)> =
-            values.iter().map(|v| (v.clone(), stats.count(v))).collect();
+        let mut v: Vec<(Value, u64)> = values.iter().map(|v| (v.clone(), stats.count(v))).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     };
@@ -413,9 +438,7 @@ mod tests {
     use super::*;
 
     fn stats_of(counts: &[(&str, u64)]) -> AttributeStats {
-        AttributeStats::from_counts(
-            counts.iter().map(|&(v, c)| (Value::from(v), c)).collect(),
-        )
+        AttributeStats::from_counts(counts.iter().map(|&(v, c)| (Value::from(v), c)).collect())
     }
 
     fn values_of(names: &[&str]) -> Vec<Value> {
@@ -426,10 +449,10 @@ mod tests {
     /// values where ns1, ns2, ns3, ns5, ns6 are associated (same value as
     /// the sensitive side) and ns11..ns15 are not.
     fn example3() -> QueryBinning {
-        let sensitive =
-            values_of(&["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10"]);
-        let nonsensitive =
-            values_of(&["s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15"]);
+        let sensitive = values_of(&["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10"]);
+        let nonsensitive = values_of(&[
+            "s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15",
+        ]);
         let s_stats = AttributeStats::from_values(sensitive.iter());
         let ns_stats = AttributeStats::from_values(nonsensitive.iter());
         QueryBinning::build_from_values(
@@ -452,10 +475,13 @@ mod tests {
         assert_eq!(qb.shape().nonsensitive_bin_capacity, 5);
         qb.check_invariants().unwrap();
         // Every value assigned exactly once.
-        let total_s: usize = (0..qb.sensitive_bin_count()).map(|i| qb.sensitive_bin(i).len()).sum();
+        let total_s: usize = (0..qb.sensitive_bin_count())
+            .map(|i| qb.sensitive_bin(i).len())
+            .sum();
         assert_eq!(total_s, 10);
-        let total_ns: usize =
-            (0..qb.nonsensitive_bin_count()).map(|j| qb.nonsensitive_bin(j).len()).sum();
+        let total_ns: usize = (0..qb.nonsensitive_bin_count())
+            .map(|j| qb.nonsensitive_bin(j).len())
+            .sum();
         assert_eq!(total_ns, 10);
     }
 
@@ -479,7 +505,9 @@ mod tests {
     #[test]
     fn unassociated_values_still_retrieve_pairs() {
         let qb = example3();
-        for v in ["s4", "s7", "s8", "s9", "s10", "ns11", "ns12", "ns13", "ns14", "ns15"] {
+        for v in [
+            "s4", "s7", "s8", "s9", "s10", "ns11", "ns12", "ns13", "ns14", "ns15",
+        ] {
             let pair = qb.retrieve(&Value::from(v)).unwrap();
             assert!(pair.sensitive_bin < qb.sensitive_bin_count());
             assert!(pair.nonsensitive_bin < qb.nonsensitive_bin_count());
@@ -500,8 +528,10 @@ mod tests {
         let qb = example3();
         let mut s_seen = vec![false; qb.sensitive_bin_count()];
         let mut ns_seen = vec![false; qb.nonsensitive_bin_count()];
-        for v in ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "ns11", "ns12",
-                  "ns13", "ns14", "ns15"] {
+        for v in [
+            "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "ns11", "ns12", "ns13",
+            "ns14", "ns15",
+        ] {
             if let Some(pair) = qb.retrieve(&Value::from(v)) {
                 s_seen[pair.sensitive_bin] = true;
                 ns_seen[pair.nonsensitive_bin] = true;
@@ -518,8 +548,11 @@ mod tests {
         // best packing (Figure 5b) needs 0.  The greedy §IV-B strategy must
         // land close to the optimum.
         let names = ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"];
-        let counts: Vec<(&str, u64)> =
-            names.iter().enumerate().map(|(i, &n)| (n, (i as u64 + 1) * 10)).collect();
+        let counts: Vec<(&str, u64)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, (i as u64 + 1) * 10))
+            .collect();
         let s_stats = stats_of(&counts);
         let ns_values = values_of(&["n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9"]);
         let ns_stats = AttributeStats::from_values(ns_values.iter());
@@ -534,15 +567,24 @@ mod tests {
         .unwrap();
         assert_eq!(qb.shape().sensitive_bins, 3);
         let total_fakes = qb.total_fake_tuples();
-        assert!(total_fakes <= 60, "greedy packing should need few fakes, got {total_fakes}");
+        assert!(
+            total_fakes <= 60,
+            "greedy packing should need few fakes, got {total_fakes}"
+        );
         // Every bin padded to the same effective size.
         let totals: Vec<u64> = (0..qb.sensitive_bin_count())
             .map(|i| {
-                qb.sensitive_bin(i).iter().map(|v| qb.sensitive_stats().count(v)).sum::<u64>()
+                qb.sensitive_bin(i)
+                    .iter()
+                    .map(|v| qb.sensitive_stats().count(v))
+                    .sum::<u64>()
                     + qb.fake_tuples_per_bin()[i]
             })
             .collect();
-        assert!(totals.windows(2).all(|w| w[0] == w[1]), "padded sizes equal: {totals:?}");
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "padded sizes equal: {totals:?}"
+        );
     }
 
     #[test]
@@ -578,9 +620,15 @@ mod tests {
         let a = build(1);
         let b = build(2);
         let layout = |qb: &QueryBinning| {
-            (0..qb.sensitive_bin_count()).map(|i| qb.sensitive_bin(i).to_vec()).collect::<Vec<_>>()
+            (0..qb.sensitive_bin_count())
+                .map(|i| qb.sensitive_bin(i).to_vec())
+                .collect::<Vec<_>>()
         };
-        assert_ne!(layout(&a), layout(&b), "different seeds give different secret layouts");
+        assert_ne!(
+            layout(&a),
+            layout(&b),
+            "different seeds give different secret layouts"
+        );
         let a2 = build(1);
         assert_eq!(layout(&a), layout(&a2), "same seed reproduces the layout");
     }
@@ -631,7 +679,10 @@ mod tests {
             values_of(&["e", "f", "g", "h"]),
             stats_of(&[("a", 1), ("b", 1), ("c", 1), ("d", 1)]),
             stats_of(&[("e", 1), ("f", 1), ("g", 1), ("h", 1)]),
-            BinningConfig { shape_override: Some(shape), ..Default::default() },
+            BinningConfig {
+                shape_override: Some(shape),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(qb.shape().sensitive_bins, 2);
@@ -643,7 +694,10 @@ mod tests {
             values_of(&["e"]),
             stats_of(&[("a", 1), ("b", 1), ("c", 1), ("d", 1)]),
             stats_of(&[("e", 1)]),
-            BinningConfig { shape_override: Some(bad), ..Default::default() },
+            BinningConfig {
+                shape_override: Some(bad),
+                ..Default::default()
+            },
         )
         .is_err());
     }
@@ -658,11 +712,27 @@ mod tests {
         let heavy = QueryBinning::build_from_values(
             "EId",
             values_of(&["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10"]),
-            values_of(&["s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15"]),
-            stats_of(&[("s1", 100_000), ("s2", 50_000), ("s3", 1), ("s4", 1), ("s5", 1),
-                       ("s6", 1), ("s7", 1), ("s8", 1), ("s9", 1), ("s10", 1)]),
-            AttributeStats::from_values(values_of(&["s1", "s2", "s3", "s5", "s6", "ns11",
-                                                     "ns12", "ns13", "ns14", "ns15"]).iter()),
+            values_of(&[
+                "s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15",
+            ]),
+            stats_of(&[
+                ("s1", 100_000),
+                ("s2", 50_000),
+                ("s3", 1),
+                ("s4", 1),
+                ("s5", 1),
+                ("s6", 1),
+                ("s7", 1),
+                ("s8", 1),
+                ("s9", 1),
+                ("s10", 1),
+            ]),
+            AttributeStats::from_values(
+                values_of(&[
+                    "s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15",
+                ])
+                .iter(),
+            ),
             BinningConfig::default(),
         )
         .unwrap();

@@ -79,7 +79,8 @@ impl EtaModel {
         let norm = 1.0 + self.rho / self.gamma;
         let d = self.database_tuples.max(1.0);
         let plaintext_term = d.log2() * self.nonsensitive_bin_size / (d * self.beta.max(1.0));
-        (self.alpha + plaintext_term
+        (self.alpha
+            + plaintext_term
             + self.rho * (self.sensitive_bin_size + self.nonsensitive_bin_size) / self.gamma)
             / norm
     }
@@ -158,7 +159,10 @@ mod tests {
         let m = model(0.0, 2_000.0);
         let threshold = m.alpha_threshold();
         // At the threshold η = 1 exactly.
-        let at = EtaModel { alpha: threshold, ..m };
+        let at = EtaModel {
+            alpha: threshold,
+            ..m
+        };
         assert!((at.eta_simplified() - 1.0).abs() < 1e-9);
     }
 

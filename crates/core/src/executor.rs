@@ -13,8 +13,8 @@
 //!    through the engine; the owner decrypts, drops fake tuples and false
 //!    positives, and merges the two result streams (`qmerge` of §II).
 
-use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_storage::{PartitionedRelation, Relation, Tuple};
 use pds_systems::SecureSelectionEngine;
 
@@ -259,7 +259,10 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         cloud: &mut CloudServer,
         values: &[Value],
     ) -> Result<Vec<usize>> {
-        values.iter().map(|v| self.select(owner, cloud, v).map(|ts| ts.len())).collect()
+        values
+            .iter()
+            .map(|v| self.select(owner, cloud, v).map(|ts| ts.len()))
+            .collect()
     }
 }
 
@@ -304,7 +307,8 @@ impl<E: SecureSelectionEngine> NaivePartitionedExecutor<E> {
         let s_attr = partitioned.sensitive.schema().attr_id(&self.attr_name)?;
         self.sensitive_attr = Some(s_attr);
         cloud.upload_plaintext(partitioned.nonsensitive.clone(), &self.attr_name)?;
-        self.engine.outsource(owner, cloud, &partitioned.sensitive, s_attr)?;
+        self.engine
+            .outsource(owner, cloud, &partitioned.sensitive, s_attr)?;
         self.outsourced = true;
         Ok(())
     }
@@ -322,7 +326,9 @@ impl<E: SecureSelectionEngine> NaivePartitionedExecutor<E> {
         }
         cloud.begin_query();
         let ns = cloud.plain_select_in(std::slice::from_ref(value))?;
-        let s = self.engine.select(owner, cloud, std::slice::from_ref(value))?;
+        let s = self
+            .engine
+            .select(owner, cloud, std::slice::from_ref(value))?;
         cloud.end_query();
         let mut answer = s;
         answer.extend(ns);
@@ -346,10 +352,14 @@ mod tests {
         Partitioner::new(policy).split(&rel).unwrap()
     }
 
-    fn qb_setup() -> (DbOwner, CloudServer, QbExecutor<NonDetScanEngine>, PartitionedRelation) {
+    fn qb_setup() -> (
+        DbOwner,
+        CloudServer,
+        QbExecutor<NonDetScanEngine>,
+        PartitionedRelation,
+    ) {
         let parts = employee_parts();
-        let binning =
-            QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
         let mut executor = QbExecutor::new(binning, NonDetScanEngine::new());
         let mut owner = DbOwner::new(5);
         let mut cloud = CloudServer::new(NetworkModel::paper_wan());
@@ -382,9 +392,15 @@ mod tests {
     fn unknown_value_returns_empty_without_touching_cloud() {
         let (mut owner, mut cloud, mut executor, _) = qb_setup();
         let before = cloud.adversarial_view().len();
-        let got = executor.select(&mut owner, &mut cloud, &Value::from("E999")).unwrap();
+        let got = executor
+            .select(&mut owner, &mut cloud, &Value::from("E999"))
+            .unwrap();
         assert!(got.is_empty());
-        assert_eq!(cloud.adversarial_view().len(), before, "no episode recorded");
+        assert_eq!(
+            cloud.adversarial_view().len(),
+            before,
+            "no episode recorded"
+        );
     }
 
     #[test]
@@ -413,21 +429,31 @@ mod tests {
         let mut cloud = CloudServer::new(NetworkModel::paper_wan());
         naive.outsource(&mut owner, &mut cloud, &parts).unwrap();
         for eid in ["E259", "E101", "E199"] {
-            naive.select(&mut owner, &mut cloud, &Value::from(eid)).unwrap();
+            naive
+                .select(&mut owner, &mut cloud, &Value::from(eid))
+                .unwrap();
         }
         let report = check_partitioned_security(cloud.adversarial_view());
-        assert!(!report.is_secure(), "naive partitioned execution must leak: {report:?}");
+        assert!(
+            !report.is_secure(),
+            "naive partitioned execution must leak: {report:?}"
+        );
     }
 
     #[test]
     fn stats_reflect_bin_sizes() {
         let (mut owner, mut cloud, mut executor, _) = qb_setup();
-        executor.select(&mut owner, &mut cloud, &Value::from("E259")).unwrap();
+        executor
+            .select(&mut owner, &mut cloud, &Value::from("E259"))
+            .unwrap();
         let stats = executor.last_stats();
         assert!(stats.sensitive_values_requested >= 1);
         assert!(stats.nonsensitive_values_requested >= 1);
         assert!(stats.tuples_before_filter >= stats.tuples_in_answer);
-        assert_eq!(stats.tuples_in_answer, 2, "E259 has one Defense and one Design tuple");
+        assert_eq!(
+            stats.tuples_in_answer, 2,
+            "E259 has one Defense and one Design tuple"
+        );
     }
 
     #[test]
@@ -437,9 +463,13 @@ mod tests {
         let mut executor = QbExecutor::new(binning, NonDetScanEngine::new());
         let mut owner = DbOwner::new(5);
         let mut cloud = CloudServer::default();
-        assert!(executor.select(&mut owner, &mut cloud, &Value::from("E259")).is_err());
+        assert!(executor
+            .select(&mut owner, &mut cloud, &Value::from("E259"))
+            .is_err());
         let mut naive = NaivePartitionedExecutor::new("EId", NonDetScanEngine::new());
-        assert!(naive.select(&mut owner, &mut cloud, &Value::from("E259")).is_err());
+        assert!(naive
+            .select(&mut owner, &mut cloud, &Value::from("E259"))
+            .is_err());
     }
 
     #[test]
@@ -449,7 +479,11 @@ mod tests {
             .run_workload(
                 &mut owner,
                 &mut cloud,
-                &[Value::from("E259"), Value::from("E199"), Value::from("nope")],
+                &[
+                    Value::from("E259"),
+                    Value::from("E199"),
+                    Value::from("nope"),
+                ],
             )
             .unwrap();
         assert_eq!(sizes, vec![2, 1, 0]);

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use pds_common::{AttrId, Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, Result, Value};
 use pds_systems::SecureSelectionEngine;
 
 use crate::executor::QbExecutor;
@@ -63,11 +63,8 @@ mod tests {
     use pds_systems::NonDetScanEngine;
 
     fn orders() -> Relation {
-        let schema = Schema::from_pairs(&[
-            ("Region", DataType::Text),
-            ("Amount", DataType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_pairs(&[("Region", DataType::Text), ("Amount", DataType::Int)]).unwrap();
         let mut r = Relation::new("Orders", schema);
         for (region, amount) in [
             ("east", 10),
@@ -78,7 +75,8 @@ mod tests {
             ("north", 100),
             ("south", 7),
         ] {
-            r.insert(vec![Value::from(region), Value::Int(amount)]).unwrap();
+            r.insert(vec![Value::from(region), Value::Int(amount)])
+                .unwrap();
         }
         r
     }

@@ -65,7 +65,10 @@ impl<'a> InsertPlanner<'a> {
             self.binning.nonsensitive_assignment(value)
         };
         if let Some(assignment) = existing {
-            return InsertPlan::ExistingAssignment { sensitive, assignment };
+            return InsertPlan::ExistingAssignment {
+                sensitive,
+                assignment,
+            };
         }
 
         // Case 2: find a spare slot on the destination side.
@@ -76,7 +79,10 @@ impl<'a> InsertPlanner<'a> {
                 if used < shape.sensitive_bin_capacity {
                     return InsertPlan::NewValue {
                         sensitive: true,
-                        assignment: BinAssignment { bin, position: used },
+                        assignment: BinAssignment {
+                            bin,
+                            position: used,
+                        },
                     };
                 }
             }
@@ -86,7 +92,10 @@ impl<'a> InsertPlanner<'a> {
                 if used < shape.nonsensitive_bin_capacity {
                     return InsertPlan::NewValue {
                         sensitive: false,
-                        assignment: BinAssignment { bin, position: used },
+                        assignment: BinAssignment {
+                            bin,
+                            position: used,
+                        },
                     };
                 }
             }
@@ -122,13 +131,18 @@ mod tests {
         let qb = binning(&["a", "b", "c", "d"], &["a", "e", "f", "g"]);
         let planner = InsertPlanner::new(&qb);
         match planner.plan(&Value::from("a"), true) {
-            InsertPlan::ExistingAssignment { sensitive: true, assignment } => {
+            InsertPlan::ExistingAssignment {
+                sensitive: true,
+                assignment,
+            } => {
                 assert_eq!(Some(assignment), qb.sensitive_assignment(&Value::from("a")));
             }
             other => panic!("unexpected plan {other:?}"),
         }
         match planner.plan(&Value::from("e"), false) {
-            InsertPlan::ExistingAssignment { sensitive: false, .. } => {}
+            InsertPlan::ExistingAssignment {
+                sensitive: false, ..
+            } => {}
             other => panic!("unexpected plan {other:?}"),
         }
     }
@@ -139,7 +153,10 @@ mod tests {
         let qb = binning(&["a", "b", "c"], &["d", "e", "f", "g"]);
         let planner = InsertPlanner::new(&qb);
         match planner.plan(&Value::from("zz"), true) {
-            InsertPlan::NewValue { sensitive: true, assignment } => {
+            InsertPlan::NewValue {
+                sensitive: true,
+                assignment,
+            } => {
                 assert!(assignment.bin < qb.sensitive_bin_count());
             }
             other => panic!("unexpected plan {other:?}"),
@@ -151,8 +168,14 @@ mod tests {
         // Shape for (4, 4) is 2×2 on both sides: fully packed.
         let qb = binning(&["a", "b", "c", "d"], &["e", "f", "g", "h"]);
         let planner = InsertPlanner::new(&qb);
-        assert_eq!(planner.plan(&Value::from("new-ns"), false), InsertPlan::RequiresRebuild);
-        assert_eq!(planner.plan(&Value::from("new-s"), true), InsertPlan::RequiresRebuild);
+        assert_eq!(
+            planner.plan(&Value::from("new-ns"), false),
+            InsertPlan::RequiresRebuild
+        );
+        assert_eq!(
+            planner.plan(&Value::from("new-s"), true),
+            InsertPlan::RequiresRebuild
+        );
     }
 
     #[test]
@@ -163,9 +186,14 @@ mod tests {
             InsertPlanner::new(&qb).plan(&Value::from("i"), false),
             InsertPlan::RequiresRebuild
         );
-        let s: Vec<Value> = ["a", "b", "c", "d"].iter().map(|&v| Value::from(v)).collect();
-        let ns: Vec<Value> =
-            ["e", "f", "g", "h", "i"].iter().map(|&v| Value::from(v)).collect();
+        let s: Vec<Value> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|&v| Value::from(v))
+            .collect();
+        let ns: Vec<Value> = ["e", "f", "g", "h", "i"]
+            .iter()
+            .map(|&v| Value::from(v))
+            .collect();
         let rebuilt = QueryBinning::build_from_values(
             "A",
             s.clone(),

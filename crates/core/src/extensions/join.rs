@@ -9,8 +9,8 @@
 //! carries over; the cost is one bin-pair retrieval per deployment per
 //! distinct join value.
 
-use pds_common::{Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{Result, Value};
 use pds_storage::Tuple;
 use pds_systems::SecureSelectionEngine;
 
@@ -55,7 +55,12 @@ mod tests {
         let schema =
             Schema::from_pairs(&[("Dept", DataType::Text), ("Name", DataType::Text)]).unwrap();
         let mut r = Relation::new("Employees", schema);
-        for (d, n) in [("sales", "ann"), ("sales", "bob"), ("eng", "cat"), ("hr", "dan")] {
+        for (d, n) in [
+            ("sales", "ann"),
+            ("sales", "bob"),
+            ("eng", "cat"),
+            ("hr", "dan"),
+        ] {
             r.insert(vec![Value::from(d), Value::from(n)]).unwrap();
         }
         r
@@ -71,8 +76,16 @@ mod tests {
         r
     }
 
-    fn deploy(rel: &Relation, sensitive_dept: &str, seed: u64)
-        -> (DbOwner, CloudServer, QbExecutor<NonDetScanEngine>, PartitionedRelation) {
+    fn deploy(
+        rel: &Relation,
+        sensitive_dept: &str,
+        seed: u64,
+    ) -> (
+        DbOwner,
+        CloudServer,
+        QbExecutor<NonDetScanEngine>,
+        PartitionedRelation,
+    ) {
         let pred = Predicate::eq(rel.schema(), "Dept", sensitive_dept).unwrap();
         let parts = Partitioner::row_level(pred).split(rel).unwrap();
         let binning = QueryBinning::build(&parts, "Dept", BinningConfig::default()).unwrap();
@@ -89,10 +102,14 @@ mod tests {
         let bud = budgets();
         let (mut lo, mut lc, mut le, _) = deploy(&emp, "eng", 1);
         let (mut ro, mut rc, mut re, _) = deploy(&bud, "sales", 2);
-        let values: Vec<Value> =
-            ["sales", "eng", "hr", "legal"].iter().map(|&v| Value::from(v)).collect();
-        let joined = equi_join(&mut le, &mut lo, &mut lc, &mut re, &mut ro, &mut rc, &values)
-            .unwrap();
+        let values: Vec<Value> = ["sales", "eng", "hr", "legal"]
+            .iter()
+            .map(|&v| Value::from(v))
+            .collect();
+        let joined = equi_join(
+            &mut le, &mut lo, &mut lc, &mut re, &mut ro, &mut rc, &values,
+        )
+        .unwrap();
         // sales: 2 employees × 1 budget = 2; eng: 1 × 1 = 1; hr/legal: no match.
         assert_eq!(joined.len(), 3);
         for (l, r) in &joined {

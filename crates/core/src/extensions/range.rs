@@ -8,8 +8,8 @@
 //! query is a sequence of point-query episodes — the leakage is bounded by
 //! the number of bin pairs touched, never by the individual values.
 
-use pds_common::{Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{Result, Value};
 use pds_storage::Tuple;
 use pds_systems::SecureSelectionEngine;
 
@@ -74,7 +74,8 @@ mod tests {
             Schema::from_pairs(&[("Salary", DataType::Int), ("Name", DataType::Text)]).unwrap();
         let mut r = Relation::new("Payroll", schema);
         for i in 0..40i64 {
-            r.insert(vec![Value::Int(i * 10), Value::from(format!("emp{i}"))]).unwrap();
+            r.insert(vec![Value::Int(i * 10), Value::from(format!("emp{i}"))])
+                .unwrap();
         }
         r
     }
@@ -96,29 +97,47 @@ mod tests {
     fn range_spanning_both_partitions() {
         let (mut owner, mut cloud, mut exec) = setup();
         // [150, 250] covers sensitive salaries 150..190 and non-sensitive 200..250.
-        let out =
-            select_range(&mut exec, &mut owner, &mut cloud, &Value::Int(150), &Value::Int(250))
-                .unwrap();
+        let out = select_range(
+            &mut exec,
+            &mut owner,
+            &mut cloud,
+            &Value::Int(150),
+            &Value::Int(250),
+        )
+        .unwrap();
         let mut salaries: Vec<i64> = out.iter().map(|t| t.values[0].as_int().unwrap()).collect();
         salaries.sort_unstable();
-        assert_eq!(salaries, vec![150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250]);
+        assert_eq!(
+            salaries,
+            vec![150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250]
+        );
     }
 
     #[test]
     fn empty_range_returns_nothing() {
         let (mut owner, mut cloud, mut exec) = setup();
-        let out =
-            select_range(&mut exec, &mut owner, &mut cloud, &Value::Int(10_000), &Value::Int(20_000))
-                .unwrap();
+        let out = select_range(
+            &mut exec,
+            &mut owner,
+            &mut cloud,
+            &Value::Int(10_000),
+            &Value::Int(20_000),
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 
     #[test]
     fn range_results_have_no_duplicates() {
         let (mut owner, mut cloud, mut exec) = setup();
-        let out =
-            select_range(&mut exec, &mut owner, &mut cloud, &Value::Int(0), &Value::Int(390))
-                .unwrap();
+        let out = select_range(
+            &mut exec,
+            &mut owner,
+            &mut cloud,
+            &Value::Int(0),
+            &Value::Int(390),
+        )
+        .unwrap();
         assert_eq!(out.len(), 40);
         let ids: std::collections::HashSet<_> = out.iter().map(|t| t.id).collect();
         assert_eq!(ids.len(), 40);
@@ -128,8 +147,14 @@ mod tests {
     fn range_episodes_look_like_point_queries() {
         let (mut owner, mut cloud, mut exec) = setup();
         let before = cloud.adversarial_view().len();
-        select_range(&mut exec, &mut owner, &mut cloud, &Value::Int(100), &Value::Int(160))
-            .unwrap();
+        select_range(
+            &mut exec,
+            &mut owner,
+            &mut cloud,
+            &Value::Int(100),
+            &Value::Int(160),
+        )
+        .unwrap();
         let after = cloud.adversarial_view().len();
         // One episode per distinct bin pair, each shaped like a point query.
         assert!(after > before);

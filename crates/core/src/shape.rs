@@ -42,7 +42,8 @@ impl BinShape {
     /// Absolute difference between the two bin sizes — Figure 6c sweeps this
     /// imbalance and finds the minimum retrieval time at zero.
     pub fn imbalance(&self) -> usize {
-        self.sensitive_bin_capacity.abs_diff(self.nonsensitive_bin_capacity)
+        self.sensitive_bin_capacity
+            .abs_diff(self.nonsensitive_bin_capacity)
     }
 
     /// Checks the structural invariants against the value counts.
@@ -109,8 +110,12 @@ impl BinShape {
         // of that size.
         let root = (driver as f64).sqrt().round().max(1.0) as usize;
         let other = driver.div_ceil(root);
-        let candidate_square =
-            shape_for_driver(root.max(other), root.min(other), num_sensitive, num_nonsensitive);
+        let candidate_square = shape_for_driver(
+            root.max(other),
+            root.min(other),
+            num_sensitive,
+            num_nonsensitive,
+        );
 
         // Prefer the exact factorisation; switch to the near-square layout
         // only when it strictly lowers the per-query retrieval cost.
@@ -272,7 +277,11 @@ mod tests {
         // 82 give 41×2 (cost 43); the near-square extension gives ≈9×10
         // (cost ≈19) and must win.
         let shape = BinShape::for_counts(41, 82).unwrap();
-        assert!(shape.retrieval_cost() <= 20, "retrieval cost {}", shape.retrieval_cost());
+        assert!(
+            shape.retrieval_cost() <= 20,
+            "retrieval cost {}",
+            shape.retrieval_cost()
+        );
         shape.validate(41, 82).unwrap();
     }
 

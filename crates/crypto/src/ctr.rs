@@ -65,7 +65,10 @@ mod tests {
     fn keystream_blocks_differ_per_counter() {
         let aes = Aes128::new(&Key128::derive(2, "ctr"));
         let nonce = [3u8; NONCE_LEN];
-        assert_ne!(keystream_block(&aes, &nonce, 0), keystream_block(&aes, &nonce, 1));
+        assert_ne!(
+            keystream_block(&aes, &nonce, 0),
+            keystream_block(&aes, &nonce, 1)
+        );
     }
 
     proptest! {

@@ -55,7 +55,16 @@ pub fn generate<R: Rng>(
         share0.push(r);
         share1.push(r ^ value);
     }
-    Ok((DpfKey { server: 0, share: share0 }, DpfKey { server: 1, share: share1 }))
+    Ok((
+        DpfKey {
+            server: 0,
+            share: share0,
+        },
+        DpfKey {
+            server: 1,
+            share: share1,
+        },
+    ))
 }
 
 /// Evaluates a single server's key on one domain point.
@@ -112,7 +121,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits < 50, "share at alpha must not deterministically equal beta");
+        assert!(
+            hits < 50,
+            "share at alpha must not deterministically equal beta"
+        );
     }
 
     #[test]

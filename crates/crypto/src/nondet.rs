@@ -49,12 +49,18 @@ pub struct NonDetCipher {
 impl NonDetCipher {
     /// Builds the cipher from independent encryption and MAC keys.
     pub fn new(enc_key: Key128, mac_key: Key128) -> Self {
-        NonDetCipher { aes: Aes128::new(&enc_key), mac_key }
+        NonDetCipher {
+            aes: Aes128::new(&enc_key),
+            mac_key,
+        }
     }
 
     /// Builds the cipher from a single master seed, deriving sub-keys.
     pub fn from_seed(seed: u64) -> Self {
-        Self::new(Key128::derive(seed, "nondet-enc"), Key128::derive(seed, "nondet-mac"))
+        Self::new(
+            Key128::derive(seed, "nondet-enc"),
+            Key128::derive(seed, "nondet-mac"),
+        )
     }
 
     /// Encrypts a plaintext with a fresh random nonce drawn from `rng`.

@@ -29,7 +29,10 @@ pub struct OpeEncoder {
 impl OpeEncoder {
     /// Creates an encoder with the given ciphertext space.
     pub fn new(ciphertext_lo: i64, ciphertext_hi: i64) -> Self {
-        OpeEncoder { mapping: BTreeMap::new(), ciphertext_space: (ciphertext_lo, ciphertext_hi) }
+        OpeEncoder {
+            mapping: BTreeMap::new(),
+            ciphertext_space: (ciphertext_lo, ciphertext_hi),
+        }
     }
 
     /// Creates an encoder with a comfortably large default ciphertext space.
@@ -81,7 +84,10 @@ impl OpeEncoder {
 
     /// Decodes a ciphertext by reverse lookup (the owner keeps the mapping).
     pub fn decode(&self, ciphertext: i64) -> Option<i64> {
-        self.mapping.iter().find(|(_, &ct)| ct == ciphertext).map(|(&pt, _)| pt)
+        self.mapping
+            .iter()
+            .find(|(_, &ct)| ct == ciphertext)
+            .map(|(&pt, _)| pt)
     }
 }
 
@@ -95,8 +101,10 @@ mod tests {
         let mut enc = OpeEncoder::with_default_space();
         let mut rng = seeded_rng(1);
         let plaintexts = [50i64, 10, 30, 20, 40, 60, 5];
-        let cts: Vec<(i64, i64)> =
-            plaintexts.iter().map(|&p| (p, enc.encode(p, &mut rng).unwrap())).collect();
+        let cts: Vec<(i64, i64)> = plaintexts
+            .iter()
+            .map(|&p| (p, enc.encode(p, &mut rng).unwrap()))
+            .collect();
         for (p1, c1) in &cts {
             for (p2, c2) in &cts {
                 assert_eq!(p1 < p2, c1 < c2, "order must be preserved");

@@ -34,7 +34,11 @@ impl FeistelPrp {
         let bits = 64 - (domain_size - 1).leading_zeros();
         // Feistel needs an even split; at least 1 bit per half.
         let half_bits = bits.div_ceil(2).max(1);
-        FeistelPrp { prf: Prf::new(key), domain_size, half_bits }
+        FeistelPrp {
+            prf: Prf::new(key),
+            domain_size,
+            half_bits,
+        }
     }
 
     /// The number of values in the permutation's domain.

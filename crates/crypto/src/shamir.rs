@@ -79,7 +79,9 @@ pub struct Share {
 /// Splits `secret` into `n` shares with reconstruction threshold `k`.
 pub fn share<R: Rng>(secret: u64, k: usize, n: usize, rng: &mut R) -> Result<Vec<Share>> {
     if k == 0 || n == 0 || k > n {
-        return Err(PdsError::Config(format!("invalid sharing parameters k={k}, n={n}")));
+        return Err(PdsError::Config(format!(
+            "invalid sharing parameters k={k}, n={n}"
+        )));
     }
     if n as u64 >= MODULUS {
         return Err(PdsError::Config("too many shares for field size".into()));
@@ -167,7 +169,10 @@ mod tests {
         // Any 3 shares reconstruct.
         assert_eq!(reconstruct(&shares[0..3]).unwrap(), secret);
         assert_eq!(reconstruct(&shares[2..5]).unwrap(), secret);
-        assert_eq!(reconstruct(&[shares[0], shares[2], shares[4]]).unwrap(), secret);
+        assert_eq!(
+            reconstruct(&[shares[0], shares[2], shares[4]]).unwrap(),
+            secret
+        );
         // All 5 also reconstruct.
         assert_eq!(reconstruct(&shares).unwrap(), secret);
     }

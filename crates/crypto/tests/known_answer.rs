@@ -1,0 +1,135 @@
+//! Known-answer tests pinning the from-scratch primitives to the official
+//! standards vectors: AES-128 against FIPS-197, SHA-256 against the
+//! FIPS-180 / NIST CAVP examples, HMAC-SHA-256 against RFC 4231, plus a
+//! property test that the Feistel PRP really is a permutation.
+
+use pds_crypto::aes::Aes128;
+use pds_crypto::hmac::hmac_sha256;
+use pds_crypto::prp::FeistelPrp;
+use pds_crypto::sha256::sha256;
+use pds_crypto::Key128;
+use proptest::prelude::*;
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len() % 2 == 0, "odd hex literal {s:?}");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("bad hex"))
+        .collect()
+}
+
+fn unhex16(s: &str) -> [u8; 16] {
+    unhex(s).try_into().expect("expected 16 bytes")
+}
+
+#[test]
+fn aes128_fips197_appendix_c1() {
+    // FIPS-197 Appendix C.1: AES-128 example vector.
+    let cipher = Aes128::new(&Key128(unhex16("000102030405060708090a0b0c0d0e0f")));
+    let plaintext = unhex16("00112233445566778899aabbccddeeff");
+    let ciphertext = unhex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+    assert_eq!(cipher.encrypt_block(&plaintext), ciphertext);
+    assert_eq!(cipher.decrypt_block(&ciphertext), plaintext);
+}
+
+#[test]
+fn aes128_fips197_appendix_b() {
+    // FIPS-197 Appendix B: the worked cipher example.
+    let cipher = Aes128::new(&Key128(unhex16("2b7e151628aed2a6abf7158809cf4f3c")));
+    let plaintext = unhex16("3243f6a8885a308d313198a2e0370734");
+    let ciphertext = unhex16("3925841d02dc09fbdc118597196a0b32");
+    assert_eq!(cipher.encrypt_block(&plaintext), ciphertext);
+    assert_eq!(cipher.decrypt_block(&ciphertext), plaintext);
+}
+
+#[test]
+fn sha256_nist_vectors() {
+    // FIPS-180-4 examples plus the empty-message and million-'a' CAVP cases.
+    let cases: &[(&[u8], &str)] = &[
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+    ];
+    for (message, digest_hex) in cases {
+        assert_eq!(
+            sha256(message).to_vec(),
+            unhex(digest_hex),
+            "SHA-256 mismatch for {:?}",
+            String::from_utf8_lossy(message)
+        );
+    }
+
+    let million_a = vec![b'a'; 1_000_000];
+    assert_eq!(
+        sha256(&million_a).to_vec(),
+        unhex("cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+        "SHA-256 mismatch for one million 'a'"
+    );
+}
+
+#[test]
+fn hmac_sha256_rfc4231_vectors() {
+    // RFC 4231 test cases 1, 2, 3 and 6 (6 exercises a key longer than the
+    // block size, i.e. the hash-the-key-first path).
+    let tc1_key = vec![0x0bu8; 20];
+    let tc3_key = vec![0xaau8; 20];
+    let tc3_data = vec![0xddu8; 50];
+    let tc6_key = vec![0xaau8; 131];
+    let cases: &[(&[u8], &[u8], &str)] = &[
+        (
+            &tc1_key,
+            b"Hi There",
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        ),
+        (
+            b"Jefe",
+            b"what do ya want for nothing?",
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        ),
+        (
+            &tc3_key,
+            &tc3_data,
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+        ),
+        (
+            &tc6_key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        ),
+    ];
+    for (i, (key, data, tag_hex)) in cases.iter().enumerate() {
+        assert_eq!(
+            hmac_sha256(key, data).to_vec(),
+            unhex(tag_hex),
+            "HMAC-SHA-256 mismatch on RFC 4231 case index {i}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Feistel PRP is a bijection on its domain: `invert` undoes
+    /// `permute` for every point, and the image is exactly the domain.
+    #[test]
+    fn feistel_prp_is_a_permutation(seed in any::<u64>(), domain_size in 1u64..1500) {
+        let prp = FeistelPrp::new(Key128::derive(seed, "prp-kat"), domain_size);
+        let mut image = vec![false; domain_size as usize];
+        for x in 0..domain_size {
+            let y = prp.permute(x);
+            prop_assert!(y < domain_size, "permute({x}) = {y} escapes the domain");
+            prop_assert_eq!(prp.invert(y), x);
+            prop_assert!(!image[y as usize], "permute is not injective at {}", x);
+            image[y as usize] = true;
+        }
+    }
+}

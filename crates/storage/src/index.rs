@@ -26,7 +26,10 @@ impl HashIndex {
         for t in relation.tuples() {
             map.entry(t.value(attr).clone()).or_default().push(t.id);
         }
-        HashIndex { map, lookups: std::cell::Cell::new(0) }
+        HashIndex {
+            map,
+            lookups: std::cell::Cell::new(0),
+        }
     }
 
     /// Inserts a posting (used for incremental maintenance on insert).
@@ -135,8 +138,7 @@ mod tests {
     use crate::schema::{DataType, Schema};
 
     fn rel() -> Relation {
-        let schema =
-            Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Text)]).unwrap();
+        let schema = Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Text)]).unwrap();
         let mut r = Relation::new("T", schema);
         for (k, p) in [(5, "a"), (1, "b"), (5, "c"), (3, "d"), (9, "e")] {
             r.insert(vec![Value::Int(k), Value::from(p)]).unwrap();

@@ -130,15 +130,17 @@ impl Partitioner {
             .collect::<Result<Vec<_>>>()?;
 
         for tuple in relation.tuples() {
-            let kept_values: Vec<Value> = kept_ids.iter().map(|&a| tuple.value(a).clone()).collect();
+            let kept_values: Vec<Value> =
+                kept_ids.iter().map(|&a| tuple.value(a).clone()).collect();
             if self.policy.row_predicate.matches(tuple) {
                 sensitive.insert_with_id(tuple.id, kept_values)?;
             } else {
                 nonsensitive.insert_with_id(tuple.id, kept_values)?;
             }
-            if let (Some(cols_rel), Some(key)) =
-                (sensitive_columns.as_mut(), self.policy.key_attribute.as_ref())
-            {
+            if let (Some(cols_rel), Some(key)) = (
+                sensitive_columns.as_mut(),
+                self.policy.key_attribute.as_ref(),
+            ) {
                 let key_id = schema.attr_id(key)?;
                 let mut row = vec![tuple.value(key_id).clone()];
                 for name in &self.policy.sensitive_attributes {
@@ -148,7 +150,11 @@ impl Partitioner {
             }
         }
 
-        Ok(PartitionedRelation { sensitive, nonsensitive, sensitive_columns })
+        Ok(PartitionedRelation {
+            sensitive,
+            nonsensitive,
+            sensitive_columns,
+        })
     }
 
     /// Computes the horizontal schema (original minus vertically-split
@@ -156,8 +162,7 @@ impl Partitioner {
     /// attributes).
     fn vertical_schemas(&self, schema: &Schema) -> Result<(Schema, Vec<String>, Option<Schema>)> {
         if self.policy.sensitive_attributes.is_empty() {
-            let names: Vec<String> =
-                schema.attributes().iter().map(|a| a.name.clone()).collect();
+            let names: Vec<String> = schema.attributes().iter().map(|a| a.name.clone()).collect();
             return Ok((schema.clone(), names, None));
         }
         let key = self.policy.key_attribute.as_ref().ok_or_else(|| {
@@ -239,7 +244,12 @@ mod tests {
 
         // Employee2: 4 Defense tuples (t1, t4, t5, t7 → ids 0, 3, 4, 6).
         assert_eq!(parts.sensitive.len(), 4);
-        let sens_ids: Vec<u64> = parts.sensitive.tuples().iter().map(|t| t.id.raw()).collect();
+        let sens_ids: Vec<u64> = parts
+            .sensitive
+            .tuples()
+            .iter()
+            .map(|t| t.id.raw())
+            .collect();
         assert_eq!(sens_ids, vec![0, 3, 4, 6]);
 
         // Employee3: 4 Design tuples.
@@ -272,12 +282,16 @@ mod tests {
     #[test]
     fn extreme_policies() {
         let r = employee_relation();
-        let all = Partitioner::new(SensitivityPolicy::everything_sensitive()).split(&r).unwrap();
+        let all = Partitioner::new(SensitivityPolicy::everything_sensitive())
+            .split(&r)
+            .unwrap();
         assert_eq!(all.sensitive.len(), 8);
         assert_eq!(all.nonsensitive.len(), 0);
         assert!((all.alpha() - 1.0).abs() < 1e-12);
 
-        let none = Partitioner::new(SensitivityPolicy::nothing_sensitive()).split(&r).unwrap();
+        let none = Partitioner::new(SensitivityPolicy::nothing_sensitive())
+            .split(&r)
+            .unwrap();
         assert_eq!(none.sensitive.len(), 0);
         assert!((none.alpha()).abs() < 1e-12);
     }
@@ -312,7 +326,9 @@ mod tests {
     fn alpha_of_empty_relation_is_zero() {
         let schema = Schema::from_pairs(&[("A", DataType::Int)]).unwrap();
         let r = Relation::new("Empty", schema);
-        let parts = Partitioner::new(SensitivityPolicy::everything_sensitive()).split(&r).unwrap();
+        let parts = Partitioner::new(SensitivityPolicy::everything_sensitive())
+            .split(&r)
+            .unwrap();
         assert_eq!(parts.alpha(), 0.0);
     }
 }

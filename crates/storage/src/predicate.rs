@@ -52,12 +52,18 @@ pub enum Predicate {
 impl Predicate {
     /// Convenience constructor for an equality predicate by attribute name.
     pub fn eq(schema: &Schema, attr: &str, value: impl Into<Value>) -> Result<Predicate> {
-        Ok(Predicate::Eq { attr: schema.attr_id(attr)?, value: value.into() })
+        Ok(Predicate::Eq {
+            attr: schema.attr_id(attr)?,
+            value: value.into(),
+        })
     }
 
     /// Convenience constructor for an `IN` predicate by attribute name.
     pub fn in_set(schema: &Schema, attr: &str, values: Vec<Value>) -> Result<Predicate> {
-        Ok(Predicate::InSet { attr: schema.attr_id(attr)?, values })
+        Ok(Predicate::InSet {
+            attr: schema.attr_id(attr)?,
+            values,
+        })
     }
 
     /// Convenience constructor for a range predicate by attribute name.
@@ -67,7 +73,11 @@ impl Predicate {
         lo: impl Into<Value>,
         hi: impl Into<Value>,
     ) -> Result<Predicate> {
-        Ok(Predicate::Range { attr: schema.attr_id(attr)?, lo: lo.into(), hi: hi.into() })
+        Ok(Predicate::Range {
+            attr: schema.attr_id(attr)?,
+            lo: lo.into(),
+            hi: hi.into(),
+        })
     }
 
     /// Evaluates the predicate on a tuple.
@@ -112,7 +122,10 @@ pub struct SelectionQuery {
 impl SelectionQuery {
     /// Selects whole tuples matching `predicate`.
     pub fn new(predicate: Predicate) -> Self {
-        SelectionQuery { predicate, projection: None }
+        SelectionQuery {
+            predicate,
+            projection: None,
+        }
     }
 
     /// Point query `attr = value` by attribute name.
@@ -122,12 +135,17 @@ impl SelectionQuery {
 
     /// Set query `attr IN values` by attribute name.
     pub fn points(schema: &Schema, attr: &str, values: Vec<Value>) -> Result<Self> {
-        Ok(SelectionQuery::new(Predicate::in_set(schema, attr, values)?))
+        Ok(SelectionQuery::new(Predicate::in_set(
+            schema, attr, values,
+        )?))
     }
 
     /// Adds a projection by attribute names.
     pub fn with_projection(mut self, schema: &Schema, attrs: &[&str]) -> Result<Self> {
-        let ids = attrs.iter().map(|a| schema.attr_id(a)).collect::<Result<Vec<_>>>()?;
+        let ids = attrs
+            .iter()
+            .map(|a| schema.attr_id(a))
+            .collect::<Result<Vec<_>>>()?;
         if ids.is_empty() {
             return Err(PdsError::Query("projection cannot be empty".into()));
         }
@@ -157,8 +175,8 @@ mod tests {
         assert!(p.matches(&tuple("E259", 2)));
         assert!(!p.matches(&tuple("E101", 2)));
 
-        let p = Predicate::in_set(&s, "EId", vec![Value::from("E101"), Value::from("E259")])
-            .unwrap();
+        let p =
+            Predicate::in_set(&s, "EId", vec![Value::from("E101"), Value::from("E259")]).unwrap();
         assert!(p.matches(&tuple("E259", 2)));
         assert!(!p.matches(&tuple("E777", 2)));
     }
@@ -203,7 +221,10 @@ mod tests {
             Predicate::range(&s, "Office", 0, 9).unwrap(),
         ]);
         let vals = p.point_values(attr);
-        assert_eq!(vals, vec![Value::from("a"), Value::from("b"), Value::from("c")]);
+        assert_eq!(
+            vals,
+            vec![Value::from("a"), Value::from("b"), Value::from("c")]
+        );
     }
 
     #[test]
@@ -213,7 +234,10 @@ mod tests {
         assert!(q.projection.is_none());
         let q = q.with_projection(&s, &["Office"]).unwrap();
         assert_eq!(q.projection.unwrap().len(), 1);
-        assert!(SelectionQuery::point(&s, "EId", "x").unwrap().with_projection(&s, &[]).is_err());
+        assert!(SelectionQuery::point(&s, "EId", "x")
+            .unwrap()
+            .with_projection(&s, &[])
+            .is_err());
         assert!(SelectionQuery::point(&s, "Missing", "x").is_err());
     }
 }

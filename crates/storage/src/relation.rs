@@ -22,7 +22,12 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Relation { name: name.into(), schema, tuples: Vec::new(), next_id: 0 }
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// The relation's name.
@@ -107,7 +112,11 @@ impl Relation {
 
     /// Shortcut: ids of tuples whose `attr` equals `value`.
     pub fn matching_ids(&self, attr: AttrId, value: &Value) -> Vec<TupleId> {
-        self.tuples.iter().filter(|t| t.value(attr) == value).map(|t| t.id).collect()
+        self.tuples
+            .iter()
+            .filter(|t| t.value(attr) == value)
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Computes per-value frequency statistics for an attribute.
@@ -183,8 +192,11 @@ mod tests {
     fn insert_with_explicit_id() {
         let schema = Schema::from_pairs(&[("A", DataType::Int)]).unwrap();
         let mut r = Relation::new("T", schema);
-        r.insert_with_id(TupleId::new(7), vec![Value::Int(1)]).unwrap();
-        assert!(r.insert_with_id(TupleId::new(7), vec![Value::Int(2)]).is_err());
+        r.insert_with_id(TupleId::new(7), vec![Value::Int(1)])
+            .unwrap();
+        assert!(r
+            .insert_with_id(TupleId::new(7), vec![Value::Int(2)])
+            .is_err());
         // Fresh inserts continue after the explicit id.
         let id = r.insert(vec![Value::Int(3)]).unwrap();
         assert_eq!(id.raw(), 8);
@@ -196,7 +208,9 @@ mod tests {
         let q = SelectionQuery::point(r.schema(), "EId", "E259").unwrap();
         let out = r.select(&q);
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|t| t.value(AttrId::new(0)) == &Value::from("E259")));
+        assert!(out
+            .iter()
+            .all(|t| t.value(AttrId::new(0)) == &Value::from("E259")));
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute with an open domain.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Attribute { name: name.into(), data_type, domain: Domain::Open }
+        Attribute {
+            name: name.into(),
+            data_type,
+            domain: Domain::Open,
+        }
     }
 
     /// Sets the declared domain.
@@ -188,7 +192,9 @@ mod tests {
         let s = Schema::from_pairs(&[("A", DataType::Int), ("B", DataType::Text)]).unwrap();
         assert!(s.validate_row(&[Value::Int(1), Value::from("x")]).is_ok());
         assert!(s.validate_row(&[Value::Int(1), Value::Null]).is_ok());
-        assert!(s.validate_row(&[Value::from("x"), Value::from("y")]).is_err());
+        assert!(s
+            .validate_row(&[Value::from("x"), Value::from("y")])
+            .is_err());
         assert!(s.validate_row(&[Value::Int(1)]).is_err());
     }
 

@@ -97,7 +97,7 @@ mod tests {
     use super::*;
 
     fn stats() -> AttributeStats {
-        let values = vec![
+        let values = [
             Value::from("a"),
             Value::from("b"),
             Value::from("b"),

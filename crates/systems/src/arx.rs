@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use pds_common::{AttrId, PdsError, Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
@@ -119,7 +119,16 @@ mod tests {
             Schema::from_pairs(&[("Salary", DataType::Int), ("Name", DataType::Text)]).unwrap();
         let mut r = Relation::new("Payroll", schema);
         // Salary 100 appears 5 times, 200 twice, 300 once.
-        for (s, n) in [(100, "a"), (100, "b"), (100, "c"), (100, "d"), (100, "e"), (200, "f"), (200, "g"), (300, "h")] {
+        for (s, n) in [
+            (100, "a"),
+            (100, "b"),
+            (100, "c"),
+            (100, "d"),
+            (100, "e"),
+            (200, "f"),
+            (200, "g"),
+            (300, "h"),
+        ] {
             r.insert(vec![Value::Int(s), Value::from(n)]).unwrap();
         }
         r
@@ -131,7 +140,9 @@ mod tests {
         let mut engine = ArxEngine::new();
         let rel = skewed_relation();
         let attr = rel.schema().attr_id("Salary").unwrap();
-        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .unwrap();
         (owner, cloud, engine)
     }
 
@@ -149,7 +160,9 @@ mod tests {
         let attr = rel.schema().attr_id("Salary").unwrap();
         let mut engine = ArxEngine::new();
         let mut cloud2 = CloudServer::new(NetworkModel::paper_wan());
-        engine.outsource(&mut owner, &mut cloud2, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud2, &rel, attr)
+            .unwrap();
         for (v, c) in engine.histogram() {
             for i in 0..*c {
                 tags.push(owner.counter_tag(v, i));
@@ -164,11 +177,17 @@ mod tests {
     #[test]
     fn select_returns_all_occurrences() {
         let (mut owner, mut cloud, mut engine) = setup();
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(100)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(100)])
+            .unwrap();
         assert_eq!(out.len(), 5);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(300), Value::Int(200)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(300), Value::Int(200)])
+            .unwrap();
         assert_eq!(out.len(), 3);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(999)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(999)])
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -178,10 +197,14 @@ mod tests {
         // heavy hitter sends visibly more tokens — the leakage §VI discusses.
         let (mut owner, mut cloud, mut engine) = setup();
         cloud.begin_query();
-        engine.select(&mut owner, &mut cloud, &[Value::Int(100)]).unwrap();
+        engine
+            .select(&mut owner, &mut cloud, &[Value::Int(100)])
+            .unwrap();
         cloud.end_query();
         cloud.begin_query();
-        engine.select(&mut owner, &mut cloud, &[Value::Int(300)]).unwrap();
+        engine
+            .select(&mut owner, &mut cloud, &[Value::Int(300)])
+            .unwrap();
         cloud.end_query();
         let eps = cloud.adversarial_view().episodes();
         assert_eq!(eps[0].encrypted_request_size, 5);
@@ -201,7 +224,9 @@ mod tests {
         let mut owner = DbOwner::new(1);
         let mut cloud = CloudServer::default();
         let mut engine = ArxEngine::new();
-        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+        assert!(engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1)])
+            .is_err());
         assert_eq!(engine.name(), "arx-index");
     }
 }

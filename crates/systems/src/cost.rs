@@ -144,7 +144,8 @@ impl CostProfile {
         if self.per_plaintext_tuple_sec == 0.0 {
             return f64::INFINITY;
         }
-        (self.per_encrypted_tuple_sec + self.per_owner_decrypt_sec).max(self.per_plaintext_tuple_sec)
+        (self.per_encrypted_tuple_sec + self.per_owner_decrypt_sec)
+            .max(self.per_plaintext_tuple_sec)
             / self.per_plaintext_tuple_sec
     }
 
@@ -172,11 +173,7 @@ pub fn computation_time(metrics: &Metrics, profile: &CostProfile) -> f64 {
 
 /// Computation time when the work spans several queries: the fixed per-query
 /// cost is charged `queries` times.
-pub fn computation_time_for_queries(
-    metrics: &Metrics,
-    profile: &CostProfile,
-    queries: u64,
-) -> f64 {
+pub fn computation_time_for_queries(metrics: &Metrics, profile: &CostProfile, queries: u64) -> f64 {
     let mut t = computation_time(metrics, profile);
     // `computation_time` charged the fixed cost at most once.
     if queries > 1 && metrics.round_trips > 0 {
@@ -192,7 +189,11 @@ mod tests {
     #[test]
     fn opaque_calibration_matches_headline() {
         // 6M tuples * 14.8 µs ≈ 88.8 s ≈ the paper's 89 s figure.
-        let m = Metrics { encrypted_tuples_scanned: 6_000_000, round_trips: 1, ..Default::default() };
+        let m = Metrics {
+            encrypted_tuples_scanned: 6_000_000,
+            round_trips: 1,
+            ..Default::default()
+        };
         let t = computation_time(&m, &CostProfile::opaque());
         assert!((t - 89.0).abs() < 2.0, "t = {t}");
     }
@@ -200,7 +201,11 @@ mod tests {
     #[test]
     fn jana_calibration_matches_headline() {
         // 1M tuples * 1.05 ms ≈ 1050 s ≈ the paper's 1051 s figure.
-        let m = Metrics { encrypted_tuples_scanned: 1_000_000, round_trips: 1, ..Default::default() };
+        let m = Metrics {
+            encrypted_tuples_scanned: 1_000_000,
+            round_trips: 1,
+            ..Default::default()
+        };
         let t = computation_time(&m, &CostProfile::jana());
         assert!((t - 1051.0).abs() < 5.0, "t = {t}");
     }
@@ -239,7 +244,10 @@ mod tests {
 
     #[test]
     fn fixed_cost_charged_once_or_per_query() {
-        let m = Metrics { round_trips: 3, ..Default::default() };
+        let m = Metrics {
+            round_trips: 3,
+            ..Default::default()
+        };
         let p = CostProfile::opaque();
         let one = computation_time(&m, &p);
         assert!((one - p.per_query_fixed_sec).abs() < 1e-9);
@@ -249,6 +257,9 @@ mod tests {
 
     #[test]
     fn zero_metrics_zero_time() {
-        assert_eq!(computation_time(&Metrics::new(), &CostProfile::opaque()), 0.0);
+        assert_eq!(
+            computation_time(&Metrics::new(), &CostProfile::opaque()),
+            0.0
+        );
     }
 }

@@ -7,8 +7,8 @@
 //! attribute — which is precisely the leakage the frequency-count attack in
 //! `pds-adversary` exploits, and which QB removes (§VI of the paper).
 
-use pds_common::{AttrId, PdsError, Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
@@ -91,8 +91,7 @@ mod tests {
     use pds_storage::{DataType, Schema};
 
     fn sample_relation() -> Relation {
-        let schema =
-            Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Text)]).unwrap();
+        let schema = Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Text)]).unwrap();
         let mut r = Relation::new("T", schema);
         for (k, p) in [(5, "a"), (1, "b"), (5, "c"), (3, "d"), (5, "e")] {
             r.insert(vec![Value::Int(k), Value::from(p)]).unwrap();
@@ -106,18 +105,26 @@ mod tests {
         let mut engine = DeterministicIndexEngine::new();
         let rel = sample_relation();
         let attr = rel.schema().attr_id("K").unwrap();
-        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .unwrap();
         (owner, cloud, engine)
     }
 
     #[test]
     fn select_by_tag_is_exact() {
         let (mut owner, mut cloud, mut engine) = setup();
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(5)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(5)])
+            .unwrap();
         assert_eq!(out.len(), 3);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(1), Value::Int(3)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1), Value::Int(3)])
+            .unwrap();
         assert_eq!(out.len(), 2);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(99)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(99)])
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -125,9 +132,14 @@ mod tests {
     fn no_full_scan_is_performed() {
         let (mut owner, mut cloud, mut engine) = setup();
         let before = *cloud.metrics();
-        engine.select(&mut owner, &mut cloud, &[Value::Int(5)]).unwrap();
+        engine
+            .select(&mut owner, &mut cloud, &[Value::Int(5)])
+            .unwrap();
         let delta = cloud.metrics().delta_since(&before);
-        assert_eq!(delta.encrypted_tuples_scanned, 0, "index answers without scanning");
+        assert_eq!(
+            delta.encrypted_tuples_scanned, 0,
+            "index answers without scanning"
+        );
         assert_eq!(delta.tuples_returned, 3);
     }
 
@@ -138,8 +150,11 @@ mod tests {
         let mut owner = DbOwner::new(21);
         let rel = sample_relation();
         let attr = rel.schema().attr_id("K").unwrap();
-        let tags: Vec<Vec<u8>> =
-            rel.tuples().iter().map(|t| owner.det_tag(t.value(attr))).collect();
+        let tags: Vec<Vec<u8>> = rel
+            .tuples()
+            .iter()
+            .map(|t| owner.det_tag(t.value(attr)))
+            .collect();
         let equal_pairs = tags
             .iter()
             .enumerate()
@@ -153,7 +168,9 @@ mod tests {
         let mut owner = DbOwner::new(1);
         let mut cloud = CloudServer::default();
         let mut engine = DeterministicIndexEngine::new();
-        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+        assert!(engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1)])
+            .is_err());
         assert_eq!(engine.name(), "det-index");
     }
 }

@@ -15,8 +15,8 @@
 
 use std::collections::HashMap;
 
-use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_crypto::dpf::{self, DpfKey};
 use pds_crypto::FeistelPrp;
 use pds_crypto::Key128;
@@ -88,7 +88,10 @@ impl SecureSelectionEngine for DpfEngine {
         // Build the secret-permuted domain of distinct values.
         let distinct = relation.distinct_values(attr);
         self.domain_size = distinct.len().max(1);
-        let prp = FeistelPrp::new(Key128::derive(self.seed, "dpf-domain"), self.domain_size as u64);
+        let prp = FeistelPrp::new(
+            Key128::derive(self.seed, "dpf-domain"),
+            self.domain_size as u64,
+        );
         for (i, v) in distinct.into_iter().enumerate() {
             self.domain.insert(v, prp.permute(i as u64) as usize);
         }
@@ -125,7 +128,9 @@ impl SecureSelectionEngine for DpfEngine {
         let mut matching: Vec<TupleId> = Vec::new();
         let mut keys_generated = 0usize;
         for value in values {
-            let Some(&alpha) = self.domain.get(value) else { continue };
+            let Some(&alpha) = self.domain.get(value) else {
+                continue;
+            };
             let (k0, k1) = dpf::generate(self.domain_size, alpha, 1, &mut rng)?;
             keys_generated += 1;
             let e0 = self.servers[0].evaluate(&k0)?;
@@ -183,10 +188,16 @@ mod tests {
     use pds_storage::{DataType, Schema};
 
     fn sample_relation() -> Relation {
-        let schema =
-            Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Text)]).unwrap();
+        let schema = Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Text)]).unwrap();
         let mut r = Relation::new("T", schema);
-        for (k, p) in [(10, "a"), (20, "b"), (10, "c"), (30, "d"), (20, "e"), (40, "f")] {
+        for (k, p) in [
+            (10, "a"),
+            (20, "b"),
+            (10, "c"),
+            (30, "d"),
+            (20, "e"),
+            (40, "f"),
+        ] {
             r.insert(vec![Value::Int(k), Value::from(p)]).unwrap();
         }
         r
@@ -198,7 +209,9 @@ mod tests {
         let mut engine = DpfEngine::new(99);
         let rel = sample_relation();
         let attr = rel.schema().attr_id("K").unwrap();
-        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .unwrap();
         (owner, cloud, engine)
     }
 
@@ -206,11 +219,17 @@ mod tests {
     fn select_correctness() {
         let (mut owner, mut cloud, mut engine) = setup();
         assert_eq!(engine.domain_size(), 4);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(10)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(10)])
+            .unwrap();
         assert_eq!(out.len(), 2);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(20), Value::Int(40)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(20), Value::Int(40)])
+            .unwrap();
         assert_eq!(out.len(), 3);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(77)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(77)])
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -218,7 +237,9 @@ mod tests {
     fn unknown_values_generate_no_keys() {
         let (mut owner, mut cloud, mut engine) = setup();
         let before = *cloud.metrics();
-        engine.select(&mut owner, &mut cloud, &[Value::Int(77)]).unwrap();
+        engine
+            .select(&mut owner, &mut cloud, &[Value::Int(77)])
+            .unwrap();
         let delta = cloud.metrics().delta_since(&before);
         // Only the note_encrypted_request round trip, no fetch.
         assert_eq!(delta.tuples_returned, 0);
@@ -229,7 +250,9 @@ mod tests {
         let mut owner = DbOwner::new(1);
         let mut cloud = CloudServer::default();
         let mut engine = DpfEngine::new(1);
-        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+        assert!(engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1)])
+            .is_err());
         assert_eq!(engine.name(), "dpf");
     }
 

@@ -1,7 +1,7 @@
 //! The common interface of secure selection back-ends.
 
-use pds_common::{AttrId, Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;

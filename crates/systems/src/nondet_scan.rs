@@ -8,8 +8,8 @@
 //! |SB|. It then retrieves full tuples corresponding to |SB| predicates'
 //! addresses."*  This module reproduces exactly that procedure.
 
-use pds_common::{AttrId, PdsError, Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
@@ -117,7 +117,9 @@ mod tests {
         let mut engine = NonDetScanEngine::new();
         let rel = sample_relation();
         let attr = rel.schema().attr_id("EId").unwrap();
-        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .unwrap();
         (owner, cloud, engine, attr)
     }
 
@@ -126,7 +128,11 @@ mod tests {
         let (mut owner, mut cloud, mut engine, attr) = setup();
         cloud.begin_query();
         let out = engine
-            .select(&mut owner, &mut cloud, &[Value::from("E259"), Value::from("E101")])
+            .select(
+                &mut owner,
+                &mut cloud,
+                &[Value::from("E259"), Value::from("E101")],
+            )
             .unwrap();
         cloud.end_query();
         assert_eq!(out.len(), 2);
@@ -138,7 +144,9 @@ mod tests {
     #[test]
     fn select_empty_result() {
         let (mut owner, mut cloud, mut engine, _) = setup();
-        let out = engine.select(&mut owner, &mut cloud, &[Value::from("E999")]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::from("E999")])
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -147,14 +155,18 @@ mod tests {
         let mut owner = DbOwner::new(1);
         let mut cloud = CloudServer::default();
         let mut engine = NonDetScanEngine::new();
-        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+        assert!(engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1)])
+            .is_err());
     }
 
     #[test]
     fn whole_column_is_scanned_every_query() {
         let (mut owner, mut cloud, mut engine, _) = setup();
         let before = *cloud.metrics();
-        engine.select(&mut owner, &mut cloud, &[Value::from("E101")]).unwrap();
+        engine
+            .select(&mut owner, &mut cloud, &[Value::from("E101")])
+            .unwrap();
         let delta = cloud.metrics().delta_since(&before);
         assert_eq!(delta.encrypted_tuples_scanned, 4);
     }
@@ -163,7 +175,9 @@ mod tests {
     fn access_pattern_is_recorded_in_view() {
         let (mut owner, mut cloud, mut engine, _) = setup();
         cloud.begin_query();
-        engine.select(&mut owner, &mut cloud, &[Value::from("E152")]).unwrap();
+        engine
+            .select(&mut owner, &mut cloud, &[Value::from("E152")])
+            .unwrap();
         cloud.end_query();
         let ep = &cloud.adversarial_view().episodes()[0];
         assert_eq!(ep.sensitive_returned.len(), 1);

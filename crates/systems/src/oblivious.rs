@@ -11,8 +11,8 @@
 //! (which tuples are returned) is exact; only wall-clock time is simulated.
 //! `DESIGN.md` §5 documents this substitution.
 
-use pds_common::{AttrId, PdsError, Result, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
@@ -47,7 +47,12 @@ pub struct ObliviousScanEngine {
 impl ObliviousScanEngine {
     /// Creates an engine of the given kind.
     pub fn new(kind: ObliviousKind) -> Self {
-        ObliviousScanEngine { kind, attr: None, outsourced: false, enclave_column: Vec::new() }
+        ObliviousScanEngine {
+            kind,
+            attr: None,
+            outsourced: false,
+            enclave_column: Vec::new(),
+        }
     }
 
     /// The simulated system kind.
@@ -73,8 +78,11 @@ impl SecureSelectionEngine for ObliviousScanEngine {
     ) -> Result<()> {
         let rows = owner.encrypt_relation(relation, attr);
         cloud.upload_encrypted(rows)?;
-        self.enclave_column =
-            relation.tuples().iter().map(|t| (t.id, t.value(attr).clone())).collect();
+        self.enclave_column = relation
+            .tuples()
+            .iter()
+            .map(|t| (t.id, t.value(attr).clone()))
+            .collect();
         self.attr = Some(attr);
         self.outsourced = true;
         Ok(())
@@ -143,6 +151,9 @@ pub struct JanaSimEngine;
 
 impl JanaSimEngine {
     /// Convenience constructor for the Jana simulator.
+    // `JanaSimEngine` is a facade name; the working type is the shared
+    // oblivious-scan engine parameterized by kind.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new() -> ObliviousScanEngine {
         ObliviousScanEngine::new(ObliviousKind::Jana)
     }
@@ -156,8 +167,7 @@ mod tests {
     use pds_storage::{DataType, Schema};
 
     fn sample_relation(n: i64) -> Relation {
-        let schema =
-            Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Int)]).unwrap();
+        let schema = Schema::from_pairs(&[("K", DataType::Int), ("P", DataType::Int)]).unwrap();
         let mut r = Relation::new("T", schema);
         for i in 0..n {
             r.insert(vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
@@ -172,9 +182,13 @@ mod tests {
         let mut engine = opaque_sim();
         let rel = sample_relation(50);
         let attr = rel.schema().attr_id("K").unwrap();
-        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .unwrap();
         let before = *cloud.metrics();
-        let out = engine.select(&mut owner, &mut cloud, &[Value::Int(3)]).unwrap();
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::Int(3)])
+            .unwrap();
         let delta = cloud.metrics().delta_since(&before);
         assert_eq!(out.len(), 5);
         assert_eq!(delta.encrypted_tuples_scanned, 50);
@@ -207,6 +221,8 @@ mod tests {
         let mut owner = DbOwner::new(1);
         let mut cloud = CloudServer::default();
         let mut engine = JanaSimEngine::new();
-        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+        assert!(engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1)])
+            .is_err());
     }
 }

@@ -13,8 +13,8 @@
 //! attribute genuinely go through `pds_crypto::shamir`, so the cost model's
 //! per-tuple work corresponds to real field arithmetic performed here.
 
-use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_cloud::{CloudServer, DbOwner};
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_crypto::shamir::{self, Share};
 use pds_storage::{Relation, Tuple};
 
@@ -119,8 +119,10 @@ impl SecureSelectionEngine for SecretSharingEngine {
         let mut matching: Vec<TupleId> = Vec::new();
         for i in 0..tuple_count {
             let id = self.servers[0].shares[i].0;
-            let shares: Vec<Share> =
-                self.servers[..self.threshold].iter().map(|s| s.shares[i].1).collect();
+            let shares: Vec<Share> = self.servers[..self.threshold]
+                .iter()
+                .map(|s| s.shares[i].1)
+                .collect();
             let secret = shamir::reconstruct(&shares)?;
             if targets.contains(&secret) {
                 matching.push(id);
@@ -165,8 +167,7 @@ mod tests {
     use pds_storage::{DataType, Schema};
 
     fn sample_relation() -> Relation {
-        let schema =
-            Schema::from_pairs(&[("K", DataType::Text), ("P", DataType::Int)]).unwrap();
+        let schema = Schema::from_pairs(&[("K", DataType::Text), ("P", DataType::Int)]).unwrap();
         let mut r = Relation::new("T", schema);
         for (k, p) in [("a", 1), ("b", 2), ("a", 3), ("c", 4)] {
             r.insert(vec![Value::from(k), Value::Int(p)]).unwrap();
@@ -180,20 +181,30 @@ mod tests {
         let mut engine = SecretSharingEngine::default_deployment();
         let rel = sample_relation();
         let attr = rel.schema().attr_id("K").unwrap();
-        engine.outsource(&mut owner, &mut cloud, &rel, attr).unwrap();
+        engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .unwrap();
         (owner, cloud, engine)
     }
 
     #[test]
     fn select_correctness() {
         let (mut owner, mut cloud, mut engine) = setup();
-        let out = engine.select(&mut owner, &mut cloud, &[Value::from("a")]).unwrap();
-        assert_eq!(out.len(), 2);
         let out = engine
-            .select(&mut owner, &mut cloud, &[Value::from("b"), Value::from("c")])
+            .select(&mut owner, &mut cloud, &[Value::from("a")])
             .unwrap();
         assert_eq!(out.len(), 2);
-        let out = engine.select(&mut owner, &mut cloud, &[Value::from("zzz")]).unwrap();
+        let out = engine
+            .select(
+                &mut owner,
+                &mut cloud,
+                &[Value::from("b"), Value::from("c")],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let out = engine
+            .select(&mut owner, &mut cloud, &[Value::from("zzz")])
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -218,7 +229,9 @@ mod tests {
         let mut engine = SecretSharingEngine::new(5, 3);
         let rel = sample_relation();
         let attr = rel.schema().attr_id("K").unwrap();
-        assert!(engine.outsource(&mut owner, &mut cloud, &rel, attr).is_err());
+        assert!(engine
+            .outsource(&mut owner, &mut cloud, &rel, attr)
+            .is_err());
     }
 
     #[test]
@@ -226,7 +239,9 @@ mod tests {
         let mut owner = DbOwner::new(1);
         let mut cloud = CloudServer::default();
         let mut engine = SecretSharingEngine::default_deployment();
-        assert!(engine.select(&mut owner, &mut cloud, &[Value::Int(1)]).is_err());
+        assert!(engine
+            .select(&mut owner, &mut cloud, &[Value::Int(1)])
+            .is_err());
         assert_eq!(engine.name(), "secret-sharing");
         assert_eq!(engine.server_count(), 3);
     }

@@ -45,18 +45,26 @@ pub fn employee_relation() -> Relation {
 /// every tuple (vertical split keyed by `EId`), and every tuple of the
 /// Defense department is sensitive (row-level split).
 pub fn employee_sensitivity_policy(relation: &Relation) -> Result<SensitivityPolicy> {
-    Ok(SensitivityPolicy::rows(Predicate::eq(relation.schema(), "Dept", "Defense")?)
-        .with_sensitive_attributes("EId", vec!["SSN".to_string()]))
+    Ok(
+        SensitivityPolicy::rows(Predicate::eq(relation.schema(), "Dept", "Defense")?)
+            .with_sensitive_attributes("EId", vec!["SSN".to_string()]),
+    )
 }
 
 /// The EIds of the sensitive (Defense) tuples, in paper order.
 pub fn sensitive_eids() -> Vec<Value> {
-    ["E101", "E259", "E152", "E159"].iter().map(|&s| Value::from(s)).collect()
+    ["E101", "E259", "E152", "E159"]
+        .iter()
+        .map(|&s| Value::from(s))
+        .collect()
 }
 
 /// The EIds of the non-sensitive (Design) tuples, in paper order.
 pub fn nonsensitive_eids() -> Vec<Value> {
-    ["E259", "E199", "E254", "E152"].iter().map(|&s| Value::from(s)).collect()
+    ["E259", "E199", "E254", "E152"]
+        .iter()
+        .map(|&s| Value::from(s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -94,11 +102,19 @@ mod tests {
         let policy = employee_sensitivity_policy(&r).unwrap();
         let parts = Partitioner::new(policy).split(&r).unwrap();
         let attr = parts.sensitive.schema().attr_id("EId").unwrap();
-        let s_eids: Vec<Value> =
-            parts.sensitive.tuples().iter().map(|t| t.value(attr).clone()).collect();
+        let s_eids: Vec<Value> = parts
+            .sensitive
+            .tuples()
+            .iter()
+            .map(|t| t.value(attr).clone())
+            .collect();
         assert_eq!(s_eids, sensitive_eids());
-        let ns_eids: Vec<Value> =
-            parts.nonsensitive.tuples().iter().map(|t| t.value(attr).clone()).collect();
+        let ns_eids: Vec<Value> = parts
+            .nonsensitive
+            .tuples()
+            .iter()
+            .map(|t| t.value(attr).clone())
+            .collect();
         assert_eq!(ns_eids, nonsensitive_eids());
     }
 

@@ -27,9 +27,15 @@ impl QueryWorkload {
     pub fn uniform(relation: &Relation, attr: AttrId, seed: u64) -> Result<Self> {
         let values = relation.distinct_values(attr);
         if values.is_empty() {
-            return Err(PdsError::Config("cannot build a workload over an empty relation".into()));
+            return Err(PdsError::Config(
+                "cannot build a workload over an empty relation".into(),
+            ));
         }
-        Ok(QueryWorkload { values, zipf: None, seed })
+        Ok(QueryWorkload {
+            values,
+            zipf: None,
+            seed,
+        })
     }
 
     /// Zipf-skewed workload over the distinct values of `attr` (the most
@@ -39,20 +45,35 @@ impl QueryWorkload {
     pub fn zipf(relation: &Relation, attr: AttrId, exponent: f64, seed: u64) -> Result<Self> {
         let stats = relation.attribute_stats(attr);
         if stats.is_empty() {
-            return Err(PdsError::Config("cannot build a workload over an empty relation".into()));
+            return Err(PdsError::Config(
+                "cannot build a workload over an empty relation".into(),
+            ));
         }
-        let values: Vec<Value> =
-            stats.values_by_descending_count().into_iter().map(|(v, _)| v).collect();
+        let values: Vec<Value> = stats
+            .values_by_descending_count()
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
         let zipf = Zipf::new(values.len(), exponent);
-        Ok(QueryWorkload { values, zipf: Some(zipf), seed })
+        Ok(QueryWorkload {
+            values,
+            zipf: Some(zipf),
+            seed,
+        })
     }
 
     /// Explicit workload over a fixed list of values (queried uniformly).
     pub fn explicit(values: Vec<Value>, seed: u64) -> Result<Self> {
         if values.is_empty() {
-            return Err(PdsError::Config("explicit workload needs at least one value".into()));
+            return Err(PdsError::Config(
+                "explicit workload needs at least one value".into(),
+            ));
         }
-        Ok(QueryWorkload { values, zipf: None, seed })
+        Ok(QueryWorkload {
+            values,
+            zipf: None,
+            seed,
+        })
     }
 
     /// The distinct values the workload draws from, most popular first.
@@ -137,7 +158,10 @@ mod tests {
     #[test]
     fn explicit_and_errors() {
         let w = QueryWorkload::explicit(vec![Value::Int(1), Value::Int(2)], 0).unwrap();
-        assert!(w.draw(10).iter().all(|v| v == &Value::Int(1) || v == &Value::Int(2)));
+        assert!(w
+            .draw(10)
+            .iter()
+            .all(|v| v == &Value::Int(1) || v == &Value::Int(2)));
         assert!(QueryWorkload::explicit(vec![], 0).is_err());
         let empty = Relation::new(
             "E",

@@ -37,7 +37,9 @@ impl SensitivityAssigner {
         alpha: f64,
     ) -> Result<SensitivityPolicy> {
         if !(0.0..=1.0).contains(&alpha) {
-            return Err(PdsError::Config(format!("alpha must be in [0,1], got {alpha}")));
+            return Err(PdsError::Config(format!(
+                "alpha must be in [0,1], got {alpha}"
+            )));
         }
         if alpha == 0.0 {
             return Ok(SensitivityPolicy::nothing_sensitive());
@@ -60,7 +62,10 @@ impl SensitivityAssigner {
             covered += stats.count(&v);
             chosen.push(v);
         }
-        Ok(SensitivityPolicy::rows(Predicate::InSet { attr, values: chosen }))
+        Ok(SensitivityPolicy::rows(Predicate::InSet {
+            attr,
+            values: chosen,
+        }))
     }
 
     /// Marks individual tuples sensitive with probability `alpha` (Bernoulli
@@ -75,7 +80,9 @@ impl SensitivityAssigner {
         alpha: f64,
     ) -> Result<Vec<pds_common::TupleId>> {
         if !(0.0..=1.0).contains(&alpha) {
-            return Err(PdsError::Config(format!("alpha must be in [0,1], got {alpha}")));
+            return Err(PdsError::Config(format!(
+                "alpha must be in [0,1], got {alpha}"
+            )));
         }
         let mut rng = pds_common::rng::seeded_rng(self.seed);
         Ok(relation
@@ -130,8 +137,9 @@ mod tests {
         let rel = small_lineitem();
         let attr = rel.schema().attr_id("L_PARTKEY").unwrap();
         for alpha in [0.1, 0.3, 0.6] {
-            let policy =
-                SensitivityAssigner::new(1).by_value_fraction(&rel, attr, alpha).unwrap();
+            let policy = SensitivityAssigner::new(1)
+                .by_value_fraction(&rel, attr, alpha)
+                .unwrap();
             let parts = Partitioner::new(policy).split(&rel).unwrap();
             let measured = parts.alpha();
             assert!(
@@ -145,31 +153,48 @@ mod tests {
     fn extreme_alphas() {
         let rel = small_lineitem();
         let attr = rel.schema().attr_id("L_PARTKEY").unwrap();
-        let p0 = SensitivityAssigner::new(1).by_value_fraction(&rel, attr, 0.0).unwrap();
+        let p0 = SensitivityAssigner::new(1)
+            .by_value_fraction(&rel, attr, 0.0)
+            .unwrap();
         assert_eq!(Partitioner::new(p0).split(&rel).unwrap().sensitive.len(), 0);
-        let p1 = SensitivityAssigner::new(1).by_value_fraction(&rel, attr, 1.0).unwrap();
-        assert_eq!(Partitioner::new(p1).split(&rel).unwrap().nonsensitive.len(), 0);
-        assert!(SensitivityAssigner::new(1).by_value_fraction(&rel, attr, 1.5).is_err());
+        let p1 = SensitivityAssigner::new(1)
+            .by_value_fraction(&rel, attr, 1.0)
+            .unwrap();
+        assert_eq!(
+            Partitioner::new(p1).split(&rel).unwrap().nonsensitive.len(),
+            0
+        );
+        assert!(SensitivityAssigner::new(1)
+            .by_value_fraction(&rel, attr, 1.5)
+            .is_err());
     }
 
     #[test]
     fn by_tuple_fraction_and_split() {
         let rel = small_lineitem();
-        let ids = SensitivityAssigner::new(2).by_tuple_fraction(&rel, 0.25).unwrap();
+        let ids = SensitivityAssigner::new(2)
+            .by_tuple_fraction(&rel, 0.25)
+            .unwrap();
         let frac = ids.len() as f64 / rel.len() as f64;
         assert!((frac - 0.25).abs() < 0.06, "frac = {frac}");
         let (s, ns) = split_by_tuple_ids(&rel, &ids).unwrap();
         assert_eq!(s.len() + ns.len(), rel.len());
         assert_eq!(s.len(), ids.len());
-        assert!(SensitivityAssigner::new(2).by_tuple_fraction(&rel, -0.1).is_err());
+        assert!(SensitivityAssigner::new(2)
+            .by_tuple_fraction(&rel, -0.1)
+            .is_err());
     }
 
     #[test]
     fn assignment_is_deterministic_per_seed() {
         let rel = small_lineitem();
         let attr = rel.schema().attr_id("L_PARTKEY").unwrap();
-        let a = SensitivityAssigner::new(9).by_value_fraction(&rel, attr, 0.3).unwrap();
-        let b = SensitivityAssigner::new(9).by_value_fraction(&rel, attr, 0.3).unwrap();
+        let a = SensitivityAssigner::new(9)
+            .by_value_fraction(&rel, attr, 0.3)
+            .unwrap();
+        let b = SensitivityAssigner::new(9)
+            .by_value_fraction(&rel, attr, 0.3)
+            .unwrap();
         let pa = Partitioner::new(a).split(&rel).unwrap();
         let pb = Partitioner::new(b).split(&rel).unwrap();
         assert_eq!(pa.sensitive.len(), pb.sensitive.len());

@@ -135,14 +135,25 @@ impl TpchGenerator {
         let mut rng = pds_common::rng::seeded_rng(self.config.seed.wrapping_add(1));
         for i in 0..tuples {
             let comment_len = rng.gen_range(60..=110);
-            let comment: String =
-                (0..comment_len).map(|_| (b'a' + rng.gen_range(0..26)) as char).collect();
+            let comment: String = (0..comment_len)
+                .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+                .collect();
             rel.insert(vec![
                 Value::Int(i as i64 + 1),
                 Value::from(format!("Customer#{i:09}")),
-                Value::from(format!("{} Market Street Apt {}", rng.gen_range(1..999), i % 97)),
+                Value::from(format!(
+                    "{} Market Street Apt {}",
+                    rng.gen_range(1..999),
+                    i % 97
+                )),
                 Value::Int(rng.gen_range(0..25)),
-                Value::from(format!("{}-{:03}-{:03}-{:04}", rng.gen_range(10..35), i % 999, (i * 7) % 999, (i * 13) % 9999)),
+                Value::from(format!(
+                    "{}-{:03}-{:03}-{:04}",
+                    rng.gen_range(10..35),
+                    i % 999,
+                    (i * 7) % 999,
+                    (i * 13) % 9999
+                )),
                 Value::Int(rng.gen_range(-99_999..999_999)),
                 Value::from(comment),
             ])
@@ -170,12 +181,18 @@ mod tests {
         let attr = rel.schema().attr_id("L_PARTKEY").unwrap();
         let distinct = rel.distinct_values(attr).len();
         assert!(distinct <= 100);
-        assert!(distinct > 80, "with 2000 tuples over 100 keys nearly all keys appear");
+        assert!(
+            distinct > 80,
+            "with 2000 tuples over 100 keys nearly all keys appear"
+        );
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = TpchConfig { lineitem_tuples: 500, ..Default::default() };
+        let cfg = TpchConfig {
+            lineitem_tuples: 500,
+            ..Default::default()
+        };
         let a = TpchGenerator::new(cfg.clone()).lineitem();
         let b = TpchGenerator::new(cfg).lineitem();
         assert_eq!(a, b);
@@ -202,7 +219,10 @@ mod tests {
         let rel = TpchGenerator::new(TpchConfig::default()).customer(200);
         assert_eq!(rel.len(), 200);
         let avg = rel.avg_tuple_bytes();
-        assert!((150..=300).contains(&avg), "avg customer tuple bytes = {avg}");
+        assert!(
+            (150..=300).contains(&avg),
+            "avg customer tuple bytes = {avg}"
+        );
     }
 
     #[test]

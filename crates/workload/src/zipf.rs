@@ -49,7 +49,10 @@ impl Zipf {
     /// Samples a rank in `0..n` (rank 0 is the most popular).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -96,7 +99,7 @@ mod tests {
     fn sampling_respects_skew() {
         let z = Zipf::new(50, 1.2);
         let mut rng = seeded_rng(5);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }

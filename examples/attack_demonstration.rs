@@ -14,11 +14,8 @@ use partitioned_data_security::prelude::*;
 
 fn skewed_payroll() -> Relation {
     // A low-entropy salary column: a classic frequency-attack target.
-    let schema = Schema::from_pairs(&[
-        ("Salary", DataType::Int),
-        ("Name", DataType::Text),
-    ])
-    .expect("schema");
+    let schema =
+        Schema::from_pairs(&[("Salary", DataType::Int), ("Name", DataType::Text)]).expect("schema");
     let mut r = Relation::new("Payroll", schema);
     let salaries = [50_000i64; 12]
         .iter()
@@ -28,7 +25,8 @@ fn skewed_payroll() -> Relation {
         .copied()
         .collect::<Vec<_>>();
     for (i, s) in salaries.iter().enumerate() {
-        r.insert(vec![Value::Int(*s), Value::from(format!("employee-{i}"))]).expect("row");
+        r.insert(vec![Value::Int(*s), Value::from(format!("employee-{i}"))])
+            .expect("row");
     }
     r
 }
@@ -43,8 +41,11 @@ fn main() -> Result<()> {
     let mut cloud = CloudServer::new(NetworkModel::paper_wan());
     let mut det = DeterministicIndexEngine::new();
     det.outsource(&mut owner, &mut cloud, &relation, attr)?;
-    let auxiliary: HashMap<Value, u64> =
-        relation.attribute_stats(attr).iter().map(|(v, c)| (v.clone(), c)).collect();
+    let auxiliary: HashMap<Value, u64> = relation
+        .attribute_stats(attr)
+        .iter()
+        .map(|(v, c)| (v.clone(), c))
+        .collect();
     let mut ground_truth = HashMap::new();
     for t in relation.tuples() {
         ground_truth.insert(owner.det_tag(t.value(attr)), t.value(attr).clone());
@@ -99,7 +100,14 @@ fn main() -> Result<()> {
         "  workload-skew attack links hot values to fingerprints with {:.0}% accuracy",
         skew.hit_rate * 100.0
     );
-    println!("  partitioned data security: {}\n", if report.is_secure() { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "  partitioned data security: {}\n",
+        if report.is_secure() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
 
     println!("== The same workload through QB + Arx ==");
     let binning = QueryBinning::build(&parts, "Salary", BinningConfig::default())?;
@@ -127,7 +135,11 @@ fn main() -> Result<()> {
     );
     println!(
         "  partitioned data security: {}",
-        if report.is_secure() { "HOLDS" } else { "VIOLATED" }
+        if report.is_secure() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     Ok(())
 }

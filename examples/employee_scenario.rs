@@ -16,8 +16,14 @@ fn main() -> Result<()> {
     let parts = Partitioner::new(policy).split(&relation)?;
 
     println!("Employee1 (EId, SSN)      : {} tuples, always encrypted", 8);
-    println!("Employee2 (Defense rows)  : {} tuples, encrypted", parts.sensitive.len());
-    println!("Employee3 (Design rows)   : {} tuples, clear-text\n", parts.nonsensitive.len());
+    println!(
+        "Employee2 (Defense rows)  : {} tuples, encrypted",
+        parts.sensitive.len()
+    );
+    println!(
+        "Employee3 (Design rows)   : {} tuples, clear-text\n",
+        parts.nonsensitive.len()
+    );
 
     // ----- Naive partitioned execution (Example 2 / Table II) --------------
     println!("== Naive partitioned execution (no QB) ==");
@@ -48,7 +54,10 @@ fn main() -> Result<()> {
     qb.outsource(&mut owner, &mut cloud, &parts)?;
     for eid in ["E259", "E101", "E199"] {
         let answer = qb.select(&mut owner, &mut cloud, &eid.into())?;
-        println!("query {eid} -> {} tuple(s) after owner-side merge", answer.len());
+        println!(
+            "query {eid} -> {} tuple(s) after owner-side merge",
+            answer.len()
+        );
     }
     print!("{}", cloud.adversarial_view().render_table());
 
@@ -59,7 +68,11 @@ fn main() -> Result<()> {
     let report = check_partitioned_security(cloud.adversarial_view());
     println!(
         "\npartitioned data security after an exhaustive workload: {}",
-        if report.is_secure() { "HOLDS" } else { "VIOLATED" }
+        if report.is_secure() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "  association candidates intact: {} (dropped matches: {})",

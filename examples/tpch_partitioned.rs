@@ -42,12 +42,14 @@ fn main() -> Result<()> {
     }
     let mut full_metrics = *cloud.metrics();
     full_metrics.absorb(owner.metrics());
-    let full_cost = computation_time_for_queries(
-        &full_metrics,
-        &full.cost_profile(),
-        queries.len() as u64,
-    ) + cloud.comm_time();
-    println!("full encryption (non-deterministic scan): {:.4} s for {} queries", full_cost, queries.len());
+    let full_cost =
+        computation_time_for_queries(&full_metrics, &full.cost_profile(), queries.len() as u64)
+            + cloud.comm_time();
+    println!(
+        "full encryption (non-deterministic scan): {:.4} s for {} queries",
+        full_cost,
+        queries.len()
+    );
 
     // ----- QB at several sensitivity ratios ----------------------------------
     println!("\nQuery Binning vs full encryption (measured eta = QB cost / full cost):");
@@ -72,7 +74,10 @@ fn main() -> Result<()> {
             &executor.engine().cost_profile(),
             queries.len() as u64,
         ) + cloud.comm_time();
-        println!("{alpha:>8.2} {qb_cost:>14.4} {:>10.3}", measured_eta(qb_cost, full_cost));
+        println!(
+            "{alpha:>8.2} {qb_cost:>14.4} {:>10.3}",
+            measured_eta(qb_cost, full_cost)
+        );
     }
 
     // ----- Extensions: range query and group-by aggregation ------------------
@@ -88,7 +93,10 @@ fn main() -> Result<()> {
     let lo = Value::Int(10);
     let hi = Value::Int(25);
     let in_range = select_range(&mut executor, &mut owner, &mut cloud, &lo, &hi)?;
-    println!("  range query L_PARTKEY in [10, 25]: {} tuples", in_range.len());
+    println!(
+        "  range query L_PARTKEY in [10, 25]: {} tuples",
+        in_range.len()
+    );
 
     let qty = relation.schema().attr_id("L_QUANTITY")?;
     let groups: Vec<Value> = (1..=5i64).map(Value::Int).collect();

@@ -13,11 +13,18 @@ fn payroll() -> Relation {
     let schema =
         Schema::from_pairs(&[("Salary", DataType::Int), ("Name", DataType::Text)]).unwrap();
     let mut r = Relation::new("Payroll", schema);
-    let mut counts = vec![(40_000i64, 20), (55_000i64, 10), (70_000i64, 5), (90_000i64, 2), (250_000i64, 1)];
+    let mut counts = vec![
+        (40_000i64, 20),
+        (55_000i64, 10),
+        (70_000i64, 5),
+        (90_000i64, 2),
+        (250_000i64, 1),
+    ];
     let mut i = 0;
     for (salary, n) in counts.drain(..) {
         for _ in 0..n {
-            r.insert(vec![Value::Int(salary), Value::from(format!("p{i}"))]).unwrap();
+            r.insert(vec![Value::Int(salary), Value::from(format!("p{i}"))])
+                .unwrap();
             i += 1;
         }
     }
@@ -28,14 +35,18 @@ fn payroll() -> Relation {
 fn frequency_attack_breaks_deterministic_but_not_arx_tokens() {
     let relation = payroll();
     let attr = relation.schema().attr_id("Salary").unwrap();
-    let auxiliary: HashMap<Value, u64> =
-        relation.attribute_stats(attr).iter().map(|(v, c)| (v.clone(), c)).collect();
+    let auxiliary: HashMap<Value, u64> = relation
+        .attribute_stats(attr)
+        .iter()
+        .map(|(v, c)| (v.clone(), c))
+        .collect();
 
     // Deterministic tags: full recovery.
     let mut owner = DbOwner::new(1);
     let mut cloud = CloudServer::new(NetworkModel::paper_wan());
     let mut det = DeterministicIndexEngine::new();
-    det.outsource(&mut owner, &mut cloud, &relation, attr).unwrap();
+    det.outsource(&mut owner, &mut cloud, &relation, attr)
+        .unwrap();
     let truth: HashMap<Vec<u8>, Value> = relation
         .tuples()
         .iter()
@@ -48,7 +59,8 @@ fn frequency_attack_breaks_deterministic_but_not_arx_tokens() {
     let mut owner = DbOwner::new(1);
     let mut cloud = CloudServer::new(NetworkModel::paper_wan());
     let mut arx = ArxEngine::new();
-    arx.outsource(&mut owner, &mut cloud, &relation, attr).unwrap();
+    arx.outsource(&mut owner, &mut cloud, &relation, attr)
+        .unwrap();
     let mut occurrence: HashMap<Value, u64> = HashMap::new();
     let arx_truth: HashMap<Vec<u8>, Value> = relation
         .tuples()
@@ -65,9 +77,7 @@ fn frequency_attack_breaks_deterministic_but_not_arx_tokens() {
     assert!(arx_outcome.recovery_rate < det_outcome.recovery_rate);
 }
 
-fn run_workload_and_attack(
-    use_qb: bool,
-) -> (f64, f64, bool) {
+fn run_workload_and_attack(use_qb: bool) -> (f64, f64, bool) {
     let relation = payroll();
     let attr = relation.schema().attr_id("Salary").unwrap();
     // Salaries at or below 55k are sensitive.
@@ -120,8 +130,14 @@ fn run_workload_and_attack(
 #[test]
 fn size_and_skew_attacks_succeed_without_qb() {
     let (size_exact, anonymity, secure) = run_workload_and_attack(false);
-    assert!(size_exact > 0.9, "size attack reads counts directly: {size_exact}");
-    assert!(anonymity <= 1.0 + 1e-9, "each fingerprint identifies one value");
+    assert!(
+        size_exact > 0.9,
+        "size attack reads counts directly: {size_exact}"
+    );
+    assert!(
+        anonymity <= 1.0 + 1e-9,
+        "each fingerprint identifies one value"
+    );
     assert!(!secure);
 }
 
@@ -129,7 +145,13 @@ fn size_and_skew_attacks_succeed_without_qb() {
 fn qb_defeats_size_and_skew_attacks() {
     let (size_exact, anonymity, secure) = run_workload_and_attack(true);
     let (naive_exact, naive_anonymity, _) = run_workload_and_attack(false);
-    assert!(size_exact < naive_exact, "QB must reduce size-attack accuracy");
-    assert!(anonymity >= naive_anonymity, "QB fingerprints hide at least as many values");
+    assert!(
+        size_exact < naive_exact,
+        "QB must reduce size-attack accuracy"
+    );
+    assert!(
+        anonymity >= naive_anonymity,
+        "QB fingerprints hide at least as many values"
+    );
     assert!(secure, "QB execution satisfies partitioned data security");
 }

@@ -56,7 +56,11 @@ fn qb_execution_reproduces_table3_shape() {
 
     let answers: Vec<usize> = ["E259", "E101", "E199"]
         .iter()
-        .map(|eid| qb.select(&mut owner, &mut cloud, &(*eid).into()).unwrap().len())
+        .map(|eid| {
+            qb.select(&mut owner, &mut cloud, &(*eid).into())
+                .unwrap()
+                .len()
+        })
         .collect();
     // Query answers themselves are still exact.
     assert_eq!(answers, vec![2, 1, 1]);
@@ -67,7 +71,7 @@ fn qb_execution_reproduces_table3_shape() {
         // Every episode requests whole bins...
         assert_eq!(ep.plaintext_request.len(), shape.nonsensitive_bin_capacity);
         assert_eq!(ep.encrypted_request_size, 0); // nondet-scan sends no tokens
-        // ...and returns the same number of encrypted tuples each time.
+                                                  // ...and returns the same number of encrypted tuples each time.
         assert_eq!(ep.sensitive_output_size(), eps[0].sensitive_output_size());
     }
 }

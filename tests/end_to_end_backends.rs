@@ -31,8 +31,9 @@ fn ground_truth(relation: &Relation, value: &Value) -> BTreeSet<u64> {
 fn check_backend<E: SecureSelectionEngine>(engine: E, seed: u64) {
     let relation = test_relation();
     let attr = relation.schema().attr_id("L_PARTKEY").unwrap();
-    let policy =
-        SensitivityAssigner::new(seed).by_value_fraction(&relation, attr, 0.35).unwrap();
+    let policy = SensitivityAssigner::new(seed)
+        .by_value_fraction(&relation, attr, 0.35)
+        .unwrap();
     let parts = Partitioner::new(policy).split(&relation).unwrap();
     let binning = QueryBinning::build(&parts, "L_PARTKEY", BinningConfig::default()).unwrap();
     let mut executor = QbExecutor::new(binning, engine);
@@ -52,7 +53,11 @@ fn check_backend<E: SecureSelectionEngine>(engine: E, seed: u64) {
             .iter()
             .map(|t| t.id.raw())
             .collect();
-        assert_eq!(got, expected, "answer mismatch for {value} under {:?}", executor);
+        assert_eq!(
+            got, expected,
+            "answer mismatch for {value} under {:?}",
+            executor
+        );
     }
 }
 
@@ -83,7 +88,10 @@ fn qb_over_dpf_is_exact() {
 
 #[test]
 fn qb_over_opaque_simulator_is_exact() {
-    check_backend(partitioned_data_security::systems::oblivious::opaque_sim(), 6);
+    check_backend(
+        partitioned_data_security::systems::oblivious::opaque_sim(),
+        6,
+    );
 }
 
 #[test]
@@ -98,11 +106,11 @@ fn all_backends_return_uniform_output_sizes() {
     for seed in 1..=3u64 {
         let relation = test_relation();
         let attr = relation.schema().attr_id("L_PARTKEY").unwrap();
-        let policy =
-            SensitivityAssigner::new(seed).by_value_fraction(&relation, attr, 0.4).unwrap();
+        let policy = SensitivityAssigner::new(seed)
+            .by_value_fraction(&relation, attr, 0.4)
+            .unwrap();
         let parts = Partitioner::new(policy).split(&relation).unwrap();
-        let binning =
-            QueryBinning::build(&parts, "L_PARTKEY", BinningConfig::default()).unwrap();
+        let binning = QueryBinning::build(&parts, "L_PARTKEY", BinningConfig::default()).unwrap();
         let mut executor = QbExecutor::new(binning, ArxEngine::new());
         let mut owner = DbOwner::new(seed);
         let mut cloud = CloudServer::new(NetworkModel::paper_wan());
@@ -116,6 +124,9 @@ fn all_backends_return_uniform_output_sizes() {
             .iter()
             .map(|ep| ep.sensitive_output_size())
             .collect();
-        assert!(sizes.len() <= 1, "sensitive output sizes must be uniform, got {sizes:?}");
+        assert!(
+            sizes.len() <= 1,
+            "sensitive output sizes must be uniform, got {sizes:?}"
+        );
     }
 }

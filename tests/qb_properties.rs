@@ -17,7 +17,8 @@ fn relation_from_counts(counts: &[(i64, u8)]) -> Relation {
     for &(value, n) in counts {
         for _ in 0..n {
             payload += 1;
-            r.insert(vec![Value::Int(value), Value::Int(payload)]).unwrap();
+            r.insert(vec![Value::Int(value), Value::Int(payload)])
+                .unwrap();
         }
     }
     r

@@ -9,12 +9,13 @@ use pds_storage::AttributeStats;
 /// Builds the Example-3 binning: sensitive values s1..s10, non-sensitive
 /// values {s1, s2, s3, s5, s6} (associated) ∪ {ns11..ns15}.
 fn example3_binning() -> QueryBinning {
-    let sensitive: Vec<Value> =
-        (1..=10).map(|i| Value::from(format!("s{i}"))).collect();
-    let nonsensitive: Vec<Value> = ["s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15"]
-        .iter()
-        .map(|&v| Value::from(v))
-        .collect();
+    let sensitive: Vec<Value> = (1..=10).map(|i| Value::from(format!("s{i}"))).collect();
+    let nonsensitive: Vec<Value> = [
+        "s1", "s2", "s3", "s5", "s6", "ns11", "ns12", "ns13", "ns14", "ns15",
+    ]
+    .iter()
+    .map(|&v| Value::from(v))
+    .collect();
     QueryBinning::build_from_values(
         "EId",
         sensitive.clone(),
@@ -37,7 +38,9 @@ fn all_example3_values() -> Vec<Value> {
 fn view_following_algorithm2(qb: &QueryBinning) -> AdversarialView {
     let mut view = AdversarialView::new();
     for value in all_example3_values() {
-        let Some(pair) = qb.retrieve(&value) else { continue };
+        let Some(pair) = qb.retrieve(&value) else {
+            continue;
+        };
         view.begin_episode();
         view.observe_plaintext_request(&qb.nonsensitive_bin(pair.nonsensitive_bin));
         let ids: Vec<pds_common::TupleId> = qb
@@ -57,7 +60,9 @@ fn view_following_algorithm2(qb: &QueryBinning) -> AdversarialView {
 fn view_violating_algorithm2(qb: &QueryBinning) -> AdversarialView {
     let mut view = AdversarialView::new();
     for value in all_example3_values() {
-        let Some(pair) = qb.retrieve(&value) else { continue };
+        let Some(pair) = qb.retrieve(&value) else {
+            continue;
+        };
         // Break the rule for non-associated values: always pair with bin 0.
         let nonsensitive_bin = if qb.sensitive_assignment(&value).is_some()
             && qb.nonsensitive_assignment(&value).is_some()

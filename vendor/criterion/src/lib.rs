@@ -1,0 +1,228 @@
+//! Offline stand-in for the parts of `criterion` 0.5 this workspace uses.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Instead of criterion's statistical machinery it runs each benchmark for
+//! a fixed, small number of wall-clock samples and prints the mean — enough
+//! to compare hot paths between commits and to keep `cargo bench` wired up
+//! until the real crate can be pulled from a registry. Sample counts can be
+//! tuned per group via [`BenchmarkGroup::sample_size`] or globally with the
+//! `CRITERION_SAMPLES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque barrier preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver; collects and prints results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default_samples(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = default_samples();
+        self.record(id.to_string(), samples, f);
+        self
+    }
+
+    fn record<F>(&mut self, label: String, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        let mean = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iterations
+        };
+        println!(
+            "{label:<60} time: {mean:>12.2?} ({} iters)",
+            bencher.iterations
+        );
+        self.results.push((label, mean));
+    }
+
+    /// Prints the closing summary. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("benchmarked {} target(s)", self.results.len());
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in this group takes. A
+    /// `CRITERION_SAMPLES` env setting still wins, so CI can globally
+    /// bound bench runtime.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = env_samples().unwrap_or(n);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.record(label, samples, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.record(label, samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Measures the timed routine handed to it by a benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times one call of `routine` and accumulates the measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
+
+fn default_samples() -> usize {
+    env_samples().unwrap_or(10)
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; accept and ignore.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixed-size array strategies (`prop::array::uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]` by sampling the element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        core::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($fname:ident => $n:literal),* $(,)?) => {$(
+        /// Strategy for arrays of the given length over one element strategy.
+        pub fn $fname<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+uniform_fns!(
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+);

@@ -1,0 +1,70 @@
+//! Collection strategies: `vec` and `btree_set` with a size range.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose length lies in `size` (half-open, like proptest).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "empty vec size range {size:?}");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates ordered sets whose size lies in `size` (half-open).
+///
+/// If the element domain is too small to reach the drawn size, the set is
+/// returned at whatever size repeated sampling achieved — matching
+/// proptest's behaviour of treating the size as a goal, not a guarantee,
+/// once duplicates dominate.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    assert!(!size.is_empty(), "empty btree_set size range {size:?}");
+    BTreeSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Bounded retries so tiny domains cannot loop forever.
+        let mut budget = target.saturating_mul(16) + 64;
+        while set.len() < target && budget > 0 {
+            set.insert(self.element.sample(rng));
+            budget -= 1;
+        }
+        set
+    }
+}

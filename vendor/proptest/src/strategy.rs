@@ -1,0 +1,105 @@
+//! Value-generation strategies: ranges, tuples, and mapped collections.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type from a seeded RNG.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a pure sampling function, and reproducibility comes from replaying
+/// the per-case seed.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String patterns as strategies (a tiny subset of proptest's regex
+/// support): `.{m,n}` yields a printable-ASCII string whose length is
+/// drawn from `[m, n]`; a pattern with no regex metacharacters yields
+/// itself literally. Anything else is rejected loudly rather than
+/// silently mis-generating.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some(body) = self.strip_prefix(".{").and_then(|s| s.strip_suffix('}')) {
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                    let len = rng.gen_range(lo..=hi);
+                    return (0..len)
+                        .map(|_| char::from(rng.gen_range(0x20u8..0x7f)))
+                        .collect();
+                }
+            }
+        }
+        assert!(
+            !self.contains(['.', '*', '+', '?', '[', '(', '{', '\\', '|']),
+            "unsupported string pattern {self:?}: the offline proptest stand-in \
+             only handles `.{{m,n}}` and literal strings"
+        );
+        self.to_owned()
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

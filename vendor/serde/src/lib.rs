@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for wire formats,
+//! but nothing in-tree serializes yet and the build environment has no
+//! crates.io access. This proc-macro crate supplies **no-op** derive macros
+//! under the same names so the annotations compile. Replacing it with the
+//! real `serde` (with the `derive` feature) is a one-line change in the
+//! root `Cargo.toml`'s `[workspace.dependencies]`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`. Emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`. Emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
