@@ -35,6 +35,9 @@ pub mod workload_skew_attack;
 
 pub use bipartite::SurvivingMatches;
 pub use frequency_attack::FrequencyAttack;
-pub use security_check::{check_partitioned_security, SecurityReport};
+pub use security_check::{
+    check_partitioned_security, check_sharded_partitioned_security, SecurityReport,
+    ShardedSecurityReport,
+};
 pub use size_attack::SizeAttack;
 pub use workload_skew_attack::WorkloadSkewAttack;

@@ -79,6 +79,61 @@ pub fn check_partitioned_security(view: &AdversarialView) -> SecurityReport {
     }
 }
 
+/// The outcome of checking a sharded deployment: partitioned data security
+/// must hold on **every shard's own view** (each shard is itself an
+/// honest-but-curious adversary) *and* on the **composed view** (a coalition
+/// of all shards pooling their observations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedSecurityReport {
+    /// One report per shard, in shard order.
+    pub per_shard: Vec<SecurityReport>,
+    /// The report over all shards' episodes merged into one view.
+    pub composed: SecurityReport,
+}
+
+impl ShardedSecurityReport {
+    /// Whether both conditions hold on every shard view and on the composed
+    /// view.
+    pub fn is_secure(&self) -> bool {
+        self.composed.is_secure() && self.per_shard.iter().all(SecurityReport::is_secure)
+    }
+
+    /// Indices of shards whose own view violates the definition.
+    pub fn insecure_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_secure())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Checks a sharded deployment's adversarial views — each shard's view
+/// separately plus their composition (pass
+/// `&pds_cloud::ShardRouter::adversarial_views()`).
+///
+/// Per-shard security is *not* implied by composed security: a placement
+/// that routed the episodes of one sensitive bin to different shards by
+/// non-sensitive bin would give each shard an incomplete (Figure 4b)
+/// pairing even though the union of episodes is complete.  Conversely the
+/// composed check catches leakage only a coalition sees, e.g. output sizes
+/// that are uniform within each shard but differ across shards.
+pub fn check_sharded_partitioned_security(views: &[&AdversarialView]) -> ShardedSecurityReport {
+    let per_shard = views
+        .iter()
+        .map(|view| check_partitioned_security(view))
+        .collect();
+    let mut merged = AdversarialView::new();
+    for view in views {
+        merged.absorb(view);
+    }
+    ShardedSecurityReport {
+        per_shard,
+        composed: check_partitioned_security(&merged),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +202,62 @@ mod tests {
         let report = check_partitioned_security(&av);
         assert!(report.is_secure());
         assert_eq!(report.episodes, 1);
+    }
+
+    #[test]
+    fn sharded_views_secure_when_each_shard_is_complete() {
+        // Shard 0 hosts sensitive bin {1,2}, shard 1 hosts {3,4}; both see
+        // every non-sensitive bin — each view and the composition pass.
+        let mut shard0 = AdversarialView::new();
+        episode(&mut shard0, &[1, 2], &["a", "b"]);
+        episode(&mut shard0, &[1, 2], &["c", "d"]);
+        let mut shard1 = AdversarialView::new();
+        episode(&mut shard1, &[3, 4], &["a", "b"]);
+        episode(&mut shard1, &[3, 4], &["c", "d"]);
+        let report = check_sharded_partitioned_security(&[&shard0, &shard1]);
+        assert_eq!(report.per_shard.len(), 2);
+        assert!(report.is_secure(), "{report:?}");
+        assert!(report.insecure_shards().is_empty());
+        assert_eq!(report.composed.episodes, 4);
+    }
+
+    #[test]
+    fn sharded_check_catches_per_shard_incomplete_pairing() {
+        // The composed view is the complete rotation, but the episodes were
+        // scattered so each shard observes both sensitive groups and both
+        // non-sensitive groups with only half of the pairings: each shard
+        // drops surviving matches even though the union looks secure.
+        let mut shard0 = AdversarialView::new();
+        episode(&mut shard0, &[1, 2], &["a", "b"]);
+        episode(&mut shard0, &[3, 4], &["c", "d"]);
+        let mut shard1 = AdversarialView::new();
+        episode(&mut shard1, &[1, 2], &["c", "d"]);
+        episode(&mut shard1, &[3, 4], &["a", "b"]);
+        let report = check_sharded_partitioned_security(&[&shard0, &shard1]);
+        assert!(report.composed.is_secure(), "union is complete");
+        assert!(!report.is_secure(), "but each shard's view leaks");
+        assert_eq!(report.insecure_shards(), vec![0, 1]);
+    }
+
+    #[test]
+    fn sharded_check_catches_cross_shard_size_differences() {
+        // Uniform output sizes within each shard but not across them: only
+        // the composed view exposes the count leakage to the coalition.
+        let mut shard0 = AdversarialView::new();
+        episode(&mut shard0, &[1, 2], &["a"]);
+        let mut shard1 = AdversarialView::new();
+        episode(&mut shard1, &[3], &["b"]);
+        let report = check_sharded_partitioned_security(&[&shard0, &shard1]);
+        assert!(report.per_shard.iter().all(|r| r.counts_indistinguishable));
+        assert!(!report.composed.counts_indistinguishable);
+        assert!(!report.is_secure());
+    }
+
+    #[test]
+    fn sharded_check_of_no_views_is_trivially_secure() {
+        let report = check_sharded_partitioned_security(&[]);
+        assert!(report.is_secure());
+        assert!(report.per_shard.is_empty());
+        assert_eq!(report.composed.episodes, 0);
     }
 }

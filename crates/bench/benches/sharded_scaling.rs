@@ -1,0 +1,37 @@
+//! Shard scaling — retrieval latency of the same pseudo-TPC-H workload over
+//! 1, 2, 4 and 8 bin-routed cloud shards.
+//!
+//! The deployment (partitioning, binning, outsourcing, plaintext
+//! replication) is built once per shard count *outside* the timed closure:
+//! only the workload retrieval is measured, which is the quantity expected
+//! to drop as the shard count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pds_bench::deploy::{lineitem, sharded_qb_deployment};
+use pds_cloud::NetworkModel;
+use pds_systems::NonDetScanEngine;
+
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_scaling");
+    group.sample_size(10);
+    let relation = lineitem(2_000, 42);
+    for &shards in &[1usize, 2, 4, 8] {
+        let mut dep = sharded_qb_deployment(
+            &relation,
+            0.3,
+            shards,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            42,
+        )
+        .unwrap();
+        let queries = dep.workload(43).unwrap().draw(24);
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| black_box(dep.run_and_cost(&queries).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scaling);
+criterion_main!(benches);

@@ -3,36 +3,81 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|employee|all] [--scale <f64>]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|employee|all]
+//!               [--scale <f64>] [--shards <n>]
 //!
 //! `--scale` shrinks the generated datasets (default 0.01 of the paper's
-//! sizes) so the full suite completes in seconds on a laptop.
+//! sizes) so the full suite completes in seconds on a laptop; it must be a
+//! finite value strictly greater than zero.  `--shards` sets the shard
+//! count of the sharded experiments (default 8 for `sharded`; `headline`
+//! adds a sharded retrieval section when it is greater than 1).
 
-use pds_bench::{attacks, fig6a, fig6b, fig6c, table6};
+use pds_bench::{attacks, fig6a, fig6b, fig6c, sharded, table6};
+
+const KNOWN: [&str; 9] = [
+    "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "employee",
+];
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: experiments [{}] [--scale <f64>] [--shards <n>]",
+        KNOWN.join("|")
+    );
+    std::process::exit(2);
+}
+
+/// Parses the value of a `--flag`, exiting with usage when the flag is
+/// present but its value is missing or unparsable.
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(raw) = args.get(i + 1) else {
+        usage_exit(&format!("{flag} requires a value"));
+    };
+    match raw.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => usage_exit(&format!("invalid {flag} value {raw:?}")),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // The experiment name is optional: `experiments --scale 0.5` runs all.
-    let which = args
-        .first()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .unwrap_or("all")
-        .to_string();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(0.01);
+    // The experiment name is the sole positional argument and may appear
+    // before or after the flags; omitting it runs `all`.
+    let mut positionals: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--scale" || arg == "--shards" {
+            i += 2; // skip the flag and its value (validated below)
+            continue;
+        }
+        if arg.starts_with("--") {
+            usage_exit(&format!("unknown flag {arg:?}"));
+        }
+        positionals.push(arg);
+        i += 1;
+    }
+    let which = match positionals.as_slice() {
+        [] => "all",
+        [one] => one,
+        more => usage_exit(&format!("expected one experiment name, got {more:?}")),
+    }
+    .to_string();
 
-    const KNOWN: [&str; 8] = [
-        "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "employee",
-    ];
+    // Validate once at parse time; the experiments themselves no longer
+    // clamp (they used to disagree: `.max(0.01)` here, `.max(0.05)` there).
+    let scale = parse_flag::<f64>(&args, "--scale").unwrap_or(0.01);
+    if !scale.is_finite() || scale <= 0.0 {
+        usage_exit(&format!("--scale must be a finite value > 0, got {scale}"));
+    }
+    let shards = parse_flag::<usize>(&args, "--shards");
+    if shards == Some(0) {
+        usage_exit("--shards must be at least 1");
+    }
+
     if !KNOWN.contains(&which.as_str()) {
-        eprintln!("unknown experiment {which:?}");
-        eprintln!("usage: experiments [{}] [--scale <f64>]", KNOWN.join("|"));
-        std::process::exit(2);
+        usage_exit(&format!("unknown experiment {which:?}"));
     }
 
     let run_all = which == "all";
@@ -51,11 +96,21 @@ fn main() {
     if run_all || which == "arx" {
         print_arx(scale);
     }
+    // Sharded runs are CI regression gates: a failure must fail the process
+    // (the paper-figure sections keep printing so a partial `all` remains
+    // useful for eyeballing).
+    let mut sharded_ok = true;
     if run_all || which == "headline" {
-        print_headline();
+        sharded_ok &= print_headline(shards.unwrap_or(1), scale);
+    }
+    if run_all || which == "sharded" {
+        sharded_ok &= print_sharded(shards.unwrap_or(8), scale);
     }
     if run_all || which == "employee" {
         print_employee();
+    }
+    if !sharded_ok {
+        std::process::exit(1);
     }
 }
 
@@ -89,7 +144,7 @@ fn print_fig6b(scale: f64) {
 }
 
 fn print_fig6c(scale: f64) {
-    let tuples = ((40_000.0 * scale.max(0.01)) as usize).max(2_000);
+    let tuples = ((40_000.0 * scale) as usize).max(2_000);
     println!("== Figure 6c: per-query time vs bin-size imbalance ({tuples} tuples) ==");
     println!(
         "{:>8} {:>12} {:>16} {:>16}",
@@ -110,7 +165,7 @@ fn print_fig6c(scale: f64) {
 }
 
 fn print_table6(scale: f64) {
-    let tuples = ((60_000.0 * scale.max(0.01)) as usize).max(2_000);
+    let tuples = ((60_000.0 * scale) as usize).max(2_000);
     println!(
         "== Table VI: QB + Opaque / QB + Jana at 1-60% sensitivity ({tuples} generated tuples,"
     );
@@ -134,7 +189,7 @@ fn print_table6(scale: f64) {
 }
 
 fn print_arx(scale: f64) {
-    let tuples = ((20_000.0 * scale.max(0.05)) as usize).max(1_500);
+    let tuples = ((20_000.0 * scale) as usize).max(1_500);
     println!(
         "== Section VI: Arx hardening — attacks with and without QB ({tuples} tuples, skewed) =="
     );
@@ -167,7 +222,7 @@ fn print_arx(scale: f64) {
     println!();
 }
 
-fn print_headline() {
+fn print_headline(shards: usize, scale: f64) -> bool {
     println!("== Headline single-selection costs without QB (Section I / V calibration) ==");
     println!("{:>18} {:>12} {:>14}", "technique", "tuples", "seconds");
     for row in attacks::headline() {
@@ -177,6 +232,54 @@ fn print_headline() {
         );
     }
     println!();
+    if shards > 1 {
+        // Smoke-sized sharded comparison so CI exercises the sharded path.
+        let tuples = ((20_000.0 * scale) as usize).max(1_600);
+        print_shard_table("Headline QB retrieval, sharded", tuples, &[1, shards], 24)
+    } else {
+        true
+    }
+}
+
+fn print_sharded(shards: usize, scale: f64) -> bool {
+    let tuples = ((40_000.0 * scale) as usize).max(2_000);
+    print_shard_table(
+        "Shard scaling: same workload over 1..N bin-routed shards",
+        tuples,
+        &sharded::shard_count_sweep(shards),
+        48,
+    )
+}
+
+/// Prints one shard-scaling table; returns whether the run succeeded so
+/// `main` can turn a sharded failure into a nonzero exit (the CI smoke step
+/// relies on that).
+fn print_shard_table(title: &str, tuples: usize, counts: &[usize], queries: usize) -> bool {
+    println!("== {title} ({tuples} tuples, {queries} queries) ==");
+    println!(
+        "{:>8} {:>16} {:>16} {:>18}",
+        "shards", "aggregate s", "parallel s", "parallel s/query"
+    );
+    let ok = match sharded::run(tuples, counts, queries, 42) {
+        Ok(points) => {
+            for p in points {
+                println!(
+                    "{:>8} {:>16.6} {:>16.6} {:>18.6}",
+                    p.shards,
+                    p.aggregate_sec,
+                    p.parallel_sec,
+                    p.parallel_per_query_sec()
+                );
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("sharded run failed: {e}");
+            false
+        }
+    };
+    println!();
+    ok
 }
 
 fn print_employee() {

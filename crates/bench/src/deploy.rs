@@ -1,6 +1,6 @@
 //! Shared experiment machinery: deployments, workloads and cost accounting.
 
-use pds_cloud::{CloudServer, DbOwner, Metrics, NetworkModel};
+use pds_cloud::{CloudServer, DbOwner, Metrics, NetworkModel, ShardRouter};
 use pds_common::{Result, Value};
 use pds_core::{BinningConfig, QbExecutor, QueryBinning};
 use pds_storage::{PartitionedRelation, Partitioner, Relation};
@@ -127,19 +127,136 @@ impl<E: SecureSelectionEngine> QbDeployment<E> {
         })
     }
 
+    /// A uniform workload over the distinct values of the search attribute
+    /// (the union of both sides' values).
+    pub fn workload(&self, seed: u64) -> Result<QueryWorkload> {
+        workload_over(&self.parts, seed)
+    }
+}
+
+/// Cost of a workload over a sharded deployment: the aggregate (sum over
+/// shards, as if one machine did everything) plus the parallel wall-clock
+/// estimate (shards are independent machines; the workload finishes when the
+/// busiest shard does).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardedCostBreakdown {
+    /// Total cost summed over every shard and the owner.
+    pub aggregate: CostBreakdown,
+    /// Max-over-shards simulated seconds (per-shard computation from that
+    /// shard's counters plus that shard's communication time).
+    pub parallel_sec: f64,
+    /// Number of shards the workload ran over.
+    pub shards: usize,
+}
+
+/// A fully wired sharded QB deployment ready to answer queries.
+///
+/// Deliberately a sibling of [`QbDeployment`] rather than a generalisation:
+/// construction is shared (`partition_at_alpha`, `workload_over`), but the
+/// cost accounting differs in kind — per-shard metric deltas and a
+/// max-over-shards parallel estimate instead of one server's counters.
+pub struct ShardedQbDeployment<E: SecureSelectionEngine> {
+    /// The trusted owner.
+    pub owner: DbOwner,
+    /// The untrusted shards behind their bin router.
+    pub router: ShardRouter,
+    /// The QB executor (one forked engine per shard).
+    pub executor: QbExecutor<E>,
+    /// The partitioned relation it serves.
+    pub parts: PartitionedRelation,
+}
+
+/// Builds and outsources a QB deployment over `relation` at sensitivity
+/// `alpha`, sharded over `shards` cloud servers.
+pub fn sharded_qb_deployment<E: SecureSelectionEngine>(
+    relation: &Relation,
+    alpha: f64,
+    shards: usize,
+    engine: E,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<ShardedQbDeployment<E>> {
+    let parts = partition_at_alpha(relation, alpha, seed)?;
+    let binning = QueryBinning::build(&parts, SEARCH_ATTR, BinningConfig::default())?;
+    let mut executor = QbExecutor::new(binning, engine);
+    let mut owner = DbOwner::new(seed.wrapping_add(7));
+    let mut router = ShardRouter::new(shards, network, seed)?;
+    executor.outsource(&mut owner, &mut router, &parts)?;
+    // Outsourcing costs are not part of per-query measurements.
+    router.reset_metrics();
+    owner.reset_metrics();
+    Ok(ShardedQbDeployment {
+        owner,
+        router,
+        executor,
+        parts,
+    })
+}
+
+impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
+    /// Runs a workload of point queries and returns its aggregate cost plus
+    /// the max-over-shards parallel wall-clock estimate.
+    pub fn run_and_cost(&mut self, queries: &[Value]) -> Result<ShardedCostBreakdown> {
+        let shards = self.router.shard_count();
+        let before_owner = *self.owner.metrics();
+        let before_shards = self.router.shard_metrics();
+        let before_comm: Vec<f64> = self.router.shards().iter().map(|s| s.comm_time()).collect();
+        let before_episodes: Vec<usize> = self
+            .router
+            .shards()
+            .iter()
+            .map(|s| s.adversarial_view().len())
+            .collect();
+        for q in queries {
+            self.executor.select(&mut self.owner, &mut self.router, q)?;
+        }
+        let profile = self.executor.engine().cost_profile();
+
+        let mut aggregate_computation = 0.0;
+        let mut parallel_sec = 0.0_f64;
+        for (idx, shard) in self.router.shards().iter().enumerate() {
+            let delta = shard.metrics().delta_since(&before_shards[idx]);
+            let shard_queries = (shard.adversarial_view().len() - before_episodes[idx]) as u64;
+            let computation =
+                pds_systems::cost::computation_time_for_queries(&delta, &profile, shard_queries);
+            let comm = shard.comm_time() - before_comm[idx];
+            aggregate_computation += computation;
+            parallel_sec = parallel_sec.max(computation + comm);
+        }
+        // Owner-side work (decryption, token generation) is central, not
+        // sharded; it counts toward the aggregate only.
+        let owner_delta = self.owner.metrics().delta_since(&before_owner);
+        aggregate_computation += pds_systems::cost::computation_time(&owner_delta, &profile);
+        let communication_sec = self.router.comm_time() - before_comm.iter().sum::<f64>();
+
+        Ok(ShardedCostBreakdown {
+            aggregate: CostBreakdown {
+                computation_sec: aggregate_computation,
+                communication_sec,
+                queries: queries.len(),
+            },
+            parallel_sec,
+            shards,
+        })
+    }
+
     /// A uniform workload over the distinct values of the search attribute.
     pub fn workload(&self, seed: u64) -> Result<QueryWorkload> {
-        let attr = self.parts.nonsensitive.schema().attr_id(SEARCH_ATTR)?;
-        // Use the union of both sides' values by drawing from the original
-        // distinct values of the non-sensitive part plus the sensitive part.
-        let mut all = self.parts.nonsensitive.distinct_values(attr);
-        for v in self.parts.sensitive.distinct_values(attr) {
-            if !all.contains(&v) {
-                all.push(v);
-            }
-        }
-        QueryWorkload::explicit(all, seed)
+        workload_over(&self.parts, seed)
     }
+}
+
+/// A uniform workload over the union of both partitions' distinct values of
+/// the search attribute.
+fn workload_over(parts: &PartitionedRelation, seed: u64) -> Result<QueryWorkload> {
+    let attr = parts.nonsensitive.schema().attr_id(SEARCH_ATTR)?;
+    let mut all = parts.nonsensitive.distinct_values(attr);
+    for v in parts.sensitive.distinct_values(attr) {
+        if !all.contains(&v) {
+            all.push(v);
+        }
+    }
+    QueryWorkload::explicit(all, seed)
 }
 
 /// A fully-encrypted baseline deployment: the *entire* relation goes through
@@ -263,6 +380,73 @@ mod tests {
             "QB at α=0.1 should compute less than full encryption: {} vs {}",
             qb_cost.computation_sec,
             full_cost.computation_sec
+        );
+    }
+
+    #[test]
+    fn sharded_deployment_matches_single_server_answers() {
+        let rel = lineitem(1_200, 9);
+        let mut single = qb_deployment(
+            &rel,
+            0.3,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            1,
+        )
+        .unwrap();
+        let mut sharded = sharded_qb_deployment(
+            &rel,
+            0.3,
+            4,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            1,
+        )
+        .unwrap();
+        let queries = single.workload(5).unwrap().draw(12);
+        for q in &queries {
+            let mut a: Vec<u64> = single
+                .executor
+                .select(&mut single.owner, &mut single.cloud, q)
+                .unwrap()
+                .iter()
+                .map(|t| t.id.raw())
+                .collect();
+            let mut b: Vec<u64> = sharded
+                .executor
+                .select(&mut sharded.owner, &mut sharded.router, q)
+                .unwrap()
+                .iter()
+                .map(|t| t.id.raw())
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "answers diverge for {q}");
+        }
+    }
+
+    #[test]
+    fn sharded_cost_parallel_bounded_by_aggregate() {
+        let rel = lineitem(1_200, 10);
+        let mut dep = sharded_qb_deployment(
+            &rel,
+            0.3,
+            4,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            2,
+        )
+        .unwrap();
+        let queries = dep.workload(6).unwrap().draw(16);
+        let cost = dep.run_and_cost(&queries).unwrap();
+        assert_eq!(cost.shards, 4);
+        assert_eq!(cost.aggregate.queries, 16);
+        assert!(cost.parallel_sec > 0.0);
+        assert!(
+            cost.parallel_sec <= cost.aggregate.total_sec() + 1e-9,
+            "parallel estimate {} must not exceed aggregate {}",
+            cost.parallel_sec,
+            cost.aggregate.total_sec()
         );
     }
 

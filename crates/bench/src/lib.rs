@@ -12,10 +12,11 @@
 //! | [`fig6c`] | Figure 6c — retrieval time vs bin-size imbalance |
 //! | [`table6`] | Table VI — QB composed with Opaque and Jana at 1–60 % sensitivity |
 //! | [`attacks`] | §VI — Arx hardening (size / frequency / workload-skew attacks with and without QB) and the §I/§V headline numbers |
+//! | [`sharded`] | beyond the paper — shard-scaling: the same workload over 1/2/4/8 bin-routed cloud shards |
 //!
 //! [`deploy`] holds the shared machinery: building a partitioned TPC-H-like
-//! deployment at a target sensitivity ratio, running workloads, and
-//! converting work counters into simulated seconds.
+//! deployment (single-server or sharded) at a target sensitivity ratio,
+//! running workloads, and converting work counters into simulated seconds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +26,5 @@ pub mod deploy;
 pub mod fig6a;
 pub mod fig6b;
 pub mod fig6c;
+pub mod sharded;
 pub mod table6;

@@ -1,0 +1,113 @@
+//! Shard-scaling experiment: retrieval latency of the same pseudo-TPC-H
+//! workload over 1, 2, 4 and 8 cloud shards.
+//!
+//! Each query touches exactly one shard (its bin pair's home), so a workload
+//! spreads across shards and the **parallel wall-clock** — the time until
+//! the busiest shard finishes — drops as the shard count grows: every shard
+//! stores only its own sensitive bins, so full-scan back-ends touch `~1/N`
+//! of the ciphertexts per query, and shards serve disjoint episode streams
+//! concurrently.  The aggregate (sum-over-shards) cost stays in the same
+//! ballpark; the win is parallelism, exactly as for any sharded store.
+
+use pds_cloud::NetworkModel;
+use pds_common::Result;
+use pds_systems::NonDetScanEngine;
+
+use crate::deploy::{sharded_qb_deployment, ShardedCostBreakdown};
+
+/// One row of the shard-scaling experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardScalingPoint {
+    /// Number of shards the deployment ran over.
+    pub shards: usize,
+    /// Queries executed.
+    pub queries: usize,
+    /// Sum-over-shards simulated seconds (as if one machine did everything).
+    pub aggregate_sec: f64,
+    /// Max-over-shards simulated seconds (the parallel wall-clock estimate).
+    pub parallel_sec: f64,
+}
+
+impl ShardScalingPoint {
+    /// Parallel seconds per query.
+    pub fn parallel_per_query_sec(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.parallel_sec / self.queries as f64
+        }
+    }
+}
+
+/// Runs the same uniform workload over one deployment per requested shard
+/// count (all built from the same relation, sensitivity and seed) and
+/// reports aggregate and parallel costs.
+pub fn run(
+    tuples: usize,
+    shard_counts: &[usize],
+    queries: usize,
+    seed: u64,
+) -> Result<Vec<ShardScalingPoint>> {
+    let relation = crate::deploy::lineitem(tuples, seed);
+    let mut out = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let mut dep = sharded_qb_deployment(
+            &relation,
+            0.3,
+            shards,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            seed,
+        )?;
+        let workload = dep.workload(seed.wrapping_add(1))?.draw(queries);
+        let cost: ShardedCostBreakdown = dep.run_and_cost(&workload)?;
+        out.push(ShardScalingPoint {
+            shards,
+            queries: workload.len(),
+            aggregate_sec: cost.aggregate.total_sec(),
+            parallel_sec: cost.parallel_sec,
+        });
+    }
+    Ok(out)
+}
+
+/// The shard counts an experiment sweeps for a maximum of `max`: the powers
+/// of two up to `max`, always ending at `max` itself.
+pub fn shard_count_sweep(max: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = Vec::new();
+    let mut n = 1;
+    while n <= max {
+        counts.push(n);
+        n *= 2;
+    }
+    if *counts.last().expect("at least shard count 1") != max {
+        counts.push(max);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_wall_clock_decreases_with_shard_count() {
+        let points = run(1_600, &[1, 4], 24, 42).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].parallel_sec < points[0].parallel_sec,
+            "4 shards ({}) should beat 1 shard ({})",
+            points[1].parallel_sec,
+            points[0].parallel_sec
+        );
+        assert!(points.iter().all(|p| p.parallel_per_query_sec() > 0.0));
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two_up_to_max() {
+        assert_eq!(shard_count_sweep(1), vec![1]);
+        assert_eq!(shard_count_sweep(4), vec![1, 2, 4]);
+        assert_eq!(shard_count_sweep(6), vec![1, 2, 4, 6]);
+        assert_eq!(shard_count_sweep(8), vec![1, 2, 4, 8]);
+    }
+}

@@ -20,11 +20,14 @@
 //! The crate also provides:
 //!
 //! * [`network::NetworkModel`] — a byte-accurate communication cost model
-//!   (the `Ccom` of the paper's §V-A analysis), and
+//!   (the `Ccom` of the paper's §V-A analysis),
 //! * [`metrics::Metrics`] — counters of plaintext work, cryptographic work
 //!   and bytes moved, from which the experiment harness derives simulated
 //!   wall-clock times for back-ends (Opaque, Jana) that would be too slow to
-//!   run for real.
+//!   run for real, and
+//! * [`shard::ShardRouter`] — a sharded multi-server deployment: `N`
+//!   independent `CloudServer` shards behind a seeded bin-to-shard placement
+//!   map, with per-shard *and* composed adversarial views.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod metrics;
 pub mod network;
 pub mod owner;
 pub mod server;
+pub mod shard;
 pub mod store;
 pub mod view;
 
@@ -40,5 +44,6 @@ pub use metrics::Metrics;
 pub use network::NetworkModel;
 pub use owner::DbOwner;
 pub use server::CloudServer;
+pub use shard::{BinPlacement, BinRoutedCloud, ShardRouter};
 pub use store::{EncryptedRow, EncryptedStore};
 pub use view::{AdversarialView, QueryEpisode};

@@ -130,6 +130,19 @@ impl AdversarialView {
         self.current().sensitive_returned.extend_from_slice(ids);
     }
 
+    /// Appends clones of another view's completed episodes, re-numbered so
+    /// episode ids stay unique.  Used to compose several shards' views into
+    /// the joint view a coalition of shard-adversaries would hold.
+    pub fn absorb(&mut self, other: &AdversarialView) {
+        for ep in other.episodes() {
+            let id = QueryId::new(self.next_id);
+            self.next_id += 1;
+            let mut ep = ep.clone();
+            ep.id = id;
+            self.episodes.push(ep);
+        }
+    }
+
     /// All completed episodes, in order.
     pub fn episodes(&self) -> &[QueryEpisode] {
         &self.episodes

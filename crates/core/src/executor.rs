@@ -13,7 +13,9 @@
 //!    through the engine; the owner decrypts, drops fake tuples and false
 //!    positives, and merges the two result streams (`qmerge` of §II).
 
-use pds_cloud::{CloudServer, DbOwner};
+use std::collections::HashSet;
+
+use pds_cloud::{BinRoutedCloud, CloudServer, DbOwner};
 use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_storage::{PartitionedRelation, Relation, Tuple};
 use pds_systems::SecureSelectionEngine;
@@ -34,12 +36,25 @@ pub struct SelectionStats {
 }
 
 /// The end-to-end Query Binning executor over a chosen secure back-end.
+///
+/// The executor runs against any [`BinRoutedCloud`] — a single
+/// [`CloudServer`] or a [`pds_cloud::ShardRouter`] over many — with the same
+/// code path: at outsourcing time each sensitive bin's tuples go to the
+/// shard its placement assigns (one forked engine per shard keeps the
+/// outsourced state isolated), and at query time the whole episode for a
+/// bin pair runs against that single shard.
 pub struct QbExecutor<E: SecureSelectionEngine> {
     binning: QueryBinning,
     engine: E,
+    /// One forked engine per shard, created at outsourcing time; all
+    /// outsourced state lives here (the `engine` field stays a prototype).
+    shard_engines: Vec<E>,
     sensitive_attr: Option<AttrId>,
     outsourced: bool,
     fake_tuple_ids: Vec<TupleId>,
+    /// The same ids as a set, built once at outsourcing time so the
+    /// per-query merge never rebuilds it (`qmerge` is on the hot path).
+    fake_id_set: HashSet<TupleId>,
     last_stats: SelectionStats,
 }
 
@@ -49,9 +64,11 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         QbExecutor {
             binning,
             engine,
+            shard_engines: Vec::new(),
             sensitive_attr: None,
             outsourced: false,
             fake_tuple_ids: Vec::new(),
+            fake_id_set: HashSet::new(),
             last_stats: SelectionStats::default(),
         }
     }
@@ -61,9 +78,15 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         &self.binning
     }
 
-    /// The back-end engine.
+    /// The prototype back-end engine (per-shard forks hold the outsourced
+    /// state once [`QbExecutor::outsource`] has run).
     pub fn engine(&self) -> &E {
         &self.engine
+    }
+
+    /// The forked engines serving each shard (empty before outsourcing).
+    pub fn shard_engines(&self) -> &[E] {
+        &self.shard_engines
     }
 
     /// Ids of the fake tuples added during outsourcing.
@@ -82,26 +105,69 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         self.last_stats
     }
 
-    /// Outsources the partitioned relation: `Rns` in clear-text, `Rs`
-    /// (augmented with fake tuples) through the engine.
-    pub fn outsource(
+    /// Outsources the partitioned relation: `Rns` in clear-text (replicated
+    /// to every shard), `Rs` (augmented with fake tuples) through one forked
+    /// engine per shard, each shard receiving exactly the sensitive bins the
+    /// placement assigns to it.
+    pub fn outsource<C: BinRoutedCloud>(
         &mut self,
         owner: &mut DbOwner,
-        cloud: &mut CloudServer,
+        cloud: &mut C,
         partitioned: &PartitionedRelation,
     ) -> Result<()> {
         let attr_name = self.binning.attr_name().to_string();
         let s_attr = partitioned.sensitive.schema().attr_id(&attr_name)?;
         self.sensitive_attr = Some(s_attr);
 
+        cloud.prepare_routing(self.binning.sensitive_bin_count())?;
+
         // Clear-text non-sensitive side with its cloud-side index.
         cloud.upload_plaintext(partitioned.nonsensitive.clone(), &attr_name)?;
 
-        // Sensitive side: clone and append fake tuples per bin.
+        // Sensitive side: clone, append fake tuples per bin, then split into
+        // one sub-relation per shard (a sensitive bin lives on one shard).
         let augmented = self.augment_with_fakes(&partitioned.sensitive, s_attr)?;
-        self.engine.outsource(owner, cloud, &augmented, s_attr)?;
+        let per_shard = self.split_by_shard(cloud, &augmented, s_attr)?;
+        self.shard_engines.clear();
+        for (shard, relation) in per_shard.iter().enumerate() {
+            let mut engine = self.engine.fork();
+            engine.outsource(owner, cloud.shard_mut(shard), relation, s_attr)?;
+            self.shard_engines.push(engine);
+        }
         self.outsourced = true;
         Ok(())
+    }
+
+    /// Groups the augmented sensitive relation into one sub-relation per
+    /// shard, following the cloud's bin routing.
+    fn split_by_shard<C: BinRoutedCloud>(
+        &self,
+        cloud: &C,
+        augmented: &Relation,
+        attr: AttrId,
+    ) -> Result<Vec<Relation>> {
+        let mut per_shard: Vec<Relation> = (0..cloud.shard_count())
+            .map(|s| {
+                Relation::new(
+                    format!("{}@shard{s}", augmented.name()),
+                    augmented.schema().clone(),
+                )
+            })
+            .collect();
+        for t in augmented.tuples() {
+            let assignment = self
+                .binning
+                .sensitive_assignment(t.value(attr))
+                .ok_or_else(|| {
+                    PdsError::Query(format!(
+                        "sensitive value {} has no bin assignment",
+                        t.value(attr)
+                    ))
+                })?;
+            let shard = cloud.route_sensitive_bin(assignment.bin);
+            per_shard[shard].insert_with_id(t.id, t.values.clone())?;
+        }
+        Ok(per_shard)
     }
 
     /// Builds the augmented sensitive relation containing the fake tuples
@@ -122,6 +188,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             .max()
             .map_or(1_000_000, |m| m + 1_000_000);
         self.fake_tuple_ids.clear();
+        self.fake_id_set.clear();
         for bin in 0..self.binning.sensitive_bin_count() {
             let budget = self.binning.fake_tuples_per_bin()[bin];
             if budget == 0 {
@@ -141,16 +208,55 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                 values[attr.index()] = value.clone();
                 augmented.insert_with_id(id, values)?;
                 self.fake_tuple_ids.push(id);
+                self.fake_id_set.insert(id);
             }
         }
         Ok(augmented)
     }
 
-    /// Runs a QB selection for a single value.
-    pub fn select(
+    /// Retrieves both bins of one pair from the shard hosting it, in a
+    /// single adversarial-view episode on that shard.  Returns the raw
+    /// `(nonsensitive, sensitive)` result streams before owner-side
+    /// filtering.
+    fn retrieve_pair<C: BinRoutedCloud>(
         &mut self,
         owner: &mut DbOwner,
-        cloud: &mut CloudServer,
+        cloud: &mut C,
+        pair: crate::binning::BinPair,
+        sensitive_values: &[Value],
+        nonsensitive_values: &[Value],
+    ) -> Result<(Vec<Tuple>, Vec<Tuple>, AttrId)> {
+        let shard_idx = cloud.route_sensitive_bin(pair.sensitive_bin);
+        let shard = cloud.shard_mut(shard_idx);
+        shard.begin_query();
+        // Clear-text sub-query over Rns (replicated on every shard).
+        let ns_tuples = if nonsensitive_values.is_empty() {
+            Vec::new()
+        } else {
+            shard.plain_select_in(nonsensitive_values)?
+        };
+        // Encrypted sub-query over the shard's slice of Rs through the
+        // engine forked for that shard.
+        let s_tuples = if sensitive_values.is_empty() {
+            Vec::new()
+        } else {
+            self.shard_engines
+                .get_mut(shard_idx)
+                .ok_or_else(|| PdsError::Query(format!("no engine for shard {shard_idx}")))?
+                .select(owner, shard, sensitive_values)?
+        };
+        shard.end_query();
+        let ns_attr = shard
+            .plain_searchable_attr()
+            .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
+        Ok((ns_tuples, s_tuples, ns_attr))
+    }
+
+    /// Runs a QB selection for a single value.
+    pub fn select<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut C,
         value: &Value,
     ) -> Result<Vec<Tuple>> {
         if !self.outsourced {
@@ -166,34 +272,19 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
 
         let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
         let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-
-        cloud.begin_query();
-        // Clear-text sub-query over Rns.
-        let ns_tuples = if nonsensitive_values.is_empty() {
-            Vec::new()
-        } else {
-            cloud.plain_select_in(&nonsensitive_values)?
-        };
-        // Encrypted sub-query over Rs through the back-end engine.
-        let s_tuples = if sensitive_values.is_empty() {
-            Vec::new()
-        } else {
-            self.engine.select(owner, cloud, &sensitive_values)?
-        };
-        cloud.end_query();
+        let (ns_tuples, s_tuples, ns_attr) =
+            self.retrieve_pair(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
 
         // qmerge: drop fake tuples (recognised by their ids, which only the
         // owner knows), keep only tuples matching the actual query value,
         // and concatenate.
         let before = ns_tuples.len() + s_tuples.len();
-        let ns_attr = cloud
-            .plain_searchable_attr()
-            .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
-        let fake_ids: std::collections::HashSet<TupleId> =
-            self.fake_tuple_ids.iter().copied().collect();
         let mut answer: Vec<Tuple> = Vec::new();
         for t in s_tuples {
-            if !fake_ids.contains(&t.id) && !DbOwner::is_fake(&t) && t.value(s_attr) == value {
+            if !self.fake_id_set.contains(&t.id)
+                && !DbOwner::is_fake(&t)
+                && t.value(s_attr) == value
+            {
                 answer.push(t);
             }
         }
@@ -215,11 +306,13 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     /// Retrieves one bin pair exactly as a point query would (same
     /// adversarial view, same costs) and returns *all* real tuples of both
     /// bins without filtering to a particular value.  The range, aggregate
-    /// and join extensions build on this.
-    pub fn fetch_bin_pair(
+    /// and join extensions build on this.  [`QbExecutor::last_stats`] is
+    /// refreshed just as for a point query, so extension callers observe the
+    /// counters of their own retrieval rather than a stale previous one.
+    pub fn fetch_bin_pair<C: BinRoutedCloud>(
         &mut self,
         owner: &mut DbOwner,
-        cloud: &mut CloudServer,
+        cloud: &mut C,
         pair: crate::binning::BinPair,
     ) -> Result<Vec<Tuple>> {
         if !self.outsourced {
@@ -227,36 +320,31 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         }
         let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
         let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-        cloud.begin_query();
-        let ns_tuples = if nonsensitive_values.is_empty() {
-            Vec::new()
-        } else {
-            cloud.plain_select_in(&nonsensitive_values)?
-        };
-        let s_tuples = if sensitive_values.is_empty() {
-            Vec::new()
-        } else {
-            self.engine.select(owner, cloud, &sensitive_values)?
-        };
-        cloud.end_query();
-        let fake_ids: std::collections::HashSet<TupleId> =
-            self.fake_tuple_ids.iter().copied().collect();
-        let mut out: Vec<Tuple> = Vec::with_capacity(s_tuples.len() + ns_tuples.len());
+        let (ns_tuples, s_tuples, _) =
+            self.retrieve_pair(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
+        let before = ns_tuples.len() + s_tuples.len();
+        let mut out: Vec<Tuple> = Vec::with_capacity(before);
         for t in s_tuples {
-            if !fake_ids.contains(&t.id) && !DbOwner::is_fake(&t) {
+            if !self.fake_id_set.contains(&t.id) && !DbOwner::is_fake(&t) {
                 out.push(t);
             }
         }
         out.extend(ns_tuples);
+        self.last_stats = SelectionStats {
+            sensitive_values_requested: sensitive_values.len(),
+            nonsensitive_values_requested: nonsensitive_values.len(),
+            tuples_before_filter: before,
+            tuples_in_answer: out.len(),
+        };
         Ok(out)
     }
 
     /// Runs a whole workload of point queries, returning the per-query
     /// answer sizes (used by experiments that only need cardinalities).
-    pub fn run_workload(
+    pub fn run_workload<C: BinRoutedCloud>(
         &mut self,
         owner: &mut DbOwner,
-        cloud: &mut CloudServer,
+        cloud: &mut C,
         values: &[Value],
     ) -> Result<Vec<usize>> {
         values
@@ -454,6 +542,96 @@ mod tests {
             stats.tuples_in_answer, 2,
             "E259 has one Defense and one Design tuple"
         );
+    }
+
+    #[test]
+    fn fetch_bin_pair_refreshes_stats() {
+        // Regression: fetch_bin_pair used to leave last_stats untouched, so
+        // range/aggregate/join extensions reported the previous point
+        // query's counters.
+        let (mut owner, mut cloud, mut executor, _) = qb_setup();
+        executor
+            .select(&mut owner, &mut cloud, &Value::from("E259"))
+            .unwrap();
+        let stale = executor.last_stats();
+        let pair = executor.binning().retrieve(&Value::from("E101")).unwrap();
+        let out = executor
+            .fetch_bin_pair(&mut owner, &mut cloud, pair)
+            .unwrap();
+        let stats = executor.last_stats();
+        assert_eq!(stats.tuples_in_answer, out.len());
+        assert_eq!(
+            stats.sensitive_values_requested,
+            executor.binning().sensitive_bin(pair.sensitive_bin).len()
+        );
+        assert_eq!(
+            stats.nonsensitive_values_requested,
+            executor
+                .binning()
+                .nonsensitive_bin(pair.nonsensitive_bin)
+                .len()
+        );
+        assert!(stats.tuples_before_filter >= stats.tuples_in_answer);
+        assert_ne!(
+            stats, stale,
+            "bin-pair retrieval must overwrite the point query's counters"
+        );
+    }
+
+    #[test]
+    fn sharded_deployment_answers_match_single_server() {
+        use pds_cloud::ShardRouter;
+
+        let parts = employee_parts();
+        let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+        let mut all_values = parts.sensitive.distinct_values(attr);
+        for v in parts.nonsensitive.distinct_values(attr) {
+            if !all_values.contains(&v) {
+                all_values.push(v);
+            }
+        }
+
+        let (mut owner, mut cloud, mut single, _) = qb_setup();
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut sharded = QbExecutor::new(binning, NonDetScanEngine::new());
+        let mut sharded_owner = DbOwner::new(5);
+        let mut router = ShardRouter::new(3, NetworkModel::paper_wan(), 11).unwrap();
+        sharded
+            .outsource(&mut sharded_owner, &mut router, &parts)
+            .unwrap();
+        assert_eq!(sharded.shard_engines().len(), 3);
+        // Sensitive data is sharded (no replication); plaintext is replicated.
+        assert_eq!(router.encrypted_len(), cloud.encrypted_len());
+        assert_eq!(router.plain_len(), cloud.plain_len());
+
+        for v in &all_values {
+            let mut expect: Vec<u64> = single
+                .select(&mut owner, &mut cloud, v)
+                .unwrap()
+                .iter()
+                .map(|t| t.id.raw())
+                .collect();
+            let mut got: Vec<u64> = sharded
+                .select(&mut sharded_owner, &mut router, v)
+                .unwrap()
+                .iter()
+                .map(|t| t.id.raw())
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "answer for {v}");
+        }
+
+        // Each episode stayed on one shard, and all shards together saw the
+        // whole workload.
+        let episodes: usize = router
+            .adversarial_views()
+            .iter()
+            .map(|view| view.len())
+            .sum();
+        assert_eq!(episodes, all_values.len());
+        let report = check_partitioned_security(&router.composed_view());
+        assert!(report.is_secure(), "{report:?}");
     }
 
     #[test]

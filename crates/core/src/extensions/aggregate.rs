@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use pds_cloud::{CloudServer, DbOwner};
+use pds_cloud::{BinRoutedCloud, DbOwner};
 use pds_common::{AttrId, Result, Value};
 use pds_systems::SecureSelectionEngine;
 
@@ -31,10 +31,10 @@ pub struct GroupAggregate {
 
 /// Computes `SELECT group, COUNT(*), SUM(agg), MIN(agg), MAX(agg) ... WHERE
 /// group IN (groups) GROUP BY group` over a QB deployment.
-pub fn group_by_aggregate<E: SecureSelectionEngine>(
+pub fn group_by_aggregate<E: SecureSelectionEngine, C: BinRoutedCloud>(
     executor: &mut QbExecutor<E>,
     owner: &mut DbOwner,
-    cloud: &mut CloudServer,
+    cloud: &mut C,
     groups: &[Value],
     aggregate_attr: AttrId,
 ) -> Result<BTreeMap<Value, GroupAggregate>> {
@@ -58,7 +58,7 @@ pub fn group_by_aggregate<E: SecureSelectionEngine>(
 mod tests {
     use super::*;
     use crate::binning::{BinningConfig, QueryBinning};
-    use pds_cloud::NetworkModel;
+    use pds_cloud::{CloudServer, NetworkModel};
     use pds_storage::{DataType, Partitioner, Predicate, Relation, Schema};
     use pds_systems::NonDetScanEngine;
 

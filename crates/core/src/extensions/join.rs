@@ -9,7 +9,7 @@
 //! carries over; the cost is one bin-pair retrieval per deployment per
 //! distinct join value.
 
-use pds_cloud::{CloudServer, DbOwner};
+use pds_cloud::{BinRoutedCloud, DbOwner};
 use pds_common::{Result, Value};
 use pds_storage::Tuple;
 use pds_systems::SecureSelectionEngine;
@@ -18,15 +18,22 @@ use crate::executor::QbExecutor;
 
 /// Joins two QB deployments on their searchable attributes for the given
 /// set of join values, returning matched tuple pairs `(left, right)`.
-pub fn equi_join<L: SecureSelectionEngine, R: SecureSelectionEngine>(
+/// Either deployment may be single-server or sharded.
+pub fn equi_join<L, R, CL, CR>(
     left: &mut QbExecutor<L>,
     left_owner: &mut DbOwner,
-    left_cloud: &mut CloudServer,
+    left_cloud: &mut CL,
     right: &mut QbExecutor<R>,
     right_owner: &mut DbOwner,
-    right_cloud: &mut CloudServer,
+    right_cloud: &mut CR,
     join_values: &[Value],
-) -> Result<Vec<(Tuple, Tuple)>> {
+) -> Result<Vec<(Tuple, Tuple)>>
+where
+    L: SecureSelectionEngine,
+    R: SecureSelectionEngine,
+    CL: BinRoutedCloud,
+    CR: BinRoutedCloud,
+{
     let mut out = Vec::new();
     for value in join_values {
         let l = left.select(left_owner, left_cloud, value)?;
@@ -47,7 +54,7 @@ pub fn equi_join<L: SecureSelectionEngine, R: SecureSelectionEngine>(
 mod tests {
     use super::*;
     use crate::binning::{BinningConfig, QueryBinning};
-    use pds_cloud::NetworkModel;
+    use pds_cloud::{CloudServer, NetworkModel};
     use pds_storage::{DataType, PartitionedRelation, Partitioner, Predicate, Relation, Schema};
     use pds_systems::NonDetScanEngine;
 

@@ -8,7 +8,7 @@
 //! query is a sequence of point-query episodes — the leakage is bounded by
 //! the number of bin pairs touched, never by the individual values.
 
-use pds_cloud::{CloudServer, DbOwner};
+use pds_cloud::{BinRoutedCloud, DbOwner};
 use pds_common::{Result, Value};
 use pds_storage::Tuple;
 use pds_systems::SecureSelectionEngine;
@@ -16,11 +16,12 @@ use pds_systems::SecureSelectionEngine;
 use crate::binning::BinPair;
 use crate::executor::QbExecutor;
 
-/// Answers `lo <= attr <= hi` over a QB deployment.
-pub fn select_range<E: SecureSelectionEngine>(
+/// Answers `lo <= attr <= hi` over a QB deployment (single-server or
+/// sharded — each bin pair is fetched from the shard hosting it).
+pub fn select_range<E: SecureSelectionEngine, C: BinRoutedCloud>(
     executor: &mut QbExecutor<E>,
     owner: &mut DbOwner,
-    cloud: &mut CloudServer,
+    cloud: &mut C,
     lo: &Value,
     hi: &Value,
 ) -> Result<Vec<Tuple>> {
@@ -65,7 +66,7 @@ pub fn select_range<E: SecureSelectionEngine>(
 mod tests {
     use super::*;
     use crate::binning::{BinningConfig, QueryBinning};
-    use pds_cloud::NetworkModel;
+    use pds_cloud::{CloudServer, NetworkModel};
     use pds_storage::{DataType, Partitioner, Predicate, Relation, Schema};
     use pds_systems::NonDetScanEngine;
 

@@ -106,6 +106,10 @@ impl SecureSelectionEngine for ArxEngine {
     fn cost_profile(&self) -> CostProfile {
         CostProfile::arx()
     }
+
+    fn fork(&self) -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,10 @@ impl SecureSelectionEngine for DeterministicIndexEngine {
     fn cost_profile(&self) -> CostProfile {
         CostProfile::det_index()
     }
+
+    fn fork(&self) -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

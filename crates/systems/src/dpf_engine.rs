@@ -170,6 +170,10 @@ impl SecureSelectionEngine for DpfEngine {
     fn hides_access_pattern(&self) -> bool {
         false
     }
+
+    fn fork(&self) -> Self {
+        Self::new(self.seed)
+    }
 }
 
 impl std::fmt::Debug for DpfEngine {

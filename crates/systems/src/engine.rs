@@ -44,6 +44,15 @@ pub trait SecureSelectionEngine {
     /// The cost profile used to convert work counters into simulated time.
     fn cost_profile(&self) -> CostProfile;
 
+    /// A fresh engine of the same kind and configuration with no outsourced
+    /// state.  Sharded deployments ([`pds_cloud::ShardRouter`]) fork one
+    /// engine per shard so every shard's outsourced state (keys stay with
+    /// the owner; domains, histograms and shares live in the engine) remains
+    /// isolated from its siblings.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
     /// Whether the technique hides which encrypted tuples satisfied the
     /// query (access-pattern hiding).  QB does not require it; the paper
     /// notes access-pattern-hiding back-ends compose with QB too.

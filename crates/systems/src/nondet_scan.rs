@@ -93,6 +93,10 @@ impl SecureSelectionEngine for NonDetScanEngine {
     fn cost_profile(&self) -> CostProfile {
         CostProfile::nondet_scan()
     }
+
+    fn fork(&self) -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

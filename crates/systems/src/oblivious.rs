@@ -136,6 +136,10 @@ impl SecureSelectionEngine for ObliviousScanEngine {
     fn hides_access_pattern(&self) -> bool {
         true
     }
+
+    fn fork(&self) -> Self {
+        Self::new(self.kind)
+    }
 }
 
 /// Opaque (SGX) simulator.

@@ -158,6 +158,10 @@ impl SecureSelectionEngine for SecretSharingEngine {
         // QB does not need (but composes with) access-pattern hiding.
         false
     }
+
+    fn fork(&self) -> Self {
+        Self::new(self.threshold, self.servers.len())
+    }
 }
 
 #[cfg(test)]

@@ -61,8 +61,14 @@ pub use pds_workload as workload;
 
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
-    pub use pds_adversary::{check_partitioned_security, SecurityReport, SurvivingMatches};
-    pub use pds_cloud::{AdversarialView, CloudServer, DbOwner, Metrics, NetworkModel};
+    pub use pds_adversary::{
+        check_partitioned_security, check_sharded_partitioned_security, SecurityReport,
+        ShardedSecurityReport, SurvivingMatches,
+    };
+    pub use pds_cloud::{
+        AdversarialView, BinPlacement, BinRoutedCloud, CloudServer, DbOwner, Metrics, NetworkModel,
+        ShardRouter,
+    };
     pub use pds_common::{Domain, PdsError, Result, Value};
     pub use pds_core::executor::NaivePartitionedExecutor;
     pub use pds_core::extensions::{equi_join, group_by_aggregate, select_range, InsertPlanner};

@@ -1,0 +1,98 @@
+//! Property-based integration tests for the sharded cloud deployment:
+//! whatever the shard count and placement seed, a sharded deployment must be
+//! **observationally identical** to the single-server one (byte-identical
+//! answers for every value of the exhaustive Employee workload) and
+//! partitioned data security must hold on every shard's own view *and* on
+//! the composed coalition view.
+
+use proptest::prelude::*;
+
+use partitioned_data_security::prelude::*;
+
+/// The Employee deployment parts plus the exhaustive value workload (every
+/// distinct value of either side of the partition).
+fn employee_setup() -> (pds_storage::PartitionedRelation, Vec<Value>) {
+    let relation = employee_relation();
+    let policy = employee_sensitivity_policy(&relation).unwrap();
+    let parts = Partitioner::new(policy).split(&relation).unwrap();
+    let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+    let mut values = parts.sensitive.distinct_values(attr);
+    for v in parts.nonsensitive.distinct_values(attr) {
+        if !values.contains(&v) {
+            values.push(v);
+        }
+    }
+    (parts, values)
+}
+
+/// An answer as a sorted multiset of encoded tuples — the byte-level
+/// representation the owner would hand to the application.
+fn answer_bytes(tuples: &[Tuple]) -> Vec<Vec<u8>> {
+    let mut out: Vec<Vec<u8>> = tuples.iter().map(Tuple::encode).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every shard count and placement seed, the sharded deployment
+    /// returns byte-identical answers to the single-server deployment for
+    /// every value of the exhaustive Employee workload, and the security
+    /// definition holds per shard and composed.
+    #[test]
+    fn sharded_equals_single_server_and_stays_secure(
+        shards in 1usize..=8,
+        placement_seed in 0u64..1_000,
+    ) {
+        let (parts, values) = employee_setup();
+
+        // Single-server reference deployment.
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut single = QbExecutor::new(binning, NonDetScanEngine::new());
+        let mut single_owner = DbOwner::new(5);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        single.outsource(&mut single_owner, &mut cloud, &parts).unwrap();
+
+        // Sharded deployment over the same binning metadata.
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut sharded = QbExecutor::new(binning, NonDetScanEngine::new());
+        let mut sharded_owner = DbOwner::new(5);
+        let mut router = ShardRouter::new(
+            shards,
+            NetworkModel::paper_wan(),
+            placement_seed,
+        ).unwrap();
+        sharded.outsource(&mut sharded_owner, &mut router, &parts).unwrap();
+
+        // Sensitive data is partitioned, not replicated.
+        prop_assert_eq!(router.encrypted_len(), cloud.encrypted_len());
+
+        for value in &values {
+            let expect = answer_bytes(
+                &single.select(&mut single_owner, &mut cloud, value).unwrap(),
+            );
+            let got = answer_bytes(
+                &sharded.select(&mut sharded_owner, &mut router, value).unwrap(),
+            );
+            prop_assert!(got == expect, "answers diverge for {}", value);
+        }
+
+        // The single-server view is secure (the baseline the paper proves)…
+        let single_report = check_partitioned_security(cloud.adversarial_view());
+        prop_assert!(single_report.is_secure(), "{:?}", single_report);
+
+        // …and so is every shard's own view plus the composed view.
+        let report = check_sharded_partitioned_security(&router.adversarial_views());
+        prop_assert!(
+            report.is_secure(),
+            "shards={} seed={} report={:?}",
+            shards, placement_seed, report
+        );
+        prop_assert_eq!(report.per_shard.len(), shards);
+
+        // Every episode landed on exactly one shard and none was lost.
+        let episodes: usize = router.adversarial_views().iter().map(|v| v.len()).sum();
+        prop_assert_eq!(episodes, values.len());
+    }
+}
