@@ -1,0 +1,54 @@
+//! Owner-side hot-bin cache under a Zipf-skewed workload — retrieval time
+//! of the same skewed query sequence with the cache disabled vs enabled.
+//!
+//! The deployment (partitioning, binning, outsourcing) is built once per
+//! configuration *outside* the timed closure; only query execution is
+//! measured.  Under skew `s = 1.1` the cached run answers the hot pairs at
+//! the owner without touching the cloud, so its wall-clock drops below the
+//! uncached baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pds_bench::deploy::{lineitem, qb_deployment, SEARCH_ATTR};
+use pds_cloud::NetworkModel;
+use pds_systems::NonDetScanEngine;
+use pds_workload::QueryWorkload;
+
+fn bench_zipf_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_cache");
+    group.sample_size(10);
+    let relation = lineitem(2_000, 42);
+    let attr = relation.schema().attr_id(SEARCH_ATTR).unwrap();
+    let queries = QueryWorkload::zipf(&relation, attr, 1.1, 43)
+        .unwrap()
+        .draw(96);
+    for &cache_bins in &[0usize, 4, 6] {
+        let mut dep = qb_deployment(
+            &relation,
+            0.3,
+            NonDetScanEngine::new(),
+            NetworkModel::paper_wan(),
+            42,
+        )
+        .unwrap();
+        dep.executor.set_cache_capacity(cache_bins);
+        group.bench_with_input(
+            BenchmarkId::new("cache_bins", cache_bins),
+            &cache_bins,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(
+                            dep.executor
+                                .select(&mut dep.owner, &mut dep.cloud, q)
+                                .unwrap(),
+                        );
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf_cache);
+criterion_main!(benches);

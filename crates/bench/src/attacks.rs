@@ -185,7 +185,7 @@ pub fn headline() -> Vec<HeadlineRow> {
 /// Sanity helper shared with tests: the Zipf sampler used by the attack
 /// experiments (re-exported so benches can build identical workloads).
 pub fn attack_zipf(n: usize) -> Zipf {
-    Zipf::new(n, 1.1)
+    Zipf::new(n.max(1), 1.1).expect("fixed exponent and non-empty domain are valid")
 }
 
 #[cfg(test)]

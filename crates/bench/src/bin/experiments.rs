@@ -3,25 +3,27 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|employee|all]
-//!               [--scale <f64>] [--shards <n>]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|employee|all]
+//!               [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]
 //!
 //! `--scale` shrinks the generated datasets (default 0.01 of the paper's
 //! sizes) so the full suite completes in seconds on a laptop; it must be a
 //! finite value strictly greater than zero.  `--shards` sets the shard
 //! count of the sharded experiments (default 8 for `sharded`; `headline`
-//! adds a sharded retrieval section when it is greater than 1).
+//! adds a sharded retrieval section when it is greater than 1).  `--skew`
+//! (finite, >= 0) and `--cache` pin the `zipf` experiment to a single skew
+//! exponent / hot-bin cache size instead of the default sweep.
 
-use pds_bench::{attacks, fig6a, fig6b, fig6c, sharded, table6};
+use pds_bench::{attacks, fig6a, fig6b, fig6c, sharded, table6, zipf};
 
-const KNOWN: [&str; 9] = [
-    "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "employee",
+const KNOWN: [&str; 10] = [
+    "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "employee",
 ];
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
-        "usage: experiments [{}] [--scale <f64>] [--shards <n>]",
+        "usage: experiments [{}] [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]",
         KNOWN.join("|")
     );
     std::process::exit(2);
@@ -48,7 +50,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
-        if arg == "--scale" || arg == "--shards" {
+        if arg == "--scale" || arg == "--shards" || arg == "--skew" || arg == "--cache" {
             i += 2; // skip the flag and its value (validated below)
             continue;
         }
@@ -75,6 +77,16 @@ fn main() {
     if shards == Some(0) {
         usage_exit("--shards must be at least 1");
     }
+    // `--skew` feeds `Zipf::new` directly, so reject what it rejects (and
+    // NaN, which a bare `>= 0.0` comparison would silently wave through)
+    // here at parse time, mirroring `--scale`.
+    let skew = parse_flag::<f64>(&args, "--skew");
+    if let Some(s) = skew {
+        if !s.is_finite() || s < 0.0 {
+            usage_exit(&format!("--skew must be a finite value >= 0, got {s}"));
+        }
+    }
+    let cache = parse_flag::<usize>(&args, "--cache");
 
     if !KNOWN.contains(&which.as_str()) {
         usage_exit(&format!("unknown experiment {which:?}"));
@@ -105,6 +117,9 @@ fn main() {
     }
     if run_all || which == "sharded" {
         sharded_ok &= print_sharded(shards.unwrap_or(8), scale);
+    }
+    if run_all || which == "zipf" {
+        sharded_ok &= print_zipf(scale, skew, cache);
     }
     if run_all || which == "employee" {
         print_employee();
@@ -254,24 +269,42 @@ fn print_sharded(shards: usize, scale: f64) -> bool {
 /// Prints one shard-scaling table; returns whether the run succeeded so
 /// `main` can turn a sharded failure into a nonzero exit (the CI smoke step
 /// relies on that).
+///
+/// Two wall-clock columns are printed side by side: `parallel s` is the
+/// *modelled* max-over-shards estimate from simulated per-shard costs;
+/// `measured s` is the *observed* elapsed time of the same workload with
+/// per-shard fetches fanned out on OS threads.  The absolute scales differ
+/// (simulated seconds model a WAN and slow back-ends; measured seconds are
+/// this machine's real crypto + scan work), but both must fall as shards
+/// are added.
 fn print_shard_table(title: &str, tuples: usize, counts: &[usize], queries: usize) -> bool {
     println!("== {title} ({tuples} tuples, {queries} queries) ==");
     println!(
-        "{:>8} {:>16} {:>16} {:>18}",
-        "shards", "aggregate s", "parallel s", "parallel s/query"
+        "{:>8} {:>16} {:>16} {:>18} {:>16}",
+        "shards", "aggregate s", "parallel s", "parallel s/query", "measured s"
     );
     let ok = match sharded::run(tuples, counts, queries, 42) {
         Ok(points) => {
-            for p in points {
+            let measured_scales = points.len() < 2
+                || points.last().expect("nonempty").measured_sec < points[0].measured_sec;
+            for p in &points {
                 println!(
-                    "{:>8} {:>16.6} {:>16.6} {:>18.6}",
+                    "{:>8} {:>16.6} {:>16.6} {:>18.6} {:>16.6}",
                     p.shards,
                     p.aggregate_sec,
                     p.parallel_sec,
-                    p.parallel_per_query_sec()
+                    p.parallel_per_query_sec(),
+                    p.measured_sec
                 );
             }
-            true
+            if !measured_scales {
+                eprintln!(
+                    "measured wall-clock did not drop from {} to {} shards",
+                    points[0].shards,
+                    points.last().expect("nonempty").shards
+                );
+            }
+            measured_scales
         }
         Err(e) => {
             eprintln!("sharded run failed: {e}");
@@ -280,6 +313,52 @@ fn print_shard_table(title: &str, tuples: usize, counts: &[usize], queries: usiz
     };
     println!();
     ok
+}
+
+/// Prints the Zipf-skew × cache-size sweep; returns whether every cell's
+/// cached answers matched the uncached baseline (a mismatch is a
+/// correctness bug, so it fails the process like a sharded failure).
+fn print_zipf(scale: f64, skew: Option<f64>, cache: Option<usize>) -> bool {
+    let tuples = ((40_000.0 * scale) as usize).max(2_000);
+    let queries = 96;
+    let skews = skew.map_or_else(zipf::default_skews, |s| vec![s]);
+    let capacities = cache.map_or_else(zipf::default_capacities, |c| vec![c]);
+    println!(
+        "== Zipf workload x owner-side hot-bin cache ({tuples} tuples, {queries} queries/cell) =="
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>10} {:>8}",
+        "skew", "cache", "hits", "misses", "hit rate", "bytes moved", "episodes", "exact?"
+    );
+    match zipf::run(tuples, &skews, &capacities, queries, 42) {
+        Ok(points) => {
+            let mut all_exact = true;
+            for p in &points {
+                println!(
+                    "{:>8.2} {:>8} {:>8} {:>8} {:>10.3} {:>12} {:>10} {:>8}",
+                    p.skew,
+                    p.cache_bins,
+                    p.cache_hits,
+                    p.cache_misses,
+                    p.hit_rate(),
+                    p.total_bytes,
+                    p.episodes,
+                    p.matches_uncached
+                );
+                all_exact &= p.matches_uncached;
+            }
+            if !all_exact {
+                eprintln!("cached answers diverged from the uncached baseline");
+            }
+            println!();
+            all_exact
+        }
+        Err(e) => {
+            eprintln!("zipf run failed: {e}");
+            println!();
+            false
+        }
+    }
 }
 
 fn print_employee() {

@@ -12,7 +12,8 @@
 //! | [`fig6c`] | Figure 6c — retrieval time vs bin-size imbalance |
 //! | [`table6`] | Table VI — QB composed with Opaque and Jana at 1–60 % sensitivity |
 //! | [`attacks`] | §VI — Arx hardening (size / frequency / workload-skew attacks with and without QB) and the §I/§V headline numbers |
-//! | [`sharded`] | beyond the paper — shard-scaling: the same workload over 1/2/4/8 bin-routed cloud shards |
+//! | [`sharded`] | beyond the paper — shard-scaling: the same workload over 1/2/4/8 bin-routed cloud shards, modelled *and* measured (threaded fan-out) |
+//! | [`zipf`] | beyond the paper — Zipf-skewed workloads × owner-side hot-bin cache sizes: hit rate and bytes moved vs skew |
 //!
 //! [`deploy`] holds the shared machinery: building a partitioned TPC-H-like
 //! deployment (single-server or sharded) at a target sensitivity ratio,
@@ -28,3 +29,4 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod sharded;
 pub mod table6;
+pub mod zipf;

@@ -27,23 +27,33 @@
 //!   run for real, and
 //! * [`shard::ShardRouter`] — a sharded multi-server deployment: `N`
 //!   independent `CloudServer` shards behind a seeded bin-to-shard placement
-//!   map, with per-shard *and* composed adversarial views.
+//!   map, with per-shard *and* composed adversarial views,
+//! * [`transport::BinTransport`] — dispatch of per-shard bin fetches either
+//!   sequentially or on scoped OS threads, turning the router's
+//!   max-over-shards *estimate* into a *measured* wall-clock, and
+//! * [`cache::BinCache`] — the owner-side hot-bin LRU: whole decrypted bins
+//!   cached at the trusted owner, so repeated (skewed) queries skip the
+//!   cloud round-trip entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod metrics;
 pub mod network;
 pub mod owner;
 pub mod server;
 pub mod shard;
 pub mod store;
+pub mod transport;
 pub mod view;
 
+pub use cache::{BinCache, BinCacheStats, BinKey, BinKind};
 pub use metrics::Metrics;
 pub use network::NetworkModel;
 pub use owner::DbOwner;
 pub use server::CloudServer;
 pub use shard::{BinPlacement, BinRoutedCloud, ShardRouter};
 pub use store::{EncryptedRow, EncryptedStore};
+pub use transport::{BinTransport, DispatchReport};
 pub use view::{AdversarialView, QueryEpisode};

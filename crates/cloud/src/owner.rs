@@ -17,6 +17,7 @@ use crate::store::EncryptedRow;
 
 /// The trusted client that owns the data and the keys.
 pub struct DbOwner {
+    seed: u64,
     cipher: NonDetCipher,
     tagger: DeterministicTagger,
     rng: StdRng,
@@ -27,6 +28,7 @@ impl DbOwner {
     /// Creates an owner whose keys and randomness derive from `seed`.
     pub fn new(seed: u64) -> Self {
         DbOwner {
+            seed,
             cipher: NonDetCipher::new(
                 Key128::derive(seed, "owner-enc"),
                 Key128::derive(seed, "owner-mac"),
@@ -34,6 +36,41 @@ impl DbOwner {
             tagger: DeterministicTagger::new(Key128::derive(seed, "owner-det")),
             rng: pds_common::rng::seeded_rng(pds_common::rng::derive_seed(seed, "owner-rng")),
             metrics: Metrics::new(),
+        }
+    }
+
+    /// A worker owner holding the **same keys** but an independent
+    /// randomness stream and zeroed counters.
+    ///
+    /// The threaded shard fan-out hands one fork to every shard task: keys
+    /// must match (the fork has to decrypt what the original encrypted and
+    /// produce identical deterministic tags) while the encryption
+    /// randomness and the work counters must not be shared across threads.
+    /// Fold the fork's counters back with [`DbOwner::absorb_metrics`].
+    pub fn fork(&self, salt: u64) -> Self {
+        DbOwner {
+            seed: self.seed,
+            cipher: self.cipher.clone(),
+            tagger: self.tagger.clone(),
+            rng: pds_common::rng::seeded_rng(
+                pds_common::rng::derive_seed(self.seed, "owner-fork").wrapping_add(salt),
+            ),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Adds a forked owner's (or any other) counters into this owner's.
+    pub fn absorb_metrics(&mut self, other: &Metrics) {
+        self.metrics.absorb(other);
+    }
+
+    /// Records the outcome of one owner-side hot-bin cache lookup (a hit
+    /// skipped the cloud entirely; a miss went on to fetch the pair).
+    pub fn note_bin_cache(&mut self, hit: bool) {
+        if hit {
+            self.metrics.bin_cache_hits += 1;
+        } else {
+            self.metrics.bin_cache_misses += 1;
         }
     }
 
@@ -278,5 +315,46 @@ mod tests {
         owner.encrypt_value(&Value::Int(1));
         owner.reset_metrics();
         assert_eq!(owner.metrics().owner_encryptions, 0);
+    }
+
+    #[test]
+    fn fork_shares_keys_but_not_counters() {
+        let mut owner = DbOwner::new(7);
+        let ct = owner.encrypt_value(&Value::from("secret"));
+        let mut fork = owner.fork(1);
+        assert_eq!(fork.metrics().owner_encryptions, 0, "fresh counters");
+        assert_eq!(
+            fork.decrypt_value(&ct).unwrap(),
+            Value::from("secret"),
+            "forks decrypt the original's ciphertexts"
+        );
+        assert_eq!(
+            owner.det_tag(&Value::from("E259")),
+            fork.det_tag(&Value::from("E259")),
+            "deterministic tags agree across forks"
+        );
+        // Forked randomness streams are independent of each other.
+        let mut fork2 = owner.fork(2);
+        assert_ne!(
+            fork.encrypt_value(&Value::Int(1)),
+            fork2.encrypt_value(&Value::Int(1))
+        );
+        // Counters fold back into the parent.
+        owner.reset_metrics();
+        owner.absorb_metrics(fork.metrics());
+        assert_eq!(
+            owner.metrics().owner_decryptions + owner.metrics().owner_encryptions,
+            fork.metrics().owner_decryptions + fork.metrics().owner_encryptions
+        );
+    }
+
+    #[test]
+    fn bin_cache_notes_count_hits_and_misses() {
+        let mut owner = DbOwner::new(7);
+        owner.note_bin_cache(true);
+        owner.note_bin_cache(false);
+        owner.note_bin_cache(false);
+        assert_eq!(owner.metrics().bin_cache_hits, 1);
+        assert_eq!(owner.metrics().bin_cache_misses, 2);
     }
 }

@@ -137,6 +137,12 @@ pub trait BinRoutedCloud {
     /// Exclusive access to one shard (engines outsource/select through it).
     fn shard_mut(&mut self, idx: usize) -> &mut CloudServer;
 
+    /// Exclusive access to **all** shard slots at once, in shard order.
+    /// This is what [`crate::BinTransport`] fans out over: each per-shard
+    /// task takes the disjoint `&mut` borrow of its own slot, so shards can
+    /// be driven from separate OS threads without locks.
+    fn shards_mut(&mut self) -> &mut [CloudServer];
+
     /// Uploads the clear-text non-sensitive relation (replicated to every
     /// shard in a sharded deployment).
     fn upload_plaintext(&mut self, relation: Relation, searchable_attr: &str) -> Result<()>;
@@ -161,6 +167,10 @@ impl BinRoutedCloud for CloudServer {
 
     fn shard_mut(&mut self, _idx: usize) -> &mut CloudServer {
         self
+    }
+
+    fn shards_mut(&mut self) -> &mut [CloudServer] {
+        std::slice::from_mut(self)
     }
 
     fn upload_plaintext(&mut self, relation: Relation, searchable_attr: &str) -> Result<()> {
@@ -354,6 +364,10 @@ impl BinRoutedCloud for ShardRouter {
         &mut self.shards[idx]
     }
 
+    fn shards_mut(&mut self) -> &mut [CloudServer] {
+        &mut self.shards
+    }
+
     fn upload_plaintext(&mut self, relation: Relation, searchable_attr: &str) -> Result<()> {
         ShardRouter::upload_plaintext(self, relation, searchable_attr)
     }
@@ -488,5 +502,16 @@ mod tests {
         BinRoutedCloud::upload_plaintext(&mut server, plain_relation(), "EId").unwrap();
         assert_eq!(BinRoutedCloud::shard(&server, 0).plain_len(), 3);
         assert_eq!(BinRoutedCloud::shard_mut(&mut server, 0).plain_len(), 3);
+        assert_eq!(BinRoutedCloud::shards_mut(&mut server).len(), 1);
+    }
+
+    #[test]
+    fn shards_mut_exposes_every_slot_in_order() {
+        let mut router = ShardRouter::new(3, NetworkModel::paper_wan(), 5).unwrap();
+        router.upload_encrypted(2, encrypted_rows(500, 1)).unwrap();
+        let slots = BinRoutedCloud::shards_mut(&mut router);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[2].encrypted_len(), 1);
+        assert_eq!(slots[0].encrypted_len(), 0);
     }
 }

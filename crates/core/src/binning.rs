@@ -83,6 +83,10 @@ pub struct QueryBinning {
     fake_tuples_per_bin: Vec<u64>,
     sensitive_stats: AttributeStats,
     nonsensitive_stats: AttributeStats,
+    /// Sorted, deduplicated union of both sides' values, memoized at build
+    /// time — [`QueryBinning::all_values`] is on the range-query hot path
+    /// and used to clone-and-sort the whole domain per call.
+    sorted_values: Vec<Value>,
 }
 
 impl QueryBinning {
@@ -216,6 +220,11 @@ impl QueryBinning {
             vec![0; sensitive_bins.len()]
         };
 
+        let mut sorted_values: Vec<Value> =
+            sensitive_pos.keys().chain(placed.keys()).cloned().collect();
+        sorted_values.sort();
+        sorted_values.dedup();
+
         Ok(QueryBinning {
             attr_name: attr_name.to_string(),
             shape,
@@ -226,6 +235,7 @@ impl QueryBinning {
             fake_tuples_per_bin,
             sensitive_stats,
             nonsensitive_stats,
+            sorted_values,
         })
     }
 
@@ -315,16 +325,12 @@ impl QueryBinning {
     /// Every distinct value known to the binning (union of both sides),
     /// sorted for determinism.  Used by the range-query extension to find
     /// the values falling inside a requested interval.
-    pub fn all_values(&self) -> Vec<Value> {
-        let mut out: Vec<Value> = self
-            .sensitive_pos
-            .keys()
-            .chain(self.nonsensitive_pos.keys())
-            .cloned()
-            .collect();
-        out.sort();
-        out.dedup();
-        out
+    ///
+    /// The slice is memoized at build time: repeated calls (one per range
+    /// query) return the same buffer instead of re-collecting and re-sorting
+    /// the whole domain.
+    pub fn all_values(&self) -> &[Value] {
+        &self.sorted_values
     }
 
     /// Frequency statistics of the sensitive side (owner metadata).
@@ -700,6 +706,20 @@ mod tests {
             },
         )
         .is_err());
+    }
+
+    #[test]
+    fn all_values_is_memoized_and_sorted() {
+        let qb = example3();
+        let first = qb.all_values();
+        assert!(first.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        assert_eq!(first.len(), 15, "union of both sides");
+        // Regression: `all_values` used to clone and sort the whole domain on
+        // every call; it must now hand back the same build-time buffer.
+        assert!(
+            std::ptr::eq(first.as_ptr(), qb.all_values().as_ptr()),
+            "repeated calls return the memoized buffer, not a fresh sort"
+        );
     }
 
     #[test]

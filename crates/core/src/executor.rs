@@ -15,12 +15,14 @@
 
 use std::collections::HashSet;
 
-use pds_cloud::{BinRoutedCloud, CloudServer, DbOwner};
+use pds_cloud::{
+    BinCache, BinCacheStats, BinKey, BinRoutedCloud, BinTransport, CloudServer, DbOwner, Metrics,
+};
 use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_storage::{PartitionedRelation, Relation, Tuple};
 use pds_systems::SecureSelectionEngine;
 
-use crate::binning::QueryBinning;
+use crate::binning::{BinPair, QueryBinning};
 
 /// Counters describing one QB selection (used by experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +35,12 @@ pub struct SelectionStats {
     pub tuples_before_filter: usize,
     /// Tuples in the final answer.
     pub tuples_in_answer: usize,
+    /// 1 when this retrieval was served from the owner-side hot-bin cache
+    /// (no cloud interaction), else 0.
+    pub cache_hits: usize,
+    /// 1 when this retrieval had to fetch its bin pair from the cloud,
+    /// else 0.
+    pub cache_misses: usize,
 }
 
 /// The end-to-end Query Binning executor over a chosen secure back-end.
@@ -50,27 +58,57 @@ pub struct QbExecutor<E: SecureSelectionEngine> {
     /// outsourced state lives here (the `engine` field stays a prototype).
     shard_engines: Vec<E>,
     sensitive_attr: Option<AttrId>,
+    nonsensitive_attr: Option<AttrId>,
     outsourced: bool,
     fake_tuple_ids: Vec<TupleId>,
     /// The same ids as a set, built once at outsourcing time so the
     /// per-query merge never rebuilds it (`qmerge` is on the hot path).
     fake_id_set: HashSet<TupleId>,
+    /// Owner-side hot-bin cache over already-retrieved, already-decrypted
+    /// bins.  Capacity 0 (the default) disables it entirely.
+    cache: BinCache,
     last_stats: SelectionStats,
 }
 
 impl<E: SecureSelectionEngine> QbExecutor<E> {
-    /// Creates an executor from a binning and a back-end engine.
+    /// Creates an executor from a binning and a back-end engine (hot-bin
+    /// caching disabled; see [`QbExecutor::with_cache_capacity`]).
     pub fn new(binning: QueryBinning, engine: E) -> Self {
         QbExecutor {
             binning,
             engine,
             shard_engines: Vec::new(),
             sensitive_attr: None,
+            nonsensitive_attr: None,
             outsourced: false,
             fake_tuple_ids: Vec::new(),
             fake_id_set: HashSet::new(),
+            cache: BinCache::new(0),
             last_stats: SelectionStats::default(),
         }
+    }
+
+    /// Enables the owner-side hot-bin cache with room for `capacity` bins.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.set_cache_capacity(capacity);
+        self
+    }
+
+    /// Replaces the hot-bin cache with a fresh one holding at most
+    /// `capacity` bins (entries and counters are reset).
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache = BinCache::new(capacity);
+    }
+
+    /// Cumulative hit/miss counters of the hot-bin cache
+    /// (`hits + misses == fetches` over every pair retrieval attempted).
+    pub fn cache_stats(&self) -> BinCacheStats {
+        self.cache.stats()
+    }
+
+    /// The hot-bin cache itself (for introspection in tests/experiments).
+    pub fn cache(&self) -> &BinCache {
+        &self.cache
     }
 
     /// The binning metadata in force.
@@ -123,6 +161,12 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
 
         // Clear-text non-sensitive side with its cloud-side index.
         cloud.upload_plaintext(partitioned.nonsensitive.clone(), &attr_name)?;
+        self.nonsensitive_attr = cloud.shard(0).plain_searchable_attr();
+
+        // A re-outsource starts a fresh cache epoch: bin numbering may
+        // change with the new binning, so neither cached contents nor the
+        // seen-pair history may carry over.
+        self.cache = BinCache::new(self.cache.capacity());
 
         // Sensitive side: clone, append fake tuples per bin, then split into
         // one sub-relation per shard (a sensitive bin lives on one shard).
@@ -222,34 +266,59 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         &mut self,
         owner: &mut DbOwner,
         cloud: &mut C,
-        pair: crate::binning::BinPair,
+        pair: BinPair,
         sensitive_values: &[Value],
         nonsensitive_values: &[Value],
-    ) -> Result<(Vec<Tuple>, Vec<Tuple>, AttrId)> {
+    ) -> Result<(Vec<Tuple>, Vec<Tuple>)> {
         let shard_idx = cloud.route_sensitive_bin(pair.sensitive_bin);
-        let shard = cloud.shard_mut(shard_idx);
-        shard.begin_query();
-        // Clear-text sub-query over Rns (replicated on every shard).
-        let ns_tuples = if nonsensitive_values.is_empty() {
-            Vec::new()
-        } else {
-            shard.plain_select_in(nonsensitive_values)?
-        };
-        // Encrypted sub-query over the shard's slice of Rs through the
-        // engine forked for that shard.
-        let s_tuples = if sensitive_values.is_empty() {
-            Vec::new()
-        } else {
-            self.shard_engines
-                .get_mut(shard_idx)
-                .ok_or_else(|| PdsError::Query(format!("no engine for shard {shard_idx}")))?
-                .select(owner, shard, sensitive_values)?
-        };
-        shard.end_query();
-        let ns_attr = shard
-            .plain_searchable_attr()
-            .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
-        Ok((ns_tuples, s_tuples, ns_attr))
+        let engine = self
+            .shard_engines
+            .get_mut(shard_idx)
+            .ok_or_else(|| PdsError::Query(format!("no engine for shard {shard_idx}")))?;
+        run_pair_episode(
+            owner,
+            cloud.shard_mut(shard_idx),
+            engine,
+            sensitive_values,
+            nonsensitive_values,
+        )
+    }
+
+    /// Fetches (or serves from cache) the raw result streams of one bin
+    /// pair.  A **hit** requires both bins cached *and* the pair previously
+    /// co-observed by the cloud — anything weaker distorts the cloud's view
+    /// (lone-bin episodes break count indistinguishability; serving a
+    /// never-co-observed pair erases a co-occurrence edge); see
+    /// `pds_cloud::cache`.  On a miss the fetched bins are cached
+    /// individually, so a pair sharing one bin with this one reuses its
+    /// contents once that pair has been observed once itself.
+    fn retrieve_pair_cached<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut C,
+        pair: BinPair,
+        sensitive_values: &[Value],
+        nonsensitive_values: &[Value],
+    ) -> Result<(Vec<Tuple>, Vec<Tuple>, bool)> {
+        if let Some((s_tuples, ns_tuples)) = self
+            .cache
+            .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
+        {
+            owner.note_bin_cache(true);
+            return Ok((ns_tuples, s_tuples, true));
+        }
+        owner.note_bin_cache(false);
+        let (ns_tuples, s_tuples) =
+            self.retrieve_pair(owner, cloud, pair, sensitive_values, nonsensitive_values)?;
+        if self.cache.capacity() > 0 {
+            self.cache.store_pair(
+                pair.sensitive_bin,
+                s_tuples.clone(),
+                pair.nonsensitive_bin,
+                ns_tuples.clone(),
+            );
+        }
+        Ok((ns_tuples, s_tuples, false))
     }
 
     /// Runs a QB selection for a single value.
@@ -269,36 +338,35 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             return Ok(Vec::new());
         };
         let s_attr = self.sensitive_attr.expect("set during outsourcing");
+        let ns_attr = self
+            .nonsensitive_attr
+            .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
 
         let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
         let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-        let (ns_tuples, s_tuples, ns_attr) =
-            self.retrieve_pair(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
+        let (ns_tuples, s_tuples, cached) =
+            self.retrieve_pair_cached(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
 
         // qmerge: drop fake tuples (recognised by their ids, which only the
         // owner knows), keep only tuples matching the actual query value,
         // and concatenate.
         let before = ns_tuples.len() + s_tuples.len();
-        let mut answer: Vec<Tuple> = Vec::new();
-        for t in s_tuples {
-            if !self.fake_id_set.contains(&t.id)
-                && !DbOwner::is_fake(&t)
-                && t.value(s_attr) == value
-            {
-                answer.push(t);
-            }
-        }
-        for t in ns_tuples {
-            if t.value(ns_attr) == value {
-                answer.push(t);
-            }
-        }
+        let answer = merge_point_answer(
+            &self.fake_id_set,
+            s_attr,
+            ns_attr,
+            value,
+            ns_tuples,
+            s_tuples,
+        );
 
         self.last_stats = SelectionStats {
             sensitive_values_requested: sensitive_values.len(),
             nonsensitive_values_requested: nonsensitive_values.len(),
             tuples_before_filter: before,
             tuples_in_answer: answer.len(),
+            cache_hits: usize::from(cached),
+            cache_misses: usize::from(!cached),
         };
         Ok(answer)
     }
@@ -313,15 +381,15 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         &mut self,
         owner: &mut DbOwner,
         cloud: &mut C,
-        pair: crate::binning::BinPair,
+        pair: BinPair,
     ) -> Result<Vec<Tuple>> {
         if !self.outsourced {
             return Err(PdsError::Query("deployment not outsourced yet".into()));
         }
         let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
         let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-        let (ns_tuples, s_tuples, _) =
-            self.retrieve_pair(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
+        let (ns_tuples, s_tuples, cached) =
+            self.retrieve_pair_cached(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
         let before = ns_tuples.len() + s_tuples.len();
         let mut out: Vec<Tuple> = Vec::with_capacity(before);
         for t in s_tuples {
@@ -335,8 +403,32 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             nonsensitive_values_requested: nonsensitive_values.len(),
             tuples_before_filter: before,
             tuples_in_answer: out.len(),
+            cache_hits: usize::from(cached),
+            cache_misses: usize::from(!cached),
         };
         Ok(out)
+    }
+
+    /// Invalidates the hot-bin cache for a planned insert of `value` on the
+    /// given side (see `pds_core::extensions::InsertPlanner`): cached bin
+    /// snapshots would otherwise serve stale contents after the insert.
+    ///
+    /// A sensitive-side insert conservatively drops *every* cached bin —
+    /// the general case may add padding fakes to any sensitive bin to keep
+    /// tuple counts balanced.  A non-sensitive insert of a known value only
+    /// drops that value's clear-text bin; an unknown value (which forces a
+    /// slot assignment or a rebuild) also clears everything.
+    pub fn invalidate_cache_on_insert(&mut self, value: &Value, sensitive: bool) {
+        if sensitive {
+            self.cache.clear();
+            return;
+        }
+        match self.binning.nonsensitive_assignment(value) {
+            Some(assign) => {
+                self.cache.invalidate(BinKey::nonsensitive(assign.bin));
+            }
+            None => self.cache.clear(),
+        }
     }
 
     /// Runs a whole workload of point queries, returning the per-query
@@ -352,6 +444,280 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             .map(|v| self.select(owner, cloud, v).map(|ts| ts.len()))
             .collect()
     }
+
+    /// Runs a batch of point queries with the bin fetches of different
+    /// shards dispatched through `transport` — with
+    /// [`BinTransport::Threaded`], each shard's episode stream runs on its
+    /// own OS thread, so [`TransportedRun::wall_clock_sec`] is a *measured*
+    /// parallel wall-clock rather than the router's max-over-shards model.
+    ///
+    /// Answers are byte-identical to running [`QbExecutor::select`] per
+    /// value: queries are grouped by home shard (episode order within a
+    /// shard is preserved), hot-bin cache hits are answered owner-side
+    /// before the fan-out — repeat occurrences of a pair within the batch
+    /// wait for the first occurrence's fetch and hit afterwards, just as
+    /// they would sequentially — and every per-shard engine/owner fork's
+    /// counters are folded back afterwards.  [`QbExecutor::last_stats`] is
+    /// *not* updated (there is no single "last" query in a batch).
+    pub fn run_workload_transported<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut C,
+        values: &[Value],
+        transport: BinTransport,
+    ) -> Result<TransportedRun> {
+        if !self.outsourced {
+            return Err(PdsError::Query("deployment not outsourced yet".into()));
+        }
+        let s_attr = self.sensitive_attr.expect("set during outsourcing");
+        let ns_attr = self
+            .nonsensitive_attr
+            .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
+        let shard_count = cloud.shard_count();
+        if self.shard_engines.len() < shard_count {
+            return Err(PdsError::Query(format!(
+                "{} engines for {shard_count} shards",
+                self.shard_engines.len()
+            )));
+        }
+
+        let mut answers: Vec<Vec<Tuple>> = vec![Vec::new(); values.len()];
+        let mut cache_hits = 0usize;
+
+        // Split the batch: cache hits are answered owner-side right away,
+        // misses are grouped by the shard hosting their sensitive bin.
+        // With caching enabled, repeat occurrences of a pair already
+        // pending in this batch are deferred as waiters instead of fetched
+        // again — matching the sequential path, where every occurrence
+        // after the first is a hit.  (Their cache lookup happens after the
+        // fan-out, once the first occurrence has populated the cache.)
+        let mut per_shard: Vec<Vec<PendingQuery>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut pending_pairs: HashSet<(usize, usize)> = HashSet::new();
+        let mut waiters: Vec<(usize, BinPair)> = Vec::new();
+        for (idx, value) in values.iter().enumerate() {
+            let Some(pair) = self.binning.retrieve(value) else {
+                continue;
+            };
+            let pair_key = (pair.sensitive_bin, pair.nonsensitive_bin);
+            if self.cache.capacity() > 0 && pending_pairs.contains(&pair_key) {
+                waiters.push((idx, pair));
+                continue;
+            }
+            if let Some((s_tuples, ns_tuples)) = self
+                .cache
+                .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
+            {
+                owner.note_bin_cache(true);
+                cache_hits += 1;
+                answers[idx] = merge_point_answer(
+                    &self.fake_id_set,
+                    s_attr,
+                    ns_attr,
+                    value,
+                    ns_tuples,
+                    s_tuples,
+                );
+                continue;
+            }
+            owner.note_bin_cache(false);
+            pending_pairs.insert(pair_key);
+            per_shard[cloud.route_sensitive_bin(pair.sensitive_bin)].push(PendingQuery {
+                index: idx,
+                pair,
+                sensitive_values: self.binning.sensitive_bin(pair.sensitive_bin).to_vec(),
+                nonsensitive_values: self.binning.nonsensitive_bin(pair.nonsensitive_bin),
+            });
+        }
+        let mut cache_misses: usize = per_shard.iter().map(Vec::len).sum();
+
+        // One task per shard with work.  Each task owns its pending
+        // queries, the disjoint `&mut` of its forked engine, and a forked
+        // owner (same keys, private counters) so it is `Send` as a whole.
+        let mut tasks: Vec<Option<_>> = Vec::with_capacity(shard_count);
+        for (engine, (shard_idx, queries)) in self
+            .shard_engines
+            .iter_mut()
+            .zip(per_shard.into_iter().enumerate())
+        {
+            if queries.is_empty() {
+                tasks.push(None);
+                continue;
+            }
+            let mut task_owner = owner.fork(shard_idx as u64 + 1);
+            tasks.push(Some(move |shard: &mut CloudServer| {
+                let mut episodes = Vec::with_capacity(queries.len());
+                for q in queries {
+                    match run_pair_episode(
+                        &mut task_owner,
+                        shard,
+                        engine,
+                        &q.sensitive_values,
+                        &q.nonsensitive_values,
+                    ) {
+                        Ok((ns, s)) => episodes.push((q.index, q.pair, ns, s)),
+                        Err(e) => return (*task_owner.metrics(), Err(e)),
+                    }
+                }
+                (*task_owner.metrics(), Ok(episodes))
+            }));
+        }
+
+        let report = transport.dispatch(cloud.shards_mut(), tasks);
+
+        // Fold every fork's counters back before surfacing any error, so a
+        // failed shard's work is still accounted for.
+        let mut outcomes = Vec::new();
+        for slot in report.per_shard.into_iter().flatten() {
+            let (fork_metrics, outcome): (Metrics, Result<Vec<_>>) = slot;
+            owner.absorb_metrics(&fork_metrics);
+            outcomes.push(outcome);
+        }
+        for outcome in outcomes {
+            for (idx, pair, ns_tuples, s_tuples) in outcome? {
+                if self.cache.capacity() > 0 {
+                    self.cache.store_pair(
+                        pair.sensitive_bin,
+                        s_tuples.clone(),
+                        pair.nonsensitive_bin,
+                        ns_tuples.clone(),
+                    );
+                }
+                answers[idx] = merge_point_answer(
+                    &self.fake_id_set,
+                    s_attr,
+                    ns_attr,
+                    &values[idx],
+                    ns_tuples,
+                    s_tuples,
+                );
+            }
+        }
+
+        // Waiters look the cache up now that the fan-out has populated it.
+        // A waiter can still miss when a later store in the same batch
+        // evicted its bins (tiny capacities); it then fetches sequentially,
+        // exactly as the select path would.
+        for (idx, pair) in waiters {
+            let (ns_tuples, s_tuples) = match self
+                .cache
+                .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
+            {
+                Some((s, ns)) => {
+                    owner.note_bin_cache(true);
+                    cache_hits += 1;
+                    (ns, s)
+                }
+                None => {
+                    owner.note_bin_cache(false);
+                    cache_misses += 1;
+                    let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
+                    let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
+                    let (ns, s) = self.retrieve_pair(
+                        owner,
+                        cloud,
+                        pair,
+                        &sensitive_values,
+                        &nonsensitive_values,
+                    )?;
+                    self.cache.store_pair(
+                        pair.sensitive_bin,
+                        s.clone(),
+                        pair.nonsensitive_bin,
+                        ns.clone(),
+                    );
+                    (ns, s)
+                }
+            };
+            answers[idx] = merge_point_answer(
+                &self.fake_id_set,
+                s_attr,
+                ns_attr,
+                &values[idx],
+                ns_tuples,
+                s_tuples,
+            );
+        }
+
+        Ok(TransportedRun {
+            answers,
+            wall_clock_sec: report.wall_clock_sec,
+            cache_hits,
+            cache_misses,
+        })
+    }
+}
+
+/// One query waiting for its shard's fan-out task.
+struct PendingQuery {
+    index: usize,
+    pair: BinPair,
+    sensitive_values: Vec<Value>,
+    nonsensitive_values: Vec<Value>,
+}
+
+/// The outcome of [`QbExecutor::run_workload_transported`].
+#[derive(Debug)]
+pub struct TransportedRun {
+    /// Per-query answers, aligned with the input values.
+    pub answers: Vec<Vec<Tuple>>,
+    /// Measured wall-clock seconds of the shard fan-out (excludes
+    /// owner-side cache serving and the final merge).
+    pub wall_clock_sec: f64,
+    /// Queries answered from the owner-side hot-bin cache.
+    pub cache_hits: usize,
+    /// Queries that fetched their bin pair from a shard.
+    pub cache_misses: usize,
+}
+
+/// Runs one bin-pair episode against one shard: the clear-text sub-query
+/// over the replicated `Rns`, the encrypted sub-query through the shard's
+/// forked engine, both inside a single adversarial-view episode.  Free
+/// function so the threaded fan-out can call it without borrowing the whole
+/// executor.
+fn run_pair_episode<E: SecureSelectionEngine>(
+    owner: &mut DbOwner,
+    shard: &mut CloudServer,
+    engine: &mut E,
+    sensitive_values: &[Value],
+    nonsensitive_values: &[Value],
+) -> Result<(Vec<Tuple>, Vec<Tuple>)> {
+    shard.begin_query();
+    let ns_tuples = if nonsensitive_values.is_empty() {
+        Vec::new()
+    } else {
+        shard.plain_select_in(nonsensitive_values)?
+    };
+    let s_tuples = if sensitive_values.is_empty() {
+        Vec::new()
+    } else {
+        engine.select(owner, shard, sensitive_values)?
+    };
+    shard.end_query();
+    Ok((ns_tuples, s_tuples))
+}
+
+/// `qmerge` of §II for a point query: drop fakes (by id and by marker),
+/// keep only tuples matching the queried value, concatenate both streams.
+fn merge_point_answer(
+    fake_ids: &HashSet<TupleId>,
+    s_attr: AttrId,
+    ns_attr: AttrId,
+    value: &Value,
+    ns_tuples: Vec<Tuple>,
+    s_tuples: Vec<Tuple>,
+) -> Vec<Tuple> {
+    let mut answer: Vec<Tuple> = Vec::new();
+    for t in s_tuples {
+        if !fake_ids.contains(&t.id) && !DbOwner::is_fake(&t) && t.value(s_attr) == value {
+            answer.push(t);
+        }
+    }
+    for t in ns_tuples {
+        if t.value(ns_attr) == value {
+            answer.push(t);
+        }
+    }
+    answer
 }
 
 impl<E: SecureSelectionEngine> std::fmt::Debug for QbExecutor<E> {
@@ -632,6 +998,197 @@ mod tests {
         assert_eq!(episodes, all_values.len());
         let report = check_partitioned_security(&router.composed_view());
         assert!(report.is_secure(), "{report:?}");
+    }
+
+    #[test]
+    fn cached_selects_are_identical_and_skip_the_cloud() {
+        let parts = employee_parts();
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut cached = QbExecutor::new(binning, NonDetScanEngine::new()).with_cache_capacity(16);
+        let mut owner = DbOwner::new(5);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        cached.outsource(&mut owner, &mut cloud, &parts).unwrap();
+
+        let value = Value::from("E259");
+        let first = cached.select(&mut owner, &mut cloud, &value).unwrap();
+        assert_eq!(cached.last_stats().cache_misses, 1);
+        let episodes_after_first = cloud.adversarial_view().len();
+        let bytes_after_first = cloud.metrics().total_bytes();
+
+        let second = cached.select(&mut owner, &mut cloud, &value).unwrap();
+        assert_eq!(
+            cached.last_stats().cache_hits,
+            1,
+            "{:?}",
+            cached.cache_stats()
+        );
+        assert_eq!(first, second, "cached answer is byte-identical");
+        assert_eq!(
+            cloud.adversarial_view().len(),
+            episodes_after_first,
+            "a cache hit records no new episode"
+        );
+        assert_eq!(
+            cloud.metrics().total_bytes(),
+            bytes_after_first,
+            "a cache hit moves no bytes"
+        );
+        let stats = cached.cache_stats();
+        assert_eq!(stats.hits + stats.misses, stats.fetches());
+        assert_eq!(owner.metrics().bin_cache_hits, 1);
+        assert!(owner.metrics().bin_cache_misses >= 1);
+    }
+
+    #[test]
+    fn exhaustive_warmup_makes_every_later_select_a_hit() {
+        // After one pass over every value, every bin pair has been
+        // co-observed and every bin is cached (capacity exceeds the bin
+        // count), so a second pass must be served entirely owner-side.
+        let (_, _, executor, parts) = qb_setup();
+        let binning = executor.binning().clone();
+        let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+        let mut values = parts.sensitive.distinct_values(attr);
+        for v in parts.nonsensitive.distinct_values(attr) {
+            if !values.contains(&v) {
+                values.push(v);
+            }
+        }
+        let mut exec = QbExecutor::new(binning, NonDetScanEngine::new()).with_cache_capacity(64);
+        let mut owner = DbOwner::new(5);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        exec.outsource(&mut owner, &mut cloud, &parts).unwrap();
+        for v in &values {
+            exec.select(&mut owner, &mut cloud, v).unwrap();
+        }
+        // Every bin is now cached; re-querying anything is a pure hit.
+        let misses_after_warmup = exec.cache_stats().misses;
+        for v in &values {
+            exec.select(&mut owner, &mut cloud, v).unwrap();
+            assert_eq!(exec.last_stats().cache_hits, 1, "warm cache serves {v}");
+        }
+        assert_eq!(exec.cache_stats().misses, misses_after_warmup);
+    }
+
+    #[test]
+    fn insert_invalidation_drops_affected_bins() {
+        let parts = employee_parts();
+        let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+        let mut exec = QbExecutor::new(binning, NonDetScanEngine::new()).with_cache_capacity(16);
+        let mut owner = DbOwner::new(5);
+        let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+        exec.outsource(&mut owner, &mut cloud, &parts).unwrap();
+        let value = Value::from("E259");
+        exec.select(&mut owner, &mut cloud, &value).unwrap();
+        assert!(!exec.cache().is_empty());
+
+        // Non-sensitive insert of a known value: only its bin is dropped.
+        let ns_value = exec
+            .binning()
+            .nonsensitive_bin(0)
+            .first()
+            .cloned()
+            .expect("bin 0 has a value");
+        let ns_bin = exec
+            .binning()
+            .nonsensitive_assignment(&ns_value)
+            .unwrap()
+            .bin;
+        exec.select(&mut owner, &mut cloud, &ns_value).unwrap();
+        assert!(exec
+            .cache()
+            .contains(pds_cloud::BinKey::nonsensitive(ns_bin)));
+        exec.invalidate_cache_on_insert(&ns_value, false);
+        assert!(!exec
+            .cache()
+            .contains(pds_cloud::BinKey::nonsensitive(ns_bin)));
+        assert!(!exec.cache().is_empty(), "other bins survive");
+
+        // Sensitive insert: conservative full clear (padding may touch any bin).
+        exec.invalidate_cache_on_insert(&value, true);
+        assert!(exec.cache().is_empty());
+
+        // Unknown value: full clear as well.
+        exec.select(&mut owner, &mut cloud, &value).unwrap();
+        assert!(!exec.cache().is_empty());
+        exec.invalidate_cache_on_insert(&Value::from("E000-new"), false);
+        assert!(exec.cache().is_empty());
+    }
+
+    #[test]
+    fn transported_run_matches_sequential_selects() {
+        use pds_cloud::{BinTransport, ShardRouter};
+
+        let parts = employee_parts();
+        let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+        let mut workload = parts.sensitive.distinct_values(attr);
+        for v in parts.nonsensitive.distinct_values(attr) {
+            if !workload.contains(&v) {
+                workload.push(v);
+            }
+        }
+        // Repeat the workload so the cache sees hits on the second pass.
+        let doubled: Vec<Value> = workload.iter().chain(workload.iter()).cloned().collect();
+        // Plus one value that exists nowhere (empty answer slot).
+        let mut with_unknown = doubled.clone();
+        with_unknown.push(Value::from("E999"));
+
+        let (mut owner, mut cloud, mut sequential, _) = qb_setup();
+        let expected: Vec<Vec<u64>> = with_unknown
+            .iter()
+            .map(|v| {
+                let mut ids: Vec<u64> = sequential
+                    .select(&mut owner, &mut cloud, v)
+                    .unwrap()
+                    .iter()
+                    .map(|t| t.id.raw())
+                    .collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+
+        for transport in [BinTransport::Sequential, BinTransport::Threaded] {
+            let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+            let mut exec =
+                QbExecutor::new(binning, NonDetScanEngine::new()).with_cache_capacity(32);
+            let mut t_owner = DbOwner::new(5);
+            let mut router = ShardRouter::new(3, NetworkModel::paper_wan(), 11).unwrap();
+            exec.outsource(&mut t_owner, &mut router, &parts).unwrap();
+            let run = exec
+                .run_workload_transported(&mut t_owner, &mut router, &with_unknown, transport)
+                .unwrap();
+            assert_eq!(run.answers.len(), with_unknown.len());
+            let got: Vec<Vec<u64>> = run
+                .answers
+                .iter()
+                .map(|ts| {
+                    let mut ids: Vec<u64> = ts.iter().map(|t| t.id.raw()).collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect();
+            assert_eq!(got, expected, "{transport:?}");
+            assert!(run.wall_clock_sec > 0.0);
+            // The doubled workload repeats every pair within the one batch:
+            // repeats wait for the first occurrence's fetch and count as
+            // hits, so at least half the batch is served owner-side — and a
+            // second batch must then hit fully.
+            assert_eq!(run.cache_hits + run.cache_misses, with_unknown.len() - 1);
+            assert!(
+                run.cache_hits >= workload.len(),
+                "{transport:?}: in-batch repeats must hit ({} hits)",
+                run.cache_hits
+            );
+            let rerun = exec
+                .run_workload_transported(&mut t_owner, &mut router, &workload, transport)
+                .unwrap();
+            assert_eq!(rerun.cache_misses, 0, "warm cache: {transport:?}");
+            assert_eq!(rerun.cache_hits, workload.len());
+            // Security still holds on every shard and composed.
+            let report =
+                pds_adversary::check_sharded_partitioned_security(&router.adversarial_views());
+            assert!(report.is_secure(), "{transport:?}: {report:?}");
+        }
     }
 
     #[test]

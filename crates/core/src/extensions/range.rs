@@ -25,18 +25,14 @@ pub fn select_range<E: SecureSelectionEngine, C: BinRoutedCloud>(
     lo: &Value,
     hi: &Value,
 ) -> Result<Vec<Tuple>> {
-    // Values of the searchable attribute inside the range, from owner-side
-    // metadata (no cloud interaction yet).
-    let in_range: Vec<Value> = executor
-        .binning()
-        .all_values()
-        .into_iter()
-        .filter(|v| v >= lo && v <= hi)
-        .collect();
-
-    // Distinct bin pairs covering those values.
+    // Values of the searchable attribute inside the range, straight off the
+    // owner-side metadata's memoized sorted domain (no cloud interaction and
+    // no per-query clone-and-sort).  Collect their distinct bin pairs.
     let mut pairs: Vec<BinPair> = Vec::new();
-    for v in &in_range {
+    for v in executor.binning().all_values() {
+        if v < lo || v > hi {
+            continue;
+        }
         if let Some(p) = executor.binning().retrieve(v) {
             if !pairs.contains(&p) {
                 pairs.push(p);
@@ -142,6 +138,31 @@ mod tests {
         assert_eq!(out.len(), 40);
         let ids: std::collections::HashSet<_> = out.iter().map(|t| t.id).collect();
         assert_eq!(ids.len(), 40);
+    }
+
+    #[test]
+    fn consecutive_range_queries_reuse_the_sorted_domain() {
+        // Regression: `select_range` used to call `all_values()` per query,
+        // which cloned and re-sorted the entire value domain each time.  The
+        // domain is now memoized at binning build time, so two consecutive
+        // range queries observe the identical buffer through the cached
+        // accessor (a fresh sort would allocate anew on every call).
+        let (mut owner, mut cloud, mut exec) = setup();
+        let before = exec.binning().all_values().as_ptr();
+        for _ in 0..2 {
+            select_range(
+                &mut exec,
+                &mut owner,
+                &mut cloud,
+                &Value::Int(100),
+                &Value::Int(200),
+            )
+            .unwrap();
+            assert!(
+                std::ptr::eq(before, exec.binning().all_values().as_ptr()),
+                "range execution must not rebuild the sorted domain"
+            );
+        }
     }
 
     #[test]

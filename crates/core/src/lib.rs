@@ -64,5 +64,5 @@ pub mod shape;
 
 pub use binning::{BinAssignment, BinPair, BinningConfig, QueryBinning};
 pub use cost::EtaModel;
-pub use executor::QbExecutor;
+pub use executor::{QbExecutor, SelectionStats, TransportedRun};
 pub use shape::BinShape;

@@ -19,7 +19,14 @@ use crate::cost::CostProfile;
 /// Implementations must only return **real** tuples whose searchable
 /// attribute is one of the requested values; fake/padding tuples and false
 /// positives are filtered owner-side before returning.
-pub trait SecureSelectionEngine {
+///
+/// Engines are `Send`: sharded deployments fork one engine per shard and
+/// the threaded transport (`pds_cloud::BinTransport::Threaded`) moves each
+/// fork onto its shard's OS thread, so every back-end's per-shard state
+/// must be transferable across threads (all six workspace engines hold
+/// only owned data, so this is a compile-time guarantee, not a runtime
+/// cost).
+pub trait SecureSelectionEngine: Send {
     /// Short human-readable name used in experiment output.
     fn name(&self) -> &'static str;
 
@@ -58,5 +65,25 @@ pub trait SecureSelectionEngine {
     /// notes access-pattern-hiding back-ends compose with QB too.
     fn hides_access_pattern(&self) -> bool {
         false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SecureSelectionEngine;
+
+    fn assert_engine<E: SecureSelectionEngine + Send>() {}
+
+    /// Compile-time proof that every back-end satisfies the `Send` bound the
+    /// threaded shard fan-out relies on — a non-`Send` field sneaking into
+    /// any engine breaks this test at compile time, not in a bench at 3 a.m.
+    #[test]
+    fn all_six_backends_are_send() {
+        assert_engine::<crate::ArxEngine>();
+        assert_engine::<crate::DeterministicIndexEngine>();
+        assert_engine::<crate::DpfEngine>();
+        assert_engine::<crate::NonDetScanEngine>();
+        assert_engine::<crate::ObliviousScanEngine>();
+        assert_engine::<crate::SecretSharingEngine>();
     }
 }

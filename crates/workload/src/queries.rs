@@ -54,7 +54,7 @@ impl QueryWorkload {
             .into_iter()
             .map(|(v, _)| v)
             .collect();
-        let zipf = Zipf::new(values.len(), exponent);
+        let zipf = Zipf::new(values.len(), exponent)?;
         Ok(QueryWorkload {
             values,
             zipf: Some(zipf),
@@ -170,6 +170,11 @@ mod tests {
         let attr = empty.schema().attr_id("A").unwrap();
         assert!(QueryWorkload::uniform(&empty, attr, 0).is_err());
         assert!(QueryWorkload::zipf(&empty, attr, 1.0, 0).is_err());
+        // Invalid exponents propagate the Zipf error instead of panicking.
+        let r = rel();
+        let attr = r.schema().attr_id("L_PARTKEY").unwrap();
+        assert!(QueryWorkload::zipf(&r, attr, -1.0, 0).is_err());
+        assert!(QueryWorkload::zipf(&r, attr, f64::NAN, 0).is_err());
     }
 
     #[test]

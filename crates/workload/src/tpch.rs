@@ -95,8 +95,15 @@ impl TpchGenerator {
         .expect("lineitem schema is valid");
         let mut rel = Relation::new("LINEITEM", schema);
         let mut rng = pds_common::rng::seeded_rng(self.config.seed);
-        let part_zipf = Zipf::new(self.config.distinct_partkeys, self.config.skew);
-        let supp_zipf = Zipf::new(self.config.distinct_suppkeys, self.config.skew);
+        // The generator is infallible by contract and its config is
+        // programmatic (never CLI-reachable), so a bad skew or an empty key
+        // domain is a caller bug: fail fast with a clear message rather than
+        // silently degrading to uniform data and letting a skew experiment
+        // report meaningless results.
+        let part_zipf = Zipf::new(self.config.distinct_partkeys, self.config.skew)
+            .expect("TpchConfig.distinct_partkeys must be > 0 and skew finite and >= 0");
+        let supp_zipf = Zipf::new(self.config.distinct_suppkeys, self.config.skew)
+            .expect("TpchConfig.distinct_suppkeys must be > 0 and skew finite and >= 0");
         let ship_modes = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"];
         for i in 0..self.config.lineitem_tuples {
             let partkey = part_zipf.sample(&mut rng) as i64 + 1;

@@ -4,6 +4,7 @@
 //! heavy-tailed distribution over values / query targets.  This is a simple
 //! inverse-CDF Zipf sampler over ranks `0..n`.
 
+use pds_common::{PdsError, Result};
 use rand::Rng;
 
 /// A Zipf distribution over `0..n` with exponent `s`.
@@ -16,11 +17,19 @@ impl Zipf {
     /// Creates a Zipf distribution over `n` ranks with skew exponent `s`
     /// (`s = 0` is uniform; `s ≈ 1` is classic Zipf).
     ///
-    /// # Panics
-    /// Panics if `n == 0` or `s < 0`.
-    pub fn new(n: usize, s: f64) -> Self {
-        assert!(n > 0, "Zipf needs a non-empty domain");
-        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+    /// Returns an error when `n == 0` or `s` is negative or not finite
+    /// (NaN included) — both parameters are CLI-reachable through
+    /// `experiments zipf --skew`, so bad input must surface as a
+    /// [`PdsError`], not a panic.
+    pub fn new(n: usize, s: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(PdsError::Config("Zipf needs a non-empty domain".into()));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(PdsError::Config(format!(
+                "Zipf exponent must be a finite value >= 0, got {s}"
+            )));
+        }
         let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
         let mut cdf = Vec::with_capacity(n);
@@ -33,7 +42,7 @@ impl Zipf {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
-        Zipf { cdf }
+        Ok(Zipf { cdf })
     }
 
     /// Number of ranks.
@@ -78,7 +87,7 @@ mod tests {
 
     #[test]
     fn pmf_sums_to_one_and_is_monotone() {
-        let z = Zipf::new(100, 1.0);
+        let z = Zipf::new(100, 1.0).unwrap();
         let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for r in 1..100 {
@@ -89,7 +98,7 @@ mod tests {
 
     #[test]
     fn zero_exponent_is_uniform() {
-        let z = Zipf::new(10, 0.0);
+        let z = Zipf::new(10, 0.0).unwrap();
         for r in 0..10 {
             assert!((z.pmf(r) - 0.1).abs() < 1e-9);
         }
@@ -97,7 +106,7 @@ mod tests {
 
     #[test]
     fn sampling_respects_skew() {
-        let z = Zipf::new(50, 1.2);
+        let z = Zipf::new(50, 1.2).unwrap();
         let mut rng = seeded_rng(5);
         let mut counts = [0u32; 50];
         for _ in 0..20_000 {
@@ -110,7 +119,7 @@ mod tests {
 
     #[test]
     fn samples_stay_in_range() {
-        let z = Zipf::new(3, 2.0);
+        let z = Zipf::new(3, 2.0).unwrap();
         let mut rng = seeded_rng(6);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
@@ -118,8 +127,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_domain_panics() {
-        let _ = Zipf::new(0, 1.0);
+    fn invalid_parameters_are_errors_not_panics() {
+        // Regression: these used to be `assert!`s, which became CLI-reachable
+        // panics once `experiments zipf --skew` existed; NaN was silently
+        // accepted and poisoned the CDF.
+        assert!(Zipf::new(0, 1.0).is_err(), "empty domain");
+        assert!(Zipf::new(10, -0.1).is_err(), "negative exponent");
+        assert!(Zipf::new(10, f64::NAN).is_err(), "NaN exponent");
+        assert!(Zipf::new(10, f64::INFINITY).is_err(), "infinite exponent");
+        assert!(Zipf::new(1, 0.0).is_ok(), "minimal valid domain");
     }
 }

@@ -66,13 +66,15 @@ pub mod prelude {
         ShardedSecurityReport, SurvivingMatches,
     };
     pub use pds_cloud::{
-        AdversarialView, BinPlacement, BinRoutedCloud, CloudServer, DbOwner, Metrics, NetworkModel,
-        ShardRouter,
+        AdversarialView, BinCache, BinCacheStats, BinKey, BinKind, BinPlacement, BinRoutedCloud,
+        BinTransport, CloudServer, DbOwner, Metrics, NetworkModel, ShardRouter,
     };
     pub use pds_common::{Domain, PdsError, Result, Value};
     pub use pds_core::executor::NaivePartitionedExecutor;
     pub use pds_core::extensions::{equi_join, group_by_aggregate, select_range, InsertPlanner};
-    pub use pds_core::{BinShape, BinningConfig, EtaModel, QbExecutor, QueryBinning};
+    pub use pds_core::{
+        BinShape, BinningConfig, EtaModel, QbExecutor, QueryBinning, SelectionStats, TransportedRun,
+    };
     pub use pds_storage::{
         Attribute, DataType, Partitioner, Predicate, Relation, Schema, SelectionQuery,
         SensitivityPolicy, Tuple,

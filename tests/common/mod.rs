@@ -1,0 +1,29 @@
+//! Helpers shared by the equivalence test suites (a `tests/common` module,
+//! not a test target): the canonical exhaustive Employee workload and the
+//! byte-level answer representation both suites compare with.
+
+use partitioned_data_security::prelude::*;
+
+/// The Employee deployment parts plus the exhaustive value workload (every
+/// distinct value of either side of the partition).
+pub fn employee_setup() -> (pds_storage::PartitionedRelation, Vec<Value>) {
+    let relation = employee_relation();
+    let policy = employee_sensitivity_policy(&relation).unwrap();
+    let parts = Partitioner::new(policy).split(&relation).unwrap();
+    let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+    let mut values = parts.sensitive.distinct_values(attr);
+    for v in parts.nonsensitive.distinct_values(attr) {
+        if !values.contains(&v) {
+            values.push(v);
+        }
+    }
+    (parts, values)
+}
+
+/// An answer as a sorted multiset of encoded tuples — the byte-level
+/// representation the owner would hand to the application.
+pub fn answer_bytes(tuples: &[Tuple]) -> Vec<Vec<u8>> {
+    let mut out: Vec<Vec<u8>> = tuples.iter().map(Tuple::encode).collect();
+    out.sort();
+    out
+}

@@ -9,29 +9,8 @@ use proptest::prelude::*;
 
 use partitioned_data_security::prelude::*;
 
-/// The Employee deployment parts plus the exhaustive value workload (every
-/// distinct value of either side of the partition).
-fn employee_setup() -> (pds_storage::PartitionedRelation, Vec<Value>) {
-    let relation = employee_relation();
-    let policy = employee_sensitivity_policy(&relation).unwrap();
-    let parts = Partitioner::new(policy).split(&relation).unwrap();
-    let attr = parts.sensitive.schema().attr_id("EId").unwrap();
-    let mut values = parts.sensitive.distinct_values(attr);
-    for v in parts.nonsensitive.distinct_values(attr) {
-        if !values.contains(&v) {
-            values.push(v);
-        }
-    }
-    (parts, values)
-}
-
-/// An answer as a sorted multiset of encoded tuples — the byte-level
-/// representation the owner would hand to the application.
-fn answer_bytes(tuples: &[Tuple]) -> Vec<Vec<u8>> {
-    let mut out: Vec<Vec<u8>> = tuples.iter().map(Tuple::encode).collect();
-    out.sort();
-    out
-}
+mod common;
+use common::{answer_bytes, employee_setup};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
