@@ -3,27 +3,33 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|employee|all]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|employee|all]
 //!               [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]
+//!               [--latency <sec>] [--bandwidth <mbps>]
 //!
 //! `--scale` shrinks the generated datasets (default 0.01 of the paper's
 //! sizes) so the full suite completes in seconds on a laptop; it must be a
 //! finite value strictly greater than zero.  `--shards` sets the shard
 //! count of the sharded experiments (default 8 for `sharded`; `headline`
-//! adds a sharded retrieval section when it is greater than 1).  `--skew`
-//! (finite, >= 0) and `--cache` pin the `zipf` experiment to a single skew
-//! exponent / hot-bin cache size instead of the default sweep.
+//! adds a sharded retrieval section when it is greater than 1; `wire`
+//! sweeps {1, N}).  `--skew` (finite, >= 0) and `--cache` pin the `zipf`
+//! experiment to a single skew exponent / hot-bin cache size instead of
+//! the default sweep.  `--latency` (seconds, finite, >= 0) and
+//! `--bandwidth` (Mbps, finite, > 0) pin the `wire` experiment's simulated
+//! link instead of its default latency x bandwidth sweep.
 
-use pds_bench::{attacks, fig6a, fig6b, fig6c, sharded, table6, zipf};
+use pds_bench::{attacks, fig6a, fig6b, fig6c, sharded, table6, wire, zipf};
 
-const KNOWN: [&str; 10] = [
-    "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "employee",
+const KNOWN: [&str; 11] = [
+    "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "wire",
+    "employee",
 ];
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
-        "usage: experiments [{}] [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]",
+        "usage: experiments [{}] [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>] \
+         [--latency <sec>] [--bandwidth <mbps>]",
         KNOWN.join("|")
     );
     std::process::exit(2);
@@ -50,7 +56,13 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
-        if arg == "--scale" || arg == "--shards" || arg == "--skew" || arg == "--cache" {
+        if arg == "--scale"
+            || arg == "--shards"
+            || arg == "--skew"
+            || arg == "--cache"
+            || arg == "--latency"
+            || arg == "--bandwidth"
+        {
             i += 2; // skip the flag and its value (validated below)
             continue;
         }
@@ -87,6 +99,18 @@ fn main() {
         }
     }
     let cache = parse_flag::<usize>(&args, "--cache");
+    let latency = parse_flag::<f64>(&args, "--latency");
+    if let Some(l) = latency {
+        if !l.is_finite() || l < 0.0 {
+            usage_exit(&format!("--latency must be a finite value >= 0, got {l}"));
+        }
+    }
+    let bandwidth = parse_flag::<f64>(&args, "--bandwidth");
+    if let Some(b) = bandwidth {
+        if !b.is_finite() || b <= 0.0 {
+            usage_exit(&format!("--bandwidth must be a finite value > 0, got {b}"));
+        }
+    }
 
     if !KNOWN.contains(&which.as_str()) {
         usage_exit(&format!("unknown experiment {which:?}"));
@@ -120,6 +144,9 @@ fn main() {
     }
     if run_all || which == "zipf" {
         sharded_ok &= print_zipf(scale, skew, cache);
+    }
+    if run_all || which == "wire" {
+        sharded_ok &= print_wire(scale, shards, latency, bandwidth);
     }
     if run_all || which == "employee" {
         print_employee();
@@ -280,8 +307,8 @@ fn print_sharded(shards: usize, scale: f64) -> bool {
 fn print_shard_table(title: &str, tuples: usize, counts: &[usize], queries: usize) -> bool {
     println!("== {title} ({tuples} tuples, {queries} queries) ==");
     println!(
-        "{:>8} {:>16} {:>16} {:>18} {:>16}",
-        "shards", "aggregate s", "parallel s", "parallel s/query", "measured s"
+        "{:>8} {:>16} {:>16} {:>18} {:>16} {:>14}",
+        "shards", "aggregate s", "parallel s", "parallel s/query", "measured s", "sim net s"
     );
     let ok = match sharded::run(tuples, counts, queries, 42) {
         Ok(points) => {
@@ -289,12 +316,13 @@ fn print_shard_table(title: &str, tuples: usize, counts: &[usize], queries: usiz
                 || points.last().expect("nonempty").measured_sec < points[0].measured_sec;
             for p in &points {
                 println!(
-                    "{:>8} {:>16.6} {:>16.6} {:>18.6} {:>16.6}",
+                    "{:>8} {:>16.6} {:>16.6} {:>18.6} {:>16.6} {:>14.6}",
                     p.shards,
                     p.aggregate_sec,
                     p.parallel_sec,
                     p.parallel_per_query_sec(),
-                    p.measured_sec
+                    p.measured_sec,
+                    p.sim_net_sec
                 );
             }
             if !measured_scales {
@@ -355,6 +383,79 @@ fn print_zipf(scale: f64, skew: Option<f64>, cache: Option<usize>) -> bool {
         }
         Err(e) => {
             eprintln!("zipf run failed: {e}");
+            println!();
+            false
+        }
+    }
+}
+
+/// Prints the wire-protocol sweep; returns whether every cell's answers
+/// matched the in-process transport byte-for-byte, security held, and the
+/// simulated clock genuinely overlapped per-shard latency (any failure is
+/// a correctness bug in the wire stack, so it fails the process like a
+/// sharded failure).
+fn print_wire(
+    scale: f64,
+    shards: Option<usize>,
+    latency: Option<f64>,
+    bandwidth: Option<f64>,
+) -> bool {
+    let tuples = ((16_000.0 * scale) as usize).max(1_200);
+    let latencies = latency.map_or_else(wire::default_latencies, |l| vec![l]);
+    let bandwidths = bandwidth.map_or_else(wire::default_bandwidths, |b| vec![b]);
+    let shard_counts = shards.map_or_else(wire::default_shards, |n| {
+        if n > 1 {
+            vec![1, n]
+        } else {
+            vec![1]
+        }
+    });
+    println!(
+        "== Wire protocol: byte-accurate traffic x event-simulated network ({tuples} tuples, \
+         exhaustive workload) =="
+    );
+    println!(
+        "{:>12} {:>10} {:>8} {:>8} {:>12} {:>8} {:>12} {:>7} {:>8}",
+        "latency s",
+        "Mbps",
+        "shards",
+        "queries",
+        "wire bytes",
+        "frames",
+        "sim wall s",
+        "exact?",
+        "secure?"
+    );
+    match wire::run(tuples, &latencies, &bandwidths, &shard_counts, 42) {
+        Ok(points) => {
+            let mut all_ok = true;
+            for p in &points {
+                println!(
+                    "{:>12.4} {:>10.0} {:>8} {:>8} {:>12} {:>8} {:>12.6} {:>7} {:>8}",
+                    p.latency_sec,
+                    p.bandwidth_mbps,
+                    p.shards,
+                    p.queries,
+                    p.wire_bytes,
+                    p.wire_frames,
+                    p.sim_wall_sec,
+                    p.exact,
+                    p.secure
+                );
+                all_ok &= p.exact && p.secure;
+            }
+            if !all_ok {
+                eprintln!("wire answers diverged from the in-process transport or security broke");
+            }
+            let overlaps = wire::overlap_holds(&points);
+            if !overlaps {
+                eprintln!("simulated network failed to overlap per-shard latency");
+            }
+            println!();
+            all_ok && overlaps
+        }
+        Err(e) => {
+            eprintln!("wire run failed: {e}");
             println!();
             false
         }

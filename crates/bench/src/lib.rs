@@ -14,6 +14,7 @@
 //! | [`attacks`] | §VI — Arx hardening (size / frequency / workload-skew attacks with and without QB) and the §I/§V headline numbers |
 //! | [`sharded`] | beyond the paper — shard-scaling: the same workload over 1/2/4/8 bin-routed cloud shards, modelled *and* measured (threaded fan-out) |
 //! | [`zipf`] | beyond the paper — Zipf-skewed workloads × owner-side hot-bin cache sizes: hit rate and bytes moved vs skew |
+//! | [`wire`] | beyond the paper — wire-protocol sweep: byte-accurate bytes moved and the event-simulated network wall-clock over latency × bandwidth × shards |
 //!
 //! [`deploy`] holds the shared machinery: building a partitioned TPC-H-like
 //! deployment (single-server or sharded) at a target sensitivity ratio,
@@ -29,4 +30,5 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod sharded;
 pub mod table6;
+pub mod wire;
 pub mod zipf;

@@ -32,6 +32,11 @@ pub struct ShardScalingPoint {
     /// with the shard count and the threads genuinely overlap — this is the
     /// observation the `parallel_sec` column only models.
     pub measured_sec: f64,
+    /// Simulated-network wall-clock of the same workload's wire traffic:
+    /// the measured per-shard frame streams replayed through the
+    /// event-driven `pds_proto::NetSim`, one link per shard, so transfers
+    /// on different shards overlap on the virtual clock.
+    pub sim_net_sec: f64,
 }
 
 impl ShardScalingPoint {
@@ -74,6 +79,7 @@ pub fn run(
             aggregate_sec: cost.aggregate.total_sec(),
             parallel_sec: cost.parallel_sec,
             measured_sec: cost.measured_wall_sec,
+            sim_net_sec: cost.sim_wall_sec,
         });
     }
     Ok(out)
@@ -121,6 +127,7 @@ mod tests {
         // machine (the work reduction alone guarantees it).
         let points = run(1_600, &[1, 4], 24, 42).unwrap();
         assert!(points.iter().all(|p| p.measured_sec > 0.0));
+        assert!(points.iter().all(|p| p.sim_net_sec > 0.0));
         assert!(
             points[1].measured_sec < points[0].measured_sec,
             "measured wall-clock at 4 shards ({}) must beat 1 shard ({})",

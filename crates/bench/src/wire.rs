@@ -1,0 +1,265 @@
+//! Wire-protocol experiment: byte-accurate bytes moved and a
+//! simulated-network wall-clock, swept over latency × bandwidth × shards.
+//!
+//! Every owner↔cloud interaction encodes a real `pds-proto` frame, so the
+//! bytes column is **measured off the wire** (frame headers, CRC trailers
+//! and all), not estimated.  The timing column comes from
+//! [`pds_cloud::BinTransport::Simulated`]: the event-driven
+//! `pds_proto::NetSim` replays each shard's frame stream over its own link,
+//! so per-shard latency genuinely overlaps — simulated time for `N` shards
+//! stays well below `N ×` the single-shard time at fixed latency, which is
+//! exactly what the thread-based transport could never show for the
+//! *network* component (threads only overlap compute).
+//!
+//! Each cell also re-runs the identical workload on an identical deployment
+//! over the in-process [`pds_cloud::BinTransport::Sequential`] transport
+//! and compares every answer byte-for-byte, and checks partitioned data
+//! security per shard and composed — the wire format and the simulator are
+//! pure accounting layers and must change nothing observable.
+
+use pds_adversary::check_sharded_partitioned_security;
+use pds_cloud::{BinTransport, NetworkModel};
+use pds_common::{Result, Value};
+use pds_storage::Tuple;
+use pds_systems::NonDetScanEngine;
+
+use crate::deploy::{lineitem, sharded_qb_deployment, ShardedQbDeployment};
+
+/// One cell of the latency × bandwidth × shard-count sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePoint {
+    /// One-way-fixed round-trip latency of the simulated links, in seconds.
+    pub latency_sec: f64,
+    /// Bandwidth of the simulated links, in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Shards the deployment ran over.
+    pub shards: usize,
+    /// Queries executed (the exhaustive workload, one per distinct value).
+    pub queries: usize,
+    /// Bytes moved between owner and cloud — measured encoded frame
+    /// lengths summed over every exchange of the workload.
+    pub wire_bytes: u64,
+    /// Wire frames moved (each request and each response is one frame).
+    pub wire_frames: u64,
+    /// Simulated-network wall-clock of the workload's fan-out: the NetSim
+    /// makespan with per-shard links genuinely overlapping.
+    pub sim_wall_sec: f64,
+    /// Whether every answer was byte-identical to the same workload over
+    /// the in-process transport on an identical deployment.
+    pub exact: bool,
+    /// Whether partitioned data security held on every shard's view and on
+    /// the composed view after the exhaustive workload.
+    pub secure: bool,
+}
+
+/// Per-query answers as sorted encoded tuples, for byte-level comparison.
+type EncodedAnswers = Vec<Vec<Vec<u8>>>;
+
+/// One cell's run outcome: answers, simulated clock (when the transport
+/// simulates one), and the wire traffic the run moved.
+struct CellRun {
+    answers: EncodedAnswers,
+    sim_wall_sec: Option<f64>,
+    wire_bytes: u64,
+    wire_frames: u64,
+}
+
+/// Answers as sorted encoded tuples, for byte-level comparison.
+fn answer_bytes(answers: &[Vec<Tuple>]) -> EncodedAnswers {
+    answers
+        .iter()
+        .map(|ts| {
+            let mut out: Vec<Vec<u8>> = ts.iter().map(Tuple::encode).collect();
+            out.sort();
+            out
+        })
+        .collect()
+}
+
+fn deployment(
+    relation: &pds_storage::Relation,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedQbDeployment<NonDetScanEngine>> {
+    sharded_qb_deployment(
+        relation,
+        0.3,
+        shards,
+        NonDetScanEngine::new(),
+        NetworkModel::paper_wan(),
+        seed,
+    )
+}
+
+/// Runs the exhaustive workload over one deployment through `transport`.
+fn run_cell(
+    dep: &mut ShardedQbDeployment<NonDetScanEngine>,
+    workload: &[Value],
+    transport: BinTransport,
+) -> Result<CellRun> {
+    let before = dep.router.metrics();
+    let run = dep.executor.run_workload_transported(
+        &mut dep.owner,
+        &mut dep.router,
+        workload,
+        transport,
+    )?;
+    let delta = dep.router.metrics().delta_since(&before);
+    Ok(CellRun {
+        answers: answer_bytes(&run.answers),
+        sim_wall_sec: run.sim_wall_clock_sec,
+        wire_bytes: delta.total_bytes(),
+        wire_frames: delta.wire_frames,
+    })
+}
+
+/// Sweeps `latencies_sec` × `bandwidths_mbps` × `shard_counts` over a
+/// `tuples`-row pseudo-TPC-H relation, running the exhaustive point-query
+/// workload (one query per distinct search value) in each cell.
+pub fn run(
+    tuples: usize,
+    latencies_sec: &[f64],
+    bandwidths_mbps: &[f64],
+    shard_counts: &[usize],
+    seed: u64,
+) -> Result<Vec<WirePoint>> {
+    let relation = lineitem(tuples, seed);
+    // The in-process baseline answers depend only on (relation, shards,
+    // seed) — never on the simulated link — so run it once per shard
+    // count, outside the latency x bandwidth sweep.
+    let mut baselines: Vec<(usize, Vec<Value>, EncodedAnswers)> =
+        Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let mut baseline = deployment(&relation, shards, seed)?;
+        let workload = baseline.workload(seed.wrapping_add(1))?.exhaustive();
+        let expected = run_cell(&mut baseline, &workload, BinTransport::Sequential)?;
+        baselines.push((shards, workload, expected.answers));
+    }
+    let mut out =
+        Vec::with_capacity(latencies_sec.len() * bandwidths_mbps.len() * shard_counts.len());
+    for &latency_sec in latencies_sec {
+        for &bandwidth_mbps in bandwidths_mbps {
+            let link = NetworkModel {
+                bandwidth_bytes_per_sec: bandwidth_mbps * 1e6 / 8.0,
+                latency_sec,
+            };
+            for (shards, workload, expected) in &baselines {
+                let shards = *shards;
+                // Simulated-transport run on an identical deployment:
+                // answers must be byte-identical to the baseline.
+                let mut dep = deployment(&relation, shards, seed)?;
+                let cell = run_cell(&mut dep, workload, BinTransport::Simulated(link))?;
+                let sim_wall_sec = cell
+                    .sim_wall_sec
+                    .expect("Simulated transport reports a sim clock");
+                let exact = &cell.answers == expected;
+
+                // Partitioned data security after the exhaustive workload,
+                // per shard and composed.
+                let secure =
+                    check_sharded_partitioned_security(&dep.router.adversarial_views()).is_secure();
+
+                out.push(WirePoint {
+                    latency_sec,
+                    bandwidth_mbps,
+                    shards,
+                    queries: workload.len(),
+                    wire_bytes: cell.wire_bytes,
+                    wire_frames: cell.wire_frames,
+                    sim_wall_sec,
+                    exact,
+                    secure,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Checks the latency-overlap property the simulator must exhibit: within
+/// every (latency, bandwidth) group, the simulated time at `N > 1` shards
+/// must stay below `N ×` the single-shard simulated time (independent
+/// links overlap; a serial network could only match the product).
+pub fn overlap_holds(points: &[WirePoint]) -> bool {
+    points.iter().filter(|p| p.shards > 1).all(|p| {
+        let single = points.iter().find(|q| {
+            q.shards == 1 && q.latency_sec == p.latency_sec && q.bandwidth_mbps == p.bandwidth_mbps
+        });
+        match single {
+            Some(s) => p.sim_wall_sec < p.shards as f64 * s.sim_wall_sec,
+            None => true,
+        }
+    })
+}
+
+/// The round-trip latencies the experiment sweeps by default, in seconds.
+pub fn default_latencies() -> Vec<f64> {
+    vec![0.002, 0.020]
+}
+
+/// The link bandwidths the experiment sweeps by default, in Mbps (the
+/// paper's 30 Mbps WAN plus a datacenter-class 1 Gbps link).
+pub fn default_bandwidths() -> Vec<f64> {
+    vec![30.0, 1000.0]
+}
+
+/// The shard counts the experiment sweeps by default.
+pub fn default_shards() -> Vec<usize> {
+    vec![1, 4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_cells_are_exact_secure_and_overlapping() {
+        let points = run(1_200, &[0.01], &[30.0], &[1, 4], 42).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.exact, "answers diverged: {p:?}");
+            assert!(p.secure, "security violated: {p:?}");
+            assert!(p.wire_bytes > 0 && p.wire_frames > 0);
+            assert!(p.sim_wall_sec > 0.0);
+            assert!(p.queries > 0);
+        }
+        assert!(overlap_holds(&points), "{points:?}");
+        // Latency must genuinely overlap: 4 shards moving the same total
+        // workload finish far sooner than 4x the single-shard clock.
+        assert!(
+            points[1].sim_wall_sec < 4.0 * points[0].sim_wall_sec,
+            "sim(4 shards) {} !< 4 x sim(1 shard) {}",
+            points[1].sim_wall_sec,
+            points[0].sim_wall_sec
+        );
+    }
+
+    #[test]
+    fn higher_latency_slows_the_simulated_clock() {
+        let points = run(1_200, &[0.001, 0.050], &[100.0], &[2], 42).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[0].sim_wall_sec < points[1].sim_wall_sec,
+            "50ms links must be slower than 1ms links: {points:?}"
+        );
+        // Same deployment, same workload: identical bytes on the wire.
+        assert_eq!(points[0].wire_bytes, points[1].wire_bytes);
+        assert_eq!(points[0].wire_frames, points[1].wire_frames);
+    }
+
+    #[test]
+    fn more_bandwidth_speeds_the_simulated_clock() {
+        let points = run(1_200, &[0.0], &[10.0, 1000.0], &[2], 42).unwrap();
+        assert!(
+            points[0].sim_wall_sec > points[1].sim_wall_sec,
+            "10 Mbps must be slower than 1 Gbps: {points:?}"
+        );
+    }
+
+    #[test]
+    fn default_sweeps_are_nonempty() {
+        assert_eq!(default_latencies().len(), 2);
+        assert_eq!(default_bandwidths().len(), 2);
+        assert_eq!(default_shards(), vec![1, 4]);
+    }
+}

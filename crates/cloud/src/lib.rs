@@ -28,9 +28,12 @@
 //! * [`shard::ShardRouter`] — a sharded multi-server deployment: `N`
 //!   independent `CloudServer` shards behind a seeded bin-to-shard placement
 //!   map, with per-shard *and* composed adversarial views,
-//! * [`transport::BinTransport`] — dispatch of per-shard bin fetches either
-//!   sequentially or on scoped OS threads, turning the router's
-//!   max-over-shards *estimate* into a *measured* wall-clock, and
+//! * [`transport::BinTransport`] — dispatch of per-shard bin fetches
+//!   sequentially, on scoped OS threads (measured compute overlap), or
+//!   through [`pds_proto::NetSim`]'s event loop
+//!   ([`transport::BinTransport::Simulated`]): the wire frames each shard
+//!   moved are replayed over per-shard links so the reported makespan shows
+//!   network latency genuinely overlapping, and
 //! * [`cache::BinCache`] — the owner-side hot-bin LRU: whole decrypted bins
 //!   cached at the trusted owner, so repeated (skewed) queries skip the
 //!   cloud round-trip entirely.
@@ -52,8 +55,9 @@ pub use cache::{BinCache, BinCacheStats, BinKey, BinKind};
 pub use metrics::Metrics;
 pub use network::NetworkModel;
 pub use owner::DbOwner;
+pub use pds_proto::{LinkSpec, RoundTrip, SimReport};
 pub use server::CloudServer;
 pub use shard::{BinPlacement, BinRoutedCloud, ShardRouter};
 pub use store::{EncryptedRow, EncryptedStore};
-pub use transport::{BinTransport, DispatchReport};
+pub use transport::{simulate_wire_traffic, BinTransport, DispatchReport};
 pub use view::{AdversarialView, QueryEpisode};

@@ -20,10 +20,16 @@ pub struct Metrics {
     pub owner_decryptions: u64,
     /// Values encrypted at the DB owner (query tokens + outsourcing).
     pub owner_encryptions: u64,
-    /// Bytes sent from the owner to the cloud (queries, uploads).
+    /// Bytes sent from the owner to the cloud (queries, uploads).  Since
+    /// the `pds-proto` wire format landed these are **measured** encoded
+    /// frame lengths, not payload estimates.
     pub bytes_uploaded: u64,
-    /// Bytes sent from the cloud to the owner (results).
+    /// Bytes sent from the cloud to the owner (results).  Measured encoded
+    /// frame lengths, like [`Metrics::bytes_uploaded`].
     pub bytes_downloaded: u64,
+    /// Wire frames moved in either direction (each request and each
+    /// response is one frame).
+    pub wire_frames: u64,
     /// Number of request round trips between owner and cloud.
     pub round_trips: u64,
     /// Tuples returned to the owner (sensitive + non-sensitive).
@@ -53,6 +59,7 @@ impl Metrics {
         self.owner_encryptions += other.owner_encryptions;
         self.bytes_uploaded += other.bytes_uploaded;
         self.bytes_downloaded += other.bytes_downloaded;
+        self.wire_frames += other.wire_frames;
         self.round_trips += other.round_trips;
         self.tuples_returned += other.tuples_returned;
         self.fake_tuples_returned += other.fake_tuples_returned;
@@ -74,6 +81,7 @@ impl Metrics {
             owner_encryptions: self.owner_encryptions - baseline.owner_encryptions,
             bytes_uploaded: self.bytes_uploaded - baseline.bytes_uploaded,
             bytes_downloaded: self.bytes_downloaded - baseline.bytes_downloaded,
+            wire_frames: self.wire_frames - baseline.wire_frames,
             round_trips: self.round_trips - baseline.round_trips,
             tuples_returned: self.tuples_returned - baseline.tuples_returned,
             fake_tuples_returned: self.fake_tuples_returned - baseline.fake_tuples_returned,
@@ -102,11 +110,15 @@ mod tests {
         let b = Metrics {
             plaintext_tuples_scanned: 2,
             bytes_downloaded: 5,
+            wire_frames: 2,
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.plaintext_tuples_scanned, 3);
         assert_eq!(a.total_bytes(), 15);
+        assert_eq!(a.wire_frames, 2);
+        let d = a.delta_since(&b);
+        assert_eq!(d.wire_frames, 0);
     }
 
     #[test]

@@ -61,6 +61,17 @@ impl NetworkModel {
     pub fn ccom_per_tuple(&self, tuple_bytes: usize) -> f64 {
         tuple_bytes as f64 / self.bandwidth_bytes_per_sec
     }
+
+    /// The event-simulator link with the same latency and bandwidth
+    /// (`pds_proto::NetSim` charges each round trip exactly what
+    /// [`NetworkModel::transfer_time`] would, but on an event loop that
+    /// overlaps links).
+    pub fn link_spec(&self) -> pds_proto::LinkSpec {
+        pds_proto::LinkSpec {
+            latency_sec: self.latency_sec,
+            bandwidth_bytes_per_sec: self.bandwidth_bytes_per_sec,
+        }
+    }
 }
 
 #[cfg(test)]

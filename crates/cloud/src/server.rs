@@ -6,14 +6,62 @@
 //! as an [`EncryptedStore`].  Every interaction is recorded in the
 //! [`AdversarialView`] and counted in [`Metrics`].
 
+//! ## Byte accounting is measured off the wire
+//!
+//! Every owner↔cloud interaction builds the actual [`pds_proto`] message
+//! it represents, encodes it into a wire frame, and charges the **encoded
+//! frame length** (header + payload + CRC trailer) to [`Metrics`] and the
+//! communication clock — not a `size_bytes` estimate.  Each interaction is
+//! also appended to a [`pds_proto::RoundTrip`] log so the event-driven
+//! network simulator ([`crate::BinTransport::Simulated`]) can replay the
+//! exact per-shard traffic.  In debug builds every encoded frame is decoded
+//! back and compared, so the test suite proves the wire format really
+//! carries the traffic it accounts for.
+
 use pds_common::{AttrId, PdsError, QueryId, Result, TupleId, Value};
 use pds_crypto::Ciphertext;
+use pds_proto::{Ack, BinPayload, FetchBinRequest, InsertRequest, RoundTrip, WireMessage, WireRow};
 use pds_storage::{HashIndex, Relation, Tuple};
 
 use crate::metrics::Metrics;
 use crate::network::NetworkModel;
 use crate::store::{EncryptedRow, EncryptedStore};
 use crate::view::AdversarialView;
+
+/// Encodes a message and returns its frame length, round-trip-verifying the
+/// codec in debug builds (the test suite runs unoptimised, so every frame
+/// the simulator accounts for is proven to decode back to its message).
+fn frame_len(msg: &WireMessage) -> usize {
+    let frame = msg.encode().expect("in-range wire message");
+    debug_assert_eq!(
+        &WireMessage::decode(&frame).expect("encoded frame decodes"),
+        msg,
+        "wire frame must roundtrip"
+    );
+    frame.len()
+}
+
+/// The wire form of an [`EncryptedRow`]: ciphertexts become opaque bytes.
+fn wire_row(row: &EncryptedRow) -> WireRow {
+    WireRow {
+        id: row.id.raw(),
+        attr_ct: row.attr_ct.as_bytes().to_vec(),
+        tuple_ct: row.tuple_ct.as_bytes().to_vec(),
+        search_tags: row.search_tags.clone(),
+    }
+}
+
+/// Wire rows for a response that carries only full-tuple ciphertexts.
+fn tuple_ct_rows(out: &[(TupleId, Ciphertext)]) -> Vec<WireRow> {
+    out.iter()
+        .map(|(id, ct)| WireRow {
+            id: id.raw(),
+            attr_ct: Vec::new(),
+            tuple_ct: ct.as_bytes().to_vec(),
+            search_tags: Vec::new(),
+        })
+        .collect()
+}
 
 /// The plaintext (non-sensitive) side of the deployment.
 #[derive(Debug, Clone)]
@@ -32,6 +80,9 @@ pub struct CloudServer {
     metrics: Metrics,
     network: NetworkModel,
     comm_time: f64,
+    /// Measured frame lengths of every owner↔cloud exchange, in order —
+    /// the traffic the event-driven network simulator replays.
+    wire_log: Vec<RoundTrip>,
 }
 
 impl Default for CloudServer {
@@ -50,7 +101,22 @@ impl CloudServer {
             metrics: Metrics::new(),
             network,
             comm_time: 0.0,
+            wire_log: Vec::new(),
         }
+    }
+
+    /// Charges one owner↔cloud exchange: `up`/`down` are **encoded frame
+    /// lengths** measured off the wire.  Updates byte counters, the frame
+    /// counter, the simulated communication clock, and the wire log.
+    fn record_exchange(&mut self, up: usize, down: usize) {
+        self.metrics.bytes_uploaded += up as u64;
+        self.metrics.bytes_downloaded += down as u64;
+        self.metrics.wire_frames += u64::from(up > 0) + u64::from(down > 0);
+        self.comm_time += self.network.transfer_time(up + down);
+        self.wire_log.push(RoundTrip {
+            up_bytes: up as u64,
+            down_bytes: down as u64,
+        });
     }
 
     // ----- outsourcing -----------------------------------------------------
@@ -60,9 +126,14 @@ impl CloudServer {
     pub fn upload_plaintext(&mut self, relation: Relation, searchable_attr: &str) -> Result<()> {
         let attr = relation.schema().attr_id(searchable_attr)?;
         let index = HashIndex::build(&relation, attr);
-        let bytes = relation.size_bytes();
-        self.metrics.bytes_uploaded += bytes as u64;
-        self.comm_time += self.network.transfer_time(bytes);
+        let up = frame_len(&WireMessage::InsertRequest(InsertRequest {
+            plain_tuples: relation.tuples().to_vec(),
+            encrypted_rows: Vec::new(),
+        }));
+        let down = frame_len(&WireMessage::Ack(Ack {
+            items: relation.len() as u64,
+        }));
+        self.record_exchange(up, down);
         self.plain = Some(PlainSide {
             relation,
             attr,
@@ -73,9 +144,14 @@ impl CloudServer {
 
     /// Uploads encrypted sensitive rows.
     pub fn upload_encrypted(&mut self, rows: Vec<EncryptedRow>) -> Result<()> {
-        let bytes: usize = rows.iter().map(EncryptedRow::size_bytes).sum();
-        self.metrics.bytes_uploaded += bytes as u64;
-        self.comm_time += self.network.transfer_time(bytes);
+        let up = frame_len(&WireMessage::InsertRequest(InsertRequest {
+            plain_tuples: Vec::new(),
+            encrypted_rows: rows.iter().map(wire_row).collect(),
+        }));
+        let down = frame_len(&WireMessage::Ack(Ack {
+            items: rows.len() as u64,
+        }));
+        self.record_exchange(up, down);
         self.encrypted.insert_many(rows)
     }
 
@@ -92,11 +168,12 @@ impl CloudServer {
     }
 
     /// Notes that the owner sent `count` encrypted (opaque) search values as
-    /// part of the current query (QB sends |SB| of them).
+    /// part of the current query (QB sends |SB| of them).  The token bytes
+    /// travel as one opaque frame, so the charged size is the engine's
+    /// payload estimate plus the real framing overhead.
     pub fn note_encrypted_request(&mut self, count: usize, bytes: usize) {
         self.view.observe_encrypted_request(count);
-        self.metrics.bytes_uploaded += bytes as u64;
-        self.comm_time += self.network.transfer_time(bytes);
+        self.record_exchange(pds_proto::encoded_len(bytes), 0);
         self.metrics.round_trips += 1;
     }
 
@@ -122,16 +199,22 @@ impl CloudServer {
         self.view
             .observe_nonsensitive_result(&ids, &returned_values);
 
-        // Metrics: index lookups, bytes for request and response.
-        let request_bytes: usize = values.iter().map(Value::size_bytes).sum();
-        let response_bytes: usize = tuples.iter().map(Tuple::size_bytes).sum();
+        // Metrics: index lookups, measured frame bytes for request and
+        // response.
+        let up = frame_len(&WireMessage::FetchBinRequest(FetchBinRequest {
+            values: values.to_vec(),
+            ids: Vec::new(),
+            tags: Vec::new(),
+        }));
+        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: tuples.clone(),
+            encrypted_rows: Vec::new(),
+        }));
         self.metrics.plaintext_index_lookups += values.len() as u64;
         self.metrics.plaintext_tuples_scanned += tuples.len() as u64;
         self.metrics.tuples_returned += tuples.len() as u64;
-        self.metrics.bytes_uploaded += request_bytes as u64;
-        self.metrics.bytes_downloaded += response_bytes as u64;
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(request_bytes + response_bytes);
+        self.record_exchange(up, down);
         Ok(tuples)
     }
 
@@ -149,12 +232,17 @@ impl CloudServer {
         let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
         self.view
             .observe_nonsensitive_result(&ids, &returned_values);
-        let response_bytes: usize = tuples.iter().map(Tuple::size_bytes).sum();
+        // The predicate itself is pushed down out of band today; the wire
+        // charges an empty request frame plus the full result payload.
+        let up = frame_len(&WireMessage::Opaque(Vec::new()));
+        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: tuples.clone(),
+            encrypted_rows: Vec::new(),
+        }));
         self.metrics.plaintext_tuples_scanned += plain.relation.len() as u64;
         self.metrics.tuples_returned += tuples.len() as u64;
-        self.metrics.bytes_downloaded += response_bytes as u64;
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(response_bytes);
+        self.record_exchange(up, down);
         Ok(tuples)
     }
 
@@ -179,11 +267,22 @@ impl CloudServer {
             .iter()
             .map(|r| (r.id, r.attr_ct.clone()))
             .collect();
-        let bytes = self.encrypted.attr_column_bytes();
-        self.metrics.bytes_downloaded += bytes as u64;
+        let up = frame_len(&WireMessage::Opaque(Vec::new()));
+        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: Vec::new(),
+            encrypted_rows: out
+                .iter()
+                .map(|(id, ct)| WireRow {
+                    id: id.raw(),
+                    attr_ct: ct.as_bytes().to_vec(),
+                    tuple_ct: Vec::new(),
+                    search_tags: Vec::new(),
+                })
+                .collect(),
+        }));
         self.metrics.encrypted_tuples_scanned += out.len() as u64;
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(bytes);
+        self.record_exchange(up, down);
         out
     }
 
@@ -195,13 +294,18 @@ impl CloudServer {
         let out: Vec<(TupleId, Ciphertext)> =
             rows.iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
         self.view.observe_sensitive_result(ids);
-        let request_bytes = ids.len() * 8;
-        let response_bytes: usize = rows.iter().map(|r| 8 + r.tuple_ct.len()).sum();
+        let up = frame_len(&WireMessage::FetchBinRequest(FetchBinRequest {
+            values: Vec::new(),
+            ids: ids.iter().map(|id| id.raw()).collect(),
+            tags: Vec::new(),
+        }));
+        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: Vec::new(),
+            encrypted_rows: tuple_ct_rows(&out),
+        }));
         self.metrics.tuples_returned += out.len() as u64;
-        self.metrics.bytes_uploaded += request_bytes as u64;
-        self.metrics.bytes_downloaded += response_bytes as u64;
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(request_bytes + response_bytes);
+        self.record_exchange(up, down);
         Ok(out)
     }
 
@@ -216,12 +320,15 @@ impl CloudServer {
             .collect();
         let ids: Vec<TupleId> = out.iter().map(|(id, _)| *id).collect();
         self.view.observe_sensitive_result(&ids);
-        let bytes: usize = out.iter().map(|(_, ct)| 8 + ct.len()).sum();
+        let up = frame_len(&WireMessage::Opaque(Vec::new()));
+        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: Vec::new(),
+            encrypted_rows: tuple_ct_rows(&out),
+        }));
         self.metrics.encrypted_tuples_scanned += out.len() as u64;
         self.metrics.tuples_returned += out.len() as u64;
-        self.metrics.bytes_downloaded += bytes as u64;
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(bytes);
+        self.record_exchange(up, down);
         out
     }
 
@@ -232,9 +339,8 @@ impl CloudServer {
     /// fact that a query arrived.
     pub fn note_oblivious_scan(&mut self, tuples: usize, request_bytes: usize) {
         self.metrics.encrypted_tuples_scanned += tuples as u64;
-        self.metrics.bytes_uploaded += request_bytes as u64;
+        self.record_exchange(pds_proto::encoded_len(request_bytes), 0);
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(request_bytes);
     }
 
     /// Cloud-side search by opaque tags (deterministic tags or Arx counter
@@ -253,14 +359,19 @@ impl CloudServer {
             .collect();
         self.view.observe_encrypted_request(tags.len());
         self.view.observe_sensitive_result(&ids);
-        let request_bytes: usize = tags.iter().map(Vec::len).sum();
-        let response_bytes: usize = out.iter().map(|(_, ct)| 8 + ct.len()).sum();
+        let up = frame_len(&WireMessage::FetchBinRequest(FetchBinRequest {
+            values: Vec::new(),
+            ids: Vec::new(),
+            tags: tags.to_vec(),
+        }));
+        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: Vec::new(),
+            encrypted_rows: tuple_ct_rows(&out),
+        }));
         self.metrics.plaintext_index_lookups += tags.len() as u64;
         self.metrics.tuples_returned += out.len() as u64;
-        self.metrics.bytes_uploaded += request_bytes as u64;
-        self.metrics.bytes_downloaded += response_bytes as u64;
         self.metrics.round_trips += 1;
-        self.comm_time += self.network.transfer_time(request_bytes + response_bytes);
+        self.record_exchange(up, down);
         out
     }
 
@@ -297,6 +408,14 @@ impl CloudServer {
     /// Simulated communication time accumulated so far, in seconds.
     pub fn comm_time(&self) -> f64 {
         self.comm_time
+    }
+
+    /// The measured wire traffic, in exchange order: one [`RoundTrip`] per
+    /// owner↔cloud interaction, each length an encoded frame size.  The
+    /// log is append-only (like the adversarial view); callers interested
+    /// in a window record the length before and slice afterwards.
+    pub fn wire_log(&self) -> &[RoundTrip] {
+        &self.wire_log
     }
 
     /// The network model in force.
@@ -434,6 +553,77 @@ mod tests {
         let ep = &s.adversarial_view().episodes()[0];
         assert_eq!(ep.encrypted_request_size, 3);
         assert_eq!(ep.sensitive_returned.len(), 2);
+    }
+
+    #[test]
+    fn wire_measured_bytes_stay_within_a_sane_factor_of_the_old_estimate() {
+        // Regression guard for the estimate → wire-measurement switch: the
+        // pre-wire model charged `sum(Value::size_bytes)` for a request and
+        // `sum(Tuple::size_bytes)` for a response.  The measured frame can
+        // only add (headers, CRC, length prefixes, value tags), and the
+        // framing never inflates a message beyond a small factor plus a
+        // constant.
+        let mut s = server();
+        let before = *s.metrics();
+        s.begin_query();
+        let values = [Value::from("E259"), Value::from("E254")];
+        let tuples = s.plain_select_in(&values).unwrap();
+        s.end_query();
+        let d = s.metrics().delta_since(&before);
+        let est_up: usize = values.iter().map(Value::size_bytes).sum();
+        let est_down: usize = tuples.iter().map(Tuple::size_bytes).sum();
+        assert!(
+            d.bytes_uploaded as usize >= est_up,
+            "wire adds framing, never removes payload: {} < {est_up}",
+            d.bytes_uploaded
+        );
+        assert!(
+            d.bytes_downloaded as usize >= est_down,
+            "wire adds framing, never removes payload: {} < {est_down}",
+            d.bytes_downloaded
+        );
+        assert!(
+            d.bytes_uploaded as usize <= 4 * est_up + 64,
+            "measured request {} bytes vs estimate {est_up}: framing blew up",
+            d.bytes_uploaded
+        );
+        assert!(
+            d.bytes_downloaded as usize <= 4 * est_down + 64,
+            "measured response {} bytes vs estimate {est_down}: framing blew up",
+            d.bytes_downloaded
+        );
+    }
+
+    #[test]
+    fn wire_log_records_every_exchange() {
+        let mut s = server(); // two uploads = two logged exchanges
+        assert_eq!(s.wire_log().len(), 2);
+        let before = *s.metrics();
+        let log_start = s.wire_log().len();
+        s.begin_query();
+        s.plain_select_in(&[Value::from("E259")]).unwrap();
+        s.note_encrypted_request(2, 64);
+        s.fetch_encrypted(&[TupleId::new(101)]).unwrap();
+        s.end_query();
+        let d = s.metrics().delta_since(&before);
+        let window = &s.wire_log()[log_start..];
+        assert_eq!(window.len(), 3, "one round trip per exchange");
+        let up: u64 = window.iter().map(|rt| rt.up_bytes).sum();
+        let down: u64 = window.iter().map(|rt| rt.down_bytes).sum();
+        assert_eq!(up, d.bytes_uploaded, "log and metrics agree on upload");
+        assert_eq!(
+            down, d.bytes_downloaded,
+            "log and metrics agree on download"
+        );
+        let frames: u64 = window
+            .iter()
+            .map(|rt| u64::from(rt.up_bytes > 0) + u64::from(rt.down_bytes > 0))
+            .sum();
+        assert_eq!(frames, d.wire_frames);
+        // Every frame includes the fixed wire overhead.
+        for rt in window {
+            assert!(rt.up_bytes >= pds_proto::FRAME_OVERHEAD as u64);
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum PdsError {
     Security(String),
     /// Invalid configuration or parameter.
     Config(String),
+    /// A wire-protocol frame or message failed to decode (truncated,
+    /// corrupted, wrong version, malformed payload).
+    Wire(String),
 }
 
 impl PdsError {
@@ -39,6 +42,7 @@ impl PdsError {
             PdsError::Cloud(_) => "cloud",
             PdsError::Security(_) => "security",
             PdsError::Config(_) => "config",
+            PdsError::Wire(_) => "wire",
         }
     }
 
@@ -51,7 +55,8 @@ impl PdsError {
             | PdsError::Binning(m)
             | PdsError::Cloud(m)
             | PdsError::Security(m)
-            | PdsError::Config(m) => m,
+            | PdsError::Config(m)
+            | PdsError::Wire(m) => m,
         }
     }
 }
@@ -92,6 +97,7 @@ mod tests {
             PdsError::Cloud(String::new()),
             PdsError::Security(String::new()),
             PdsError::Config(String::new()),
+            PdsError::Wire(String::new()),
         ];
         let names: Vec<_> = errs.iter().map(|e| e.category()).collect();
         let mut dedup = names.clone();

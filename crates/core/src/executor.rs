@@ -641,6 +641,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         Ok(TransportedRun {
             answers,
             wall_clock_sec: report.wall_clock_sec,
+            sim_wall_clock_sec: report.sim_wall_clock_sec,
             cache_hits,
             cache_misses,
         })
@@ -663,6 +664,11 @@ pub struct TransportedRun {
     /// Measured wall-clock seconds of the shard fan-out (excludes
     /// owner-side cache serving and the final merge).
     pub wall_clock_sec: f64,
+    /// Simulated-network wall-clock of the fan-out's wire traffic —
+    /// `Some` when the batch ran over [`BinTransport::Simulated`]: every
+    /// frame the shards moved, replayed through the event-driven
+    /// `pds_proto::NetSim`, with per-shard latency overlapping.
+    pub sim_wall_clock_sec: Option<f64>,
     /// Queries answered from the owner-side hot-bin cache.
     pub cache_hits: usize,
     /// Queries that fetched their bin pair from a shard.
@@ -1147,7 +1153,11 @@ mod tests {
             })
             .collect();
 
-        for transport in [BinTransport::Sequential, BinTransport::Threaded] {
+        for transport in [
+            BinTransport::Sequential,
+            BinTransport::Threaded,
+            BinTransport::Simulated(NetworkModel::lan()),
+        ] {
             let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
             let mut exec =
                 QbExecutor::new(binning, NonDetScanEngine::new()).with_cache_capacity(32);
@@ -1169,6 +1179,13 @@ mod tests {
                 .collect();
             assert_eq!(got, expected, "{transport:?}");
             assert!(run.wall_clock_sec > 0.0);
+            match transport {
+                BinTransport::Simulated(_) => {
+                    let sim = run.sim_wall_clock_sec.expect("simulated transport");
+                    assert!(sim > 0.0, "simulated network clock must advance");
+                }
+                _ => assert!(run.sim_wall_clock_sec.is_none(), "{transport:?}"),
+            }
             // The doubled workload repeats every pair within the one batch:
             // repeats wait for the first occurrence's fetch and count as
             // hits, so at least half the batch is served owner-side — and a

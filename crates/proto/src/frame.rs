@@ -1,0 +1,226 @@
+//! Length-delimited, checksummed frames — the outermost layer of the wire
+//! protocol.
+//!
+//! Every owner↔cloud message travels inside exactly one frame:
+//!
+//! ```text
+//!  offset  size  field
+//!  ------  ----  -----------------------------------------------------
+//!       0     2  magic  0x50 0x44 ("PD")
+//!       2     1  protocol version (currently 1)
+//!       3     1  message type tag (see `pds_proto::messages`)
+//!       4     4  payload length, big-endian u32
+//!       8     n  payload (message body, see `pds_proto::messages`)
+//!     8+n     4  CRC-32 (IEEE) over bytes [0, 8+n), big-endian
+//! ```
+//!
+//! Decoding is total: any truncated, oversized, or corrupted input yields
+//! `Err(PdsError::Wire(..))` — never a panic.  The CRC trailer guarantees
+//! that *any* single-byte corruption anywhere in the frame is detected
+//! (CRC-32 detects all error bursts up to 32 bits), which the property
+//! tests in `tests/proto_roundtrip.rs` fuzz.
+
+use pds_common::{PdsError, Result};
+
+/// Frame magic: ASCII "PD".
+pub const MAGIC: [u8; 2] = [0x50, 0x44];
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Bytes before the payload: magic + version + type + length.
+pub const HEADER_LEN: usize = 8;
+
+/// Bytes after the payload: the CRC-32 trailer.
+pub const TRAILER_LEN: usize = 4;
+
+/// Fixed per-frame overhead added on top of the payload.
+pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
+
+/// Hard ceiling on a frame's payload length.  Protects decoders against
+/// pathological length fields (a forged frame could otherwise request a
+/// multi-gigabyte allocation before the CRC is ever checked).
+pub const MAX_PAYLOAD_LEN: usize = 1 << 30;
+
+/// Byte-indexed CRC-32 lookup table for the reflected IEEE polynomial,
+/// built once at compile time (the bit-at-a-time loop would otherwise run
+/// 8 iterations per payload byte on every exchange's accounting path).
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Total encoded size of a frame carrying `payload_len` payload bytes.
+///
+/// Used to account for messages whose body the simulation only knows by
+/// size (opaque engine tokens), without materialising the payload.
+pub const fn encoded_len(payload_len: usize) -> usize {
+    FRAME_OVERHEAD + payload_len
+}
+
+/// Wraps a message payload into one wire frame.
+pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>> {
+    if payload.len() > MAX_PAYLOAD_LEN {
+        return Err(PdsError::Wire(format!(
+            "payload of {} bytes exceeds the {MAX_PAYLOAD_LEN}-byte frame limit",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(encoded_len(payload.len()));
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    Ok(out)
+}
+
+/// Unwraps one wire frame, returning `(msg_type, payload)`.
+///
+/// The input must be exactly one frame (trailing garbage is rejected —
+/// stream reassembly happens above this layer, using the length field).
+pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(PdsError::Wire(format!(
+            "frame truncated: {} bytes, need at least {FRAME_OVERHEAD}",
+            bytes.len()
+        )));
+    }
+    if bytes[..2] != MAGIC {
+        return Err(PdsError::Wire(format!(
+            "bad frame magic {:02x}{:02x}",
+            bytes[0], bytes[1]
+        )));
+    }
+    if bytes[2] != VERSION {
+        return Err(PdsError::Wire(format!(
+            "unsupported protocol version {}",
+            bytes[2]
+        )));
+    }
+    let msg_type = bytes[3];
+    let len = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(PdsError::Wire(format!(
+            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD_LEN}-byte frame limit"
+        )));
+    }
+    let expected_total = match HEADER_LEN
+        .checked_add(len)
+        .and_then(|n| n.checked_add(TRAILER_LEN))
+    {
+        Some(n) => n,
+        None => return Err(PdsError::Wire("frame length overflows".into())),
+    };
+    if bytes.len() != expected_total {
+        return Err(PdsError::Wire(format!(
+            "frame length mismatch: header declares {len} payload bytes \
+             ({expected_total} total), got {}",
+            bytes.len()
+        )));
+    }
+    let body_end = HEADER_LEN + len;
+    let declared_crc = u32::from_be_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+    let actual_crc = crc32(&bytes[..body_end]);
+    if declared_crc != actual_crc {
+        return Err(PdsError::Wire(format!(
+            "frame checksum mismatch: header {declared_crc:08x}, computed {actual_crc:08x}"
+        )));
+    }
+    Ok((msg_type, &bytes[HEADER_LEN..body_end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let frame = encode_frame(3, b"hello wire").unwrap();
+        assert_eq!(frame.len(), encoded_len(10));
+        let (ty, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(ty, 3);
+        assert_eq!(payload, b"hello wire");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode_frame(0, &[]).unwrap();
+        assert_eq!(frame.len(), FRAME_OVERHEAD);
+        let (ty, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(ty, 0);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_known_answer() {
+        // The classic check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error() {
+        let frame = encode_frame(2, b"payload bytes").unwrap();
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "truncation to {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let frame = encode_frame(5, b"tamper with me").unwrap();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_frame(&bad).is_err(), "flip at byte {i} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame.push(0);
+        assert!(decode_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[2] = 9;
+        assert!(decode_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_length_rejected_before_alloc() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_frame(&frame).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # pds-proto
+//!
+//! The **byte-accurate owner↔cloud wire protocol** plus an **event-driven
+//! network simulator**.
+//!
+//! Until this crate existed, every `bytes_uploaded` / `bytes_downloaded`
+//! number in the workspace was an *estimate* (`Value::size_bytes` sums) —
+//! the serde derives are no-ops and nothing ever serialised.  `pds-proto`
+//! closes that gap:
+//!
+//! * [`frame`] — a versioned, length-delimited, CRC-checked frame layout.
+//!   Decoding is total: truncated or corrupted input yields
+//!   `Err(PdsError::Wire(..))`, never a panic.
+//! * [`messages`] — the typed protocol messages ([`FetchBinRequest`],
+//!   [`BinPairRequest`], [`BinPayload`], [`InsertRequest`], [`Ack`],
+//!   [`ErrorFrame`], plus an [`WireMessage::Opaque`] escape hatch for
+//!   engine-specific token sets).  `pds-cloud` encodes the *actual* traffic
+//!   of every owner↔cloud interaction through these and charges the
+//!   encoded frame lengths to its metrics, so bytes moved are measured off
+//!   the wire.
+//! * [`netsim`] — a deterministic discrete-event simulator over per-shard
+//!   FIFO links.  Round trips on different links overlap on one virtual
+//!   clock, so the reported makespan shows per-shard latency genuinely
+//!   overlapping (`pds_cloud::BinTransport::Simulated` and the
+//!   `experiments wire` sweep are built on it).
+//!
+//! Layering: this crate depends only on `pds-common` (values, errors) and
+//! `pds-storage` (tuples).  Ciphertexts travel as opaque byte strings
+//! ([`WireRow`]), so no crypto types leak into the protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod messages;
+pub mod netsim;
+
+pub use frame::{crc32, decode_frame, encode_frame, encoded_len, FRAME_OVERHEAD, VERSION};
+pub use messages::{
+    error_frame, Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, InsertRequest,
+    WireMessage, WireRow,
+};
+pub use netsim::{LinkSpec, NetSim, RoundTrip, SimReport};

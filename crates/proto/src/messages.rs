@@ -1,0 +1,535 @@
+//! The typed owner↔cloud messages carried inside wire frames.
+//!
+//! Each variant of [`WireMessage`] has a stable one-byte type tag and a
+//! self-delimiting payload encoding built from four primitives: `u8`,
+//! big-endian `u32`/`u64`, and length-prefixed byte strings.  Attribute
+//! values reuse [`Value::encode`]'s injective tagged encoding and tuples
+//! reuse [`Tuple::encode`], so the wire format is exactly the byte form the
+//! rest of the workspace already encrypts and hashes.
+//!
+//! Decoding is total: every read is bounds-checked and malformed payloads
+//! yield `Err(PdsError::Wire(..))`, never a panic.  The frame layer's CRC
+//! already rejects corrupted-in-flight bytes; the payload decoders defend
+//! against malformed-but-checksummed input (a buggy or malicious peer).
+
+use pds_common::{PdsError, Result, Value};
+use pds_storage::Tuple;
+
+use crate::frame::{decode_frame, encode_frame};
+
+/// One encrypted row as it travels over the wire.
+///
+/// Ciphertexts are opaque byte strings at this layer — `pds-cloud` converts
+/// its `EncryptedRow` (whose fields are `pds_crypto::Ciphertext`) to and
+/// from this struct, keeping the protocol crate free of crypto types.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireRow {
+    /// Storage address / tuple id.
+    pub id: u64,
+    /// Ciphertext of the searchable attribute value (may be empty when the
+    /// message only carries full-tuple ciphertexts, and vice versa).
+    pub attr_ct: Vec<u8>,
+    /// Ciphertext of the full tuple.
+    pub tuple_ct: Vec<u8>,
+    /// Cloud-side searchable tags.
+    pub search_tags: Vec<Vec<u8>>,
+}
+
+impl WireRow {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_be_bytes());
+        write_bytes(out, &self.attr_ct);
+        write_bytes(out, &self.tuple_ct);
+        write_u32(out, self.search_tags.len() as u32);
+        for tag in &self.search_tags {
+            write_bytes(out, tag);
+        }
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self> {
+        let id = r.u64()?;
+        let attr_ct = r.bytes()?.to_vec();
+        let tuple_ct = r.bytes()?.to_vec();
+        let tag_count = r.u32()? as usize;
+        let mut search_tags = Vec::with_capacity(tag_count.min(PREALLOC_CAP));
+        for _ in 0..tag_count {
+            search_tags.push(r.bytes()?.to_vec());
+        }
+        Ok(WireRow {
+            id,
+            attr_ct,
+            tuple_ct,
+            search_tags,
+        })
+    }
+}
+
+/// Owner → cloud: fetch tuples by clear-text values, by storage address,
+/// and/or by opaque searchable tags (the three retrieval flavours the
+/// simulated cloud serves).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FetchBinRequest {
+    /// Clear-text values of one non-sensitive bin (`IN` selection).
+    pub values: Vec<Value>,
+    /// Storage addresses of encrypted tuples to return.
+    pub ids: Vec<u64>,
+    /// Opaque searchable tags (deterministic tags / Arx counter tokens).
+    pub tags: Vec<Vec<u8>>,
+}
+
+/// Owner → cloud: one whole Query Binning episode as a single message —
+/// the encrypted tokens of the sensitive bin plus the clear-text values of
+/// the non-sensitive bin.  This is the composed single-round-trip form of
+/// the protocol; the simulator's live path uses the finer-grained messages
+/// (its §V-B back-ends are multi-round by construction), and
+/// `benches/wire_overhead.rs` compares the two encodings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BinPairRequest {
+    /// Index of the sensitive bin being retrieved.
+    pub sensitive_bin: u32,
+    /// Index of the non-sensitive bin being retrieved.
+    pub nonsensitive_bin: u32,
+    /// Encrypted search tokens, one per value of the sensitive bin.
+    pub encrypted_values: Vec<Vec<u8>>,
+    /// Clear-text values of the non-sensitive bin.
+    pub nonsensitive_values: Vec<Value>,
+}
+
+/// Cloud → owner: the result stream of a retrieval — clear-text tuples from
+/// the non-sensitive side and/or encrypted rows from the sensitive side.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BinPayload {
+    /// Clear-text matching tuples.
+    pub plain_tuples: Vec<Tuple>,
+    /// Encrypted rows (ciphertexts opaque at this layer).
+    pub encrypted_rows: Vec<WireRow>,
+}
+
+/// Owner → cloud: outsource clear-text tuples and/or encrypted rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InsertRequest {
+    /// Clear-text tuples of the non-sensitive relation.
+    pub plain_tuples: Vec<Tuple>,
+    /// Encrypted rows of the sensitive relation.
+    pub encrypted_rows: Vec<WireRow>,
+}
+
+/// Cloud → owner: positive acknowledgement, carrying the number of items
+/// the request affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ack {
+    /// Items (tuples, rows, tokens) the acknowledged request covered.
+    pub items: u64,
+}
+
+/// Either direction: a transported error (the wire form of [`PdsError`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ErrorFrame {
+    /// Machine-readable category (mirrors [`PdsError::category`]).
+    pub category: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Every message of the owner↔cloud protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Fetch by values / addresses / tags.
+    FetchBinRequest(FetchBinRequest),
+    /// One composed QB episode request.
+    BinPairRequest(BinPairRequest),
+    /// Result stream of a retrieval.
+    BinPayload(BinPayload),
+    /// Outsourcing upload.
+    InsertRequest(InsertRequest),
+    /// Positive acknowledgement.
+    Ack(Ack),
+    /// Transported error.
+    Error(ErrorFrame),
+    /// An opaque body whose structure the protocol does not interpret
+    /// (engine-specific token sets such as DPF key shares; the frame still
+    /// contributes its real length to the byte accounting).
+    Opaque(Vec<u8>),
+}
+
+impl WireMessage {
+    /// The one-byte frame tag of this message type.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            WireMessage::FetchBinRequest(_) => 1,
+            WireMessage::BinPairRequest(_) => 2,
+            WireMessage::BinPayload(_) => 3,
+            WireMessage::InsertRequest(_) => 4,
+            WireMessage::Ack(_) => 5,
+            WireMessage::Error(_) => 6,
+            WireMessage::Opaque(_) => 7,
+        }
+    }
+
+    /// Short human-readable name of this message type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WireMessage::FetchBinRequest(_) => "FetchBinRequest",
+            WireMessage::BinPairRequest(_) => "BinPairRequest",
+            WireMessage::BinPayload(_) => "BinPayload",
+            WireMessage::InsertRequest(_) => "InsertRequest",
+            WireMessage::Ack(_) => "Ack",
+            WireMessage::Error(_) => "Error",
+            WireMessage::Opaque(_) => "Opaque",
+        }
+    }
+
+    /// Encodes the message into one complete wire frame
+    /// (header + payload + CRC trailer).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut payload = Vec::new();
+        match self {
+            WireMessage::FetchBinRequest(m) => {
+                write_u32(&mut payload, m.values.len() as u32);
+                for v in &m.values {
+                    write_bytes(&mut payload, &v.encode());
+                }
+                write_u32(&mut payload, m.ids.len() as u32);
+                for id in &m.ids {
+                    payload.extend_from_slice(&id.to_be_bytes());
+                }
+                write_u32(&mut payload, m.tags.len() as u32);
+                for tag in &m.tags {
+                    write_bytes(&mut payload, tag);
+                }
+            }
+            WireMessage::BinPairRequest(m) => {
+                write_u32(&mut payload, m.sensitive_bin);
+                write_u32(&mut payload, m.nonsensitive_bin);
+                write_u32(&mut payload, m.encrypted_values.len() as u32);
+                for ev in &m.encrypted_values {
+                    write_bytes(&mut payload, ev);
+                }
+                write_u32(&mut payload, m.nonsensitive_values.len() as u32);
+                for v in &m.nonsensitive_values {
+                    write_bytes(&mut payload, &v.encode());
+                }
+            }
+            WireMessage::BinPayload(m) => {
+                write_u32(&mut payload, m.plain_tuples.len() as u32);
+                for t in &m.plain_tuples {
+                    write_bytes(&mut payload, &t.encode());
+                }
+                write_u32(&mut payload, m.encrypted_rows.len() as u32);
+                for row in &m.encrypted_rows {
+                    row.write(&mut payload);
+                }
+            }
+            WireMessage::InsertRequest(m) => {
+                write_u32(&mut payload, m.plain_tuples.len() as u32);
+                for t in &m.plain_tuples {
+                    write_bytes(&mut payload, &t.encode());
+                }
+                write_u32(&mut payload, m.encrypted_rows.len() as u32);
+                for row in &m.encrypted_rows {
+                    row.write(&mut payload);
+                }
+            }
+            WireMessage::Ack(m) => {
+                payload.extend_from_slice(&m.items.to_be_bytes());
+            }
+            WireMessage::Error(m) => {
+                write_bytes(&mut payload, m.category.as_bytes());
+                write_bytes(&mut payload, m.message.as_bytes());
+            }
+            WireMessage::Opaque(body) => {
+                payload.extend_from_slice(body);
+            }
+        }
+        encode_frame(self.msg_type(), &payload)
+    }
+
+    /// Decodes one complete wire frame back into a message.
+    pub fn decode(frame: &[u8]) -> Result<WireMessage> {
+        let (msg_type, payload) = decode_frame(frame)?;
+        let mut r = Reader::new(payload);
+        let msg = match msg_type {
+            1 => {
+                let value_count = r.u32()? as usize;
+                let mut values = Vec::with_capacity(value_count.min(PREALLOC_CAP));
+                for _ in 0..value_count {
+                    values.push(r.value()?);
+                }
+                let id_count = r.u32()? as usize;
+                let mut ids = Vec::with_capacity(id_count.min(PREALLOC_CAP));
+                for _ in 0..id_count {
+                    ids.push(r.u64()?);
+                }
+                let tag_count = r.u32()? as usize;
+                let mut tags = Vec::with_capacity(tag_count.min(PREALLOC_CAP));
+                for _ in 0..tag_count {
+                    tags.push(r.bytes()?.to_vec());
+                }
+                WireMessage::FetchBinRequest(FetchBinRequest { values, ids, tags })
+            }
+            2 => {
+                let sensitive_bin = r.u32()?;
+                let nonsensitive_bin = r.u32()?;
+                let ev_count = r.u32()? as usize;
+                let mut encrypted_values = Vec::with_capacity(ev_count.min(PREALLOC_CAP));
+                for _ in 0..ev_count {
+                    encrypted_values.push(r.bytes()?.to_vec());
+                }
+                let v_count = r.u32()? as usize;
+                let mut nonsensitive_values = Vec::with_capacity(v_count.min(PREALLOC_CAP));
+                for _ in 0..v_count {
+                    nonsensitive_values.push(r.value()?);
+                }
+                WireMessage::BinPairRequest(BinPairRequest {
+                    sensitive_bin,
+                    nonsensitive_bin,
+                    encrypted_values,
+                    nonsensitive_values,
+                })
+            }
+            3 => {
+                let (plain_tuples, encrypted_rows) = read_tuples_and_rows(&mut r)?;
+                WireMessage::BinPayload(BinPayload {
+                    plain_tuples,
+                    encrypted_rows,
+                })
+            }
+            4 => {
+                let (plain_tuples, encrypted_rows) = read_tuples_and_rows(&mut r)?;
+                WireMessage::InsertRequest(InsertRequest {
+                    plain_tuples,
+                    encrypted_rows,
+                })
+            }
+            5 => WireMessage::Ack(Ack { items: r.u64()? }),
+            6 => {
+                let category = r.string()?;
+                let message = r.string()?;
+                WireMessage::Error(ErrorFrame { category, message })
+            }
+            7 => WireMessage::Opaque(r.rest().to_vec()),
+            other => {
+                return Err(PdsError::Wire(format!("unknown message type tag {other}")));
+            }
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Convenience: the encoded frame length of this message in bytes.
+    pub fn encoded_len(&self) -> Result<usize> {
+        Ok(self.encode()?.len())
+    }
+}
+
+/// Builds the wire form of a [`PdsError`].
+pub fn error_frame(err: &PdsError) -> ErrorFrame {
+    ErrorFrame {
+        category: err.category().to_string(),
+        message: err.message().to_string(),
+    }
+}
+
+fn read_tuples_and_rows(r: &mut Reader<'_>) -> Result<(Vec<Tuple>, Vec<WireRow>)> {
+    let tuple_count = r.u32()? as usize;
+    let mut plain_tuples = Vec::with_capacity(tuple_count.min(PREALLOC_CAP));
+    for _ in 0..tuple_count {
+        plain_tuples.push(r.tuple()?);
+    }
+    let row_count = r.u32()? as usize;
+    let mut encrypted_rows = Vec::with_capacity(row_count.min(PREALLOC_CAP));
+    for _ in 0..row_count {
+        encrypted_rows.push(WireRow::read(r)?);
+    }
+    Ok((plain_tuples, encrypted_rows))
+}
+
+/// Cap on speculative `Vec::with_capacity` from untrusted count fields: a
+/// forged count cannot force a large allocation before its items fail to
+/// parse.
+const PREALLOC_CAP: usize = 1024;
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    write_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Bounds-checked sequential reader over a message payload.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| PdsError::Wire("message payload length overflows".into()))?;
+        if end > self.data.len() {
+            return Err(PdsError::Wire(format!(
+                "message payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len() - self.pos
+            )));
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| PdsError::Wire("string field is not valid UTF-8".into()))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        let raw = self.bytes()?;
+        Value::decode(raw).ok_or_else(|| PdsError::Wire("malformed value encoding".into()))
+    }
+
+    fn tuple(&mut self) -> Result<Tuple> {
+        let raw = self.bytes()?;
+        Tuple::decode(raw).ok_or_else(|| PdsError::Wire("malformed tuple encoding".into()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let out = &self.data[self.pos..];
+        self.pos = self.data.len();
+        out
+    }
+
+    /// Rejects trailing bytes: every payload must be consumed exactly.
+    fn finish(self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(PdsError::Wire(format!(
+                "{} unconsumed trailing bytes in message payload",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_common::TupleId;
+
+    fn sample_tuple(id: u64) -> Tuple {
+        Tuple::new(
+            TupleId::new(id),
+            vec![Value::from("E259"), Value::Int(6), Value::Bool(true)],
+        )
+    }
+
+    fn sample_messages() -> Vec<WireMessage> {
+        vec![
+            WireMessage::FetchBinRequest(FetchBinRequest {
+                values: vec![Value::from("E259"), Value::Int(-4), Value::Null],
+                ids: vec![0, u64::MAX],
+                tags: vec![vec![], vec![1, 2, 3]],
+            }),
+            WireMessage::BinPairRequest(BinPairRequest {
+                sensitive_bin: 3,
+                nonsensitive_bin: 7,
+                encrypted_values: vec![vec![9; 48], vec![]],
+                nonsensitive_values: vec![Value::from("E101")],
+            }),
+            WireMessage::BinPayload(BinPayload {
+                plain_tuples: vec![sample_tuple(1), sample_tuple(2)],
+                encrypted_rows: vec![WireRow {
+                    id: 42,
+                    attr_ct: vec![1; 37],
+                    tuple_ct: vec![2; 90],
+                    search_tags: vec![vec![3; 16]],
+                }],
+            }),
+            WireMessage::InsertRequest(InsertRequest {
+                plain_tuples: vec![sample_tuple(9)],
+                encrypted_rows: vec![WireRow::default()],
+            }),
+            WireMessage::Ack(Ack { items: 12 }),
+            WireMessage::Error(error_frame(&PdsError::Cloud("no such shard".into()))),
+            WireMessage::Opaque(vec![0xAB; 33]),
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_messages() {
+            let frame = msg.encode().unwrap();
+            let back = WireMessage::decode(&frame).unwrap();
+            assert_eq!(back, msg, "{} roundtrip", msg.name());
+            assert_eq!(frame.len(), msg.encoded_len().unwrap());
+        }
+    }
+
+    #[test]
+    fn message_types_are_distinct() {
+        let mut tags: Vec<u8> = sample_messages()
+            .iter()
+            .map(WireMessage::msg_type)
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), sample_messages().len());
+    }
+
+    #[test]
+    fn unknown_type_tag_is_an_error() {
+        let frame = crate::frame::encode_frame(200, b"").unwrap();
+        assert!(WireMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_an_error() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        payload.push(0); // one byte too many for an Ack
+        let frame = crate::frame::encode_frame(5, &payload).unwrap();
+        assert!(WireMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn forged_count_fields_fail_without_large_allocs() {
+        // An Ack-sized payload relabelled as a BinPayload with a huge tuple
+        // count: the first item read fails, no allocation explosion.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_be_bytes());
+        let frame = crate::frame::encode_frame(3, &payload).unwrap();
+        assert!(WireMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn error_frame_mirrors_pds_error() {
+        let ef = error_frame(&PdsError::Query("bad bin".into()));
+        assert_eq!(ef.category, "query");
+        assert_eq!(ef.message, "bad bin");
+    }
+}

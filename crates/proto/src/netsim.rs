@@ -1,0 +1,346 @@
+//! Discrete-event network simulator for owner↔cloud traffic.
+//!
+//! The owner talks to `N` shard links.  Each link is FIFO: round trips
+//! submitted to the same link serialise (the owner must receive a shard's
+//! response before issuing that episode's next request), while round trips
+//! on *different* links are in flight concurrently — exactly the overlap a
+//! real multi-shard deployment gets from issuing requests to independent
+//! machines.  Each round trip on a link costs
+//!
+//! ```text
+//!   latency + (request_bytes + response_bytes) / bandwidth
+//! ```
+//!
+//! matching `NetworkModel::transfer_time` in `pds-cloud`, but — unlike the
+//! per-interaction accumulation done there — the event loop interleaves the
+//! links on a single virtual clock, so the reported makespan is the
+//! wall-clock of the *whole fan-out*, with per-shard latency genuinely
+//! overlapped: simulated time for `N` busy links approaches
+//! `max`-over-links instead of the sum.
+//!
+//! The simulator is pure and deterministic: no threads, no wall clock, no
+//! randomness.  Frame lengths come from the wire log `pds-cloud` keeps
+//! (every logged length is a real encoded frame size), so the simulated
+//! seconds are byte-accurate.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use pds_common::{PdsError, Result};
+
+/// One owner↔shard link: fixed per-round-trip latency plus sustained
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Fixed latency charged once per round trip, in seconds.
+    pub latency_sec: f64,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl LinkSpec {
+    /// Seconds one round trip of `up + down` payload bytes occupies the
+    /// link.
+    pub fn round_trip_time(&self, up_bytes: u64, down_bytes: u64) -> f64 {
+        self.latency_sec + (up_bytes + down_bytes) as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// One request/response exchange, with both frame lengths measured off the
+/// wire (encoded frame bytes, not payload estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundTrip {
+    /// Encoded bytes of the request frame(s), owner → cloud.
+    pub up_bytes: u64,
+    /// Encoded bytes of the response frame(s), cloud → owner.
+    pub down_bytes: u64,
+}
+
+impl RoundTrip {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.up_bytes + self.down_bytes
+    }
+}
+
+/// The outcome of one simulated fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Virtual seconds until the last link went idle (the simulated
+    /// wall-clock of the whole exchange).
+    pub makespan_sec: f64,
+    /// Per-link completion times, aligned with the submitted traffic.
+    pub link_completion_sec: Vec<f64>,
+    /// Round trips delivered across all links.
+    pub round_trips: usize,
+    /// Total bytes moved across all links.
+    pub total_bytes: u64,
+    /// Events the simulator processed (one response-arrival event per
+    /// round trip; request arrival is folded into the same completion
+    /// time, since the shard answers instantly — compute is costed by the
+    /// separate cost models).
+    pub events_processed: usize,
+}
+
+/// A response-arrival event on the virtual clock: round trip `index` on
+/// `link` finished arriving back at the owner, freeing the link for its
+/// next queued round trip.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    link: usize,
+    index: usize,
+}
+
+// BinaryHeap is a max-heap; order events so the *earliest* time pops first.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            // Tie-break on (link, index) so the schedule is deterministic
+            // even when several events share a timestamp.
+            .then_with(|| other.link.cmp(&self.link))
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+/// The event-driven simulator: `N` FIFO links sharing one virtual clock.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    links: Vec<LinkSpec>,
+}
+
+impl NetSim {
+    /// A simulator over the given per-link specifications.
+    pub fn new(links: Vec<LinkSpec>) -> Result<Self> {
+        if links.is_empty() {
+            return Err(PdsError::Config("NetSim needs at least one link".into()));
+        }
+        for (i, l) in links.iter().enumerate() {
+            if l.latency_sec.is_nan() || l.latency_sec < 0.0 {
+                return Err(PdsError::Config(format!(
+                    "link {i}: latency must be >= 0, got {}",
+                    l.latency_sec
+                )));
+            }
+            if l.bandwidth_bytes_per_sec.is_nan() || l.bandwidth_bytes_per_sec <= 0.0 {
+                return Err(PdsError::Config(format!(
+                    "link {i}: bandwidth must be > 0, got {}",
+                    l.bandwidth_bytes_per_sec
+                )));
+            }
+        }
+        Ok(NetSim { links })
+    }
+
+    /// A simulator over `n` identical links.
+    pub fn uniform(n: usize, link: LinkSpec) -> Result<Self> {
+        Self::new(vec![link; n])
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Runs the traffic to completion and reports the simulated timings.
+    ///
+    /// `per_link[i]` is link `i`'s FIFO stream of round trips, all
+    /// submitted at virtual time zero (the fan-out dispatches every shard's
+    /// first request immediately; later round trips on a link start when
+    /// the previous response has arrived).  `per_link` may be shorter than
+    /// the link count; missing links simply stay idle.
+    pub fn run(&self, per_link: &[Vec<RoundTrip>]) -> Result<SimReport> {
+        if per_link.len() > self.links.len() {
+            return Err(PdsError::Config(format!(
+                "traffic for {} links, simulator has {}",
+                per_link.len(),
+                self.links.len()
+            )));
+        }
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut link_completion = vec![0.0_f64; self.links.len()];
+        let mut events_processed = 0usize;
+        let mut round_trips = 0usize;
+        let mut total_bytes = 0u64;
+
+        // Seed the clock: every link's first request departs at t = 0.
+        for (link, stream) in per_link.iter().enumerate() {
+            if let Some(rt) = stream.first() {
+                self.schedule_round_trip(&mut heap, link, 0, 0.0, *rt);
+            }
+        }
+
+        while let Some(ev) = heap.pop() {
+            events_processed += 1;
+            let rt = per_link[ev.link][ev.index];
+            round_trips += 1;
+            total_bytes += rt.total_bytes();
+            link_completion[ev.link] = ev.time;
+            // The link is free: dispatch its next queued round trip.
+            let next = ev.index + 1;
+            if let Some(rt) = per_link[ev.link].get(next) {
+                self.schedule_round_trip(&mut heap, ev.link, next, ev.time, *rt);
+            }
+        }
+
+        let makespan_sec = link_completion.iter().fold(0.0_f64, |a, &b| a.max(b));
+        Ok(SimReport {
+            makespan_sec,
+            link_completion_sec: link_completion,
+            round_trips,
+            total_bytes,
+            events_processed,
+        })
+    }
+
+    fn schedule_round_trip(
+        &self,
+        heap: &mut BinaryHeap<Event>,
+        link: usize,
+        index: usize,
+        start: f64,
+        rt: RoundTrip,
+    ) {
+        let spec = self.links[link];
+        // One fixed latency per round trip plus the byte transfer time of
+        // both directions; the shard answers instantly (compute is costed
+        // by the separate cost models), so a single response-arrival event
+        // captures the whole exchange.
+        let response_arrival = start + spec.round_trip_time(rt.up_bytes, rt.down_bytes);
+        heap.push(Event {
+            time: response_arrival,
+            link,
+            index,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(latency: f64, bw: f64) -> LinkSpec {
+        LinkSpec {
+            latency_sec: latency,
+            bandwidth_bytes_per_sec: bw,
+        }
+    }
+
+    fn rt(up: u64, down: u64) -> RoundTrip {
+        RoundTrip {
+            up_bytes: up,
+            down_bytes: down,
+        }
+    }
+
+    #[test]
+    fn one_link_sums_round_trips() {
+        let sim = NetSim::uniform(1, link(1.0, 1000.0)).unwrap();
+        let report = sim.run(&[vec![rt(500, 500), rt(0, 1000)]]).unwrap();
+        // Each round trip: 1s latency + 1000 bytes / 1000 B/s = 2s.
+        assert!((report.makespan_sec - 4.0).abs() < 1e-12, "{report:?}");
+        assert_eq!(report.round_trips, 2);
+        assert_eq!(report.total_bytes, 2000);
+        assert_eq!(report.events_processed, 2);
+    }
+
+    #[test]
+    fn independent_links_overlap_their_latency() {
+        // 4 links, one 1s-latency round trip each: the event loop overlaps
+        // them, so the makespan is ~1 round trip, not 4.
+        let sim = NetSim::uniform(4, link(1.0, 1e9)).unwrap();
+        let traffic: Vec<Vec<RoundTrip>> = (0..4).map(|_| vec![rt(100, 100)]).collect();
+        let report = sim.run(&traffic).unwrap();
+        assert!(report.makespan_sec < 1.1, "{report:?}");
+        let serial: f64 = 4.0 * 1.0;
+        assert!(
+            report.makespan_sec < serial / 2.0,
+            "overlap must beat serial: {} vs {serial}",
+            report.makespan_sec
+        );
+    }
+
+    #[test]
+    fn spreading_traffic_over_more_links_shrinks_the_makespan() {
+        let spec = link(0.05, 1e6);
+        let all: Vec<RoundTrip> = (0..16).map(|i| rt(1000 + i, 4000)).collect();
+        let one_link = NetSim::uniform(1, spec)
+            .unwrap()
+            .run(std::slice::from_ref(&all))
+            .unwrap();
+        let four: Vec<Vec<RoundTrip>> = (0..4)
+            .map(|l| all.iter().skip(l).step_by(4).copied().collect())
+            .collect();
+        let four_links = NetSim::uniform(4, spec).unwrap().run(&four).unwrap();
+        assert!(
+            four_links.makespan_sec < one_link.makespan_sec / 2.0,
+            "4 links {} must overlap well against 1 link {}",
+            four_links.makespan_sec,
+            one_link.makespan_sec
+        );
+        assert_eq!(one_link.total_bytes, four_links.total_bytes);
+    }
+
+    #[test]
+    fn fifo_within_a_link_is_preserved() {
+        let sim = NetSim::uniform(2, link(0.0, 100.0)).unwrap();
+        let report = sim
+            .run(&[vec![rt(100, 0), rt(100, 0)], vec![rt(50, 0)]])
+            .unwrap();
+        // Link 0: 1s + 1s; link 1: 0.5s.
+        assert!((report.link_completion_sec[0] - 2.0).abs() < 1e-12);
+        assert!((report.link_completion_sec[1] - 0.5).abs() < 1e-12);
+        assert!((report.makespan_sec - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_links_are_free() {
+        let sim = NetSim::uniform(3, link(1.0, 1.0)).unwrap();
+        let report = sim.run(&[vec![], vec![rt(1, 1)]]).unwrap();
+        assert_eq!(report.round_trips, 1);
+        assert_eq!(report.link_completion_sec[0], 0.0);
+        assert_eq!(report.link_completion_sec[2], 0.0);
+        // Traffic shorter than the link count is fine; longer is not.
+        assert!(sim.run(&[vec![], vec![], vec![], vec![rt(1, 1)]]).is_err());
+    }
+
+    #[test]
+    fn bad_link_specs_are_rejected() {
+        assert!(NetSim::new(vec![]).is_err());
+        assert!(NetSim::uniform(1, link(-1.0, 10.0)).is_err());
+        assert!(NetSim::uniform(1, link(f64::NAN, 10.0)).is_err());
+        assert!(NetSim::uniform(1, link(0.0, 0.0)).is_err());
+        assert!(NetSim::uniform(2, link(0.0, f64::INFINITY)).is_ok());
+    }
+
+    #[test]
+    fn infinite_bandwidth_charges_latency_only() {
+        let sim = NetSim::uniform(1, link(0.25, f64::INFINITY)).unwrap();
+        let report = sim.run(&[vec![rt(1 << 30, 1 << 30)]]).unwrap();
+        assert!((report.makespan_sec - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sim = NetSim::uniform(3, link(0.01, 5e5)).unwrap();
+        let traffic: Vec<Vec<RoundTrip>> = (0..3)
+            .map(|l| (0..5).map(|i| rt(100 * (l as u64 + 1), 50 * i)).collect())
+            .collect();
+        let a = sim.run(&traffic).unwrap();
+        let b = sim.run(&traffic).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -2,11 +2,13 @@
 //!
 //! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
 //! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
-//! Instead of criterion's statistical machinery it runs each benchmark for
-//! a fixed, small number of wall-clock samples and prints the mean — enough
-//! to compare hot paths between commits and to keep `cargo bench` wired up
-//! until the real crate can be pulled from a registry. Sample counts can be
-//! tuned per group via [`BenchmarkGroup::sample_size`] or globally with the
+//! Instead of criterion's full statistical machinery it runs each benchmark
+//! for a fixed, small number of wall-clock samples and prints the mean,
+//! min, max and standard deviation over the per-iteration timings — enough
+//! to compare hot paths between commits (and to spot noisy ones) while
+//! keeping `cargo bench` wired up until the real crate can be pulled from a
+//! registry. Sample counts can be tuned per group via
+//! [`BenchmarkGroup::sample_size`] or globally with the
 //! `CRITERION_SAMPLES` environment variable.
 
 #![forbid(unsafe_code)]
@@ -51,22 +53,21 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            total: Duration::ZERO,
-            iterations: 0,
+            samples: Vec::with_capacity(samples),
         };
         for _ in 0..samples {
             f(&mut bencher);
         }
-        let mean = if bencher.iterations == 0 {
-            Duration::ZERO
-        } else {
-            bencher.total / bencher.iterations
-        };
+        let stats = SampleStats::from_samples(&bencher.samples);
         println!(
-            "{label:<60} time: {mean:>12.2?} ({} iters)",
-            bencher.iterations
+            "{label:<60} time: [{:>10.2?} {:>10.2?} {:>10.2?}] std dev: {:>10.2?} ({} iters)",
+            stats.min,
+            stats.mean,
+            stats.max,
+            stats.std_dev,
+            bencher.samples.len()
         );
-        self.results.push((label, mean));
+        self.results.push((label, stats.mean));
     }
 
     /// Prints the closing summary. Called by [`criterion_main!`].
@@ -158,20 +159,56 @@ impl Display for BenchmarkId {
     }
 }
 
+/// Summary statistics over a set of per-iteration timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Population standard deviation of the samples.
+    pub std_dev: Duration,
+}
+
+impl SampleStats {
+    /// Computes mean/min/max/std-dev over `samples` (all zero when empty).
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return SampleStats {
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                std_dev: Duration::ZERO,
+            };
+        }
+        let n = samples.len() as f64;
+        let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        let mean_secs = secs.iter().sum::<f64>() / n;
+        let variance = secs.iter().map(|s| (s - mean_secs).powi(2)).sum::<f64>() / n;
+        SampleStats {
+            mean: Duration::from_secs_f64(mean_secs),
+            min: *samples.iter().min().expect("nonempty"),
+            max: *samples.iter().max().expect("nonempty"),
+            std_dev: Duration::from_secs_f64(variance.sqrt()),
+        }
+    }
+}
+
 /// Measures the timed routine handed to it by a benchmark closure.
 #[derive(Debug)]
 pub struct Bencher {
-    total: Duration,
-    iterations: u32,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times one call of `routine` and accumulates the measurement.
+    /// Times one call of `routine` and records the measurement as one
+    /// sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let start = Instant::now();
         black_box(routine());
-        self.total += start.elapsed();
-        self.iterations += 1;
+        self.samples.push(start.elapsed());
     }
 }
 
@@ -224,5 +261,36 @@ mod tests {
         });
         group.finish();
         assert_eq!(c.results.len(), 2);
+    }
+
+    #[test]
+    fn sample_stats_cover_mean_min_max_std_dev() {
+        let samples = [
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.mean, Duration::from_millis(20));
+        assert_eq!(stats.min, Duration::from_millis(10));
+        assert_eq!(stats.max, Duration::from_millis(30));
+        // Population std dev of {10, 20, 30} ms is sqrt(200/3) ≈ 8.165 ms.
+        let sd = stats.std_dev.as_secs_f64();
+        assert!((sd - 0.008_164_965).abs() < 1e-6, "{sd}");
+    }
+
+    #[test]
+    fn sample_stats_of_nothing_are_zero() {
+        let stats = SampleStats::from_samples(&[]);
+        assert_eq!(stats.mean, Duration::ZERO);
+        assert_eq!(stats.std_dev, Duration::ZERO);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_std_dev() {
+        let stats = SampleStats::from_samples(&[Duration::from_micros(5); 4]);
+        assert_eq!(stats.mean, Duration::from_micros(5));
+        assert_eq!(stats.min, stats.max);
+        assert!(stats.std_dev.as_secs_f64() < 1e-12);
     }
 }
