@@ -3,26 +3,27 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|employee|all]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|rwmix|employee|all]
 //!               [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]
 //!               [--latency <sec>] [--bandwidth <mbps>]
 //!
 //! `--scale` shrinks the generated datasets (default 0.01 of the paper's
 //! sizes) so the full suite completes in seconds on a laptop; it must be a
 //! finite value strictly greater than zero.  `--shards` sets the shard
-//! count of the sharded experiments (default 8 for `sharded`; `headline`
-//! adds a sharded retrieval section when it is greater than 1; `wire`
-//! sweeps {1, N}).  `--skew` (finite, >= 0) and `--cache` pin the `zipf`
-//! experiment to a single skew exponent / hot-bin cache size instead of
-//! the default sweep.  `--latency` (seconds, finite, >= 0) and
+//! count of the sharded experiments (default 8 for `sharded`, 4 for
+//! `hetero`; `headline` adds a sharded retrieval section when it is
+//! greater than 1; `wire` sweeps {1, N}).  `--skew` (finite, >= 0) and
+//! `--cache` pin the `zipf` experiment to a single skew exponent / hot-bin
+//! cache size instead of the default sweep (`--cache` also sets the
+//! `rwmix` cache size).  `--latency` (seconds, finite, >= 0) and
 //! `--bandwidth` (Mbps, finite, > 0) pin the `wire` experiment's simulated
 //! link instead of its default latency x bandwidth sweep.
 
-use pds_bench::{attacks, fig6a, fig6b, fig6c, sharded, table6, wire, zipf};
+use pds_bench::{attacks, fig6a, fig6b, fig6c, hetero, rwmix, sharded, table6, wire, zipf};
 
-const KNOWN: [&str; 11] = [
+const KNOWN: [&str; 13] = [
     "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "wire",
-    "employee",
+    "hetero", "rwmix", "employee",
 ];
 
 fn usage_exit(message: &str) -> ! {
@@ -115,6 +116,15 @@ fn main() {
     if !KNOWN.contains(&which.as_str()) {
         usage_exit(&format!("unknown experiment {which:?}"));
     }
+    // Per-experiment constraints, rejected at parse time like every other
+    // flag (silently clamping an explicit request would run a different
+    // configuration than the one asked for).
+    if which == "hetero" && shards.is_some_and(|s| s < 2) {
+        usage_exit("hetero needs --shards >= 2 (one engine per shard, at least two kinds)");
+    }
+    if which == "rwmix" && cache == Some(0) {
+        usage_exit("rwmix needs --cache >= 1 (capacity 0 never hits, so nothing to invalidate)");
+    }
 
     let run_all = which == "all";
     if run_all || which == "fig6a" {
@@ -147,6 +157,15 @@ fn main() {
     }
     if run_all || which == "wire" {
         sharded_ok &= print_wire(scale, shards, latency, bandwidth);
+    }
+    if run_all || which == "hetero" {
+        sharded_ok &= print_hetero(shards.unwrap_or(4), scale);
+    }
+    if run_all || which == "rwmix" {
+        // `--cache` primarily pins zipf; an explicit `rwmix --cache 0` was
+        // rejected at parse time, and `all --cache 0` falls back to the
+        // rwmix default rather than failing the whole suite.
+        sharded_ok &= print_rwmix(cache.filter(|&c| c > 0).unwrap_or(32));
     }
     if run_all || which == "employee" {
         print_employee();
@@ -426,7 +445,7 @@ fn print_wire(
         "exact?",
         "secure?"
     );
-    match wire::run(tuples, &latencies, &bandwidths, &shard_counts, 42) {
+    let sweep_ok = match wire::run(tuples, &latencies, &bandwidths, &shard_counts, 42) {
         Ok(points) => {
             let mut all_ok = true;
             for p in &points {
@@ -456,6 +475,146 @@ fn print_wire(
         }
         Err(e) => {
             eprintln!("wire run failed: {e}");
+            println!();
+            false
+        }
+    };
+
+    // Composed vs fine-grained: the same exhaustive workload over identical
+    // deterministic-index deployments, once forced multi-round and once on
+    // the live composed BinPairRequest path.
+    println!(
+        "== Composed BinPairRequest vs fine-grained episodes ({tuples} tuples, \
+         exhaustive workload) =="
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>7} {:>8}",
+        "shards",
+        "queries",
+        "rounds f",
+        "rounds c",
+        "bytes f",
+        "bytes c",
+        "BPR frames",
+        "exact?",
+        "secure?"
+    );
+    let rounds_ok = match wire::rounds_drop(tuples, &shard_counts, 42) {
+        Ok(points) => {
+            for p in &points {
+                println!(
+                    "{:>8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>7} {:>8}",
+                    p.shards,
+                    p.queries,
+                    p.rounds_fine,
+                    p.rounds_composed,
+                    p.bytes_fine,
+                    p.bytes_composed,
+                    p.bin_pair_frames_composed,
+                    p.exact,
+                    p.secure
+                );
+            }
+            let ok = wire::rounds_gate_holds(&points);
+            if !ok {
+                eprintln!(
+                    "composed path failed its gate (needs strictly fewer rounds, <= 1.1x bytes, \
+                     identical answers, BinPairRequest frames on the wire)"
+                );
+            }
+            println!();
+            ok
+        }
+        Err(e) => {
+            eprintln!("rounds comparison failed: {e}");
+            println!();
+            false
+        }
+    };
+    sweep_ok && rounds_ok
+}
+
+/// Prints the heterogeneous-shard run; returns whether the gate held
+/// (exact answers, per-shard + composed security, >= 2 distinct engines,
+/// composed/fine-grained paths consistent with each engine's capability).
+fn print_hetero(shards: usize, scale: f64) -> bool {
+    // `all --shards 1` still runs the other sharded sections at 1 shard;
+    // hetero needs two engines, so the shared flag is floored here (an
+    // explicit `hetero --shards 1` was already rejected at parse time).
+    let shards = shards.max(2);
+    let tuples = ((16_000.0 * scale) as usize).max(1_200);
+    println!("== Heterogeneous shards: a different back-end per shard ({tuples} tuples) ==");
+    match hetero::run(tuples, shards, 42) {
+        Ok(outcome) => {
+            println!(
+                "{:>6} {:>14} {:>10} {:>10} {:>8} {:>12} {:>12}",
+                "shard", "engine", "composed", "episodes", "rounds", "BPR frames", "bytes"
+            );
+            for s in &outcome.per_shard {
+                println!(
+                    "{:>6} {:>14} {:>10} {:>10} {:>8} {:>12} {:>12}",
+                    s.shard, s.engine, s.composed, s.episodes, s.rounds, s.bin_pair_frames, s.bytes
+                );
+            }
+            println!(
+                "{} queries over {} shards, {} distinct engines; exact: {}, secure: {}, \
+                 paths consistent: {}",
+                outcome.queries,
+                outcome.shards,
+                outcome.distinct_engines,
+                outcome.exact,
+                outcome.secure,
+                outcome.paths_consistent
+            );
+            if !outcome.holds() {
+                eprintln!("heterogeneous deployment failed its gate");
+            }
+            println!();
+            outcome.holds()
+        }
+        Err(e) => {
+            eprintln!("hetero run failed: {e}");
+            println!();
+            false
+        }
+    }
+}
+
+/// Prints the read/write-mix run; returns whether the gate held (exact
+/// answers under invalidation, staleness observable without it, hit rate
+/// drops after a write).
+fn print_rwmix(cache_bins: usize) -> bool {
+    println!("== Read/write mix: cache invalidation on insert (Employee workload) ==");
+    match rwmix::run(cache_bins, 2, 42) {
+        Ok(o) => {
+            println!(
+                "{:>8} {:>8} {:>16} {:>16} {:>14} {:>8} {:>18}",
+                "reads",
+                "writes",
+                "hit rate before",
+                "hit rate after",
+                "hit overall",
+                "exact?",
+                "stale w/o inval?"
+            );
+            println!(
+                "{:>8} {:>8} {:>16.3} {:>16.3} {:>14.3} {:>8} {:>18}",
+                o.reads,
+                o.writes,
+                o.hit_rate_before_write,
+                o.hit_rate_after_write,
+                o.hit_rate_overall,
+                o.answers_exact,
+                o.stale_without_invalidation
+            );
+            if !o.holds() {
+                eprintln!("read/write mix failed its gate");
+            }
+            println!();
+            o.holds()
+        }
+        Err(e) => {
+            eprintln!("rwmix run failed: {e}");
             println!();
             false
         }

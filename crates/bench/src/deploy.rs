@@ -160,6 +160,11 @@ pub struct ShardedCostBreakdown {
     /// Queries answered from the owner-side hot-bin cache (0 unless the
     /// deployment enabled one).
     pub cache_hits: usize,
+    /// Owner↔cloud rounds over every episode of the workload (what the
+    /// paper's cost model charges as `rounds × latency`): composed
+    /// `BinPairRequest` episodes contribute one round each, fine-grained
+    /// episodes as many as their back-end's procedure needs.
+    pub rounds: u64,
     /// Number of shards the workload ran over.
     pub shards: usize,
 }
@@ -208,6 +213,42 @@ pub fn sharded_qb_deployment<E: SecureSelectionEngine>(
     })
 }
 
+/// Builds and outsources a **heterogeneous** sharded QB deployment: one
+/// explicit boxed engine per shard (shard count = `engines.len()`), so
+/// different secure back-ends serve different shards of the same
+/// deployment.  Planning consults each shard's engine individually:
+/// composed one-round back-ends answer their episodes with a single
+/// `BinPairRequest`, multi-round ones run the fine-grained path, side by
+/// side in one workload.
+pub fn hetero_qb_deployment(
+    relation: &Relation,
+    alpha: f64,
+    engines: Vec<Box<dyn SecureSelectionEngine>>,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<ShardedQbDeployment<Box<dyn SecureSelectionEngine>>> {
+    let prototype = engines
+        .first()
+        .ok_or_else(|| pds_common::PdsError::Config("at least one engine required".into()))?
+        .fork();
+    let shards = engines.len();
+    let parts = partition_at_alpha(relation, alpha, seed)?;
+    let binning = QueryBinning::build(&parts, SEARCH_ATTR, BinningConfig::default())?;
+    let mut executor = QbExecutor::new(binning, prototype);
+    let mut owner = DbOwner::new(seed.wrapping_add(7));
+    let mut router = ShardRouter::new(shards, network, seed)?;
+    executor.outsource_with_engines(&mut owner, &mut router, &parts, engines)?;
+    // Outsourcing costs are not part of per-query measurements.
+    router.reset_metrics();
+    owner.reset_metrics();
+    Ok(ShardedQbDeployment {
+        owner,
+        router,
+        executor,
+        parts,
+    })
+}
+
 impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
     /// Runs a workload of point queries sequentially and returns its
     /// aggregate cost plus the max-over-shards parallel estimate.
@@ -237,11 +278,14 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
             .iter()
             .map(|s| s.adversarial_view().len())
             .collect();
+        // Window the wire log from the current reset epoch: pre-reset
+        // traffic (outsourcing uploads) belongs to an earlier measurement
+        // window and must never be replayed into this run's sim clock.
         let before_wire: Vec<usize> = self
             .router
             .shards()
             .iter()
-            .map(|s| s.wire_log().len())
+            .map(|s| s.wire_log_since_reset().len())
             .collect();
         let run = self.executor.run_workload_transported(
             &mut self.owner,
@@ -256,8 +300,20 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
         for (idx, shard) in self.router.shards().iter().enumerate() {
             let delta = shard.metrics().delta_since(&before_shards[idx]);
             let shard_queries = (shard.adversarial_view().len() - before_episodes[idx]) as u64;
-            let computation =
-                pds_systems::cost::computation_time_for_queries(&delta, &profile, shard_queries);
+            // Heterogeneous deployments run a different back-end per shard:
+            // each shard's counters are priced under its own engine's cost
+            // profile (identical to the prototype's in the homogeneous
+            // case).
+            let shard_profile = self
+                .executor
+                .shard_engines()
+                .get(idx)
+                .map_or(profile, SecureSelectionEngine::cost_profile);
+            let computation = pds_systems::cost::computation_time_for_queries(
+                &delta,
+                &shard_profile,
+                shard_queries,
+            );
             let comm = shard.comm_time() - before_comm[idx];
             aggregate_computation += computation;
             parallel_sec = parallel_sec.max(computation + comm);
@@ -279,7 +335,7 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
                     .shards()
                     .iter()
                     .zip(&before_wire)
-                    .map(|(s, &from)| s.wire_log()[from..].to_vec())
+                    .map(|(s, &from)| s.wire_log_since_reset()[from..].to_vec())
                     .collect();
                 let link = *self.router.shards()[0].network();
                 pds_cloud::simulate_wire_traffic(link, &traffic)?.makespan_sec
@@ -296,6 +352,7 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
             measured_wall_sec: run.wall_clock_sec,
             sim_wall_sec,
             cache_hits: run.cache_hits,
+            rounds: run.rounds,
             shards,
         })
     }

@@ -1,0 +1,242 @@
+//! Heterogeneous-shard experiment: a different secure back-end per shard.
+//!
+//! The sharded deployments of earlier experiments fork one engine kind
+//! across every shard.  This experiment runs a genuinely **mixed** fleet —
+//! by default deterministic-index, No-Ind scan, Arx counter tokens and the
+//! Opaque simulator, cycled over the shards — against the exhaustive
+//! workload, and checks end to end that heterogeneity is invisible to the
+//! application and to the security definition:
+//!
+//! * answers are **byte-identical** to a homogeneous single-server
+//!   baseline;
+//! * partitioned data security holds on **every shard's own view** and on
+//!   the **composed** coalition view;
+//! * composed-capable shards really answer in one round per episode
+//!   (visible in their per-shard `BinPairRequest` frame counters), while
+//!   multi-round back-ends run fine-grained on the same workload.
+
+use pds_adversary::check_sharded_partitioned_security;
+use pds_cloud::{msg_tag, BinTransport, NetworkModel};
+use pds_common::{PdsError, Result};
+use pds_storage::Tuple;
+use pds_systems::{
+    oblivious, ArxEngine, DeterministicIndexEngine, NonDetScanEngine, SecureSelectionEngine,
+};
+
+use crate::deploy::{hetero_qb_deployment, lineitem, qb_deployment};
+
+/// Per-shard observations of one heterogeneous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroShard {
+    /// Shard index.
+    pub shard: usize,
+    /// Name of the back-end serving this shard.
+    pub engine: &'static str,
+    /// Whether this back-end answers composed one-round episodes.
+    pub composed: bool,
+    /// Episodes this shard served.
+    pub episodes: usize,
+    /// Owner↔cloud rounds this shard served.
+    pub rounds: u64,
+    /// Composed `BinPairRequest` frames this shard saw.
+    pub bin_pair_frames: u64,
+    /// Bytes this shard moved (measured frame lengths).
+    pub bytes: u64,
+}
+
+/// The outcome of one heterogeneous-shard run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroOutcome {
+    /// Shards in the deployment.
+    pub shards: usize,
+    /// Queries executed (exhaustive workload).
+    pub queries: usize,
+    /// Distinct back-end kinds deployed.
+    pub distinct_engines: usize,
+    /// Per-shard observations.
+    pub per_shard: Vec<HeteroShard>,
+    /// Whether every answer was byte-identical to the homogeneous
+    /// single-server baseline.
+    pub exact: bool,
+    /// Whether partitioned data security held per shard and composed.
+    pub secure: bool,
+    /// Whether every composed-capable shard served all its episodes as
+    /// one-round `BinPairRequest`s and every multi-round shard served none.
+    pub paths_consistent: bool,
+}
+
+impl HeteroOutcome {
+    /// The gate `experiments hetero` enforces.
+    pub fn holds(&self) -> bool {
+        self.exact && self.secure && self.paths_consistent && self.distinct_engines >= 2
+    }
+}
+
+/// The default mixed fleet, cycled over `shards` shards: two one-round
+/// composed back-ends interleaved with two multi-round ones.
+pub fn default_engines(shards: usize) -> Vec<Box<dyn SecureSelectionEngine>> {
+    (0..shards)
+        .map(|i| -> Box<dyn SecureSelectionEngine> {
+            match i % 4 {
+                0 => Box::new(DeterministicIndexEngine::new()),
+                1 => Box::new(NonDetScanEngine::new()),
+                2 => Box::new(ArxEngine::new()),
+                _ => Box::new(oblivious::opaque_sim()),
+            }
+        })
+        .collect()
+}
+
+/// Answers as sorted encoded tuples, for byte-level comparison.
+fn answer_bytes(answers: &[Vec<Tuple>]) -> Vec<Vec<Vec<u8>>> {
+    answers
+        .iter()
+        .map(|ts| {
+            let mut out: Vec<Vec<u8>> = ts.iter().map(Tuple::encode).collect();
+            out.sort();
+            out
+        })
+        .collect()
+}
+
+/// Runs the mixed-engine deployment over `shards` shards of a
+/// `tuples`-row pseudo-TPC-H relation on the exhaustive workload and
+/// compares it end to end against a homogeneous single-server baseline.
+pub fn run(tuples: usize, shards: usize, seed: u64) -> Result<HeteroOutcome> {
+    if shards < 2 {
+        return Err(PdsError::Config(
+            "a heterogeneous deployment needs at least 2 shards".into(),
+        ));
+    }
+    let relation = lineitem(tuples, seed);
+
+    // Homogeneous single-server baseline for the reference answers.
+    let mut baseline = qb_deployment(
+        &relation,
+        0.3,
+        NonDetScanEngine::new(),
+        NetworkModel::paper_wan(),
+        seed,
+    )?;
+    let workload = baseline.workload(seed.wrapping_add(1))?.exhaustive();
+    let expected: Vec<Vec<Vec<u8>>> = workload
+        .iter()
+        .map(|v| {
+            let ts = baseline
+                .executor
+                .select(&mut baseline.owner, &mut baseline.cloud, v)?;
+            let mut enc: Vec<Vec<u8>> = ts.iter().map(Tuple::encode).collect();
+            enc.sort();
+            Ok(enc)
+        })
+        .collect::<Result<_>>()?;
+
+    // The heterogeneous deployment under test.
+    let mut dep = hetero_qb_deployment(
+        &relation,
+        0.3,
+        default_engines(shards),
+        NetworkModel::paper_wan(),
+        seed,
+    )?;
+    let before = dep.router.shard_metrics();
+    let run = dep.executor.run_workload_transported(
+        &mut dep.owner,
+        &mut dep.router,
+        &workload,
+        BinTransport::Sequential,
+    )?;
+    let exact = answer_bytes(&run.answers) == expected;
+    let secure = check_sharded_partitioned_security(&dep.router.adversarial_views()).is_secure();
+
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut paths_consistent = true;
+    for (idx, shard) in dep.router.shards().iter().enumerate() {
+        let engine = &dep.executor.shard_engines()[idx];
+        let delta = shard.metrics().delta_since(&before[idx]);
+        let episodes = shard.adversarial_view().len();
+        let composed = engine.composes_episodes();
+        let bin_pair_frames = delta.frames_of_type(msg_tag::BIN_PAIR_REQUEST);
+        // Composed shards answer every episode in exactly one round (one
+        // BinPairRequest frame per episode); fine-grained shards never
+        // move a BinPairRequest frame and need more than one round per
+        // episode.
+        paths_consistent &= if composed {
+            bin_pair_frames as usize == episodes && delta.round_trips as usize == episodes
+        } else {
+            bin_pair_frames == 0 && (episodes == 0 || delta.round_trips as usize > episodes)
+        };
+        per_shard.push(HeteroShard {
+            shard: idx,
+            engine: engine.name(),
+            composed,
+            episodes,
+            rounds: delta.round_trips,
+            bin_pair_frames,
+            bytes: delta.total_bytes(),
+        });
+    }
+    let mut names: Vec<&'static str> = per_shard.iter().map(|s| s.engine).collect();
+    names.sort_unstable();
+    names.dedup();
+
+    Ok(HeteroOutcome {
+        shards,
+        queries: workload.len(),
+        distinct_engines: names.len(),
+        per_shard,
+        exact,
+        secure,
+        paths_consistent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_fleet_is_exact_secure_and_splits_paths() {
+        let outcome = run(1_200, 4, 42).unwrap();
+        assert_eq!(outcome.shards, 4);
+        assert_eq!(outcome.per_shard.len(), 4);
+        assert!(outcome.queries > 0);
+        assert!(outcome.exact, "{outcome:?}");
+        assert!(outcome.secure, "{outcome:?}");
+        assert!(outcome.paths_consistent, "{outcome:?}");
+        assert_eq!(outcome.distinct_engines, 4);
+        assert!(outcome.holds());
+        // The default fleet cycles det-index, nondet-scan, arx, opaque-sim.
+        let names: Vec<&str> = outcome.per_shard.iter().map(|s| s.engine).collect();
+        assert_eq!(
+            names,
+            vec!["det-index", "nondet-scan", "arx-index", "opaque-sim"]
+        );
+        // Every shard served some episodes and the whole workload is
+        // accounted for.
+        let episodes: usize = outcome.per_shard.iter().map(|s| s.episodes).sum();
+        assert_eq!(episodes, outcome.queries);
+        // Composed shards moved BinPairRequest frames; fine-grained none.
+        for s in &outcome.per_shard {
+            if s.composed {
+                assert!(s.bin_pair_frames > 0, "{s:?}");
+            } else {
+                assert_eq!(s.bin_pair_frames, 0, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_rejected() {
+        assert!(run(800, 1, 42).is_err());
+    }
+
+    #[test]
+    fn default_fleet_cycles_and_mixes() {
+        let engines = default_engines(6);
+        assert_eq!(engines.len(), 6);
+        assert_eq!(engines[0].name(), engines[4].name());
+        assert!(engines[0].composes_episodes());
+        assert!(!engines[1].composes_episodes());
+    }
+}

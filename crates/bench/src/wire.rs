@@ -20,8 +20,9 @@
 use pds_adversary::check_sharded_partitioned_security;
 use pds_cloud::{BinTransport, NetworkModel};
 use pds_common::{Result, Value};
+use pds_core::PlanMode;
 use pds_storage::Tuple;
-use pds_systems::NonDetScanEngine;
+use pds_systems::{DeterministicIndexEngine, NonDetScanEngine};
 
 use crate::deploy::{lineitem, sharded_qb_deployment, ShardedQbDeployment};
 
@@ -176,6 +177,123 @@ pub fn run(
     Ok(out)
 }
 
+/// One row of the composed-vs-fine-grained comparison: the identical
+/// exhaustive workload over two identical deployments of a
+/// composed-capable back-end, once with every episode forced onto the
+/// fine-grained multi-round path and once with the live composed
+/// `BinPairRequest` path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundsPoint {
+    /// Shards the deployments ran over.
+    pub shards: usize,
+    /// Queries executed per run.
+    pub queries: usize,
+    /// Owner↔cloud rounds of the fine-grained run.
+    pub rounds_fine: u64,
+    /// Owner↔cloud rounds of the composed run.
+    pub rounds_composed: u64,
+    /// Bytes moved by the fine-grained run (measured frame lengths).
+    pub bytes_fine: u64,
+    /// Bytes moved by the composed run.
+    pub bytes_composed: u64,
+    /// `BinPairRequest` frames the fine-grained run moved (must be 0).
+    pub bin_pair_frames_fine: u64,
+    /// `BinPairRequest` frames the composed run moved (must cover every
+    /// episode — this is the metrics-only proof the composed path is live).
+    pub bin_pair_frames_composed: u64,
+    /// Whether both runs' answers were byte-identical.
+    pub exact: bool,
+    /// Whether partitioned data security held (per shard and composed) on
+    /// both deployments after the exhaustive workload.
+    pub secure: bool,
+}
+
+fn det_deployment(
+    relation: &pds_storage::Relation,
+    shards: usize,
+    seed: u64,
+    mode: PlanMode,
+) -> Result<ShardedQbDeployment<DeterministicIndexEngine>> {
+    let mut dep = sharded_qb_deployment(
+        relation,
+        0.3,
+        shards,
+        DeterministicIndexEngine::new(),
+        NetworkModel::paper_wan(),
+        seed,
+    )?;
+    dep.executor.set_plan_mode(mode);
+    Ok(dep)
+}
+
+/// Runs the composed-vs-fine-grained comparison for each shard count: the
+/// same exhaustive workload over identical deterministic-index deployments
+/// in both plan modes, reporting rounds, bytes, per-type frame counts, and
+/// the exactness/security checks the gate enforces.
+pub fn rounds_drop(tuples: usize, shard_counts: &[usize], seed: u64) -> Result<Vec<RoundsPoint>> {
+    let relation = lineitem(tuples, seed);
+    let mut out = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let mut cells = Vec::with_capacity(2);
+        for mode in [PlanMode::FineGrained, PlanMode::Composed] {
+            let mut dep = det_deployment(&relation, shards, seed, mode)?;
+            let workload = dep.workload(seed.wrapping_add(1))?.exhaustive();
+            let before = dep.router.metrics();
+            let run = dep.executor.run_workload_transported(
+                &mut dep.owner,
+                &mut dep.router,
+                &workload,
+                BinTransport::Sequential,
+            )?;
+            let delta = dep.router.metrics().delta_since(&before);
+            let secure =
+                check_sharded_partitioned_security(&dep.router.adversarial_views()).is_secure();
+            cells.push((
+                workload.len(),
+                run.rounds,
+                delta.total_bytes(),
+                delta.frames_of_type(pds_cloud::msg_tag::BIN_PAIR_REQUEST),
+                answer_bytes(&run.answers),
+                secure,
+            ));
+        }
+        let (queries, rounds_fine, bytes_fine, frames_fine, answers_fine, secure_fine) =
+            cells.swap_remove(0);
+        let (_, rounds_composed, bytes_composed, frames_composed, answers_composed, secure_comp) =
+            cells.swap_remove(0);
+        out.push(RoundsPoint {
+            shards,
+            queries,
+            rounds_fine,
+            rounds_composed,
+            bytes_fine,
+            bytes_composed,
+            bin_pair_frames_fine: frames_fine,
+            bin_pair_frames_composed: frames_composed,
+            exact: answers_fine == answers_composed,
+            secure: secure_fine && secure_comp,
+        });
+    }
+    Ok(out)
+}
+
+/// The gate `experiments wire` enforces on the composed path: byte-identical
+/// answers, security preserved, **strictly fewer rounds** than the
+/// fine-grained path, no more than `1.1×` its bytes, and — provable from
+/// metrics alone — composed `BinPairRequest` frames on the wire in composed
+/// mode and none in fine-grained mode.
+pub fn rounds_gate_holds(points: &[RoundsPoint]) -> bool {
+    !points.is_empty()
+        && points.iter().all(|p| {
+            p.exact
+                && p.secure
+                && p.rounds_composed < p.rounds_fine
+                && (p.bytes_composed as f64) <= 1.1 * p.bytes_fine as f64
+                && p.bin_pair_frames_composed > 0
+                && p.bin_pair_frames_fine == 0
+        })
+}
+
 /// Checks the latency-overlap property the simulator must exhibit: within
 /// every (latency, bandwidth) group, the simulated time at `N > 1` shards
 /// must stay below `N ×` the single-shard simulated time (independent
@@ -261,5 +379,36 @@ mod tests {
         assert_eq!(default_latencies().len(), 2);
         assert_eq!(default_bandwidths().len(), 2);
         assert_eq!(default_shards(), vec![1, 4]);
+    }
+
+    #[test]
+    fn composed_path_drops_rounds_at_identical_answers() {
+        let points = rounds_drop(1_200, &[1, 4], 42).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.exact, "answers diverged: {p:?}");
+            assert!(p.secure, "security violated: {p:?}");
+            assert!(
+                p.rounds_composed < p.rounds_fine,
+                "composed must use strictly fewer rounds: {p:?}"
+            );
+            assert!(
+                p.bytes_composed as f64 <= 1.1 * p.bytes_fine as f64,
+                "composed bytes blew past 1.1x the baseline: {p:?}"
+            );
+            // Provable from metrics alone: every composed episode moved one
+            // BinPairRequest frame; the fine-grained run moved none.
+            assert_eq!(p.bin_pair_frames_fine, 0);
+            assert_eq!(p.bin_pair_frames_composed as usize, p.queries);
+            // det-index episodes are 2 fine-grained rounds (tag select +
+            // plaintext select) vs exactly 1 composed round per query.
+            assert_eq!(p.rounds_composed as usize, p.queries);
+            assert_eq!(p.rounds_fine as usize, 2 * p.queries);
+        }
+        assert!(rounds_gate_holds(&points));
+        assert!(!rounds_gate_holds(&[]));
+        let mut broken = points.clone();
+        broken[0].rounds_composed = broken[0].rounds_fine;
+        assert!(!rounds_gate_holds(&broken), "gate must catch a non-drop");
     }
 }

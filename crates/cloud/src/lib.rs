@@ -36,7 +36,11 @@
 //!   network latency genuinely overlapping, and
 //! * [`cache::BinCache`] — the owner-side hot-bin LRU: whole decrypted bins
 //!   cached at the trusted owner, so repeated (skewed) queries skip the
-//!   cloud round-trip entirely.
+//!   cloud round-trip entirely, and
+//! * [`session::CloudSession`] — the typed-message session layer: per-episode
+//!   round counting, composed one-round `BinPairRequest` episodes, and
+//!   `WireMessage` dispatch onto the server (the live execution path of the
+//!   plan→session pipeline in `pds-core`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +50,7 @@ pub mod metrics;
 pub mod network;
 pub mod owner;
 pub mod server;
+pub mod session;
 pub mod shard;
 pub mod store;
 pub mod transport;
@@ -55,8 +60,9 @@ pub use cache::{BinCache, BinCacheStats, BinKey, BinKind};
 pub use metrics::Metrics;
 pub use network::NetworkModel;
 pub use owner::DbOwner;
-pub use pds_proto::{LinkSpec, RoundTrip, SimReport};
-pub use server::CloudServer;
+pub use pds_proto::{msg_tag, LinkSpec, RoundTrip, SimReport};
+pub use server::{BinPairResult, CloudServer};
+pub use session::{BinEpisodeRequest, CloudSession};
 pub use shard::{BinPlacement, BinRoutedCloud, ShardRouter};
 pub use store::{EncryptedRow, EncryptedStore};
 pub use transport::{simulate_wire_traffic, BinTransport, DispatchReport};

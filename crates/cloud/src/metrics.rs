@@ -30,6 +30,14 @@ pub struct Metrics {
     /// Wire frames moved in either direction (each request and each
     /// response is one frame).
     pub wire_frames: u64,
+    /// Wire frames broken down by message type, indexed by
+    /// `pds_proto::msg_tag - 1` (FetchBinRequest, BinPairRequest,
+    /// BinPayload, InsertRequest, Ack, Error, Opaque).  Every frame the
+    /// cloud charges carries a known tag, so the sum over all slots equals
+    /// [`Metrics::wire_frames`] and protocol-level properties (e.g. "the
+    /// composed path really moved `BinPairRequest` frames") are assertable
+    /// from metrics alone.
+    pub wire_frames_by_type: [u64; pds_proto::msg_tag::COUNT],
     /// Number of request round trips between owner and cloud.
     pub round_trips: u64,
     /// Tuples returned to the owner (sensitive + non-sensitive).
@@ -60,6 +68,13 @@ impl Metrics {
         self.bytes_uploaded += other.bytes_uploaded;
         self.bytes_downloaded += other.bytes_downloaded;
         self.wire_frames += other.wire_frames;
+        for (mine, theirs) in self
+            .wire_frames_by_type
+            .iter_mut()
+            .zip(other.wire_frames_by_type)
+        {
+            *mine += theirs;
+        }
         self.round_trips += other.round_trips;
         self.tuples_returned += other.tuples_returned;
         self.fake_tuples_returned += other.fake_tuples_returned;
@@ -82,6 +97,9 @@ impl Metrics {
             bytes_uploaded: self.bytes_uploaded - baseline.bytes_uploaded,
             bytes_downloaded: self.bytes_downloaded - baseline.bytes_downloaded,
             wire_frames: self.wire_frames - baseline.wire_frames,
+            wire_frames_by_type: std::array::from_fn(|i| {
+                self.wire_frames_by_type[i] - baseline.wire_frames_by_type[i]
+            }),
             round_trips: self.round_trips - baseline.round_trips,
             tuples_returned: self.tuples_returned - baseline.tuples_returned,
             fake_tuples_returned: self.fake_tuples_returned - baseline.fake_tuples_returned,
@@ -93,6 +111,29 @@ impl Metrics {
     /// Total bytes moved in either direction.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_uploaded + self.bytes_downloaded
+    }
+
+    /// Records one wire frame of the given `pds_proto::msg_tag` type in
+    /// both the total and the per-type counter.
+    pub fn count_frame(&mut self, msg_type: u8) {
+        self.wire_frames += 1;
+        if msg_type >= 1 {
+            if let Some(slot) = self.wire_frames_by_type.get_mut(msg_type as usize - 1) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Frames moved carrying the given `pds_proto::msg_tag` message type
+    /// (0 for an unknown tag).
+    pub fn frames_of_type(&self, msg_type: u8) -> u64 {
+        if msg_type == 0 {
+            return 0;
+        }
+        self.wire_frames_by_type
+            .get(msg_type as usize - 1)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -164,5 +205,34 @@ mod tests {
     #[test]
     fn default_is_zero() {
         assert_eq!(Metrics::new().total_bytes(), 0);
+    }
+
+    #[test]
+    fn per_type_frame_counters_track_the_total() {
+        use pds_proto::msg_tag;
+        let mut m = Metrics::new();
+        m.count_frame(msg_tag::BIN_PAIR_REQUEST);
+        m.count_frame(msg_tag::BIN_PAYLOAD);
+        m.count_frame(msg_tag::BIN_PAYLOAD);
+        assert_eq!(m.wire_frames, 3);
+        assert_eq!(m.frames_of_type(msg_tag::BIN_PAIR_REQUEST), 1);
+        assert_eq!(m.frames_of_type(msg_tag::BIN_PAYLOAD), 2);
+        assert_eq!(m.frames_of_type(msg_tag::ACK), 0);
+        assert_eq!(m.wire_frames_by_type.iter().sum::<u64>(), m.wire_frames);
+
+        // Unknown tags touch nothing (neither panic nor misattribution).
+        m.count_frame(0);
+        m.count_frame(200);
+        assert_eq!(m.wire_frames, 5);
+        assert_eq!(m.wire_frames_by_type.iter().sum::<u64>(), 3);
+        assert_eq!(m.frames_of_type(99), 0);
+
+        let mut sum = Metrics::new();
+        sum.absorb(&m);
+        sum.absorb(&m);
+        assert_eq!(sum.frames_of_type(msg_tag::BIN_PAYLOAD), 4);
+        let d = sum.delta_since(&m);
+        assert_eq!(d.frames_of_type(msg_tag::BIN_PAYLOAD), 2);
+        assert_eq!(d.frames_of_type(msg_tag::BIN_PAIR_REQUEST), 1);
     }
 }

@@ -20,7 +20,10 @@
 
 use pds_common::{AttrId, PdsError, QueryId, Result, TupleId, Value};
 use pds_crypto::Ciphertext;
-use pds_proto::{Ack, BinPayload, FetchBinRequest, InsertRequest, RoundTrip, WireMessage, WireRow};
+use pds_proto::{
+    msg_tag, Ack, BinPairRequest, BinPayload, FetchBinRequest, InsertRequest, RoundTrip,
+    WireMessage, WireRow,
+};
 use pds_storage::{HashIndex, Relation, Tuple};
 
 use crate::metrics::Metrics;
@@ -39,6 +42,20 @@ fn frame_len(msg: &WireMessage) -> usize {
         "wire frame must roundtrip"
     );
     frame.len()
+}
+
+/// One wire frame as the accounting layer sees it: its type tag and its
+/// measured encoded length.
+type Frame = (u8, usize);
+
+/// The two result streams of one composed bin-pair episode as the cloud
+/// returns them: clear-text non-sensitive tuples and `(address, ciphertext)`
+/// rows from the sensitive side.
+pub type BinPairResult = (Vec<Tuple>, Vec<(TupleId, Ciphertext)>);
+
+/// Builds the accounting form of a message (tag + measured frame length).
+fn frame(msg: &WireMessage) -> Frame {
+    (msg.msg_type(), frame_len(msg))
 }
 
 /// The wire form of an [`EncryptedRow`]: ciphertexts become opaque bytes.
@@ -83,6 +100,11 @@ pub struct CloudServer {
     /// Measured frame lengths of every owner↔cloud exchange, in order —
     /// the traffic the event-driven network simulator replays.
     wire_log: Vec<RoundTrip>,
+    /// Index into [`CloudServer::wire_log`] at the last
+    /// [`CloudServer::reset_metrics`]: exchanges before the cursor belong to
+    /// an earlier measurement window (e.g. outsourcing) and must not be
+    /// replayed as part of the current one.
+    wire_cursor: usize,
 }
 
 impl Default for CloudServer {
@@ -102,20 +124,30 @@ impl CloudServer {
             network,
             comm_time: 0.0,
             wire_log: Vec::new(),
+            wire_cursor: 0,
         }
     }
 
-    /// Charges one owner↔cloud exchange: `up`/`down` are **encoded frame
-    /// lengths** measured off the wire.  Updates byte counters, the frame
-    /// counter, the simulated communication clock, and the wire log.
-    fn record_exchange(&mut self, up: usize, down: usize) {
-        self.metrics.bytes_uploaded += up as u64;
-        self.metrics.bytes_downloaded += down as u64;
-        self.metrics.wire_frames += u64::from(up > 0) + u64::from(down > 0);
-        self.comm_time += self.network.transfer_time(up + down);
+    /// Charges one owner↔cloud exchange: `up`/`down` are typed wire frames
+    /// whose lengths are **measured encoded frame lengths** (`None` when no
+    /// frame travels in that direction).  Updates byte counters, the total
+    /// and per-type frame counters, the simulated communication clock, and
+    /// the wire log.
+    fn record_exchange(&mut self, up: Option<Frame>, down: Option<Frame>) {
+        let up_len = up.map_or(0, |(_, len)| len);
+        let down_len = down.map_or(0, |(_, len)| len);
+        self.metrics.bytes_uploaded += up_len as u64;
+        self.metrics.bytes_downloaded += down_len as u64;
+        if let Some((tag, _)) = up {
+            self.metrics.count_frame(tag);
+        }
+        if let Some((tag, _)) = down {
+            self.metrics.count_frame(tag);
+        }
+        self.comm_time += self.network.transfer_time(up_len + down_len);
         self.wire_log.push(RoundTrip {
-            up_bytes: up as u64,
-            down_bytes: down as u64,
+            up_bytes: up_len as u64,
+            down_bytes: down_len as u64,
         });
     }
 
@@ -126,14 +158,14 @@ impl CloudServer {
     pub fn upload_plaintext(&mut self, relation: Relation, searchable_attr: &str) -> Result<()> {
         let attr = relation.schema().attr_id(searchable_attr)?;
         let index = HashIndex::build(&relation, attr);
-        let up = frame_len(&WireMessage::InsertRequest(InsertRequest {
+        let up = frame(&WireMessage::InsertRequest(InsertRequest {
             plain_tuples: relation.tuples().to_vec(),
             encrypted_rows: Vec::new(),
         }));
-        let down = frame_len(&WireMessage::Ack(Ack {
+        let down = frame(&WireMessage::Ack(Ack {
             items: relation.len() as u64,
         }));
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         self.plain = Some(PlainSide {
             relation,
             attr,
@@ -144,15 +176,39 @@ impl CloudServer {
 
     /// Uploads encrypted sensitive rows.
     pub fn upload_encrypted(&mut self, rows: Vec<EncryptedRow>) -> Result<()> {
-        let up = frame_len(&WireMessage::InsertRequest(InsertRequest {
+        let up = frame(&WireMessage::InsertRequest(InsertRequest {
             plain_tuples: Vec::new(),
             encrypted_rows: rows.iter().map(wire_row).collect(),
         }));
-        let down = frame_len(&WireMessage::Ack(Ack {
+        let down = frame(&WireMessage::Ack(Ack {
             items: rows.len() as u64,
         }));
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         self.encrypted.insert_many(rows)
+    }
+
+    /// Inserts one clear-text tuple into the outsourced non-sensitive
+    /// relation, keeping the cloud-side index current.  This is the live
+    /// form of an owner→cloud [`InsertRequest`] after outsourcing (the
+    /// read/write-mix workloads drive it), so the exchange is charged like
+    /// any other: one typed request frame up, one [`Ack`] down.
+    pub fn insert_plaintext(&mut self, tuple: Tuple) -> Result<()> {
+        let plain = self
+            .plain
+            .as_mut()
+            .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
+        let value = tuple.value(plain.attr).clone();
+        plain
+            .relation
+            .insert_with_id(tuple.id, tuple.values.clone())?;
+        plain.index.insert(value, tuple.id);
+        let up = frame(&WireMessage::InsertRequest(InsertRequest {
+            plain_tuples: vec![tuple],
+            encrypted_rows: Vec::new(),
+        }));
+        let down = frame(&WireMessage::Ack(Ack { items: 1 }));
+        self.record_exchange(Some(up), Some(down));
+        Ok(())
     }
 
     // ----- query episode management ----------------------------------------
@@ -173,7 +229,7 @@ impl CloudServer {
     /// payload estimate plus the real framing overhead.
     pub fn note_encrypted_request(&mut self, count: usize, bytes: usize) {
         self.view.observe_encrypted_request(count);
-        self.record_exchange(pds_proto::encoded_len(bytes), 0);
+        self.record_exchange(Some((msg_tag::OPAQUE, pds_proto::encoded_len(bytes))), None);
         self.metrics.round_trips += 1;
     }
 
@@ -201,12 +257,12 @@ impl CloudServer {
 
         // Metrics: index lookups, measured frame bytes for request and
         // response.
-        let up = frame_len(&WireMessage::FetchBinRequest(FetchBinRequest {
+        let up = frame(&WireMessage::FetchBinRequest(FetchBinRequest {
             values: values.to_vec(),
             ids: Vec::new(),
             tags: Vec::new(),
         }));
-        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+        let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: tuples.clone(),
             encrypted_rows: Vec::new(),
         }));
@@ -214,7 +270,7 @@ impl CloudServer {
         self.metrics.plaintext_tuples_scanned += tuples.len() as u64;
         self.metrics.tuples_returned += tuples.len() as u64;
         self.metrics.round_trips += 1;
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         Ok(tuples)
     }
 
@@ -234,15 +290,15 @@ impl CloudServer {
             .observe_nonsensitive_result(&ids, &returned_values);
         // The predicate itself is pushed down out of band today; the wire
         // charges an empty request frame plus the full result payload.
-        let up = frame_len(&WireMessage::Opaque(Vec::new()));
-        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+        let up = frame(&WireMessage::Opaque(Vec::new()));
+        let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: tuples.clone(),
             encrypted_rows: Vec::new(),
         }));
         self.metrics.plaintext_tuples_scanned += plain.relation.len() as u64;
         self.metrics.tuples_returned += tuples.len() as u64;
         self.metrics.round_trips += 1;
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         Ok(tuples)
     }
 
@@ -267,8 +323,8 @@ impl CloudServer {
             .iter()
             .map(|r| (r.id, r.attr_ct.clone()))
             .collect();
-        let up = frame_len(&WireMessage::Opaque(Vec::new()));
-        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+        let up = frame(&WireMessage::Opaque(Vec::new()));
+        let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: Vec::new(),
             encrypted_rows: out
                 .iter()
@@ -282,7 +338,7 @@ impl CloudServer {
         }));
         self.metrics.encrypted_tuples_scanned += out.len() as u64;
         self.metrics.round_trips += 1;
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         out
     }
 
@@ -294,18 +350,18 @@ impl CloudServer {
         let out: Vec<(TupleId, Ciphertext)> =
             rows.iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
         self.view.observe_sensitive_result(ids);
-        let up = frame_len(&WireMessage::FetchBinRequest(FetchBinRequest {
+        let up = frame(&WireMessage::FetchBinRequest(FetchBinRequest {
             values: Vec::new(),
             ids: ids.iter().map(|id| id.raw()).collect(),
             tags: Vec::new(),
         }));
-        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+        let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: Vec::new(),
             encrypted_rows: tuple_ct_rows(&out),
         }));
         self.metrics.tuples_returned += out.len() as u64;
         self.metrics.round_trips += 1;
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         Ok(out)
     }
 
@@ -320,15 +376,15 @@ impl CloudServer {
             .collect();
         let ids: Vec<TupleId> = out.iter().map(|(id, _)| *id).collect();
         self.view.observe_sensitive_result(&ids);
-        let up = frame_len(&WireMessage::Opaque(Vec::new()));
-        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+        let up = frame(&WireMessage::Opaque(Vec::new()));
+        let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: Vec::new(),
             encrypted_rows: tuple_ct_rows(&out),
         }));
         self.metrics.encrypted_tuples_scanned += out.len() as u64;
         self.metrics.tuples_returned += out.len() as u64;
         self.metrics.round_trips += 1;
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         out
     }
 
@@ -339,7 +395,10 @@ impl CloudServer {
     /// fact that a query arrived.
     pub fn note_oblivious_scan(&mut self, tuples: usize, request_bytes: usize) {
         self.metrics.encrypted_tuples_scanned += tuples as u64;
-        self.record_exchange(pds_proto::encoded_len(request_bytes), 0);
+        self.record_exchange(
+            Some((msg_tag::OPAQUE, pds_proto::encoded_len(request_bytes))),
+            None,
+        );
         self.metrics.round_trips += 1;
     }
 
@@ -359,20 +418,123 @@ impl CloudServer {
             .collect();
         self.view.observe_encrypted_request(tags.len());
         self.view.observe_sensitive_result(&ids);
-        let up = frame_len(&WireMessage::FetchBinRequest(FetchBinRequest {
+        let up = frame(&WireMessage::FetchBinRequest(FetchBinRequest {
             values: Vec::new(),
             ids: Vec::new(),
             tags: tags.to_vec(),
         }));
-        let down = frame_len(&WireMessage::BinPayload(BinPayload {
+        let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: Vec::new(),
             encrypted_rows: tuple_ct_rows(&out),
         }));
         self.metrics.plaintext_index_lookups += tags.len() as u64;
         self.metrics.tuples_returned += out.len() as u64;
         self.metrics.round_trips += 1;
-        self.record_exchange(up, down);
+        self.record_exchange(Some(up), Some(down));
         out
+    }
+
+    // ----- composed bin-pair episodes ---------------------------------------
+
+    /// Resolves the clear-text side of a composed bin-pair episode without
+    /// touching metrics or the view (the caller charges the one exchange).
+    /// Empty value sets resolve to an empty result even before outsourcing,
+    /// mirroring the fine-grained path which skips the plaintext sub-query
+    /// entirely in that case.
+    fn resolve_plain(&self, values: &[Value]) -> Result<(Vec<Tuple>, Vec<TupleId>, Vec<Value>)> {
+        if values.is_empty() {
+            return Ok((Vec::new(), Vec::new(), Vec::new()));
+        }
+        let plain = self
+            .plain
+            .as_ref()
+            .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
+        let ids = plain.index.lookup_many(values);
+        let tuples: Vec<Tuple> = ids
+            .iter()
+            .filter_map(|&id| plain.relation.get(id).cloned())
+            .collect();
+        let returned: Vec<Value> = tuples.iter().map(|t| t.value(plain.attr).clone()).collect();
+        Ok((tuples, ids, returned))
+    }
+
+    /// Serves one **composed** Query Binning episode in a single round
+    /// trip: the owner's [`BinPairRequest`] carries the encrypted search
+    /// tokens of the sensitive bin (matched against the cloud-side tag
+    /// index) together with the clear-text values of the non-sensitive bin,
+    /// and one [`BinPayload`] answers both sides.  Exactly one request and
+    /// one response frame move, and `round_trips` advances by one — this is
+    /// what makes the composed path strictly cheaper in rounds than the
+    /// fine-grained multi-message episode.
+    pub fn bin_pair_by_tags(&mut self, request: &BinPairRequest) -> Result<BinPairResult> {
+        let (plain_tuples, ns_ids, ns_values) = self.resolve_plain(&request.nonsensitive_values)?;
+
+        // Sensitive side: match the opaque tokens against the tag index,
+        // exactly as `tag_select` would.
+        let mut ids: Vec<TupleId> = Vec::new();
+        for tag in &request.encrypted_values {
+            ids.extend_from_slice(self.encrypted.lookup_tag(tag));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let rows: Vec<(TupleId, Ciphertext)> = ids
+            .iter()
+            .filter_map(|&id| self.encrypted.get(id).map(|r| (r.id, r.tuple_ct.clone())))
+            .collect();
+
+        self.record_bin_pair_exchange(request, &plain_tuples, &ns_ids, &ns_values, &ids, &rows);
+        self.metrics.plaintext_index_lookups += request.encrypted_values.len() as u64;
+        Ok((plain_tuples, rows))
+    }
+
+    /// Serves one composed episode whose sensitive side was resolved by a
+    /// cloud-side secure execution environment (an SGX enclave or an MPC
+    /// committee) that obliviously scanned `scanned` encrypted tuples and
+    /// selected `matching`.  As with [`CloudServer::bin_pair_by_tags`],
+    /// exactly one round trip moves: the composed request up, the combined
+    /// payload down.
+    pub fn bin_pair_oblivious(
+        &mut self,
+        request: &BinPairRequest,
+        matching: &[TupleId],
+        scanned: usize,
+    ) -> Result<BinPairResult> {
+        let (plain_tuples, ns_ids, ns_values) = self.resolve_plain(&request.nonsensitive_values)?;
+        let fetched = self.encrypted.fetch(matching)?;
+        let rows: Vec<(TupleId, Ciphertext)> =
+            fetched.iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
+        self.record_bin_pair_exchange(request, &plain_tuples, &ns_ids, &ns_values, matching, &rows);
+        self.metrics.encrypted_tuples_scanned += scanned as u64;
+        Ok((plain_tuples, rows))
+    }
+
+    /// Shared accounting of one composed episode: adversarial view, work
+    /// counters, and the single request/response exchange off the wire.
+    fn record_bin_pair_exchange(
+        &mut self,
+        request: &BinPairRequest,
+        plain_tuples: &[Tuple],
+        ns_ids: &[TupleId],
+        ns_values: &[Value],
+        sensitive_ids: &[TupleId],
+        rows: &[(TupleId, Ciphertext)],
+    ) {
+        self.view
+            .observe_plaintext_request(&request.nonsensitive_values);
+        self.view
+            .observe_encrypted_request(request.encrypted_values.len());
+        self.view.observe_nonsensitive_result(ns_ids, ns_values);
+        self.view.observe_sensitive_result(sensitive_ids);
+        let up = frame(&WireMessage::BinPairRequest(request.clone()));
+        let down = frame(&WireMessage::BinPayload(BinPayload {
+            plain_tuples: plain_tuples.to_vec(),
+            encrypted_rows: tuple_ct_rows(rows),
+        }));
+        self.metrics.plaintext_index_lookups += request.nonsensitive_values.len() as u64;
+        self.metrics.plaintext_tuples_scanned += plain_tuples.len() as u64;
+        self.metrics.tuples_returned += (plain_tuples.len() + rows.len()) as u64;
+        self.metrics.round_trips += 1;
+        self.record_exchange(Some(up), Some(down));
     }
 
     /// Number of encrypted rows stored.
@@ -418,16 +580,29 @@ impl CloudServer {
         &self.wire_log
     }
 
+    /// The wire traffic recorded since the last
+    /// [`CloudServer::reset_metrics`].  Replay windows that start "from the
+    /// reset" must use this slice: the full [`CloudServer::wire_log`] keeps
+    /// pre-reset exchanges (outsourcing uploads, earlier measurement
+    /// windows) whose replay would double-count traffic the byte counters
+    /// no longer report.
+    pub fn wire_log_since_reset(&self) -> &[RoundTrip] {
+        &self.wire_log[self.wire_cursor..]
+    }
+
     /// The network model in force.
     pub fn network(&self) -> &NetworkModel {
         &self.network
     }
 
-    /// Resets metrics and communication time (the adversarial view is *not*
-    /// cleared — the adversary never forgets).
+    /// Resets metrics and communication time and advances the wire-log
+    /// cursor so [`CloudServer::wire_log_since_reset`] starts empty (the
+    /// adversarial view and the full wire log are *not* cleared — the
+    /// adversary never forgets).
     pub fn reset_metrics(&mut self) {
         self.metrics = Metrics::new();
         self.comm_time = 0.0;
+        self.wire_cursor = self.wire_log.len();
     }
 }
 
@@ -635,5 +810,127 @@ mod tests {
         s.reset_metrics();
         assert_eq!(s.metrics().total_bytes(), 0);
         assert_eq!(s.adversarial_view().len(), 1);
+    }
+
+    #[test]
+    fn reset_metrics_advances_the_wire_cursor() {
+        // Regression: `reset_metrics` used to zero the byte counters while
+        // leaving the wire log intact with no cursor, so a replay window
+        // anchored at "the reset" would double-count pre-reset traffic.
+        let mut s = server(); // two uploads = two pre-reset exchanges
+        assert_eq!(s.wire_log().len(), 2);
+        s.reset_metrics();
+        assert!(s.wire_log_since_reset().is_empty(), "window starts empty");
+        assert_eq!(s.wire_log().len(), 2, "full log keeps history");
+
+        s.begin_query();
+        s.plain_select_in(&[Value::from("E259")]).unwrap();
+        s.end_query();
+        let window = s.wire_log_since_reset();
+        assert_eq!(window.len(), 1, "only post-reset traffic in the window");
+        let bytes: u64 = window.iter().map(|rt| rt.up_bytes + rt.down_bytes).sum();
+        assert_eq!(
+            bytes,
+            s.metrics().total_bytes(),
+            "window and post-reset counters agree"
+        );
+    }
+
+    #[test]
+    fn frame_counters_break_down_by_message_type() {
+        use pds_proto::msg_tag;
+        let mut s = server();
+        let before = *s.metrics();
+        s.begin_query();
+        s.plain_select_in(&[Value::from("E259")]).unwrap();
+        s.note_encrypted_request(2, 64);
+        s.fetch_encrypted(&[TupleId::new(101)]).unwrap();
+        s.end_query();
+        let d = s.metrics().delta_since(&before);
+        assert_eq!(d.frames_of_type(msg_tag::FETCH_BIN_REQUEST), 2);
+        assert_eq!(d.frames_of_type(msg_tag::BIN_PAYLOAD), 2);
+        assert_eq!(d.frames_of_type(msg_tag::OPAQUE), 1);
+        assert_eq!(d.frames_of_type(msg_tag::BIN_PAIR_REQUEST), 0);
+        assert_eq!(d.wire_frames_by_type.iter().sum::<u64>(), d.wire_frames);
+    }
+
+    #[test]
+    fn composed_bin_pair_by_tags_is_one_round() {
+        use pds_proto::msg_tag;
+        let mut s = server();
+        let before = *s.metrics();
+        s.begin_query();
+        let (plain, rows) = s
+            .bin_pair_by_tags(&BinPairRequest {
+                sensitive_bin: 0,
+                nonsensitive_bin: 0,
+                encrypted_values: vec![vec![0u8], vec![2u8]],
+                nonsensitive_values: vec![Value::from("E259"), Value::from("E254")],
+            })
+            .unwrap();
+        s.end_query();
+        assert_eq!(plain.len(), 2);
+        assert_eq!(rows.len(), 2);
+        let d = s.metrics().delta_since(&before);
+        assert_eq!(d.round_trips, 1, "composed episode is one round");
+        assert_eq!(d.wire_frames, 2, "one request frame, one response frame");
+        assert_eq!(d.frames_of_type(msg_tag::BIN_PAIR_REQUEST), 1);
+        assert_eq!(d.frames_of_type(msg_tag::BIN_PAYLOAD), 1);
+        let ep = s.adversarial_view().episodes().last().unwrap();
+        assert_eq!(ep.plaintext_request.len(), 2);
+        assert_eq!(ep.encrypted_request_size, 2);
+        assert_eq!(ep.sensitive_returned.len(), 2);
+        assert_eq!(ep.nonsensitive_returned.len(), 2);
+    }
+
+    #[test]
+    fn composed_bin_pair_oblivious_charges_the_scan() {
+        let mut s = server();
+        let before = *s.metrics();
+        s.begin_query();
+        let (plain, rows) = s
+            .bin_pair_oblivious(
+                &BinPairRequest {
+                    sensitive_bin: 1,
+                    nonsensitive_bin: 2,
+                    encrypted_values: vec![vec![9u8; 32]],
+                    nonsensitive_values: vec![Value::from("E199")],
+                },
+                &[TupleId::new(100), TupleId::new(102)],
+                4,
+            )
+            .unwrap();
+        s.end_query();
+        assert_eq!(plain.len(), 1);
+        assert_eq!(rows.len(), 2);
+        let d = s.metrics().delta_since(&before);
+        assert_eq!(d.round_trips, 1);
+        assert_eq!(d.encrypted_tuples_scanned, 4);
+        // Unknown ids surface as an error, not a partial payload.
+        assert!(s
+            .bin_pair_oblivious(&BinPairRequest::default(), &[TupleId::new(999)], 0)
+            .is_err());
+    }
+
+    #[test]
+    fn insert_plaintext_updates_relation_and_index() {
+        let mut s = server();
+        let before = *s.metrics();
+        let tuple = Tuple::new(
+            TupleId::new(900),
+            vec![Value::from("E300"), Value::from("Sales")],
+        );
+        s.insert_plaintext(tuple).unwrap();
+        assert_eq!(s.plain_len(), 5);
+        let out = s.plain_select_in(&[Value::from("E300")]).unwrap();
+        assert_eq!(out.len(), 1, "index serves the inserted tuple");
+        let d = s.metrics().delta_since(&before);
+        assert!(d.frames_of_type(pds_proto::msg_tag::INSERT_REQUEST) >= 1);
+        assert!(d.frames_of_type(pds_proto::msg_tag::ACK) >= 1);
+        // No plaintext relation outsourced: the insert is rejected.
+        let mut empty = CloudServer::default();
+        assert!(empty
+            .insert_plaintext(Tuple::new(TupleId::new(1), vec![Value::Int(1)]))
+            .is_err());
     }
 }

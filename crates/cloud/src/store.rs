@@ -116,6 +116,13 @@ impl EncryptedStore {
         self.tag_index.get(tag).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Whether any stored row carries cloud-side searchable tags — i.e.
+    /// whether this deployment's back-end can be served by tag lookups at
+    /// all (deterministic tags, Arx counter tokens).
+    pub fn has_tags(&self) -> bool {
+        !self.tag_index.is_empty()
+    }
+
     /// Total size of the attribute-ciphertext column in bytes.
     pub fn attr_column_bytes(&self) -> usize {
         self.rows.iter().map(|r| 8 + r.attr_ct.len()).sum()

@@ -55,6 +55,18 @@ pub struct DispatchReport<T> {
     /// Simulated-network wall-clock of the fan-out's wire traffic
     /// (`Some` for [`BinTransport::Simulated`], `None` otherwise).
     pub sim_wall_clock_sec: Option<f64>,
+    /// Owner↔cloud rounds each shard served during the dispatch (the
+    /// `round_trips` delta of that shard's metrics), aligned with the
+    /// shard slice.  The cost model charges `rounds × latency`, so the
+    /// executor threads these up into its run-level reporting.
+    pub rounds_per_shard: Vec<u64>,
+}
+
+impl<T> DispatchReport<T> {
+    /// Total owner↔cloud rounds over every shard of the dispatch.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds_per_shard.iter().sum()
+    }
 }
 
 /// Replays per-shard wire traffic through the event-driven simulator over
@@ -91,6 +103,7 @@ impl BinTransport {
             shards.len()
         );
         let shard_count = shards.len();
+        let rounds_before: Vec<u64> = shards.iter().map(|s| s.metrics().round_trips).collect();
         let start = Instant::now();
         let mut sim_wall_clock_sec = None;
         let mut per_shard: Vec<Option<T>> = match self {
@@ -139,10 +152,16 @@ impl BinTransport {
             }
         };
         per_shard.resize_with(shard_count, || None);
+        let rounds_per_shard: Vec<u64> = shards
+            .iter()
+            .zip(&rounds_before)
+            .map(|(s, &before)| s.metrics().round_trips - before)
+            .collect();
         DispatchReport {
             per_shard,
             wall_clock_sec: start.elapsed().as_secs_f64(),
             sim_wall_clock_sec,
+            rounds_per_shard,
         }
     }
 }
@@ -295,6 +314,32 @@ mod tests {
         // Two round trips of (latency 0.5 + 500B/1000Bps) = 1.0s each.
         assert!((report.makespan_sec - 2.0).abs() < 1e-12, "{report:?}");
         assert_eq!(report.total_bytes, 1000);
+    }
+
+    #[test]
+    fn dispatch_reports_per_shard_rounds() {
+        for transport in [BinTransport::Sequential, BinTransport::Threaded] {
+            let mut servers = shards(3);
+            for (i, s) in servers.iter_mut().enumerate() {
+                s.upload_encrypted(rows(i as u64 * 100, 2)).unwrap();
+            }
+            // Shard 0: two round trips; shard 1: one; shard 2: none.
+            let tasks: Vec<Option<BoxedTask>> = vec![
+                Some(Box::new(|shard: &mut CloudServer| {
+                    shard.scan_encrypted();
+                    shard.scan_encrypted();
+                    0
+                })),
+                Some(Box::new(|shard: &mut CloudServer| {
+                    shard.scan_encrypted();
+                    0
+                })),
+                None,
+            ];
+            let report = transport.dispatch(&mut servers, tasks);
+            assert_eq!(report.rounds_per_shard, vec![2, 1, 0], "{transport:?}");
+            assert_eq!(report.total_rounds(), 3);
+        }
     }
 
     #[test]

@@ -7,22 +7,35 @@
 //!    the general case requires (so every sensitive bin answers with the
 //!    same number of tuples) and handed to the configured
 //!    [`SecureSelectionEngine`] for encryption/upload.
-//! 2. **Selection** — a query for a value `w` is rewritten by Algorithm 2
-//!    into one sensitive bin and one non-sensitive bin; the clear-text
-//!    sub-query runs through the cloud index, the encrypted sub-query runs
-//!    through the engine; the owner decrypts, drops fake tuples and false
-//!    positives, and merges the two result streams (`qmerge` of §II).
+//! 2. **Planning** — a batch of queries is compiled into a
+//!    [`crate::plan::QueryPlan`]: Algorithm 2 rewrites each value into one
+//!    bin pair, the owner-side hot-bin cache serves what it can, and the
+//!    remaining episodes are grouped by the shard hosting their sensitive
+//!    bin, each marked composed (single-round `BinPairRequest`) or
+//!    fine-grained according to that shard's engine.
+//! 3. **Execution** — every planned episode runs through a
+//!    [`pds_cloud::CloudSession`] on its shard (one adversarial-view
+//!    episode, typed `pds-proto` messages on the wire, measured round
+//!    counts); the owner decrypts, drops fake tuples and false positives,
+//!    and merges the two result streams (`qmerge` of §II).
+//!
+//! All entry points — [`QbExecutor::select`], [`QbExecutor::fetch_bin_pair`]
+//! and [`QbExecutor::run_workload_transported`] — share this one
+//! plan→execute code path, so cache bookkeeping, co-observation tracking
+//! and security-view recording behave identically however a query arrives.
 
 use std::collections::HashSet;
 
 use pds_cloud::{
-    BinCache, BinCacheStats, BinKey, BinRoutedCloud, BinTransport, CloudServer, DbOwner, Metrics,
+    BinCache, BinCacheStats, BinEpisodeRequest, BinKey, BinRoutedCloud, BinTransport, CloudServer,
+    DbOwner, Metrics,
 };
 use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_storage::{PartitionedRelation, Relation, Tuple};
 use pds_systems::SecureSelectionEngine;
 
 use crate::binning::{BinPair, QueryBinning};
+use crate::plan::{execute_episode, CacheServed, EpisodeStep, PlanMode, QueryPlan};
 
 /// Counters describing one QB selection (used by experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,6 +54,10 @@ pub struct SelectionStats {
     /// 1 when this retrieval had to fetch its bin pair from the cloud,
     /// else 0.
     pub cache_misses: usize,
+    /// Owner↔cloud rounds the retrieval took (0 on a cache hit; 1 when the
+    /// episode ran as a composed `BinPairRequest`; more on the fine-grained
+    /// multi-round path).
+    pub rounds: u64,
 }
 
 /// The end-to-end Query Binning executor over a chosen secure back-end.
@@ -54,9 +71,14 @@ pub struct SelectionStats {
 pub struct QbExecutor<E: SecureSelectionEngine> {
     binning: QueryBinning,
     engine: E,
-    /// One forked engine per shard, created at outsourcing time; all
-    /// outsourced state lives here (the `engine` field stays a prototype).
+    /// One engine per shard, installed at outsourcing time; all outsourced
+    /// state lives here (the `engine` field stays a prototype).  Usually
+    /// forks of the prototype, but [`QbExecutor::outsource_with_engines`]
+    /// accepts a *different* back-end per shard (`E` is then typically
+    /// `Box<dyn SecureSelectionEngine>`).
     shard_engines: Vec<E>,
+    /// How episodes are shaped on the wire (composed vs fine-grained).
+    plan_mode: PlanMode,
     sensitive_attr: Option<AttrId>,
     nonsensitive_attr: Option<AttrId>,
     outsourced: bool,
@@ -78,6 +100,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             binning,
             engine,
             shard_engines: Vec::new(),
+            plan_mode: PlanMode::default(),
             sensitive_attr: None,
             nonsensitive_attr: None,
             outsourced: false,
@@ -92,6 +115,25 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.set_cache_capacity(capacity);
         self
+    }
+
+    /// Sets how episodes are shaped on the wire (builder form).
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
+        self
+    }
+
+    /// How episodes are shaped on the wire.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.plan_mode
+    }
+
+    /// Sets how episodes are shaped on the wire: [`PlanMode::Composed`]
+    /// (the default — one-round `BinPairRequest`s wherever the shard's
+    /// engine supports them) or [`PlanMode::FineGrained`] (force the
+    /// multi-round path everywhere, for baseline comparisons).
+    pub fn set_plan_mode(&mut self, mode: PlanMode) {
+        self.plan_mode = mode;
     }
 
     /// Replaces the hot-bin cache with a fresh one holding at most
@@ -153,6 +195,33 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         cloud: &mut C,
         partitioned: &PartitionedRelation,
     ) -> Result<()> {
+        let engines = (0..cloud.shard_count())
+            .map(|_| self.engine.fork())
+            .collect();
+        self.outsource_with_engines(owner, cloud, partitioned, engines)
+    }
+
+    /// Outsources with an explicit engine per shard instead of forking the
+    /// prototype — a **heterogeneous** deployment when `E` is
+    /// `Box<dyn SecureSelectionEngine>` and the boxes hold different
+    /// back-ends.  Each shard's episodes run through its own engine, and
+    /// planning consults each engine's composed-episode capability
+    /// individually, so one-round and multi-round back-ends mix freely in
+    /// one deployment.
+    pub fn outsource_with_engines<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &mut C,
+        partitioned: &PartitionedRelation,
+        engines: Vec<E>,
+    ) -> Result<()> {
+        if engines.len() != cloud.shard_count() {
+            return Err(PdsError::Config(format!(
+                "{} engines for {} shards",
+                engines.len(),
+                cloud.shard_count()
+            )));
+        }
         let attr_name = self.binning.attr_name().to_string();
         let s_attr = partitioned.sensitive.schema().attr_id(&attr_name)?;
         self.sensitive_attr = Some(s_attr);
@@ -172,11 +241,9 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         // one sub-relation per shard (a sensitive bin lives on one shard).
         let augmented = self.augment_with_fakes(&partitioned.sensitive, s_attr)?;
         let per_shard = self.split_by_shard(cloud, &augmented, s_attr)?;
-        self.shard_engines.clear();
+        self.shard_engines = engines;
         for (shard, relation) in per_shard.iter().enumerate() {
-            let mut engine = self.engine.fork();
-            engine.outsource(owner, cloud.shard_mut(shard), relation, s_attr)?;
-            self.shard_engines.push(engine);
+            self.shard_engines[shard].outsource(owner, cloud.shard_mut(shard), relation, s_attr)?;
         }
         self.outsourced = true;
         Ok(())
@@ -258,67 +325,79 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         Ok(augmented)
     }
 
-    /// Retrieves both bins of one pair from the shard hosting it, in a
-    /// single adversarial-view episode on that shard.  Returns the raw
-    /// `(nonsensitive, sensitive)` result streams before owner-side
-    /// filtering.
-    fn retrieve_pair<C: BinRoutedCloud>(
-        &mut self,
-        owner: &mut DbOwner,
-        cloud: &mut C,
+    /// Compiles the episode step retrieving one bin pair: routed to the
+    /// shard hosting the sensitive bin, composed iff the plan mode allows
+    /// it and that shard's engine can answer a bin-set request in one
+    /// round.
+    fn compile_step<C: BinRoutedCloud>(
+        &self,
+        cloud: &C,
+        index: usize,
         pair: BinPair,
-        sensitive_values: &[Value],
-        nonsensitive_values: &[Value],
-    ) -> Result<(Vec<Tuple>, Vec<Tuple>)> {
-        let shard_idx = cloud.route_sensitive_bin(pair.sensitive_bin);
-        let engine = self
-            .shard_engines
-            .get_mut(shard_idx)
-            .ok_or_else(|| PdsError::Query(format!("no engine for shard {shard_idx}")))?;
-        run_pair_episode(
-            owner,
-            cloud.shard_mut(shard_idx),
-            engine,
-            sensitive_values,
-            nonsensitive_values,
-        )
+    ) -> EpisodeStep {
+        let shard = cloud.route_sensitive_bin(pair.sensitive_bin);
+        let composed = self.plan_mode == PlanMode::Composed
+            && self
+                .shard_engines
+                .get(shard)
+                .is_some_and(SecureSelectionEngine::composes_episodes);
+        EpisodeStep {
+            index,
+            pair,
+            shard,
+            composed,
+            request: BinEpisodeRequest {
+                sensitive_bin: pair.sensitive_bin,
+                nonsensitive_bin: pair.nonsensitive_bin,
+                sensitive_values: self.binning.sensitive_bin(pair.sensitive_bin).to_vec(),
+                nonsensitive_values: self.binning.nonsensitive_bin(pair.nonsensitive_bin),
+            },
+        }
     }
 
     /// Fetches (or serves from cache) the raw result streams of one bin
-    /// pair.  A **hit** requires both bins cached *and* the pair previously
-    /// co-observed by the cloud — anything weaker distorts the cloud's view
-    /// (lone-bin episodes break count indistinguishability; serving a
-    /// never-co-observed pair erases a co-occurrence edge); see
-    /// `pds_cloud::cache`.  On a miss the fetched bins are cached
-    /// individually, so a pair sharing one bin with this one reuses its
-    /// contents once that pair has been observed once itself.
-    fn retrieve_pair_cached<C: BinRoutedCloud>(
+    /// pair, executing a single-step plan on a miss.  A **hit** requires
+    /// both bins cached *and* the pair previously co-observed by the cloud
+    /// — anything weaker distorts the cloud's view (lone-bin episodes break
+    /// count indistinguishability; serving a never-co-observed pair erases
+    /// a co-occurrence edge); see `pds_cloud::cache`.  On a miss the
+    /// fetched bins are cached individually, so a pair sharing one bin with
+    /// this one reuses its contents once that pair has been observed once
+    /// itself.  Returns `(nonsensitive, sensitive, cached, rounds)`.
+    fn retrieve_pair_planned<C: BinRoutedCloud>(
         &mut self,
         owner: &mut DbOwner,
         cloud: &mut C,
         pair: BinPair,
-        sensitive_values: &[Value],
-        nonsensitive_values: &[Value],
-    ) -> Result<(Vec<Tuple>, Vec<Tuple>, bool)> {
+    ) -> Result<(Vec<Tuple>, Vec<Tuple>, bool, u64)> {
         if let Some((s_tuples, ns_tuples)) = self
             .cache
             .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
         {
             owner.note_bin_cache(true);
-            return Ok((ns_tuples, s_tuples, true));
+            return Ok((ns_tuples, s_tuples, true, 0));
         }
         owner.note_bin_cache(false);
-        let (ns_tuples, s_tuples) =
-            self.retrieve_pair(owner, cloud, pair, sensitive_values, nonsensitive_values)?;
+        let step = self.compile_step(cloud, 0, pair);
+        let engine = self
+            .shard_engines
+            .get_mut(step.shard)
+            .ok_or_else(|| PdsError::Query(format!("no engine for shard {}", step.shard)))?;
+        let result = execute_episode(owner, cloud.shard_mut(step.shard), engine, &step)?;
         if self.cache.capacity() > 0 {
             self.cache.store_pair(
                 pair.sensitive_bin,
-                s_tuples.clone(),
+                result.outcome.sensitive.clone(),
                 pair.nonsensitive_bin,
-                ns_tuples.clone(),
+                result.outcome.nonsensitive.clone(),
             );
         }
-        Ok((ns_tuples, s_tuples, false))
+        Ok((
+            result.outcome.nonsensitive,
+            result.outcome.sensitive,
+            false,
+            result.rounds,
+        ))
     }
 
     /// Runs a QB selection for a single value.
@@ -342,10 +421,10 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             .nonsensitive_attr
             .ok_or_else(|| PdsError::Cloud("plaintext relation missing".into()))?;
 
-        let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
-        let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-        let (ns_tuples, s_tuples, cached) =
-            self.retrieve_pair_cached(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
+        let sensitive_requested = self.binning.sensitive_bin(pair.sensitive_bin).len();
+        let nonsensitive_requested = self.binning.nonsensitive_bin_len(pair.nonsensitive_bin);
+        let (ns_tuples, s_tuples, cached, rounds) =
+            self.retrieve_pair_planned(owner, cloud, pair)?;
 
         // qmerge: drop fake tuples (recognised by their ids, which only the
         // owner knows), keep only tuples matching the actual query value,
@@ -361,12 +440,13 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         );
 
         self.last_stats = SelectionStats {
-            sensitive_values_requested: sensitive_values.len(),
-            nonsensitive_values_requested: nonsensitive_values.len(),
+            sensitive_values_requested: sensitive_requested,
+            nonsensitive_values_requested: nonsensitive_requested,
             tuples_before_filter: before,
             tuples_in_answer: answer.len(),
             cache_hits: usize::from(cached),
             cache_misses: usize::from(!cached),
+            rounds,
         };
         Ok(answer)
     }
@@ -386,10 +466,10 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         if !self.outsourced {
             return Err(PdsError::Query("deployment not outsourced yet".into()));
         }
-        let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
-        let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-        let (ns_tuples, s_tuples, cached) =
-            self.retrieve_pair_cached(owner, cloud, pair, &sensitive_values, &nonsensitive_values)?;
+        let sensitive_requested = self.binning.sensitive_bin(pair.sensitive_bin).len();
+        let nonsensitive_requested = self.binning.nonsensitive_bin_len(pair.nonsensitive_bin);
+        let (ns_tuples, s_tuples, cached, rounds) =
+            self.retrieve_pair_planned(owner, cloud, pair)?;
         let before = ns_tuples.len() + s_tuples.len();
         let mut out: Vec<Tuple> = Vec::with_capacity(before);
         for t in s_tuples {
@@ -399,12 +479,13 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         }
         out.extend(ns_tuples);
         self.last_stats = SelectionStats {
-            sensitive_values_requested: sensitive_values.len(),
-            nonsensitive_values_requested: nonsensitive_values.len(),
+            sensitive_values_requested: sensitive_requested,
+            nonsensitive_values_requested: nonsensitive_requested,
             tuples_before_filter: before,
             tuples_in_answer: out.len(),
             cache_hits: usize::from(cached),
             cache_misses: usize::from(!cached),
+            rounds,
         };
         Ok(out)
     }
@@ -481,80 +562,48 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             )));
         }
 
+        // Compile the batch: cache hits are captured owner-side right away,
+        // misses become episode steps grouped by the shard hosting their
+        // sensitive bin.  With caching enabled, repeat occurrences of a
+        // pair already pending in this batch are deferred as waiters
+        // instead of fetched again — matching the sequential path, where
+        // every occurrence after the first is a hit.  (Their cache lookup
+        // happens after the fan-out, once the first occurrence has
+        // populated the cache.)
+        let plan = self.plan_workload(owner, cloud, values);
         let mut answers: Vec<Vec<Tuple>> = vec![Vec::new(); values.len()];
-        let mut cache_hits = 0usize;
-
-        // Split the batch: cache hits are answered owner-side right away,
-        // misses are grouped by the shard hosting their sensitive bin.
-        // With caching enabled, repeat occurrences of a pair already
-        // pending in this batch are deferred as waiters instead of fetched
-        // again — matching the sequential path, where every occurrence
-        // after the first is a hit.  (Their cache lookup happens after the
-        // fan-out, once the first occurrence has populated the cache.)
-        let mut per_shard: Vec<Vec<PendingQuery>> = (0..shard_count).map(|_| Vec::new()).collect();
-        let mut pending_pairs: HashSet<(usize, usize)> = HashSet::new();
-        let mut waiters: Vec<(usize, BinPair)> = Vec::new();
-        for (idx, value) in values.iter().enumerate() {
-            let Some(pair) = self.binning.retrieve(value) else {
-                continue;
-            };
-            let pair_key = (pair.sensitive_bin, pair.nonsensitive_bin);
-            if self.cache.capacity() > 0 && pending_pairs.contains(&pair_key) {
-                waiters.push((idx, pair));
-                continue;
-            }
-            if let Some((s_tuples, ns_tuples)) = self
-                .cache
-                .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
-            {
-                owner.note_bin_cache(true);
-                cache_hits += 1;
-                answers[idx] = merge_point_answer(
-                    &self.fake_id_set,
-                    s_attr,
-                    ns_attr,
-                    value,
-                    ns_tuples,
-                    s_tuples,
-                );
-                continue;
-            }
-            owner.note_bin_cache(false);
-            pending_pairs.insert(pair_key);
-            per_shard[cloud.route_sensitive_bin(pair.sensitive_bin)].push(PendingQuery {
-                index: idx,
-                pair,
-                sensitive_values: self.binning.sensitive_bin(pair.sensitive_bin).to_vec(),
-                nonsensitive_values: self.binning.nonsensitive_bin(pair.nonsensitive_bin),
-            });
+        let mut cache_hits = plan.cache_served.len();
+        let mut cache_misses = plan.step_count();
+        for served in &plan.cache_served {
+            answers[served.index] = merge_point_answer(
+                &self.fake_id_set,
+                s_attr,
+                ns_attr,
+                &values[served.index],
+                served.nonsensitive.clone(),
+                served.sensitive.clone(),
+            );
         }
-        let mut cache_misses: usize = per_shard.iter().map(Vec::len).sum();
 
-        // One task per shard with work.  Each task owns its pending
-        // queries, the disjoint `&mut` of its forked engine, and a forked
-        // owner (same keys, private counters) so it is `Send` as a whole.
+        // One task per shard with work.  Each task owns its episode steps,
+        // the disjoint `&mut` of its engine, and a forked owner (same keys,
+        // private counters) so it is `Send` as a whole.
         let mut tasks: Vec<Option<_>> = Vec::with_capacity(shard_count);
-        for (engine, (shard_idx, queries)) in self
+        for (engine, (shard_idx, steps)) in self
             .shard_engines
             .iter_mut()
-            .zip(per_shard.into_iter().enumerate())
+            .zip(plan.per_shard.into_iter().enumerate())
         {
-            if queries.is_empty() {
+            if steps.is_empty() {
                 tasks.push(None);
                 continue;
             }
             let mut task_owner = owner.fork(shard_idx as u64 + 1);
             tasks.push(Some(move |shard: &mut CloudServer| {
-                let mut episodes = Vec::with_capacity(queries.len());
-                for q in queries {
-                    match run_pair_episode(
-                        &mut task_owner,
-                        shard,
-                        engine,
-                        &q.sensitive_values,
-                        &q.nonsensitive_values,
-                    ) {
-                        Ok((ns, s)) => episodes.push((q.index, q.pair, ns, s)),
+                let mut episodes = Vec::with_capacity(steps.len());
+                for step in steps {
+                    match execute_episode(&mut task_owner, shard, engine, &step) {
+                        Ok(res) => episodes.push((step.index, step.pair, res)),
                         Err(e) => return (*task_owner.metrics(), Err(e)),
                     }
                 }
@@ -563,6 +612,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         }
 
         let report = transport.dispatch(cloud.shards_mut(), tasks);
+        let mut rounds = report.total_rounds();
 
         // Fold every fork's counters back before surfacing any error, so a
         // failed shard's work is still accounted for.
@@ -573,13 +623,13 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             outcomes.push(outcome);
         }
         for outcome in outcomes {
-            for (idx, pair, ns_tuples, s_tuples) in outcome? {
+            for (idx, pair, res) in outcome? {
                 if self.cache.capacity() > 0 {
                     self.cache.store_pair(
                         pair.sensitive_bin,
-                        s_tuples.clone(),
+                        res.outcome.sensitive.clone(),
                         pair.nonsensitive_bin,
-                        ns_tuples.clone(),
+                        res.outcome.nonsensitive.clone(),
                     );
                 }
                 answers[idx] = merge_point_answer(
@@ -587,8 +637,8 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                     s_attr,
                     ns_attr,
                     &values[idx],
-                    ns_tuples,
-                    s_tuples,
+                    res.outcome.nonsensitive,
+                    res.outcome.sensitive,
                 );
             }
         }
@@ -597,37 +647,15 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         // A waiter can still miss when a later store in the same batch
         // evicted its bins (tiny capacities); it then fetches sequentially,
         // exactly as the select path would.
-        for (idx, pair) in waiters {
-            let (ns_tuples, s_tuples) = match self
-                .cache
-                .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
-            {
-                Some((s, ns)) => {
-                    owner.note_bin_cache(true);
-                    cache_hits += 1;
-                    (ns, s)
-                }
-                None => {
-                    owner.note_bin_cache(false);
-                    cache_misses += 1;
-                    let sensitive_values = self.binning.sensitive_bin(pair.sensitive_bin).to_vec();
-                    let nonsensitive_values = self.binning.nonsensitive_bin(pair.nonsensitive_bin);
-                    let (ns, s) = self.retrieve_pair(
-                        owner,
-                        cloud,
-                        pair,
-                        &sensitive_values,
-                        &nonsensitive_values,
-                    )?;
-                    self.cache.store_pair(
-                        pair.sensitive_bin,
-                        s.clone(),
-                        pair.nonsensitive_bin,
-                        ns.clone(),
-                    );
-                    (ns, s)
-                }
-            };
+        for (idx, pair) in plan.waiters {
+            let (ns_tuples, s_tuples, cached, waiter_rounds) =
+                self.retrieve_pair_planned(owner, cloud, pair)?;
+            if cached {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+                rounds += waiter_rounds;
+            }
             answers[idx] = merge_point_answer(
                 &self.fake_id_set,
                 s_attr,
@@ -644,16 +672,51 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             sim_wall_clock_sec: report.sim_wall_clock_sec,
             cache_hits,
             cache_misses,
+            rounds,
         })
     }
-}
 
-/// One query waiting for its shard's fan-out task.
-struct PendingQuery {
-    index: usize,
-    pair: BinPair,
-    sensitive_values: Vec<Value>,
-    nonsensitive_values: Vec<Value>,
+    /// Compiles one batch into a [`QueryPlan`]: resolves each value to its
+    /// bin pair, serves what the owner-side cache can, defers in-batch
+    /// repeats as waiters, and groups the remaining episodes by home shard
+    /// with their composed/fine-grained shape decided per shard engine.
+    fn plan_workload<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &C,
+        values: &[Value],
+    ) -> QueryPlan {
+        let mut plan = QueryPlan::new(cloud.shard_count());
+        let mut pending_pairs: HashSet<(usize, usize)> = HashSet::new();
+        for (idx, value) in values.iter().enumerate() {
+            let Some(pair) = self.binning.retrieve(value) else {
+                continue;
+            };
+            let pair_key = (pair.sensitive_bin, pair.nonsensitive_bin);
+            if self.cache.capacity() > 0 && pending_pairs.contains(&pair_key) {
+                plan.waiters.push((idx, pair));
+                continue;
+            }
+            if let Some((s_tuples, ns_tuples)) = self
+                .cache
+                .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
+            {
+                owner.note_bin_cache(true);
+                plan.cache_served.push(CacheServed {
+                    index: idx,
+                    pair,
+                    nonsensitive: ns_tuples,
+                    sensitive: s_tuples,
+                });
+                continue;
+            }
+            owner.note_bin_cache(false);
+            pending_pairs.insert(pair_key);
+            let step = self.compile_step(cloud, idx, pair);
+            plan.per_shard[step.shard].push(step);
+        }
+        plan
+    }
 }
 
 /// The outcome of [`QbExecutor::run_workload_transported`].
@@ -673,33 +736,10 @@ pub struct TransportedRun {
     pub cache_hits: usize,
     /// Queries that fetched their bin pair from a shard.
     pub cache_misses: usize,
-}
-
-/// Runs one bin-pair episode against one shard: the clear-text sub-query
-/// over the replicated `Rns`, the encrypted sub-query through the shard's
-/// forked engine, both inside a single adversarial-view episode.  Free
-/// function so the threaded fan-out can call it without borrowing the whole
-/// executor.
-fn run_pair_episode<E: SecureSelectionEngine>(
-    owner: &mut DbOwner,
-    shard: &mut CloudServer,
-    engine: &mut E,
-    sensitive_values: &[Value],
-    nonsensitive_values: &[Value],
-) -> Result<(Vec<Tuple>, Vec<Tuple>)> {
-    shard.begin_query();
-    let ns_tuples = if nonsensitive_values.is_empty() {
-        Vec::new()
-    } else {
-        shard.plain_select_in(nonsensitive_values)?
-    };
-    let s_tuples = if sensitive_values.is_empty() {
-        Vec::new()
-    } else {
-        engine.select(owner, shard, sensitive_values)?
-    };
-    shard.end_query();
-    Ok((ns_tuples, s_tuples))
+    /// Total owner↔cloud rounds over every episode of the batch (cache
+    /// hits contribute none; composed episodes one each; fine-grained
+    /// episodes as many as their back-end's §V-B procedure needs).
+    pub rounds: u64,
 }
 
 /// `qmerge` of §II for a point query: drop fakes (by id and by marker),

@@ -30,6 +30,11 @@
 //! * [`executor`] — the end-to-end partitioned execution: outsourcing both
 //!   parts, rewriting each query into its bin pair, running the encrypted
 //!   and clear-text sub-queries, and merging/filtering at the owner;
+//! * [`plan`] — the plan→session pipeline: batches compile into
+//!   [`plan::QueryPlan`]s of per-shard episode steps (composed one-round
+//!   `BinPairRequest`s where the back-end supports them, fine-grained
+//!   multi-round episodes otherwise) executed through
+//!   [`pds_cloud::CloudSession`]s;
 //! * [`cost`] — the analytical performance model η of §V-A;
 //! * [`extensions`] — range queries, inserts, group-by aggregation and
 //!   equi-joins on top of QB (the full-version extensions).
@@ -60,9 +65,11 @@ pub mod binning;
 pub mod cost;
 pub mod executor;
 pub mod extensions;
+pub mod plan;
 pub mod shape;
 
 pub use binning::{BinAssignment, BinPair, BinningConfig, QueryBinning};
 pub use cost::EtaModel;
 pub use executor::{QbExecutor, SelectionStats, TransportedRun};
+pub use plan::{EpisodeStep, PlanMode, QueryPlan};
 pub use shape::BinShape;

@@ -1,0 +1,145 @@
+//! Query plans: the compiled form of a Query Binning batch.
+//!
+//! The executor no longer drives the cloud through scattered ad-hoc method
+//! calls.  Every entry point — [`crate::QbExecutor::select`],
+//! [`crate::QbExecutor::fetch_bin_pair`],
+//! [`crate::QbExecutor::run_workload_transported`] — first **compiles** the
+//! batch into a [`QueryPlan`] and then **executes** it:
+//!
+//! ```text
+//! values ──compile──► QueryPlan ──execute──► answers
+//!                      │ cache_served   (answered owner-side, 0 rounds)
+//!                      │ per_shard[s]   (EpisodeSteps, one per bin pair)
+//!                      │ waiters        (in-batch repeats, resolved last)
+//!                      ▼
+//!             CloudSession(shard s) ◄── typed pds-proto messages
+//! ```
+//!
+//! Each [`EpisodeStep`] runs as one adversarial-view episode through a
+//! [`CloudSession`] on the shard hosting its sensitive bin.  A step is
+//! either **composed** — the back-end answers the whole bin-pair request in
+//! a single `BinPairRequest`/`BinPayload` round — or **fine-grained**, the
+//! multi-round §V-B procedure, chosen per shard from the engine's
+//! [`SecureSelectionEngine::composes_episodes`] capability and the
+//! executor's [`PlanMode`].
+
+use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
+use pds_common::Result;
+use pds_storage::Tuple;
+use pds_systems::{fine_grained_bin_episode, BinEpisodeOutcome, SecureSelectionEngine};
+
+use crate::binning::BinPair;
+
+/// How the executor chooses the wire shape of each episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Engines that can answer a composed bin-pair request in one round do
+    /// so; multi-round engines fall back to the fine-grained path.
+    #[default]
+    Composed,
+    /// Every episode runs the fine-grained multi-round path, whatever the
+    /// engine supports — the pre-refactor behaviour, kept selectable so
+    /// equivalence tests and the `experiments wire` rounds gate can compare
+    /// the two paths on identical deployments.
+    FineGrained,
+}
+
+/// One planned bin-pair episode: which answer slot it serves, which shard
+/// hosts it, and the full request the engine will execute.
+#[derive(Debug, Clone)]
+pub struct EpisodeStep {
+    /// Position in the batch's answer vector this episode serves.
+    pub index: usize,
+    /// The bin pair being retrieved.
+    pub pair: BinPair,
+    /// Shard hosting the sensitive bin (the whole episode runs there).
+    pub shard: usize,
+    /// Whether the episode runs as one composed single-round request.
+    pub composed: bool,
+    /// The bin-pair request handed to the back-end.
+    pub request: BinEpisodeRequest,
+}
+
+/// A pair retrieval answered owner-side from the hot-bin cache during
+/// planning (no cloud interaction, zero rounds).
+#[derive(Debug, Clone)]
+pub struct CacheServed {
+    /// Position in the batch's answer vector.
+    pub index: usize,
+    /// The pair the cache served.
+    pub pair: BinPair,
+    /// Cached clear-text tuples of the non-sensitive bin.
+    pub nonsensitive: Vec<Tuple>,
+    /// Cached decrypted tuples of the sensitive bin.
+    pub sensitive: Vec<Tuple>,
+}
+
+/// The compiled form of one query batch.
+#[derive(Debug, Default)]
+pub struct QueryPlan {
+    /// Episode steps grouped by home shard, in batch order within a shard.
+    pub per_shard: Vec<Vec<EpisodeStep>>,
+    /// Retrievals served from the owner-side cache at planning time.
+    pub cache_served: Vec<CacheServed>,
+    /// In-batch repeats of a pending pair: they wait for the first
+    /// occurrence's fetch and are resolved against the cache afterwards.
+    pub waiters: Vec<(usize, BinPair)>,
+}
+
+impl QueryPlan {
+    /// An empty plan over `shard_count` shards.
+    pub fn new(shard_count: usize) -> Self {
+        QueryPlan {
+            per_shard: (0..shard_count).map(|_| Vec::new()).collect(),
+            cache_served: Vec::new(),
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Number of episodes the plan sends to the cloud.
+    pub fn step_count(&self) -> usize {
+        self.per_shard.iter().map(Vec::len).sum()
+    }
+
+    /// Number of episodes that run as composed single-round requests.
+    pub fn composed_step_count(&self) -> usize {
+        self.per_shard
+            .iter()
+            .flatten()
+            .filter(|s| s.composed)
+            .count()
+    }
+}
+
+/// The outcome of executing one [`EpisodeStep`].
+#[derive(Debug)]
+pub struct EpisodeResult {
+    /// The two result streams, pre-merge.
+    pub outcome: BinEpisodeOutcome,
+    /// Owner↔cloud rounds the episode took.
+    pub rounds: u64,
+}
+
+/// Executes one planned episode against its shard: opens a
+/// [`CloudSession`] episode, runs the composed or fine-grained path, and
+/// reports the measured round count.  Free function so the threaded
+/// per-shard fan-out can call it without borrowing the whole executor.
+pub fn execute_episode<E: SecureSelectionEngine + ?Sized>(
+    owner: &mut DbOwner,
+    shard: &mut CloudServer,
+    engine: &mut E,
+    step: &EpisodeStep,
+) -> Result<EpisodeResult> {
+    let mut session = CloudSession::new(shard);
+    session.begin_episode();
+    let outcome = if step.composed {
+        engine.select_bin_episode(owner, &mut session, &step.request)
+    } else {
+        fine_grained_bin_episode(engine, owner, &mut session, &step.request)
+    };
+    let rounds = session.end_episode();
+    Ok(EpisodeResult {
+        outcome: outcome?,
+        rounds,
+    })
+}

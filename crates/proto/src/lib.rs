@@ -37,7 +37,7 @@ pub mod netsim;
 
 pub use frame::{crc32, decode_frame, encode_frame, encoded_len, FRAME_OVERHEAD, VERSION};
 pub use messages::{
-    error_frame, Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, InsertRequest,
-    WireMessage, WireRow,
+    error_frame, msg_tag, Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest,
+    InsertRequest, WireMessage, WireRow,
 };
 pub use netsim::{LinkSpec, NetSim, RoundTrip, SimReport};

@@ -131,6 +131,42 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+/// The stable one-byte type tags of the wire protocol, as module-level
+/// constants so metrics layers can index per-type counters without having a
+/// message instance at hand.
+pub mod msg_tag {
+    /// [`super::FetchBinRequest`].
+    pub const FETCH_BIN_REQUEST: u8 = 1;
+    /// [`super::BinPairRequest`].
+    pub const BIN_PAIR_REQUEST: u8 = 2;
+    /// [`super::BinPayload`].
+    pub const BIN_PAYLOAD: u8 = 3;
+    /// [`super::InsertRequest`].
+    pub const INSERT_REQUEST: u8 = 4;
+    /// [`super::Ack`].
+    pub const ACK: u8 = 5;
+    /// [`super::ErrorFrame`].
+    pub const ERROR: u8 = 6;
+    /// [`super::WireMessage::Opaque`].
+    pub const OPAQUE: u8 = 7;
+    /// Number of distinct message types (tags are `1..=COUNT`).
+    pub const COUNT: usize = 7;
+
+    /// Short human-readable name of a type tag (for experiment output).
+    pub fn name(tag: u8) -> &'static str {
+        match tag {
+            FETCH_BIN_REQUEST => "FetchBinRequest",
+            BIN_PAIR_REQUEST => "BinPairRequest",
+            BIN_PAYLOAD => "BinPayload",
+            INSERT_REQUEST => "InsertRequest",
+            ACK => "Ack",
+            ERROR => "Error",
+            OPAQUE => "Opaque",
+            _ => "unknown",
+        }
+    }
+}
+
 /// Every message of the owner↔cloud protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireMessage {
@@ -156,13 +192,13 @@ impl WireMessage {
     /// The one-byte frame tag of this message type.
     pub fn msg_type(&self) -> u8 {
         match self {
-            WireMessage::FetchBinRequest(_) => 1,
-            WireMessage::BinPairRequest(_) => 2,
-            WireMessage::BinPayload(_) => 3,
-            WireMessage::InsertRequest(_) => 4,
-            WireMessage::Ack(_) => 5,
-            WireMessage::Error(_) => 6,
-            WireMessage::Opaque(_) => 7,
+            WireMessage::FetchBinRequest(_) => msg_tag::FETCH_BIN_REQUEST,
+            WireMessage::BinPairRequest(_) => msg_tag::BIN_PAIR_REQUEST,
+            WireMessage::BinPayload(_) => msg_tag::BIN_PAYLOAD,
+            WireMessage::InsertRequest(_) => msg_tag::INSERT_REQUEST,
+            WireMessage::Ack(_) => msg_tag::ACK,
+            WireMessage::Error(_) => msg_tag::ERROR,
+            WireMessage::Opaque(_) => msg_tag::OPAQUE,
         }
     }
 

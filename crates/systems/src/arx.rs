@@ -14,12 +14,12 @@
 
 use std::collections::HashMap;
 
-use pds_cloud::{CloudServer, DbOwner};
+use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
 use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
-use crate::engine::SecureSelectionEngine;
+use crate::engine::{decrypt_real_matches, BinEpisodeOutcome, SecureSelectionEngine};
 
 /// Arx-like per-occurrence counter-token index.
 #[derive(Debug, Default)]
@@ -90,17 +90,7 @@ impl SecureSelectionEngine for ArxEngine {
             return Ok(Vec::new());
         }
         let fetched = cloud.tag_select(&tokens);
-        let mut out = Vec::with_capacity(fetched.len());
-        for (_, ct) in &fetched {
-            let tuple = owner.decrypt_tuple(ct)?;
-            if DbOwner::is_fake(&tuple) {
-                continue;
-            }
-            if values.contains(tuple.value(attr)) {
-                out.push(tuple);
-            }
-        }
-        Ok(out)
+        decrypt_real_matches(owner, attr, values, &fetched)
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -109,6 +99,43 @@ impl SecureSelectionEngine for ArxEngine {
 
     fn fork(&self) -> Self {
         Self::new()
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SecureSelectionEngine> {
+        Box::new(self.fork())
+    }
+
+    fn composes_episodes(&self) -> bool {
+        true
+    }
+
+    /// One composed round: every occurrence token of every sensitive-bin
+    /// value rides the `BinPairRequest` next to the clear-text
+    /// non-sensitive values; the cloud matches the tokens against its
+    /// counter-token index and answers both sides in a single payload.
+    fn select_bin_episode(
+        &mut self,
+        owner: &mut DbOwner,
+        session: &mut CloudSession<'_>,
+        request: &BinEpisodeRequest,
+    ) -> Result<BinEpisodeOutcome> {
+        if !self.outsourced {
+            return Err(PdsError::Query("relation not outsourced yet".into()));
+        }
+        let attr = self.attr.expect("attr set at outsource time");
+        let mut tokens = Vec::new();
+        for v in &request.sensitive_values {
+            let count = self.histogram.get(v).copied().unwrap_or(0);
+            for i in 0..count {
+                tokens.push(owner.counter_tag(v, i));
+            }
+        }
+        let (nonsensitive, rows) = session.bin_pair_by_tags(request, tokens)?;
+        let sensitive = decrypt_real_matches(owner, attr, &request.sensitive_values, &rows)?;
+        Ok(BinEpisodeOutcome {
+            nonsensitive,
+            sensitive,
+        })
     }
 }
 

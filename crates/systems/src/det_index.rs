@@ -7,12 +7,12 @@
 //! attribute — which is precisely the leakage the frequency-count attack in
 //! `pds-adversary` exploits, and which QB removes (§VI of the paper).
 
-use pds_cloud::{CloudServer, DbOwner};
+use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
 use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
-use crate::engine::SecureSelectionEngine;
+use crate::engine::{decrypt_real_matches, BinEpisodeOutcome, SecureSelectionEngine};
 
 /// Deterministic-tag index back-end (CryptDB-like).
 #[derive(Debug, Default)]
@@ -66,17 +66,7 @@ impl SecureSelectionEngine for DeterministicIndexEngine {
         let attr = self.attr.expect("attr set at outsource time");
         let tags: Vec<Vec<u8>> = values.iter().map(|v| owner.det_tag(v)).collect();
         let fetched = cloud.tag_select(&tags);
-        let mut out = Vec::with_capacity(fetched.len());
-        for (_, ct) in &fetched {
-            let tuple = owner.decrypt_tuple(ct)?;
-            if DbOwner::is_fake(&tuple) {
-                continue;
-            }
-            if values.contains(tuple.value(attr)) {
-                out.push(tuple);
-            }
-        }
-        Ok(out)
+        decrypt_real_matches(owner, attr, values, &fetched)
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -85,6 +75,41 @@ impl SecureSelectionEngine for DeterministicIndexEngine {
 
     fn fork(&self) -> Self {
         Self::new()
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SecureSelectionEngine> {
+        Box::new(self.fork())
+    }
+
+    fn composes_episodes(&self) -> bool {
+        true
+    }
+
+    /// One composed round: the deterministic tags of the whole sensitive
+    /// bin ride the `BinPairRequest` next to the clear-text non-sensitive
+    /// values, and the cloud answers both sides from its indexes in a
+    /// single `BinPayload`.
+    fn select_bin_episode(
+        &mut self,
+        owner: &mut DbOwner,
+        session: &mut CloudSession<'_>,
+        request: &BinEpisodeRequest,
+    ) -> Result<BinEpisodeOutcome> {
+        if !self.outsourced {
+            return Err(PdsError::Query("relation not outsourced yet".into()));
+        }
+        let attr = self.attr.expect("attr set at outsource time");
+        let tags: Vec<Vec<u8>> = request
+            .sensitive_values
+            .iter()
+            .map(|v| owner.det_tag(v))
+            .collect();
+        let (nonsensitive, rows) = session.bin_pair_by_tags(request, tags)?;
+        let sensitive = decrypt_real_matches(owner, attr, &request.sensitive_values, &rows)?;
+        Ok(BinEpisodeOutcome {
+            nonsensitive,
+            sensitive,
+        })
     }
 }
 

@@ -23,7 +23,7 @@ use pds_crypto::Key128;
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
-use crate::engine::SecureSelectionEngine;
+use crate::engine::{decrypt_real_matches, SecureSelectionEngine};
 
 /// One simulated DPF evaluation server.
 #[derive(Debug, Clone, Default)]
@@ -150,17 +150,7 @@ impl SecureSelectionEngine for DpfEngine {
             return Ok(Vec::new());
         }
         let fetched = cloud.fetch_encrypted(&matching)?;
-        let mut out = Vec::with_capacity(fetched.len());
-        for (_, ct) in &fetched {
-            let tuple = owner.decrypt_tuple(ct)?;
-            if DbOwner::is_fake(&tuple) {
-                continue;
-            }
-            if values.contains(tuple.value(attr)) {
-                out.push(tuple);
-            }
-        }
-        Ok(out)
+        decrypt_real_matches(owner, attr, values, &fetched)
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -173,6 +163,10 @@ impl SecureSelectionEngine for DpfEngine {
 
     fn fork(&self) -> Self {
         Self::new(self.seed)
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SecureSelectionEngine> {
+        Box::new(self.fork())
     }
 }
 

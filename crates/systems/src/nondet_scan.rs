@@ -13,7 +13,7 @@ use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
-use crate::engine::SecureSelectionEngine;
+use crate::engine::{decrypt_real_matches, SecureSelectionEngine};
 
 /// Owner-side decrypt-and-filter over non-deterministically encrypted rows.
 #[derive(Debug, Default)]
@@ -77,17 +77,7 @@ impl SecureSelectionEngine for NonDetScanEngine {
             return Ok(Vec::new());
         }
         let fetched = cloud.fetch_encrypted(&matching)?;
-        let mut out = Vec::with_capacity(fetched.len());
-        for (_, ct) in &fetched {
-            let tuple = owner.decrypt_tuple(ct)?;
-            if DbOwner::is_fake(&tuple) {
-                continue;
-            }
-            if values.contains(tuple.value(attr)) {
-                out.push(tuple);
-            }
-        }
-        Ok(out)
+        decrypt_real_matches(owner, attr, values, &fetched)
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -96,6 +86,10 @@ impl SecureSelectionEngine for NonDetScanEngine {
 
     fn fork(&self) -> Self {
         Self::new()
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SecureSelectionEngine> {
+        Box::new(self.fork())
     }
 }
 

@@ -11,12 +11,12 @@
 //! (which tuples are returned) is exact; only wall-clock time is simulated.
 //! `DESIGN.md` §5 documents this substitution.
 
-use pds_cloud::{CloudServer, DbOwner};
+use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
 use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
-use crate::engine::SecureSelectionEngine;
+use crate::engine::{decrypt_real_matches, BinEpisodeOutcome, SecureSelectionEngine};
 
 /// Which oblivious system is being simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,17 +113,7 @@ impl SecureSelectionEngine for ObliviousScanEngine {
         }
         // Only the (padded, in QB deployments) result travels to the owner.
         let fetched = cloud.fetch_encrypted(&matching)?;
-        let mut out = Vec::new();
-        for (_, ct) in &fetched {
-            let tuple = owner.decrypt_tuple(ct)?;
-            if DbOwner::is_fake(&tuple) {
-                continue;
-            }
-            if values.contains(tuple.value(attr)) {
-                out.push(tuple);
-            }
-        }
-        Ok(out)
+        decrypt_real_matches(owner, attr, values, &fetched)
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -139,6 +129,50 @@ impl SecureSelectionEngine for ObliviousScanEngine {
 
     fn fork(&self) -> Self {
         Self::new(self.kind)
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SecureSelectionEngine> {
+        Box::new(self.fork())
+    }
+
+    fn composes_episodes(&self) -> bool {
+        true
+    }
+
+    /// One composed round: the sensitive bin's values travel as opaque
+    /// encrypted tokens inside the `BinPairRequest` (only the enclave / MPC
+    /// committee can read them), the secure environment scans every
+    /// encrypted tuple cloud-side, and the matching rows come back in the
+    /// same payload as the clear-text non-sensitive tuples.
+    fn select_bin_episode(
+        &mut self,
+        owner: &mut DbOwner,
+        session: &mut CloudSession<'_>,
+        request: &BinEpisodeRequest,
+    ) -> Result<BinEpisodeOutcome> {
+        if !self.outsourced {
+            return Err(PdsError::Query("relation not outsourced yet".into()));
+        }
+        let attr = self.attr.expect("attr set at outsource time");
+        let tokens: Vec<Vec<u8>> = request
+            .sensitive_values
+            .iter()
+            .map(|v| owner.encrypt_value(v).as_bytes().to_vec())
+            .collect();
+        let matching: Vec<pds_common::TupleId> = self
+            .enclave_column
+            .iter()
+            .filter(|(_, v)| request.sensitive_values.contains(v))
+            .map(|(id, _)| *id)
+            .collect();
+        let scanned = self.enclave_column.len();
+        let (nonsensitive, rows) =
+            session.bin_pair_oblivious(request, tokens, &matching, scanned)?;
+        let sensitive = decrypt_real_matches(owner, attr, &request.sensitive_values, &rows)?;
+        Ok(BinEpisodeOutcome {
+            nonsensitive,
+            sensitive,
+        })
     }
 }
 

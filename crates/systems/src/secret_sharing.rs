@@ -19,7 +19,7 @@ use pds_crypto::shamir::{self, Share};
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
-use crate::engine::SecureSelectionEngine;
+use crate::engine::{decrypt_real_matches, SecureSelectionEngine};
 
 /// Converts a value into a field element for sharing (hash of the encoding,
 /// so text values work too).
@@ -135,17 +135,7 @@ impl SecureSelectionEngine for SecretSharingEngine {
             return Ok(Vec::new());
         }
         let fetched = cloud.fetch_encrypted(&matching)?;
-        let mut out = Vec::with_capacity(fetched.len());
-        for (_, ct) in &fetched {
-            let tuple = owner.decrypt_tuple(ct)?;
-            if DbOwner::is_fake(&tuple) {
-                continue;
-            }
-            if values.contains(tuple.value(attr)) {
-                out.push(tuple);
-            }
-        }
-        Ok(out)
+        decrypt_real_matches(owner, attr, values, &fetched)
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -161,6 +151,10 @@ impl SecureSelectionEngine for SecretSharingEngine {
 
     fn fork(&self) -> Self {
         Self::new(self.threshold, self.servers.len())
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SecureSelectionEngine> {
+        Box::new(self.fork())
     }
 }
 

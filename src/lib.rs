@@ -66,14 +66,16 @@ pub mod prelude {
         ShardedSecurityReport, SurvivingMatches,
     };
     pub use pds_cloud::{
-        AdversarialView, BinCache, BinCacheStats, BinKey, BinKind, BinPlacement, BinRoutedCloud,
-        BinTransport, CloudServer, DbOwner, Metrics, NetworkModel, ShardRouter,
+        AdversarialView, BinCache, BinCacheStats, BinEpisodeRequest, BinKey, BinKind, BinPlacement,
+        BinRoutedCloud, BinTransport, CloudServer, CloudSession, DbOwner, Metrics, NetworkModel,
+        ShardRouter,
     };
     pub use pds_common::{Domain, PdsError, Result, Value};
     pub use pds_core::executor::NaivePartitionedExecutor;
     pub use pds_core::extensions::{equi_join, group_by_aggregate, select_range, InsertPlanner};
     pub use pds_core::{
-        BinShape, BinningConfig, EtaModel, QbExecutor, QueryBinning, SelectionStats, TransportedRun,
+        BinShape, BinningConfig, EtaModel, PlanMode, QbExecutor, QueryBinning, SelectionStats,
+        TransportedRun,
     };
     pub use pds_storage::{
         Attribute, DataType, Partitioner, Predicate, Relation, Schema, SelectionQuery,

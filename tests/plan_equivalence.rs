@@ -1,0 +1,117 @@
+//! Property-based integration tests for the plan→session episode pipeline:
+//! whatever the back-end, the shard count and the placement seed,
+//! plan-driven execution on the live composed path must be
+//! **observationally identical** to the fine-grained multi-round path
+//! (byte-identical answers for every value of the exhaustive Employee
+//! workload) and partitioned data security must hold on every shard's own
+//! view *and* on the composed coalition view in **both** modes.
+//!
+//! The engines are driven as `Box<dyn SecureSelectionEngine>` — the same
+//! trait-object form heterogeneous deployments use — so this suite also
+//! proves the boxed path end to end for all six back-ends.
+
+use proptest::prelude::*;
+
+use partitioned_data_security::prelude::*;
+use partitioned_data_security::systems::oblivious;
+
+mod common;
+use common::{answer_bytes, employee_setup};
+
+/// The six back-ends by index, as boxed trait objects.
+fn backend(i: usize) -> Box<dyn SecureSelectionEngine> {
+    match i {
+        0 => Box::new(NonDetScanEngine::new()),
+        1 => Box::new(DeterministicIndexEngine::new()),
+        2 => Box::new(ArxEngine::new()),
+        3 => Box::new(SecretSharingEngine::default_deployment()),
+        4 => Box::new(DpfEngine::new(99)),
+        _ => Box::new(oblivious::opaque_sim()),
+    }
+}
+
+const BACKENDS: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For every back-end, shard count and placement seed, the composed
+    /// plan mode returns byte-identical answers to the forced fine-grained
+    /// mode on an identical deployment, never uses more rounds, and the
+    /// security definition holds per shard and composed in both modes.
+    #[test]
+    fn composed_plans_match_fine_grained_across_backends(
+        shards in 1usize..=8,
+        placement_seed in 0u64..1_000,
+    ) {
+        let (parts, values) = employee_setup();
+        for backend_idx in 0..BACKENDS {
+            let mut answers: Vec<Vec<Vec<Vec<u8>>>> = Vec::new();
+            let mut rounds: Vec<u64> = Vec::new();
+            let mut bin_pair_frames: Vec<u64> = Vec::new();
+            let composes = backend(backend_idx).composes_episodes();
+
+            for mode in [PlanMode::Composed, PlanMode::FineGrained] {
+                let binning =
+                    QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+                let mut executor =
+                    QbExecutor::new(binning, backend(backend_idx)).with_plan_mode(mode);
+                let mut owner = DbOwner::new(5);
+                let mut router = ShardRouter::new(
+                    shards,
+                    NetworkModel::paper_wan(),
+                    placement_seed,
+                ).unwrap();
+                executor.outsource(&mut owner, &mut router, &parts).unwrap();
+                let outsourcing = router.metrics();
+
+                let mut mode_answers = Vec::with_capacity(values.len());
+                let mut mode_rounds = 0u64;
+                for value in &values {
+                    let ts = executor.select(&mut owner, &mut router, value).unwrap();
+                    mode_answers.push(answer_bytes(&ts));
+                    mode_rounds += executor.last_stats().rounds;
+                }
+                let delta = router.metrics().delta_since(&outsourcing);
+                // Per-episode rounds must add up to the metrics' counter.
+                prop_assert_eq!(delta.round_trips, mode_rounds);
+                answers.push(mode_answers);
+                rounds.push(mode_rounds);
+                bin_pair_frames.push(
+                    delta.frames_of_type(partitioned_data_security::cloud::msg_tag::BIN_PAIR_REQUEST),
+                );
+
+                // Security holds in this mode, per shard and composed.
+                let report =
+                    check_sharded_partitioned_security(&router.adversarial_views());
+                prop_assert!(
+                    report.is_secure(),
+                    "backend={} mode={:?} shards={} seed={} report={:?}",
+                    backend_idx, mode, shards, placement_seed, report
+                );
+            }
+
+            // Byte-identical answers across the two paths.
+            prop_assert!(
+                answers[0] == answers[1],
+                "answers diverged for backend {} ({} shards, seed {})",
+                backend_idx, shards, placement_seed
+            );
+            // The fine-grained run never touches the composed message; a
+            // composed-capable engine really moves one BinPairRequest per
+            // episode and strictly drops rounds.
+            prop_assert_eq!(bin_pair_frames[1], 0u64);
+            if composes {
+                prop_assert_eq!(bin_pair_frames[0] as usize, values.len());
+                prop_assert!(
+                    rounds[0] < rounds[1],
+                    "composed must use strictly fewer rounds for backend {} ({} vs {})",
+                    backend_idx, rounds[0], rounds[1]
+                );
+            } else {
+                prop_assert_eq!(bin_pair_frames[0], 0u64);
+                prop_assert_eq!(rounds[0], rounds[1]);
+            }
+        }
+    }
+}
