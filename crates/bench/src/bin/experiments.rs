@@ -3,9 +3,9 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|rwmix|employee|all]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|rwmix|service|employee|all]
 //!               [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]
-//!               [--latency <sec>] [--bandwidth <mbps>]
+//!               [--latency <sec>] [--bandwidth <mbps>] [--workers <n>] [--owners <n>]
 //!
 //! `--scale` shrinks the generated datasets (default 0.01 of the paper's
 //! sizes) so the full suite completes in seconds on a laptop; it must be a
@@ -17,20 +17,26 @@
 //! cache size instead of the default sweep (`--cache` also sets the
 //! `rwmix` cache size).  `--latency` (seconds, finite, >= 0) and
 //! `--bandwidth` (Mbps, finite, > 0) pin the `wire` experiment's simulated
-//! link instead of its default latency x bandwidth sweep.
+//! link instead of its default latency x bandwidth sweep.  `--workers`
+//! (>= 1) pins the `service` experiment's daemon worker-pool size instead
+//! of its default {1, 2, 4} sweep, and `--owners` (>= 1) sets its number
+//! of concurrent tenant owners (default 8; `--shards` sets its daemon
+//! count, default 2).
 
-use pds_bench::{attacks, fig6a, fig6b, fig6c, hetero, rwmix, sharded, table6, wire, zipf};
+use pds_bench::{
+    attacks, fig6a, fig6b, fig6c, hetero, rwmix, service, sharded, table6, wire, zipf,
+};
 
-const KNOWN: [&str; 13] = [
+const KNOWN: [&str; 14] = [
     "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "wire",
-    "hetero", "rwmix", "employee",
+    "hetero", "rwmix", "service", "employee",
 ];
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: experiments [{}] [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>] \
-         [--latency <sec>] [--bandwidth <mbps>]",
+         [--latency <sec>] [--bandwidth <mbps>] [--workers <n>] [--owners <n>]",
         KNOWN.join("|")
     );
     std::process::exit(2);
@@ -63,6 +69,8 @@ fn main() {
             || arg == "--cache"
             || arg == "--latency"
             || arg == "--bandwidth"
+            || arg == "--workers"
+            || arg == "--owners"
         {
             i += 2; // skip the flag and its value (validated below)
             continue;
@@ -111,6 +119,14 @@ fn main() {
         if !b.is_finite() || b <= 0.0 {
             usage_exit(&format!("--bandwidth must be a finite value > 0, got {b}"));
         }
+    }
+    let workers = parse_flag::<usize>(&args, "--workers");
+    if workers == Some(0) {
+        usage_exit("--workers must be at least 1");
+    }
+    let owners = parse_flag::<usize>(&args, "--owners");
+    if owners == Some(0) {
+        usage_exit("--owners must be at least 1");
     }
 
     if !KNOWN.contains(&which.as_str()) {
@@ -166,6 +182,9 @@ fn main() {
         // rejected at parse time, and `all --cache 0` falls back to the
         // rwmix default rather than failing the whole suite.
         sharded_ok &= print_rwmix(cache.filter(|&c| c > 0).unwrap_or(32));
+    }
+    if run_all || which == "service" {
+        sharded_ok &= print_service(shards.unwrap_or(2), workers, owners.unwrap_or(8));
     }
     if run_all || which == "employee" {
         print_employee();
@@ -615,6 +634,47 @@ fn print_rwmix(cache_bins: usize) -> bool {
         }
         Err(e) => {
             eprintln!("rwmix run failed: {e}");
+            println!();
+            false
+        }
+    }
+}
+
+fn print_service(shards: usize, workers: Option<usize>, owners: usize) -> bool {
+    let pools = workers.map_or_else(service::default_workers, |w| vec![w]);
+    println!(
+        "== TCP service: {owners} concurrent tenant owners over {shards} loopback shard \
+         daemons, closed loop =="
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "workers", "owners", "ops", "ops/sec", "p50 ms", "p99 ms", "exact?", "secure?"
+    );
+    match service::run(shards, &pools, owners, 42) {
+        Ok(points) => {
+            let mut ok = true;
+            for p in &points {
+                println!(
+                    "{:>8} {:>8} {:>8} {:>12.1} {:>10.3} {:>10.3} {:>8} {:>8}",
+                    p.workers,
+                    p.owners,
+                    p.ops,
+                    p.throughput(),
+                    p.p50_ms,
+                    p.p99_ms,
+                    p.exact,
+                    p.secure
+                );
+                ok &= p.exact && p.secure && p.throughput() > 0.0;
+            }
+            if !ok {
+                eprintln!("service run failed its gate (exact answers, security, throughput)");
+            }
+            println!();
+            ok
+        }
+        Err(e) => {
+            eprintln!("service run failed: {e}");
             println!();
             false
         }

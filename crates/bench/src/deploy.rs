@@ -291,7 +291,7 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
             &mut self.owner,
             &mut self.router,
             queries,
-            transport,
+            &transport,
         )?;
         let profile = self.executor.engine().cost_profile();
 

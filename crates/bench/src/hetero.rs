@@ -144,7 +144,7 @@ pub fn run(tuples: usize, shards: usize, seed: u64) -> Result<HeteroOutcome> {
         &mut dep.owner,
         &mut dep.router,
         &workload,
-        BinTransport::Sequential,
+        &BinTransport::Sequential,
     )?;
     let exact = answer_bytes(&run.answers) == expected;
     let secure = check_sharded_partitioned_security(&dep.router.adversarial_views()).is_secure();

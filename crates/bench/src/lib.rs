@@ -17,6 +17,7 @@
 //! | [`wire`] | beyond the paper — wire-protocol sweep: byte-accurate bytes moved and the event-simulated network wall-clock over latency × bandwidth × shards, plus the composed-vs-fine-grained rounds gate |
 //! | [`hetero`] | beyond the paper — heterogeneous shards: a different secure back-end per shard, exact answers and per-shard + composed security |
 //! | [`rwmix`] | beyond the paper — read/write mixes over the Employee workload driving cache invalidation on insert under load |
+//! | [`service`] | beyond the paper — real TCP shard daemons: concurrent multi-tenant owners in a closed loop, throughput vs worker-pool size with p50/p99 latency, gated on exact answers and composed security |
 //!
 //! [`deploy`] holds the shared machinery: building a partitioned TPC-H-like
 //! deployment (single-server or sharded) at a target sensitivity ratio,
@@ -32,6 +33,7 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod hetero;
 pub mod rwmix;
+pub mod service;
 pub mod sharded;
 pub mod table6;
 pub mod wire;

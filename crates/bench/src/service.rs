@@ -1,0 +1,260 @@
+//! The TCP service experiment: concurrent multi-tenant owners against
+//! real loopback shard daemons.
+//!
+//! A **closed-loop** load generator — every owner thread issues its next
+//! point query only after the previous answer arrived — drives N tenant
+//! owners against one [`ShardDaemon`] per shard, sweeping the daemon's
+//! worker-pool size.  Each point reports measured throughput (queries per
+//! second across all owners) and the p50/p99 per-query latency, and is
+//! gated on three correctness checks:
+//!
+//! * **exact** — every tenant's TCP answers equal its in-process
+//!   [`BinTransport::Threaded`] reference answers;
+//! * **secure** — after the daemons hand their per-tenant servers back,
+//!   every tenant's composed adversarial view still satisfies partitioned
+//!   security;
+//! * **throughput > 0** — enforced by the caller (`experiments service`),
+//!   which fails the process otherwise.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use pds_adversary::check_sharded_partitioned_security;
+use pds_cloud::{
+    BinRoutedCloud, BinTransport, CloudServer, DbOwner, NetworkModel, ServiceConfig, ShardDaemon,
+    ShardRouter, TcpCloudClient,
+};
+use pds_common::{Result, Value};
+use pds_core::{BinningConfig, QbExecutor, QueryBinning};
+use pds_storage::{Partitioner, Tuple};
+use pds_systems::DeterministicIndexEngine;
+use pds_workload::{employee_relation, employee_sensitivity_policy};
+
+/// One cell of the sweep: a worker-pool size under a fixed owner count.
+#[derive(Debug, Clone)]
+pub struct ServicePoint {
+    /// Worker threads per shard daemon.
+    pub workers: usize,
+    /// Concurrent tenant owners in the closed loop.
+    pub owners: usize,
+    /// Point queries completed across all owners.
+    pub ops: usize,
+    /// Wall-clock seconds of the concurrent phase.
+    pub wall_clock_sec: f64,
+    /// Median per-query latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency in milliseconds.
+    pub p99_ms: f64,
+    /// Whether every tenant's TCP answers equalled the threaded reference.
+    pub exact: bool,
+    /// Whether every tenant's composed view stayed secure afterwards.
+    pub secure: bool,
+}
+
+impl ServicePoint {
+    /// Queries per second across all owners.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_clock_sec > 0.0 {
+            self.ops as f64 / self.wall_clock_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The default worker-pool sweep.
+pub fn default_workers() -> Vec<usize> {
+    vec![1, 2, 4]
+}
+
+struct Tenant {
+    id: u64,
+    owner: DbOwner,
+    router: ShardRouter,
+    executor: QbExecutor<DeterministicIndexEngine>,
+    workload: Vec<Value>,
+    reference: Vec<Vec<Tuple>>,
+}
+
+/// Builds one tenant's deployment over the Employee workload and records
+/// its in-process threaded reference answers.
+fn tenant(id: u64, shards: usize, seed: u64) -> Result<Tenant> {
+    let relation = employee_relation();
+    let policy = employee_sensitivity_policy(&relation)?;
+    let parts = Partitioner::new(policy).split(&relation)?;
+    let attr = parts.sensitive.schema().attr_id("EId")?;
+    let mut workload = parts.sensitive.distinct_values(attr);
+    for v in parts.nonsensitive.distinct_values(attr) {
+        if !workload.contains(&v) {
+            workload.push(v);
+        }
+    }
+    // Four passes over the exhaustive values: with caching off every
+    // repeat pays a full round trip, giving the percentiles real samples.
+    let passes = 4;
+    let repeated: Vec<Value> = workload
+        .iter()
+        .cycle()
+        .take(workload.len() * passes)
+        .cloned()
+        .collect();
+    let workload = repeated;
+    let binning = QueryBinning::build(&parts, "EId", BinningConfig::default())?;
+    // Cache capacity 0: every query of the closed loop pays the full
+    // owner↔daemon round trip, so latency percentiles measure the wire.
+    let mut executor = QbExecutor::new(binning, DeterministicIndexEngine::new()).with_tenant(id);
+    let mut owner = DbOwner::new(seed.wrapping_add(id));
+    let mut router = ShardRouter::new(
+        shards,
+        NetworkModel::paper_wan(),
+        seed.wrapping_mul(31) + id,
+    )?;
+    executor.outsource(&mut owner, &mut router, &parts)?;
+    let reference = executor
+        .run_workload_transported(&mut owner, &mut router, &workload, &BinTransport::Threaded)?
+        .answers;
+    Ok(Tenant {
+        id,
+        owner,
+        router,
+        executor,
+        workload,
+        reference,
+    })
+}
+
+/// Sweeps the daemon worker-pool size with `owners` concurrent tenants
+/// over `shards` loopback daemons.  The same tenant deployments are
+/// reused across the sweep: each round lifts their shard servers into
+/// fresh daemons and reclaims them (with everything the daemons recorded)
+/// afterwards.
+pub fn run(
+    shards: usize,
+    workers: &[usize],
+    owners: usize,
+    seed: u64,
+) -> Result<Vec<ServicePoint>> {
+    let mut tenants: Vec<Tenant> = (1..=owners as u64)
+        .map(|id| tenant(id, shards, seed))
+        .collect::<Result<_>>()?;
+
+    let mut points = Vec::with_capacity(workers.len());
+    for &pool in workers {
+        // Lift every tenant's shard servers into one daemon per shard.
+        let mut hosted: Vec<Vec<(u64, CloudServer)>> = (0..shards).map(|_| Vec::new()).collect();
+        for t in tenants.iter_mut() {
+            for (s, server) in t.router.shards_mut().iter_mut().enumerate() {
+                hosted[s].push((t.id, std::mem::take(server)));
+            }
+        }
+        let daemons: Vec<ShardDaemon> = hosted
+            .into_iter()
+            .map(|servers| ShardDaemon::spawn(servers, ServiceConfig::with_workers(pool)))
+            .collect::<Result<_>>()?;
+        let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+
+        // The closed loop: one thread per owner, each issuing its queries
+        // one at a time and timing every round trip.
+        let start = Instant::now();
+        let per_owner: Vec<(Vec<f64>, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tenants
+                .iter_mut()
+                .map(|t| {
+                    let addrs = addrs.clone();
+                    scope.spawn(move || {
+                        let transport = BinTransport::Tcp(TcpCloudClient::new(t.id, addrs));
+                        let mut latencies = Vec::with_capacity(t.workload.len());
+                        let mut exact = true;
+                        for (value, want) in t.workload.clone().iter().zip(&t.reference) {
+                            let op = Instant::now();
+                            let run = t.executor.run_workload_transported(
+                                &mut t.owner,
+                                &mut t.router,
+                                std::slice::from_ref(value),
+                                &transport,
+                            );
+                            latencies.push(op.elapsed().as_secs_f64() * 1e3);
+                            exact &= matches!(&run, Ok(r) if r.answers.len() == 1
+                                && &r.answers[0] == want);
+                        }
+                        (latencies, exact)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("owner thread panicked"))
+                .collect()
+        });
+        let wall_clock_sec = start.elapsed().as_secs_f64();
+
+        // Reclaim every tenant's servers (sorted by tenant id) so the
+        // composed security check sees the daemon-served episodes.
+        let mut returned: Vec<Vec<(u64, CloudServer)>> =
+            daemons.into_iter().map(ShardDaemon::shutdown).collect();
+        let mut secure = true;
+        for t in tenants.iter_mut() {
+            for (s, servers) in returned.iter_mut().enumerate() {
+                let pos = servers
+                    .iter()
+                    .position(|(id, _)| *id == t.id)
+                    .expect("daemon returns every tenant's server");
+                t.router.shards_mut()[s] = servers.swap_remove(pos).1;
+            }
+            secure &= check_sharded_partitioned_security(&t.router.adversarial_views()).is_secure();
+        }
+
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut exact = true;
+        for (lats, ok) in per_owner {
+            latencies.extend(lats);
+            exact &= ok;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        points.push(ServicePoint {
+            workers: pool,
+            owners,
+            ops: latencies.len(),
+            wall_clock_sec,
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+            exact,
+            secure,
+        });
+    }
+    Ok(points)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.99), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn smoke_sweep_is_exact_secure_and_nonzero() {
+        let points = run(2, &[2], 4, 42).unwrap();
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.exact, "TCP answers must match the threaded reference");
+        assert!(p.secure, "composed views must stay secure");
+        assert!(p.ops > 0 && p.throughput() > 0.0);
+        assert!(p.p50_ms > 0.0 && p.p99_ms >= p.p50_ms);
+    }
+}

@@ -103,7 +103,7 @@ fn run_cell(
         &mut dep.owner,
         &mut dep.router,
         workload,
-        transport,
+        &transport,
     )?;
     let delta = dep.router.metrics().delta_since(&before);
     Ok(CellRun {
@@ -243,7 +243,7 @@ pub fn rounds_drop(tuples: usize, shard_counts: &[usize], seed: u64) -> Result<V
                 &mut dep.owner,
                 &mut dep.router,
                 &workload,
-                BinTransport::Sequential,
+                &BinTransport::Sequential,
             )?;
             let delta = dep.router.metrics().delta_since(&before);
             let secure =

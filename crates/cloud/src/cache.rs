@@ -55,30 +55,43 @@ pub enum BinKind {
     NonSensitive,
 }
 
-/// Cache key: one bin of one side.
+/// Cache key: one bin of one side, in one tenant's bin namespace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BinKey {
     /// The side the bin belongs to.
     pub kind: BinKind,
     /// The bin index on that side.
     pub index: usize,
+    /// Tenant whose namespace the bin index lives in.  Single-tenant
+    /// deployments use the default tenant 0; under the multi-tenant TCP
+    /// service each owner's executor stamps its tenant id here so bin
+    /// indices of different tenants can never alias in shared tooling.
+    pub tenant: u64,
 }
 
 impl BinKey {
-    /// Key of a sensitive bin.
+    /// Key of a sensitive bin (default tenant 0).
     pub fn sensitive(index: usize) -> Self {
         BinKey {
             kind: BinKind::Sensitive,
             index,
+            tenant: 0,
         }
     }
 
-    /// Key of a non-sensitive bin.
+    /// Key of a non-sensitive bin (default tenant 0).
     pub fn nonsensitive(index: usize) -> Self {
         BinKey {
             kind: BinKind::NonSensitive,
             index,
+            tenant: 0,
         }
+    }
+
+    /// The same bin key in `tenant`'s namespace.
+    pub fn for_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -119,6 +132,8 @@ impl BinCacheStats {
 #[derive(Debug, Clone, Default)]
 pub struct BinCache {
     capacity: usize,
+    /// Tenant namespace stamped onto every key this cache forms.
+    tenant: u64,
     entries: HashMap<BinKey, (u64, Vec<Tuple>)>,
     /// Bin pairs the cloud has observed co-retrieved at least once — the
     /// precondition for serving that pair from cache (module docs, rule 2).
@@ -129,10 +144,11 @@ pub struct BinCache {
 }
 
 impl BinCache {
-    /// Creates a cache holding at most `capacity` bins.
+    /// Creates a cache holding at most `capacity` bins (tenant 0).
     pub fn new(capacity: usize) -> Self {
         BinCache {
             capacity,
+            tenant: 0,
             entries: HashMap::new(),
             seen_pairs: HashSet::new(),
             clock: 0,
@@ -143,6 +159,18 @@ impl BinCache {
     /// Maximum number of bins retained.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The tenant namespace this cache stamps onto its keys.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Moves the cache into `tenant`'s namespace.  Existing entries keyed
+    /// under another tenant become unreachable by the pair methods, so set
+    /// this before the first fetch (the executor does, at build time).
+    pub fn set_tenant(&mut self, tenant: u64) {
+        self.tenant = tenant;
     }
 
     /// Number of bins currently cached.
@@ -175,8 +203,8 @@ impl BinCache {
         sensitive_bin: usize,
         nonsensitive_bin: usize,
     ) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
-        let s_key = BinKey::sensitive(sensitive_bin);
-        let ns_key = BinKey::nonsensitive(nonsensitive_bin);
+        let s_key = BinKey::sensitive(sensitive_bin).for_tenant(self.tenant);
+        let ns_key = BinKey::nonsensitive(nonsensitive_bin).for_tenant(self.tenant);
         let servable = self.seen_pairs.contains(&(sensitive_bin, nonsensitive_bin))
             && self.entries.contains_key(&s_key)
             && self.entries.contains_key(&ns_key);
@@ -216,8 +244,14 @@ impl BinCache {
             return;
         }
         self.seen_pairs.insert((sensitive_bin, nonsensitive_bin));
-        self.store(BinKey::sensitive(sensitive_bin), sensitive_tuples);
-        self.store(BinKey::nonsensitive(nonsensitive_bin), nonsensitive_tuples);
+        self.store(
+            BinKey::sensitive(sensitive_bin).for_tenant(self.tenant),
+            sensitive_tuples,
+        );
+        self.store(
+            BinKey::nonsensitive(nonsensitive_bin).for_tenant(self.tenant),
+            nonsensitive_tuples,
+        );
     }
 
     /// Stores (or refreshes) one bin, evicting the least-recently-used
@@ -375,5 +409,25 @@ mod tests {
         assert_eq!(c.len(), 2);
         let (s, _) = c.get_pair(0, 0).unwrap();
         assert_eq!(s.len(), 3, "refreshed contents are served");
+    }
+
+    #[test]
+    fn tenant_namespaces_do_not_alias() {
+        let mut c = BinCache::new(4);
+        c.set_tenant(7);
+        assert_eq!(c.tenant(), 7);
+        c.store_pair(0, tuples(0, 1), 0, tuples(1, 1));
+        // The entries are keyed in tenant 7's namespace, invisible through
+        // tenant-0 keys and visible through tenant-7 keys.
+        assert!(!c.contains(BinKey::sensitive(0)));
+        assert!(c.contains(BinKey::sensitive(0).for_tenant(7)));
+        assert!(c.get_pair(0, 0).is_some(), "same-tenant lookup serves");
+        // Switching the cache's namespace strands the old entries.
+        c.set_tenant(8);
+        assert!(c.get_pair(0, 0).is_none());
+        // Tenant-stamped invalidation works on the stamped key.
+        c.set_tenant(7);
+        assert!(c.invalidate(BinKey::sensitive(0).for_tenant(7)));
+        assert!(!c.invalidate(BinKey::sensitive(0)), "unstamped key misses");
     }
 }

@@ -40,7 +40,13 @@
 //! * [`session::CloudSession`] — the typed-message session layer: per-episode
 //!   round counting, composed one-round `BinPairRequest` episodes, and
 //!   `WireMessage` dispatch onto the server (the live execution path of the
-//!   plan→session pipeline in `pds-core`).
+//!   plan→session pipeline in `pds-core`), and
+//! * [`service::ShardDaemon`] / [`tcp::TcpCloudClient`] — the same dispatch
+//!   seam behind a real loopback TCP socket: a per-shard daemon (acceptor +
+//!   reader threads + worker pool) serving concurrent multi-tenant owners,
+//!   and the pooled client whose [`tcp::RemoteSession`] implements
+//!   [`session::EpisodeChannel`] so engines run unchanged on either side of
+//!   the wire ([`transport::BinTransport::Tcp`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,9 +56,11 @@ pub mod metrics;
 pub mod network;
 pub mod owner;
 pub mod server;
+pub mod service;
 pub mod session;
 pub mod shard;
 pub mod store;
+pub mod tcp;
 pub mod transport;
 pub mod view;
 
@@ -62,8 +70,10 @@ pub use network::NetworkModel;
 pub use owner::DbOwner;
 pub use pds_proto::{msg_tag, LinkSpec, RoundTrip, SimReport};
 pub use server::{BinPairResult, CloudServer};
-pub use session::{BinEpisodeRequest, CloudSession};
+pub use service::{ServiceConfig, ShardDaemon};
+pub use session::{BinEpisodeRequest, CloudSession, EpisodeChannel};
 pub use shard::{BinPlacement, BinRoutedCloud, ShardRouter};
 pub use store::{EncryptedRow, EncryptedStore};
+pub use tcp::{RemoteSession, TcpCloudClient, TcpShardConn};
 pub use transport::{simulate_wire_traffic, BinTransport, DispatchReport};
 pub use view::{AdversarialView, QueryEpisode};

@@ -1,0 +1,444 @@
+//! A real TCP daemon serving one cloud shard to concurrent tenant owners.
+//!
+//! Until this module existed every byte-accurate `pds-proto` frame still
+//! travelled through an in-process function call; [`ShardDaemon`] puts the
+//! same [`crate::CloudSession::dispatch`] seam behind a loopback socket so
+//! the failure modes of a real network — partial reads, dead peers,
+//! hostile bytes, concurrent tenants — exist and are tested.
+//!
+//! Architecture (one daemon per shard):
+//!
+//! ```text
+//!   TcpListener ── acceptor thread
+//!        │   one reader thread per connection (I/O only):
+//!        │     Hello handshake → FrameReader loop → job queue
+//!        ▼
+//!   mpsc job queue ── worker pool (N compute threads)
+//!        │     catch_unwind( lock tenant shard → dispatch → response )
+//!        ▼
+//!   per-connection write mutex → response frame back on the same socket
+//! ```
+//!
+//! Robustness rules, each covered by `tests/hostile_client.rs`:
+//!
+//! * **framing errors** (garbage bytes, truncated frame, kill-mid-frame)
+//!   close that connection and nothing else — the acceptor keeps accepting;
+//! * **oversized declared lengths** are rejected *before* any payload
+//!   allocation ([`pds_proto::FrameReader`] with the daemon's configurable
+//!   [`ServiceConfig::max_payload`]) and answered with a typed
+//!   [`WireMessage::Error`] frame, then the connection closes — the 1 GiB
+//!   protocol-level [`pds_proto::MAX_PAYLOAD_LEN`] is not a listening
+//!   socket's memory-DoS budget;
+//! * **a panicking handler** is caught ([`std::panic::catch_unwind`]), the
+//!   client gets an `Error` frame, the connection drops, the poisoned
+//!   tenant lock is recovered, and every other connection keeps getting
+//!   byte-identical answers.
+//!
+//! Multi-tenancy: the daemon holds one independent [`CloudServer`] per
+//! tenant id, so tenants have disjoint keyspaces, bin namespaces,
+//! adversarial views and metrics windows.  Every connection must open with
+//! a [`pds_proto::Hello`] naming its tenant; the daemon validates the id
+//! and echoes the `Hello` back.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use pds_common::{PdsError, Result};
+use pds_proto::{error_frame, msg_tag, FrameReader, ReadFrame, WireMessage};
+
+use crate::server::CloudServer;
+use crate::session::CloudSession;
+
+/// Tuning knobs of one [`ShardDaemon`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Compute threads in the worker pool.
+    pub workers: usize,
+    /// Per-connection ceiling on a frame's declared payload length.  A
+    /// header declaring more is answered with a typed `Error` frame and a
+    /// closed connection — *without* allocating the declared amount.
+    pub max_payload: usize,
+    /// Fault-injection hook for the unwind-isolation regression test: an
+    /// `Opaque` frame whose body equals this trigger panics the worker
+    /// mid-request (while it holds the tenant lock).  `None` in production.
+    pub panic_trigger: Option<Vec<u8>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            max_payload: pds_proto::MAX_PAYLOAD_LEN,
+            panic_trigger: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with the given worker-pool size and default limits.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// One unit of compute work: a decoded request plus where to answer.
+struct Job {
+    tenant: u64,
+    msg: WireMessage,
+    writer: Arc<Mutex<TcpStream>>,
+    /// Set by a worker whose handler panicked, *before* it writes the
+    /// Error frame: the reader checks it before enqueuing, so nothing the
+    /// client sends after reading that frame can reach another worker.
+    dead: Arc<AtomicBool>,
+}
+
+/// State shared by the acceptor, the readers and the worker pool.
+struct SharedState {
+    tenants: HashMap<u64, Mutex<CloudServer>>,
+    config: ServiceConfig,
+    /// Duplicate handles of every accepted connection, so shutdown can
+    /// unblock reader threads that are parked in a blocking read.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A TCP daemon serving one shard's tenant servers on a loopback address.
+pub struct ShardDaemon {
+    addr: SocketAddr,
+    state: Arc<SharedState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: Option<Sender<Job>>,
+}
+
+impl std::fmt::Debug for ShardDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardDaemon")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardDaemon {
+    /// Binds a fresh loopback port and starts serving the given per-tenant
+    /// shard servers.
+    pub fn spawn(tenants: Vec<(u64, CloudServer)>, config: ServiceConfig) -> Result<ShardDaemon> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| PdsError::Cloud(format!("shard daemon bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PdsError::Cloud(format!("shard daemon local_addr failed: {e}")))?;
+        let state = Arc::new(SharedState {
+            tenants: tenants
+                .into_iter()
+                .map(|(id, server)| (id, Mutex::new(server)))
+                .collect(),
+            config,
+            conns: Mutex::new(Vec::new()),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..state.config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || run_worker(&state, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            std::thread::spawn(move || run_acceptor(listener, &state, &stop, &tx))
+        };
+        Ok(ShardDaemon {
+            addr,
+            state,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            jobs: Some(tx),
+        })
+    }
+
+    /// The loopback address this daemon listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every thread, and returns the per-tenant
+    /// shard servers (sorted by tenant id) with everything they recorded —
+    /// adversarial views, metrics windows — so callers can run the
+    /// security checks the in-process path runs.
+    pub fn shutdown(mut self) -> Vec<(u64, CloudServer)> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept with a throwaway dial.
+        let _ = TcpStream::connect(self.addr);
+        let readers = self
+            .acceptor
+            .take()
+            .map(|h| h.join().unwrap_or_default())
+            .unwrap_or_default();
+        // Unblock reader threads parked in a blocking read.
+        for conn in self
+            .state
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // With acceptor and readers gone, ours is the last job sender:
+        // dropping it drains the worker pool.
+        drop(self.jobs.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let state = Arc::try_unwrap(self.state)
+            .ok()
+            .expect("every daemon thread has been joined");
+        let mut tenants: Vec<(u64, CloudServer)> = state
+            .tenants
+            .into_iter()
+            .map(|(id, m)| (id, m.into_inner().unwrap_or_else(|p| p.into_inner())))
+            .collect();
+        tenants.sort_by_key(|(id, _)| *id);
+        tenants
+    }
+}
+
+fn run_acceptor(
+    listener: TcpListener,
+    state: &Arc<SharedState>,
+    stop: &AtomicBool,
+    jobs: &Sender<Job>,
+) -> Vec<JoinHandle<()>> {
+    let mut readers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if let Ok(dup) = stream.try_clone() {
+            state
+                .conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(dup);
+        }
+        let state = Arc::clone(state);
+        let jobs = jobs.clone();
+        readers.push(std::thread::spawn(move || {
+            run_connection(stream, &state, &jobs)
+        }));
+    }
+    readers
+}
+
+/// One connection's I/O loop: handshake, then read frames and enqueue jobs.
+fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let writer = Arc::new(Mutex::new(stream));
+    let dead = Arc::new(AtomicBool::new(false));
+    let frames = FrameReader::new(state.config.max_payload);
+
+    // Handshake: the first frame must be a Hello naming a known tenant.
+    let tenant = match frames.read(&mut reader) {
+        Ok(ReadFrame::Frame(bytes)) => match WireMessage::decode(&bytes) {
+            Ok(WireMessage::Hello(hello)) => {
+                if state.tenants.contains_key(&hello.tenant) {
+                    if write_msg(&writer, &WireMessage::Hello(hello)).is_err() {
+                        close(&writer);
+                        return;
+                    }
+                    hello.tenant
+                } else {
+                    refuse(
+                        &writer,
+                        &PdsError::Cloud(format!("unknown tenant {}", hello.tenant)),
+                    );
+                    return;
+                }
+            }
+            Ok(other) => {
+                refuse(
+                    &writer,
+                    &PdsError::Wire(format!(
+                        "connection must open with a Hello handshake, got {}",
+                        other.name()
+                    )),
+                );
+                return;
+            }
+            // Checksummed-but-malformed first frame: hostile peer, no reply.
+            Err(_) => {
+                close(&writer);
+                return;
+            }
+        },
+        Ok(ReadFrame::Oversized { msg_type, declared }) => {
+            refuse(&writer, &oversized_error(state, msg_type, declared));
+            return;
+        }
+        // Garbage bytes, truncation, or immediate close: just drop it.
+        _ => {
+            close(&writer);
+            return;
+        }
+    };
+
+    loop {
+        match frames.read(&mut reader) {
+            Ok(ReadFrame::Eof) => break,
+            Ok(ReadFrame::Frame(bytes)) => match WireMessage::decode(&bytes) {
+                Ok(msg) => {
+                    // A panicked handler condemned this connection; the flag
+                    // was raised before its Error frame went out, so any
+                    // frame arriving after the client read it lands here.
+                    if dead.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let job = Job {
+                        tenant,
+                        msg,
+                        writer: Arc::clone(&writer),
+                        dead: Arc::clone(&dead),
+                    };
+                    if jobs.send(job).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    refuse(&writer, &e);
+                    return;
+                }
+            },
+            Ok(ReadFrame::Oversized { msg_type, declared }) => {
+                refuse(&writer, &oversized_error(state, msg_type, declared));
+                return;
+            }
+            // Truncated mid-frame or the peer died: nothing to answer.
+            Err(_) => break,
+        }
+    }
+    close(&writer);
+}
+
+fn oversized_error(state: &SharedState, msg_type: u8, declared: usize) -> PdsError {
+    PdsError::Wire(format!(
+        "declared payload of {declared} bytes on a {} frame exceeds this \
+         daemon's {}-byte limit",
+        msg_tag::name(msg_type),
+        state.config.max_payload
+    ))
+}
+
+/// One worker-pool thread: drain jobs until every sender is gone.
+fn run_worker(state: &SharedState, jobs: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let rx = jobs.lock().unwrap_or_else(|p| p.into_inner());
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        };
+        // A panicking handler must not take the daemon down with it: catch
+        // the unwind, answer the client with a typed Error frame, and drop
+        // only that connection.  The tenant lock the handler held is
+        // poisoned by the unwind; every other lock site recovers via
+        // `unwrap_or_else(PoisonError::into_inner)`.
+        match catch_unwind(AssertUnwindSafe(|| serve(state, job.tenant, &job.msg))) {
+            Ok(Ok(resp)) => {
+                let _ = write_msg(&job.writer, &resp);
+            }
+            Ok(Err(e)) => {
+                let _ = write_msg(&job.writer, &WireMessage::Error(error_frame(&e)));
+            }
+            Err(_) => {
+                // Condemn the connection *before* the Error frame goes out:
+                // the moment the client reads it, nothing it sends afterwards
+                // may reach a worker, or a fast client could race one more
+                // request past the close below and get it served.
+                job.dead.store(true, Ordering::SeqCst);
+                let _ = write_msg(
+                    &job.writer,
+                    &WireMessage::Error(error_frame(&PdsError::Cloud(
+                        "request handler panicked; dropping this connection".into(),
+                    ))),
+                );
+                close(&job.writer);
+            }
+        }
+    }
+}
+
+/// Serves one decoded request against the tenant's shard server.
+fn serve(state: &SharedState, tenant: u64, msg: &WireMessage) -> Result<WireMessage> {
+    let server = state
+        .tenants
+        .get(&tenant)
+        .ok_or_else(|| PdsError::Cloud(format!("unknown tenant {tenant}")))?;
+    let mut server = server.lock().unwrap_or_else(|p| p.into_inner());
+    if let (Some(trigger), WireMessage::Opaque(body)) = (&state.config.panic_trigger, msg) {
+        // Panic while holding the tenant lock, so the regression test
+        // proves poison recovery, not just unwind catching.
+        if body == trigger {
+            panic!("injected handler panic");
+        }
+    }
+    let mut session = CloudSession::new(&mut server);
+    // Query messages are bracketed as one adversarial-view episode each —
+    // exactly how the in-process executor brackets a composed episode — so
+    // a daemon-served workload records the same view as a local one.
+    let episodic = matches!(
+        msg,
+        WireMessage::FetchBinRequest(_) | WireMessage::BinPairRequest(_)
+    );
+    if episodic {
+        session.begin_episode();
+    }
+    let resp = session.dispatch(msg);
+    if episodic {
+        session.end_episode();
+    }
+    resp
+}
+
+fn write_msg(writer: &Mutex<TcpStream>, msg: &WireMessage) -> Result<()> {
+    let frame = msg.encode()?;
+    let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+    stream
+        .write_all(&frame)
+        .map_err(|e| PdsError::Wire(format!("response write failed: {e}")))
+}
+
+/// Best-effort typed refusal: Error frame out, then close.
+fn refuse(writer: &Mutex<TcpStream>, err: &PdsError) {
+    let _ = write_msg(writer, &WireMessage::Error(error_frame(err)));
+    close(writer);
+}
+
+fn close(writer: &Mutex<TcpStream>) {
+    let stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = stream.shutdown(Shutdown::Both);
+}

@@ -251,6 +251,77 @@ impl<'a> CloudSession<'a> {
     }
 }
 
+/// The episode-scoped operations a selection back-end needs from its cloud
+/// connection — the seam that lets one engine implementation serve both the
+/// in-process [`CloudSession`] and a remote socket transport.
+///
+/// The trait is object-safe so engines can take `&mut dyn EpisodeChannel`
+/// without knowing which side of a socket they are on:
+///
+/// * [`CloudSession`] implements it by calling the shard directly;
+/// * `pds-cloud::tcp`'s `RemoteSession` implements it by framing each call
+///   as one `pds-proto` message to a `ShardDaemon`.
+///
+/// Multi-round (fine-grained) back-ends need raw server access, which a
+/// remote channel cannot grant — [`EpisodeChannel::local_server`] returns
+/// `None` there, and the caller degrades to a typed error instead of a
+/// protocol violation.  Likewise enclave/MPC back-ends resolve their tokens
+/// engine-side, so a remote channel answers
+/// [`EpisodeChannel::bin_pair_oblivious`] with a typed error.
+pub trait EpisodeChannel {
+    /// Clear-text `IN` selection on the non-sensitive side (one round).
+    fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>>;
+
+    /// One composed episode resolved by the cloud-side tag index.
+    fn bin_pair_by_tags(
+        &mut self,
+        request: &BinEpisodeRequest,
+        tags: Vec<Vec<u8>>,
+    ) -> Result<BinPairResult>;
+
+    /// One composed episode resolved by a cloud-side secure execution
+    /// environment (enclave/MPC simulators).
+    fn bin_pair_oblivious(
+        &mut self,
+        request: &BinEpisodeRequest,
+        tokens: Vec<Vec<u8>>,
+        matching: &[TupleId],
+        scanned: usize,
+    ) -> Result<BinPairResult>;
+
+    /// The underlying shard when the channel is in-process, `None` when the
+    /// shard lives behind a socket (fine-grained episodes need this).
+    fn local_server(&mut self) -> Option<&mut CloudServer>;
+}
+
+impl EpisodeChannel for CloudSession<'_> {
+    fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>> {
+        CloudSession::plain_select_in(self, values)
+    }
+
+    fn bin_pair_by_tags(
+        &mut self,
+        request: &BinEpisodeRequest,
+        tags: Vec<Vec<u8>>,
+    ) -> Result<BinPairResult> {
+        CloudSession::bin_pair_by_tags(self, request, tags)
+    }
+
+    fn bin_pair_oblivious(
+        &mut self,
+        request: &BinEpisodeRequest,
+        tokens: Vec<Vec<u8>>,
+        matching: &[TupleId],
+        scanned: usize,
+    ) -> Result<BinPairResult> {
+        CloudSession::bin_pair_oblivious(self, request, tokens, matching, scanned)
+    }
+
+    fn local_server(&mut self) -> Option<&mut CloudServer> {
+        Some(self.server_mut())
+    }
+}
+
 /// Converts `(id, tuple ciphertext)` results to their wire rows.
 fn rows_to_wire(rows: &[(TupleId, Ciphertext)]) -> Vec<WireRow> {
     rows.iter()

@@ -1,0 +1,258 @@
+//! Client side of the TCP shard service: pooled connections and the
+//! remote [`EpisodeChannel`].
+//!
+//! [`TcpCloudClient`] is one tenant's handle to a sharded deployment of
+//! [`crate::service::ShardDaemon`]s — one daemon address per shard, one
+//! lazily-grown connection pool per shard.  The handle is cheap to clone
+//! (shared pools behind an `Arc`), which is what lets it ride inside
+//! [`crate::BinTransport::Tcp`] and be captured by per-shard worker
+//! threads.
+//!
+//! [`RemoteSession`] is the socket twin of [`crate::CloudSession`]: it
+//! implements [`EpisodeChannel`] by framing each call as one `pds-proto`
+//! message, so the same engine code drives either side of the wire.  Every
+//! exchange counts as one owner↔cloud round, mirroring the in-process
+//! session's `round_trips` delta accounting.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use pds_common::{PdsError, Result, TupleId, Value};
+use pds_crypto::Ciphertext;
+use pds_proto::{FetchBinRequest, FrameReader, Hello, ReadFrame, WireMessage};
+use pds_storage::Tuple;
+
+use crate::server::{BinPairResult, CloudServer};
+use crate::session::{BinEpisodeRequest, EpisodeChannel};
+
+/// One authenticated connection to one shard daemon.
+#[derive(Debug)]
+pub struct TcpShardConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    frames: FrameReader,
+}
+
+impl TcpShardConn {
+    /// Dials the daemon and performs the tenant handshake (a [`Hello`]
+    /// that the daemon must echo back).
+    pub fn connect(addr: SocketAddr, tenant: u64) -> Result<TcpShardConn> {
+        let writer = TcpStream::connect(addr).map_err(|e| {
+            PdsError::Wire(format!("connect to shard daemon at {addr} failed: {e}"))
+        })?;
+        let _ = writer.set_nodelay(true);
+        let read_half = writer
+            .try_clone()
+            .map_err(|e| PdsError::Wire(format!("socket clone failed: {e}")))?;
+        let mut conn = TcpShardConn {
+            writer,
+            reader: BufReader::new(read_half),
+            frames: FrameReader::default(),
+        };
+        match conn.call(&WireMessage::Hello(Hello { tenant }))? {
+            WireMessage::Hello(echo) if echo.tenant == tenant => Ok(conn),
+            WireMessage::Error(e) => Err(e.into_error()),
+            other => Err(PdsError::Wire(format!(
+                "handshake expected a Hello echo, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// One request/response exchange: write the encoded frame, read and
+    /// decode exactly one response frame.
+    pub fn call(&mut self, msg: &WireMessage) -> Result<WireMessage> {
+        let frame = msg.encode()?;
+        self.writer
+            .write_all(&frame)
+            .map_err(|e| PdsError::Wire(format!("request write failed: {e}")))?;
+        match self.frames.read(&mut self.reader)? {
+            ReadFrame::Frame(bytes) => WireMessage::decode(&bytes),
+            ReadFrame::Eof => Err(PdsError::Wire(
+                "daemon closed the connection mid-call".into(),
+            )),
+            ReadFrame::Oversized { declared, .. } => Err(PdsError::Wire(format!(
+                "daemon response declares {declared} payload bytes, over this client's limit"
+            ))),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClientInner {
+    tenant: u64,
+    addrs: Vec<SocketAddr>,
+    pools: Vec<Mutex<Vec<TcpShardConn>>>,
+}
+
+/// One tenant's pooled client to a sharded daemon deployment.  Cloning is
+/// cheap and shares the per-shard pools.
+#[derive(Debug, Clone)]
+pub struct TcpCloudClient {
+    inner: Arc<ClientInner>,
+}
+
+impl TcpCloudClient {
+    /// A client for the given tenant over one daemon address per shard.
+    /// Connections are dialed lazily on first checkout.
+    pub fn new(tenant: u64, addrs: Vec<SocketAddr>) -> TcpCloudClient {
+        let pools = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        TcpCloudClient {
+            inner: Arc::new(ClientInner {
+                tenant,
+                addrs,
+                pools,
+            }),
+        }
+    }
+
+    /// The tenant this client authenticates as.
+    pub fn tenant(&self) -> u64 {
+        self.inner.tenant
+    }
+
+    /// Number of shard daemons this client spans.
+    pub fn shard_count(&self) -> usize {
+        self.inner.addrs.len()
+    }
+
+    /// Takes a pooled connection to `shard`, dialing a fresh one when the
+    /// pool is empty.
+    pub fn checkout(&self, shard: usize) -> Result<TcpShardConn> {
+        let pool = self.inner.pools.get(shard).ok_or_else(|| {
+            PdsError::Cloud(format!(
+                "no shard {shard} in a {}-shard deployment",
+                self.inner.addrs.len()
+            ))
+        })?;
+        if let Some(conn) = pool.lock().unwrap_or_else(|p| p.into_inner()).pop() {
+            return Ok(conn);
+        }
+        TcpShardConn::connect(self.inner.addrs[shard], self.inner.tenant)
+    }
+
+    /// Returns a healthy connection to the pool.  Callers must *drop*
+    /// connections whose last call errored instead — the stream may be
+    /// desynchronised.
+    pub fn checkin(&self, shard: usize, conn: TcpShardConn) {
+        if let Some(pool) = self.inner.pools.get(shard) {
+            pool.lock().unwrap_or_else(|p| p.into_inner()).push(conn);
+        }
+    }
+
+    /// Whether two handles share the same pools (identity, not config).
+    pub fn same_client(&self, other: &TcpCloudClient) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// The remote twin of [`crate::CloudSession`]: an [`EpisodeChannel`] whose
+/// calls travel as `pds-proto` frames over one shard connection.
+#[derive(Debug)]
+pub struct RemoteSession<'a> {
+    conn: &'a mut TcpShardConn,
+    episode_rounds: Vec<u64>,
+    current: u64,
+    episode_open: bool,
+}
+
+impl<'a> RemoteSession<'a> {
+    /// Wraps one checked-out shard connection.
+    pub fn new(conn: &'a mut TcpShardConn) -> RemoteSession<'a> {
+        RemoteSession {
+            conn,
+            episode_rounds: Vec::new(),
+            current: 0,
+            episode_open: false,
+        }
+    }
+
+    /// Starts one episode's round counting (the daemon brackets the
+    /// server-side adversarial-view episode itself, per query message).
+    pub fn begin_episode(&mut self) {
+        self.current = 0;
+        self.episode_open = true;
+    }
+
+    /// Ends the episode, returning how many owner↔cloud rounds it took.
+    pub fn end_episode(&mut self) -> u64 {
+        if !self.episode_open {
+            return 0;
+        }
+        self.episode_open = false;
+        self.episode_rounds.push(self.current);
+        self.current
+    }
+
+    /// Total rounds over every completed episode of this session.
+    pub fn total_rounds(&self) -> u64 {
+        self.episode_rounds.iter().sum()
+    }
+
+    /// One framed exchange = one round; transported errors come back typed.
+    fn exchange(&mut self, msg: &WireMessage) -> Result<WireMessage> {
+        let resp = self.conn.call(msg)?;
+        self.current += 1;
+        match resp {
+            WireMessage::Error(e) => Err(e.into_error()),
+            other => Ok(other),
+        }
+    }
+}
+
+impl EpisodeChannel for RemoteSession<'_> {
+    fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>> {
+        let resp = self.exchange(&WireMessage::FetchBinRequest(FetchBinRequest {
+            values: values.to_vec(),
+            ids: Vec::new(),
+            tags: Vec::new(),
+        }))?;
+        match resp {
+            WireMessage::BinPayload(p) => Ok(p.plain_tuples),
+            other => Err(PdsError::Wire(format!(
+                "expected a BinPayload answer, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    fn bin_pair_by_tags(
+        &mut self,
+        request: &BinEpisodeRequest,
+        tags: Vec<Vec<u8>>,
+    ) -> Result<BinPairResult> {
+        let resp = self.exchange(&WireMessage::BinPairRequest(request.to_wire(tags)))?;
+        match resp {
+            WireMessage::BinPayload(p) => Ok((
+                p.plain_tuples,
+                p.encrypted_rows
+                    .into_iter()
+                    .map(|row| (TupleId::new(row.id), Ciphertext(row.tuple_ct)))
+                    .collect(),
+            )),
+            other => Err(PdsError::Wire(format!(
+                "expected a BinPayload answer, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    fn bin_pair_oblivious(
+        &mut self,
+        _request: &BinEpisodeRequest,
+        _tokens: Vec<Vec<u8>>,
+        _matching: &[TupleId],
+        _scanned: usize,
+    ) -> Result<BinPairResult> {
+        Err(PdsError::Wire(
+            "enclave/MPC back-ends resolve their tokens engine-side; their \
+             composed episodes cannot be served over a bare socket"
+                .into(),
+        ))
+    }
+
+    fn local_server(&mut self) -> Option<&mut CloudServer> {
+        None
+    }
+}

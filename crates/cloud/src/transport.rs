@@ -23,9 +23,10 @@ use pds_proto::{NetSim, RoundTrip, SimReport};
 
 use crate::network::NetworkModel;
 use crate::server::CloudServer;
+use crate::tcp::TcpCloudClient;
 
 /// How per-shard work is dispatched to the shards of a deployment.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub enum BinTransport {
     /// One shard after another on the calling thread.  Useful as a
     /// baseline and for deterministic debugging.
@@ -42,6 +43,26 @@ pub enum BinTransport {
     /// per-shard latency genuinely overlaps, unlike the thread-based
     /// transport which only overlaps compute.
     Simulated(NetworkModel),
+    /// Real sockets: every episode travels as `pds-proto` frames to the
+    /// per-shard [`crate::service::ShardDaemon`]s behind this pooled
+    /// client.  The shards live in the daemons' address space, so this
+    /// variant is executed by `QbExecutor::run_workload_transported`'s
+    /// remote fan-out, not by [`BinTransport::dispatch`] (which needs the
+    /// shards in-process and panics on this variant).
+    Tcp(TcpCloudClient),
+}
+
+impl PartialEq for BinTransport {
+    fn eq(&self, other: &BinTransport) -> bool {
+        match (self, other) {
+            (BinTransport::Sequential, BinTransport::Sequential) => true,
+            (BinTransport::Threaded, BinTransport::Threaded) => true,
+            (BinTransport::Simulated(a), BinTransport::Simulated(b)) => a == b,
+            // Client handles are equal when they share the same pools.
+            (BinTransport::Tcp(a), BinTransport::Tcp(b)) => a.same_client(b),
+            _ => false,
+        }
+    }
 }
 
 /// The outcome of one fan-out: per-shard task outputs (`None` for shards
@@ -88,7 +109,7 @@ impl BinTransport {
     /// are treated as `None`.  A panicking task propagates the panic after
     /// all other tasks have joined (scoped threads guarantee the join).
     pub fn dispatch<T, F>(
-        self,
+        &self,
         shards: &mut [CloudServer],
         tasks: Vec<Option<F>>,
     ) -> DispatchReport<T>
@@ -150,6 +171,11 @@ impl BinTransport {
                 sim_wall_clock_sec = Some(report.makespan_sec);
                 out
             }
+            BinTransport::Tcp(_) => panic!(
+                "BinTransport::Tcp episodes are executed by \
+                 QbExecutor::run_workload_transported's remote fan-out; \
+                 dispatch() needs the shards in this process"
+            ),
         };
         per_shard.resize_with(shard_count, || None);
         let rounds_per_shard: Vec<u64> = shards

@@ -28,14 +28,17 @@ use std::collections::HashSet;
 
 use pds_cloud::{
     BinCache, BinCacheStats, BinEpisodeRequest, BinKey, BinRoutedCloud, BinTransport, CloudServer,
-    DbOwner, Metrics,
+    DbOwner, Metrics, RemoteSession, TcpCloudClient,
 };
 use pds_common::{AttrId, PdsError, Result, TupleId, Value};
 use pds_storage::{PartitionedRelation, Relation, Tuple};
 use pds_systems::SecureSelectionEngine;
 
 use crate::binning::{BinPair, QueryBinning};
-use crate::plan::{execute_episode, CacheServed, EpisodeStep, PlanMode, QueryPlan};
+use crate::plan::{
+    execute_episode, execute_episode_remote, CacheServed, EpisodeResult, EpisodeStep, PlanMode,
+    QueryPlan,
+};
 
 /// Counters describing one QB selection (used by experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,6 +92,10 @@ pub struct QbExecutor<E: SecureSelectionEngine> {
     /// Owner-side hot-bin cache over already-retrieved, already-decrypted
     /// bins.  Capacity 0 (the default) disables it entirely.
     cache: BinCache,
+    /// The tenant this executor acts for in a multi-tenant deployment.
+    /// Namespaces the hot-bin cache keys and must match the tenant a
+    /// [`BinTransport::Tcp`] client authenticates as.
+    tenant: u64,
     last_stats: SelectionStats,
 }
 
@@ -107,6 +114,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             fake_tuple_ids: Vec::new(),
             fake_id_set: HashSet::new(),
             cache: BinCache::new(0),
+            tenant: 0,
             last_stats: SelectionStats::default(),
         }
     }
@@ -115,6 +123,27 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.set_cache_capacity(capacity);
         self
+    }
+
+    /// Sets the tenant this executor acts for (builder form).
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.set_tenant(tenant);
+        self
+    }
+
+    /// The tenant this executor acts for (0 in single-tenant deployments).
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Sets the tenant this executor acts for.  Cache keys are namespaced
+    /// by tenant, and [`QbExecutor::run_workload_transported`] over
+    /// [`BinTransport::Tcp`] refuses a client authenticated as a
+    /// *different* tenant — the daemon would silently serve the other
+    /// tenant's bins otherwise.
+    pub fn set_tenant(&mut self, tenant: u64) {
+        self.tenant = tenant;
+        self.cache.set_tenant(tenant);
     }
 
     /// Sets how episodes are shaped on the wire (builder form).
@@ -140,6 +169,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     /// `capacity` bins (entries and counters are reset).
     pub fn set_cache_capacity(&mut self, capacity: usize) {
         self.cache = BinCache::new(capacity);
+        self.cache.set_tenant(self.tenant);
     }
 
     /// Cumulative hit/miss counters of the hot-bin cache
@@ -236,6 +266,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         // change with the new binning, so neither cached contents nor the
         // seen-pair history may carry over.
         self.cache = BinCache::new(self.cache.capacity());
+        self.cache.set_tenant(self.tenant);
 
         // Sensitive side: clone, append fake tuples per bin, then split into
         // one sub-relation per shard (a sensitive bin lives on one shard).
@@ -400,6 +431,58 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         ))
     }
 
+    /// [`QbExecutor::retrieve_pair_planned`] over a TCP client: the single
+    /// miss episode travels as frames to the shard daemon hosting the
+    /// sensitive bin, with the local `cloud` consulted only for routing.
+    fn retrieve_pair_tcp<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &C,
+        client: &TcpCloudClient,
+        pair: BinPair,
+    ) -> Result<(Vec<Tuple>, Vec<Tuple>, bool, u64)> {
+        if let Some((s_tuples, ns_tuples)) = self
+            .cache
+            .get_pair(pair.sensitive_bin, pair.nonsensitive_bin)
+        {
+            owner.note_bin_cache(true);
+            return Ok((ns_tuples, s_tuples, true, 0));
+        }
+        owner.note_bin_cache(false);
+        let step = self.compile_step(cloud, 0, pair);
+        let engine = self
+            .shard_engines
+            .get_mut(step.shard)
+            .ok_or_else(|| PdsError::Query(format!("no engine for shard {}", step.shard)))?;
+        let mut conn = client.checkout(step.shard)?;
+        let mut session = RemoteSession::new(&mut conn);
+        let outcome = execute_episode_remote(owner, &mut session, engine, &step);
+        drop(session);
+        let result = match outcome {
+            Ok(result) => {
+                client.checkin(step.shard, conn);
+                result
+            }
+            // An errored connection may be desynchronised — drop it
+            // instead of returning it to the pool.
+            Err(e) => return Err(e),
+        };
+        if self.cache.capacity() > 0 {
+            self.cache.store_pair(
+                pair.sensitive_bin,
+                result.outcome.sensitive.clone(),
+                pair.nonsensitive_bin,
+                result.outcome.nonsensitive.clone(),
+            );
+        }
+        Ok((
+            result.outcome.nonsensitive,
+            result.outcome.sensitive,
+            false,
+            result.rounds,
+        ))
+    }
+
     /// Runs a QB selection for a single value.
     pub fn select<C: BinRoutedCloud>(
         &mut self,
@@ -506,7 +589,8 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         }
         match self.binning.nonsensitive_assignment(value) {
             Some(assign) => {
-                self.cache.invalidate(BinKey::nonsensitive(assign.bin));
+                self.cache
+                    .invalidate(BinKey::nonsensitive(assign.bin).for_tenant(self.tenant));
             }
             None => self.cache.clear(),
         }
@@ -540,12 +624,20 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     /// they would sequentially — and every per-shard engine/owner fork's
     /// counters are folded back afterwards.  [`QbExecutor::last_stats`] is
     /// *not* updated (there is no single "last" query in a batch).
+    ///
+    /// With [`BinTransport::Tcp`], the shards live in per-shard
+    /// [`pds_cloud::ShardDaemon`] processes behind the transport's pooled
+    /// client: each shard's episode stream runs on its own OS thread over a
+    /// checked-out connection, every episode travelling as `pds-proto`
+    /// frames through a [`RemoteSession`].  The local `cloud` then only
+    /// provides the bin→shard routing; its in-process shard state is never
+    /// touched.  The client must authenticate as this executor's tenant.
     pub fn run_workload_transported<C: BinRoutedCloud>(
         &mut self,
         owner: &mut DbOwner,
         cloud: &mut C,
         values: &[Value],
-        transport: BinTransport,
+        transport: &BinTransport,
     ) -> Result<TransportedRun> {
         if !self.outsourced {
             return Err(PdsError::Query("deployment not outsourced yet".into()));
@@ -561,6 +653,22 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                 self.shard_engines.len()
             )));
         }
+        if let BinTransport::Tcp(client) = transport {
+            if client.shard_count() != shard_count {
+                return Err(PdsError::Config(format!(
+                    "TCP client spans {} shard daemons but the deployment routes {shard_count} shards",
+                    client.shard_count()
+                )));
+            }
+            if client.tenant() != self.tenant {
+                return Err(PdsError::Config(format!(
+                    "TCP client authenticates as tenant {} but this executor is \
+                     namespaced to tenant {}",
+                    client.tenant(),
+                    self.tenant
+                )));
+            }
+        }
 
         // Compile the batch: cache hits are captured owner-side right away,
         // misses become episode steps grouped by the shard hosting their
@@ -570,7 +678,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         // every occurrence after the first is a hit.  (Their cache lookup
         // happens after the fan-out, once the first occurrence has
         // populated the cache.)
-        let plan = self.plan_workload(owner, cloud, values);
+        let mut plan = self.plan_workload(owner, cloud, values);
         let mut answers: Vec<Vec<Tuple>> = vec![Vec::new(); values.len()];
         let mut cache_hits = plan.cache_served.len();
         let mut cache_misses = plan.step_count();
@@ -585,39 +693,56 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             );
         }
 
-        // One task per shard with work.  Each task owns its episode steps,
-        // the disjoint `&mut` of its engine, and a forked owner (same keys,
-        // private counters) so it is `Send` as a whole.
-        let mut tasks: Vec<Option<_>> = Vec::with_capacity(shard_count);
-        for (engine, (shard_idx, steps)) in self
-            .shard_engines
-            .iter_mut()
-            .zip(plan.per_shard.into_iter().enumerate())
-        {
-            if steps.is_empty() {
-                tasks.push(None);
-                continue;
+        // Fan the per-shard episode streams out.  Locally (sequential,
+        // threaded, simulated) each task owns its episode steps, the
+        // disjoint `&mut` of its engine, and a forked owner (same keys,
+        // private counters) so it is `Send` as a whole; over TCP the same
+        // per-shard tasks drive checked-out daemon connections instead.
+        let per_shard_steps = std::mem::take(&mut plan.per_shard);
+        let (slots, wall_clock_sec, sim_wall_clock_sec, mut rounds) = match transport {
+            BinTransport::Tcp(client) => {
+                let (slots, wall, rounds) =
+                    tcp_fan_out(owner, &mut self.shard_engines, client, per_shard_steps);
+                (slots, wall, None, rounds)
             }
-            let mut task_owner = owner.fork(shard_idx as u64 + 1);
-            tasks.push(Some(move |shard: &mut CloudServer| {
-                let mut episodes = Vec::with_capacity(steps.len());
-                for step in steps {
-                    match execute_episode(&mut task_owner, shard, engine, &step) {
-                        Ok(res) => episodes.push((step.index, step.pair, res)),
-                        Err(e) => return (*task_owner.metrics(), Err(e)),
+            local => {
+                let mut tasks: Vec<Option<_>> = Vec::with_capacity(shard_count);
+                for (engine, (shard_idx, steps)) in self
+                    .shard_engines
+                    .iter_mut()
+                    .zip(per_shard_steps.into_iter().enumerate())
+                {
+                    if steps.is_empty() {
+                        tasks.push(None);
+                        continue;
                     }
+                    let mut task_owner = owner.fork(shard_idx as u64 + 1);
+                    tasks.push(Some(move |shard: &mut CloudServer| {
+                        let mut episodes = Vec::with_capacity(steps.len());
+                        for step in steps {
+                            match execute_episode(&mut task_owner, shard, engine, &step) {
+                                Ok(res) => episodes.push((step.index, step.pair, res)),
+                                Err(e) => return (*task_owner.metrics(), Err(e)),
+                            }
+                        }
+                        (*task_owner.metrics(), Ok(episodes))
+                    }));
                 }
-                (*task_owner.metrics(), Ok(episodes))
-            }));
-        }
-
-        let report = transport.dispatch(cloud.shards_mut(), tasks);
-        let mut rounds = report.total_rounds();
+                let report = local.dispatch(cloud.shards_mut(), tasks);
+                let rounds = report.total_rounds();
+                (
+                    report.per_shard,
+                    report.wall_clock_sec,
+                    report.sim_wall_clock_sec,
+                    rounds,
+                )
+            }
+        };
 
         // Fold every fork's counters back before surfacing any error, so a
         // failed shard's work is still accounted for.
         let mut outcomes = Vec::new();
-        for slot in report.per_shard.into_iter().flatten() {
+        for slot in slots.into_iter().flatten() {
             let (fork_metrics, outcome): (Metrics, Result<Vec<_>>) = slot;
             owner.absorb_metrics(&fork_metrics);
             outcomes.push(outcome);
@@ -648,8 +773,10 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         // evicted its bins (tiny capacities); it then fetches sequentially,
         // exactly as the select path would.
         for (idx, pair) in plan.waiters {
-            let (ns_tuples, s_tuples, cached, waiter_rounds) =
-                self.retrieve_pair_planned(owner, cloud, pair)?;
+            let (ns_tuples, s_tuples, cached, waiter_rounds) = match transport {
+                BinTransport::Tcp(client) => self.retrieve_pair_tcp(owner, cloud, client, pair)?,
+                _ => self.retrieve_pair_planned(owner, cloud, pair)?,
+            };
             if cached {
                 cache_hits += 1;
             } else {
@@ -668,8 +795,8 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
 
         Ok(TransportedRun {
             answers,
-            wall_clock_sec: report.wall_clock_sec,
-            sim_wall_clock_sec: report.sim_wall_clock_sec,
+            wall_clock_sec,
+            sim_wall_clock_sec,
             cache_hits,
             cache_misses,
             rounds,
@@ -740,6 +867,84 @@ pub struct TransportedRun {
     /// hits contribute none; composed episodes one each; fine-grained
     /// episodes as many as their back-end's §V-B procedure needs).
     pub rounds: u64,
+}
+
+/// One shard task's output: the fork's final counters plus its episode
+/// results (or the first error), the same shape
+/// [`BinTransport::dispatch`]'s closures produce so both fan-outs share
+/// the executor's fold/merge tail.
+type ShardSlot = (Metrics, Result<Vec<(usize, BinPair, EpisodeResult)>>);
+
+/// The remote twin of [`BinTransport::dispatch`] for
+/// [`BinTransport::Tcp`]: one scoped OS thread per shard with work, each
+/// checking a pooled daemon connection out, streaming its episodes as
+/// `pds-proto` frames through a [`RemoteSession`], and checking the
+/// connection back in on success (an errored connection may be
+/// desynchronised and is dropped instead).  Returns the per-shard slots,
+/// the measured wall-clock seconds, and the total owner↔cloud rounds
+/// counted client-side (one per framed exchange).
+fn tcp_fan_out<E: SecureSelectionEngine>(
+    owner: &mut DbOwner,
+    engines: &mut [E],
+    client: &TcpCloudClient,
+    per_shard_steps: Vec<Vec<EpisodeStep>>,
+) -> (Vec<Option<ShardSlot>>, f64, u64) {
+    let mut tasks: Vec<Option<_>> = Vec::with_capacity(per_shard_steps.len());
+    for (engine, (shard_idx, steps)) in engines
+        .iter_mut()
+        .zip(per_shard_steps.into_iter().enumerate())
+    {
+        if steps.is_empty() {
+            tasks.push(None);
+            continue;
+        }
+        let mut task_owner = owner.fork(shard_idx as u64 + 1);
+        let client = client.clone();
+        tasks.push(Some(move || -> (Metrics, u64, Result<Vec<_>>) {
+            let mut conn = match client.checkout(shard_idx) {
+                Ok(conn) => conn,
+                Err(e) => return (*task_owner.metrics(), 0, Err(e)),
+            };
+            let mut session = RemoteSession::new(&mut conn);
+            let mut episodes = Vec::with_capacity(steps.len());
+            for step in &steps {
+                match execute_episode_remote(&mut task_owner, &mut session, engine, step) {
+                    Ok(res) => episodes.push((step.index, step.pair, res)),
+                    Err(e) => {
+                        let rounds = session.total_rounds();
+                        return (*task_owner.metrics(), rounds, Err(e));
+                    }
+                }
+            }
+            let rounds = session.total_rounds();
+            drop(session);
+            client.checkin(shard_idx, conn);
+            (*task_owner.metrics(), rounds, Ok(episodes))
+        }));
+    }
+    let start = std::time::Instant::now();
+    let joined: Vec<Option<(Metrics, u64, Result<Vec<_>>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|task| task.map(|f| scope.spawn(f)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("remote shard task panicked")))
+            .collect()
+    });
+    let wall_clock_sec = start.elapsed().as_secs_f64();
+    let mut rounds = 0u64;
+    let slots = joined
+        .into_iter()
+        .map(|slot| {
+            slot.map(|(metrics, shard_rounds, outcome)| {
+                rounds += shard_rounds;
+                (metrics, outcome)
+            })
+        })
+        .collect();
+    (slots, wall_clock_sec, rounds)
 }
 
 /// `qmerge` of §II for a point query: drop fakes (by id and by marker),
@@ -1205,7 +1410,7 @@ mod tests {
             let mut router = ShardRouter::new(3, NetworkModel::paper_wan(), 11).unwrap();
             exec.outsource(&mut t_owner, &mut router, &parts).unwrap();
             let run = exec
-                .run_workload_transported(&mut t_owner, &mut router, &with_unknown, transport)
+                .run_workload_transported(&mut t_owner, &mut router, &with_unknown, &transport)
                 .unwrap();
             assert_eq!(run.answers.len(), with_unknown.len());
             let got: Vec<Vec<u64>> = run
@@ -1237,7 +1442,7 @@ mod tests {
                 run.cache_hits
             );
             let rerun = exec
-                .run_workload_transported(&mut t_owner, &mut router, &workload, transport)
+                .run_workload_transported(&mut t_owner, &mut router, &workload, &transport)
                 .unwrap();
             assert_eq!(rerun.cache_misses, 0, "warm cache: {transport:?}");
             assert_eq!(rerun.cache_hits, workload.len());

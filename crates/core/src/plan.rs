@@ -23,8 +23,8 @@
 //! [`SecureSelectionEngine::composes_episodes`] capability and the
 //! executor's [`PlanMode`].
 
-use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
-use pds_common::Result;
+use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner, RemoteSession};
+use pds_common::{PdsError, Result};
 use pds_storage::Tuple;
 use pds_systems::{fine_grained_bin_episode, BinEpisodeOutcome, SecureSelectionEngine};
 
@@ -137,6 +137,36 @@ pub fn execute_episode<E: SecureSelectionEngine + ?Sized>(
     } else {
         fine_grained_bin_episode(engine, owner, &mut session, &step.request)
     };
+    let rounds = session.end_episode();
+    Ok(EpisodeResult {
+        outcome: outcome?,
+        rounds,
+    })
+}
+
+/// Executes one planned episode over a socket-backed
+/// [`RemoteSession`] — the TCP twin of [`execute_episode`].  The shard
+/// lives in a [`pds_cloud::ShardDaemon`]'s address space, so only
+/// **composed** steps can travel: a fine-grained step would need direct
+/// in-process server access, which the channel reports by construction
+/// (`local_server()` is `None`), and rejecting it here keeps the error
+/// message about the *plan* rather than a failed call mid-episode.
+pub fn execute_episode_remote<E: SecureSelectionEngine + ?Sized>(
+    owner: &mut DbOwner,
+    session: &mut RemoteSession<'_>,
+    engine: &mut E,
+    step: &EpisodeStep,
+) -> Result<EpisodeResult> {
+    if !step.composed {
+        return Err(PdsError::Wire(format!(
+            "the {} back-end plans fine-grained multi-round episodes, which \
+             need in-process server access; only composed single-round \
+             episodes travel over BinTransport::Tcp",
+            engine.name()
+        )));
+    }
+    session.begin_episode();
+    let outcome = engine.select_bin_episode(owner, session, &step.request);
     let rounds = session.end_episode();
     Ok(EpisodeResult {
         outcome: outcome?,

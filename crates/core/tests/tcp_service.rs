@@ -1,0 +1,253 @@
+//! End-to-end equivalence of the TCP service path: concurrent tenant
+//! owners driving loopback [`ShardDaemon`]s must get answers identical to
+//! the in-process threaded transport, with partitioned security holding
+//! on every tenant's composed adversarial view afterwards.
+
+use std::net::SocketAddr;
+
+use pds_cloud::{
+    BinRoutedCloud, BinTransport, CloudServer, DbOwner, NetworkModel, ServiceConfig, ShardDaemon,
+    ShardRouter, TcpCloudClient,
+};
+use pds_common::{PdsError, Value};
+use pds_core::{BinningConfig, QbExecutor, QueryBinning};
+use pds_storage::{PartitionedRelation, Partitioner, Tuple};
+use pds_systems::{DeterministicIndexEngine, NonDetScanEngine, SecureSelectionEngine};
+use pds_workload::{employee_relation, employee_sensitivity_policy};
+use proptest::prelude::*;
+
+fn employee_parts() -> PartitionedRelation {
+    let rel = employee_relation();
+    let policy = employee_sensitivity_policy(&rel).unwrap();
+    Partitioner::new(policy).split(&rel).unwrap()
+}
+
+/// One tenant's full deployment: a private owner (own keys), a private
+/// binning/executor namespaced to the tenant id, and a local router whose
+/// shard servers can be lifted into daemons.
+struct Tenant<E: SecureSelectionEngine> {
+    id: u64,
+    owner: DbOwner,
+    router: ShardRouter,
+    executor: QbExecutor<E>,
+    workload: Vec<Value>,
+}
+
+fn tenant_deployment<E: SecureSelectionEngine>(id: u64, shards: usize, engine: E) -> Tenant<E> {
+    let parts = employee_parts();
+    let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+    let mut workload = parts.sensitive.distinct_values(attr);
+    for v in parts.nonsensitive.distinct_values(attr) {
+        if !workload.contains(&v) {
+            workload.push(v);
+        }
+    }
+    let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+    let mut executor = QbExecutor::new(binning, engine)
+        .with_cache_capacity(32)
+        .with_tenant(id);
+    let mut owner = DbOwner::new(1000 + id);
+    let mut router = ShardRouter::new(shards, NetworkModel::paper_wan(), 11 + id).unwrap();
+    executor.outsource(&mut owner, &mut router, &parts).unwrap();
+    Tenant {
+        id,
+        owner,
+        router,
+        executor,
+        workload,
+    }
+}
+
+/// Lifts every tenant's shard servers out of their local routers into one
+/// daemon per shard (the daemon becomes the servers' address space; the
+/// local routers keep only the bin→shard routing).
+fn spawn_daemons<E: SecureSelectionEngine>(
+    tenants: &mut [Tenant<E>],
+    shards: usize,
+    config: &ServiceConfig,
+) -> Vec<ShardDaemon> {
+    let mut per_shard: Vec<Vec<(u64, CloudServer)>> = (0..shards).map(|_| Vec::new()).collect();
+    for t in tenants.iter_mut() {
+        for (s, server) in t.router.shards_mut().iter_mut().enumerate() {
+            per_shard[s].push((t.id, std::mem::take(server)));
+        }
+    }
+    per_shard
+        .into_iter()
+        .map(|hosted| ShardDaemon::spawn(hosted, config.clone()).unwrap())
+        .collect()
+}
+
+/// Shuts the daemons down and reinstalls each tenant's shard servers into
+/// its local router, so the composed security checks see everything the
+/// daemons recorded.
+fn reclaim_servers<E: SecureSelectionEngine>(daemons: Vec<ShardDaemon>, tenants: &mut [Tenant<E>]) {
+    let mut returned: Vec<Vec<(u64, CloudServer)>> =
+        daemons.into_iter().map(ShardDaemon::shutdown).collect();
+    for t in tenants.iter_mut() {
+        for (s, hosted) in returned.iter_mut().enumerate() {
+            let pos = hosted
+                .iter()
+                .position(|(id, _)| *id == t.id)
+                .expect("daemon returns every tenant's server");
+            t.router.shards_mut()[s] = hosted.swap_remove(pos).1;
+        }
+    }
+}
+
+/// Runs every tenant's workload concurrently over loopback TCP and
+/// asserts the answers equal that tenant's `expected` reference.
+fn run_concurrently<E: SecureSelectionEngine>(
+    tenants: &mut [Tenant<E>],
+    addrs: &[SocketAddr],
+    expected: &[Vec<Vec<Tuple>>],
+) {
+    std::thread::scope(|scope| {
+        for (t, want) in tenants.iter_mut().zip(expected) {
+            let addrs = addrs.to_vec();
+            scope.spawn(move || {
+                let workload = t.workload.clone();
+                let transport = BinTransport::Tcp(TcpCloudClient::new(t.id, addrs));
+                let run = t
+                    .executor
+                    .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+                    .unwrap();
+                assert_eq!(&run.answers, want, "tenant {} answers diverge", t.id);
+                assert!(run.rounds > 0, "remote episodes count their rounds");
+                assert!(run.wall_clock_sec > 0.0);
+            });
+        }
+    });
+}
+
+#[test]
+fn eight_concurrent_tcp_owners_match_the_threaded_transport() {
+    const TENANTS: u64 = 8;
+    const SHARDS: usize = 2;
+    let mut tenants: Vec<_> = (1..=TENANTS)
+        .map(|id| tenant_deployment(id, SHARDS, DeterministicIndexEngine::new()))
+        .collect();
+
+    // Reference pass: the in-process threaded fan-out, per tenant.
+    let mut expected = Vec::new();
+    for t in &mut tenants {
+        let workload = t.workload.clone();
+        let run = t
+            .executor
+            .run_workload_transported(
+                &mut t.owner,
+                &mut t.router,
+                &workload,
+                &BinTransport::Threaded,
+            )
+            .unwrap();
+        expected.push(run.answers);
+        // Reset the hot-bin cache so the TCP pass re-fetches every pair
+        // instead of answering owner-side.
+        t.executor.set_cache_capacity(32);
+    }
+
+    let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::with_workers(4));
+    let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+    run_concurrently(&mut tenants, &addrs, &expected);
+    reclaim_servers(daemons, &mut tenants);
+
+    // Both passes ran the exhaustive workload; each tenant's composed view
+    // (local episodes + daemon-served episodes) must still satisfy
+    // partitioned security, per shard and composed.
+    for t in &tenants {
+        let report =
+            pds_adversary::check_sharded_partitioned_security(&t.router.adversarial_views());
+        assert!(report.is_secure(), "tenant {}: {report:?}", t.id);
+    }
+}
+
+#[test]
+fn a_fine_grained_engine_is_refused_over_tcp_with_a_typed_error() {
+    const SHARDS: usize = 2;
+    let mut tenants = vec![tenant_deployment(1, SHARDS, NonDetScanEngine::new())];
+    let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::default());
+    let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+
+    let t = &mut tenants[0];
+    let workload = t.workload.clone();
+    let transport = BinTransport::Tcp(TcpCloudClient::new(1, addrs));
+    let err = t
+        .executor
+        .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+        .unwrap_err();
+    assert!(matches!(err, PdsError::Wire(_)), "{err:?}");
+    assert!(
+        err.to_string().contains("fine-grained"),
+        "the error must explain the composed-only wire contract: {err}"
+    );
+    reclaim_servers(daemons, &mut tenants);
+}
+
+#[test]
+fn a_client_for_the_wrong_tenant_is_refused_before_dialing() {
+    const SHARDS: usize = 2;
+    let mut t = tenant_deployment(1, SHARDS, DeterministicIndexEngine::new());
+    // Dead addresses: the mismatch must be caught before any connect.
+    let addrs: Vec<SocketAddr> = (0..SHARDS)
+        .map(|_| "127.0.0.1:1".parse().unwrap())
+        .collect();
+    let workload = t.workload.clone();
+    let transport = BinTransport::Tcp(TcpCloudClient::new(2, addrs));
+    let err = t
+        .executor
+        .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+        .unwrap_err();
+    assert!(matches!(err, PdsError::Config(_)), "{err:?}");
+    assert!(err.to_string().contains("tenant"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seed-replayable (`PROPTEST_SEED`) concurrency property: whatever
+    /// workload subset each of three tenants draws, the concurrent
+    /// loopback answers are identical to the in-process threaded ones.
+    #[test]
+    fn concurrent_tcp_owners_always_match_in_process(seed in proptest::arbitrary::any::<u64>()) {
+        use pds_common::rng::derive_seed;
+
+        const TENANTS: u64 = 3;
+        const SHARDS: usize = 2;
+        let mut tenants: Vec<_> = (1..=TENANTS)
+            .map(|id| tenant_deployment(id, SHARDS, DeterministicIndexEngine::new()))
+            .collect();
+
+        // Each tenant queries a seed-derived subset (with repeats) of its
+        // values, so every failure replays from the printed seed alone.
+        let mut expected = Vec::new();
+        for t in &mut tenants {
+            let tseed = derive_seed(seed, &format!("tenant-{}", t.id));
+            let len = 1 + (tseed % 8) as usize;
+            let subset: Vec<Value> = (0..len)
+                .map(|k| {
+                    let idx = derive_seed(tseed, &format!("q{k}")) as usize % t.workload.len();
+                    t.workload[idx].clone()
+                })
+                .collect();
+            t.workload = subset;
+            let workload = t.workload.clone();
+            let run = t
+                .executor
+                .run_workload_transported(
+                    &mut t.owner,
+                    &mut t.router,
+                    &workload,
+                    &BinTransport::Threaded,
+                )
+                .unwrap();
+            expected.push(run.answers);
+            t.executor.set_cache_capacity(32);
+        }
+
+        let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::with_workers(2));
+        let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+        run_concurrently(&mut tenants, &addrs, &expected);
+        reclaim_servers(daemons, &mut tenants);
+    }
+}

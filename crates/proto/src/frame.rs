@@ -20,6 +20,8 @@
 //! (CRC-32 detects all error bursts up to 32 bits), which the property
 //! tests in `tests/proto_roundtrip.rs` fuzz.
 
+use std::io::Read;
+
 use pds_common::{PdsError, Result};
 
 /// Frame magic: ASCII "PD".
@@ -153,6 +155,128 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
     Ok((msg_type, &bytes[HEADER_LEN..body_end]))
 }
 
+/// Outcome of one streaming frame read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadFrame {
+    /// The peer closed the stream cleanly on a frame boundary.
+    Eof,
+    /// One complete frame (header + payload + CRC trailer), ready for
+    /// [`decode_frame`] / `WireMessage::decode`.
+    Frame(Vec<u8>),
+    /// A well-formed header declared more payload than this reader's limit.
+    /// The payload was **not** read (and not allocated); the stream is now
+    /// desynchronised, so the caller must close the connection after
+    /// reporting the violation.
+    Oversized {
+        /// Message type tag from the offending header.
+        msg_type: u8,
+        /// Payload length the header declared.
+        declared: usize,
+    },
+}
+
+/// Streaming frame reader with a configurable per-read payload ceiling.
+///
+/// [`decode_frame`] needs the whole frame in memory up front; sockets
+/// deliver bytes in arbitrary chunks.  This reader reassembles exactly one
+/// frame from any [`Read`], handling short reads, and maps every truncation
+/// (EOF mid-header, EOF mid-payload) to `Err(PdsError::Wire)` — never a
+/// hang or a panic.  The declared payload length is validated against the
+/// ceiling *before* any payload byte is read, and the receive buffer grows
+/// with the bytes actually received, never with the declared length — so a
+/// hostile peer cannot turn a forged length field into a large allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameReader {
+    max_payload: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader {
+            max_payload: MAX_PAYLOAD_LEN,
+        }
+    }
+}
+
+impl FrameReader {
+    /// Creates a reader that accepts payloads up to `max_payload` bytes
+    /// (clamped to [`MAX_PAYLOAD_LEN`]).
+    pub fn new(max_payload: usize) -> Self {
+        FrameReader {
+            max_payload: max_payload.min(MAX_PAYLOAD_LEN),
+        }
+    }
+
+    /// The payload ceiling this reader enforces.
+    pub fn max_payload(&self) -> usize {
+        self.max_payload
+    }
+
+    /// Reads exactly one frame from `r`.
+    ///
+    /// Returns [`ReadFrame::Eof`] only when the stream ends cleanly on a
+    /// frame boundary (zero bytes of the next header read); any partial
+    /// frame is an error.  Returns [`ReadFrame::Oversized`] — without
+    /// reading or allocating the payload — when the declared length exceeds
+    /// this reader's ceiling.
+    pub fn read<R: Read>(&self, r: &mut R) -> Result<ReadFrame> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut got = 0;
+        while got < HEADER_LEN {
+            match r.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Ok(ReadFrame::Eof),
+                Ok(0) => {
+                    return Err(PdsError::Wire(format!(
+                        "stream ended mid-header: got {got} of {HEADER_LEN} bytes"
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PdsError::Wire(format!("frame header read failed: {e}"))),
+            }
+        }
+        if header[..2] != MAGIC {
+            return Err(PdsError::Wire(format!(
+                "bad frame magic {:02x}{:02x}",
+                header[0], header[1]
+            )));
+        }
+        if header[2] != VERSION {
+            return Err(PdsError::Wire(format!(
+                "unsupported protocol version {}",
+                header[2]
+            )));
+        }
+        let msg_type = header[3];
+        let declared = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        if declared > self.max_payload {
+            return Ok(ReadFrame::Oversized { msg_type, declared });
+        }
+        let rest = declared + TRAILER_LEN;
+        // Grow the buffer with bytes actually received (read_to_end through
+        // a `take` limit), never pre-sized from the declared length: a peer
+        // that declares big and sends nothing costs us nothing.
+        let mut frame = Vec::with_capacity(HEADER_LEN + rest.min(64 * 1024));
+        frame.extend_from_slice(&header);
+        let read = r
+            .by_ref()
+            .take(rest as u64)
+            .read_to_end(&mut frame)
+            .map_err(|e| PdsError::Wire(format!("frame payload read failed: {e}")))?;
+        if read < rest {
+            return Err(PdsError::Wire(format!(
+                "stream ended mid-frame: got {read} of {rest} payload+trailer bytes"
+            )));
+        }
+        Ok(ReadFrame::Frame(frame))
+    }
+}
+
+/// Reads one frame from `r` with the default [`MAX_PAYLOAD_LEN`] ceiling.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<ReadFrame> {
+    FrameReader::default().read(r)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +346,142 @@ mod tests {
         let mut frame = encode_frame(1, b"x").unwrap();
         frame[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(decode_frame(&frame).is_err());
+    }
+
+    /// A reader that delivers one byte per `read` call — the worst-case
+    /// short-read schedule a socket can produce.
+    struct ByteAtATime<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Read for ByteAtATime<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn streaming_read_survives_short_reads() {
+        let frame = encode_frame(3, b"dribbled one byte at a time").unwrap();
+        let mut r = ByteAtATime {
+            bytes: &frame,
+            pos: 0,
+        };
+        match read_frame(&mut r).unwrap() {
+            ReadFrame::Frame(bytes) => {
+                let (ty, payload) = decode_frame(&bytes).unwrap();
+                assert_eq!(ty, 3);
+                assert_eq!(payload, b"dribbled one byte at a time");
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // The stream is now exhausted on a frame boundary: clean EOF.
+        assert_eq!(read_frame(&mut r).unwrap(), ReadFrame::Eof);
+    }
+
+    #[test]
+    fn streaming_read_reassembles_back_to_back_frames() {
+        let mut stream = encode_frame(1, b"first").unwrap();
+        stream.extend_from_slice(&encode_frame(2, b"second").unwrap());
+        let mut cursor = std::io::Cursor::new(stream);
+        for expected in [(1u8, b"first".as_slice()), (2u8, b"second".as_slice())] {
+            match read_frame(&mut cursor).unwrap() {
+                ReadFrame::Frame(bytes) => {
+                    let (ty, payload) = decode_frame(&bytes).unwrap();
+                    assert_eq!((ty, payload), expected);
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), ReadFrame::Eof);
+    }
+
+    #[test]
+    fn eof_mid_header_is_a_wire_error() {
+        let frame = encode_frame(4, b"cut me off").unwrap();
+        for cut in 1..HEADER_LEN {
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "EOF after {cut} header bytes must be Err(Wire), not a hang or Eof"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_mid_payload_is_a_wire_error() {
+        let frame = encode_frame(4, b"cut me off").unwrap();
+        for cut in HEADER_LEN..frame.len() {
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "EOF after {cut} of {} bytes must be Err(Wire)",
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_fail_streaming_too() {
+        let mut bad_magic = encode_frame(1, b"x").unwrap();
+        bad_magic[0] = 0xFF;
+        assert!(read_frame(&mut std::io::Cursor::new(bad_magic)).is_err());
+        let mut bad_version = encode_frame(1, b"x").unwrap();
+        bad_version[2] = 9;
+        assert!(read_frame(&mut std::io::Cursor::new(bad_version)).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_length_reported_before_payload_read() {
+        // Header declares 1 MiB but the configured ceiling is 1 KiB; the
+        // reader must report Oversized without consuming payload bytes.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&MAGIC);
+        stream.push(VERSION);
+        stream.push(7);
+        stream.extend_from_slice(&(1_048_576u32).to_be_bytes());
+        stream.extend_from_slice(b"payload bytes that must not be consumed");
+        let mut cursor = std::io::Cursor::new(stream);
+        let reader = FrameReader::new(1024);
+        match reader.read(&mut cursor).unwrap() {
+            ReadFrame::Oversized { msg_type, declared } => {
+                assert_eq!(msg_type, 7);
+                assert_eq!(declared, 1_048_576);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert_eq!(
+            cursor.position() as usize,
+            HEADER_LEN,
+            "no payload byte may be consumed after an oversized header"
+        );
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_preallocate() {
+        // Declared length is just under the default ceiling, but only 3
+        // payload bytes actually arrive: the read must fail with a wire
+        // error after consuming what exists, not allocate ~1 GiB up front.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&MAGIC);
+        stream.push(VERSION);
+        stream.push(1);
+        stream.extend_from_slice(&((MAX_PAYLOAD_LEN as u32) - 1).to_be_bytes());
+        stream.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(stream);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn frame_reader_ceiling_is_clamped() {
+        assert_eq!(FrameReader::new(usize::MAX).max_payload(), MAX_PAYLOAD_LEN);
+        assert_eq!(FrameReader::new(10).max_payload(), 10);
+        assert_eq!(FrameReader::default().max_payload(), MAX_PAYLOAD_LEN);
     }
 }

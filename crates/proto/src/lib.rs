@@ -35,9 +35,12 @@ pub mod frame;
 pub mod messages;
 pub mod netsim;
 
-pub use frame::{crc32, decode_frame, encode_frame, encoded_len, FRAME_OVERHEAD, VERSION};
+pub use frame::{
+    crc32, decode_frame, encode_frame, encoded_len, read_frame, FrameReader, ReadFrame,
+    FRAME_OVERHEAD, MAX_PAYLOAD_LEN, VERSION,
+};
 pub use messages::{
-    error_frame, msg_tag, Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest,
+    error_frame, msg_tag, Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, Hello,
     InsertRequest, WireMessage, WireRow,
 };
 pub use netsim::{LinkSpec, NetSim, RoundTrip, SimReport};

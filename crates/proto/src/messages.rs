@@ -131,6 +131,34 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+impl ErrorFrame {
+    /// Converts the transported error back into a typed [`PdsError`],
+    /// inverting [`error_frame`] (unknown categories become `Wire` errors).
+    pub fn into_error(self) -> PdsError {
+        match self.category.as_str() {
+            "schema" => PdsError::Schema(self.message),
+            "query" => PdsError::Query(self.message),
+            "crypto" => PdsError::Crypto(self.message),
+            "binning" => PdsError::Binning(self.message),
+            "cloud" => PdsError::Cloud(self.message),
+            "security" => PdsError::Security(self.message),
+            "config" => PdsError::Config(self.message),
+            _ => PdsError::Wire(self.message),
+        }
+    }
+}
+
+/// Owner → cloud: the first message of every service connection — names the
+/// tenant whose keyspace and bin namespace the connection operates in.  The
+/// daemon validates the tenant and echoes the `Hello` back; any other first
+/// message (or an unknown tenant) is answered with a typed `Error` frame
+/// and a closed connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hello {
+    /// Tenant identifier (one per concurrent `DbOwner`).
+    pub tenant: u64,
+}
+
 /// The stable one-byte type tags of the wire protocol, as module-level
 /// constants so metrics layers can index per-type counters without having a
 /// message instance at hand.
@@ -149,8 +177,10 @@ pub mod msg_tag {
     pub const ERROR: u8 = 6;
     /// [`super::WireMessage::Opaque`].
     pub const OPAQUE: u8 = 7;
+    /// [`super::Hello`].
+    pub const HELLO: u8 = 8;
     /// Number of distinct message types (tags are `1..=COUNT`).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Short human-readable name of a type tag (for experiment output).
     pub fn name(tag: u8) -> &'static str {
@@ -162,6 +192,7 @@ pub mod msg_tag {
             ACK => "Ack",
             ERROR => "Error",
             OPAQUE => "Opaque",
+            HELLO => "Hello",
             _ => "unknown",
         }
     }
@@ -186,6 +217,8 @@ pub enum WireMessage {
     /// (engine-specific token sets such as DPF key shares; the frame still
     /// contributes its real length to the byte accounting).
     Opaque(Vec<u8>),
+    /// Tenant handshake (first message of every service connection).
+    Hello(Hello),
 }
 
 impl WireMessage {
@@ -199,6 +232,7 @@ impl WireMessage {
             WireMessage::Ack(_) => msg_tag::ACK,
             WireMessage::Error(_) => msg_tag::ERROR,
             WireMessage::Opaque(_) => msg_tag::OPAQUE,
+            WireMessage::Hello(_) => msg_tag::HELLO,
         }
     }
 
@@ -212,6 +246,7 @@ impl WireMessage {
             WireMessage::Ack(_) => "Ack",
             WireMessage::Error(_) => "Error",
             WireMessage::Opaque(_) => "Opaque",
+            WireMessage::Hello(_) => "Hello",
         }
     }
 
@@ -275,6 +310,9 @@ impl WireMessage {
             }
             WireMessage::Opaque(body) => {
                 payload.extend_from_slice(body);
+            }
+            WireMessage::Hello(m) => {
+                payload.extend_from_slice(&m.tenant.to_be_bytes());
             }
         }
         encode_frame(self.msg_type(), &payload)
@@ -344,6 +382,7 @@ impl WireMessage {
                 WireMessage::Error(ErrorFrame { category, message })
             }
             7 => WireMessage::Opaque(r.rest().to_vec()),
+            8 => WireMessage::Hello(Hello { tenant: r.u64()? }),
             other => {
                 return Err(PdsError::Wire(format!("unknown message type tag {other}")));
             }
@@ -513,6 +552,7 @@ mod tests {
             WireMessage::Ack(Ack { items: 12 }),
             WireMessage::Error(error_frame(&PdsError::Cloud("no such shard".into()))),
             WireMessage::Opaque(vec![0xAB; 33]),
+            WireMessage::Hello(Hello { tenant: u64::MAX }),
         ]
     }
 
@@ -567,5 +607,40 @@ mod tests {
         let ef = error_frame(&PdsError::Query("bad bin".into()));
         assert_eq!(ef.category, "query");
         assert_eq!(ef.message, "bad bin");
+    }
+
+    #[test]
+    fn error_frame_into_error_inverts_every_category() {
+        for err in [
+            PdsError::Schema("a".into()),
+            PdsError::Query("b".into()),
+            PdsError::Crypto("c".into()),
+            PdsError::Binning("d".into()),
+            PdsError::Cloud("e".into()),
+            PdsError::Security("f".into()),
+            PdsError::Config("g".into()),
+            PdsError::Wire("h".into()),
+        ] {
+            let back = error_frame(&err).into_error();
+            assert_eq!(back.category(), err.category());
+            assert_eq!(back.message(), err.message());
+        }
+        // Unknown categories degrade to Wire rather than panicking.
+        let odd = ErrorFrame {
+            category: "martian".into(),
+            message: "m".into(),
+        };
+        assert_eq!(odd.into_error().category(), "wire");
+    }
+
+    #[test]
+    fn hello_tag_is_the_count() {
+        // The handshake is the newest message: its tag must close the
+        // 1..=COUNT range the metrics layer sizes its counters from.
+        assert_eq!(msg_tag::HELLO as usize, msg_tag::COUNT);
+        assert_eq!(msg_tag::name(msg_tag::HELLO), "Hello");
+        let msg = WireMessage::Hello(Hello { tenant: 7 });
+        assert_eq!(msg.msg_type(), msg_tag::HELLO);
+        assert_eq!(msg.name(), "Hello");
     }
 }

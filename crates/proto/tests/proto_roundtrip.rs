@@ -8,8 +8,8 @@
 
 use pds_common::{PdsError, TupleId, Value};
 use pds_proto::{
-    Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, InsertRequest, WireMessage,
-    WireRow,
+    Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, Hello, InsertRequest,
+    WireMessage, WireRow,
 };
 use pds_storage::Tuple;
 use proptest::prelude::*;
@@ -62,7 +62,7 @@ fn arb_row<R: Rng>(rng: &mut R) -> WireRow {
 /// One random message of a random type, driven by the proptest case seed.
 fn arb_message(seed: u64) -> WireMessage {
     let mut rng = pds_common::rng::seeded_rng(seed);
-    match rng.gen_range(0u8..7) {
+    match rng.gen_range(0u8..8) {
         0 => WireMessage::FetchBinRequest(FetchBinRequest {
             values: (0..rng.gen_range(0usize..6))
                 .map(|_| arb_value(&mut rng))
@@ -112,7 +112,10 @@ fn arb_message(seed: u64) -> WireMessage {
                     .collect(),
             })
         }
-        _ => WireMessage::Opaque(arb_blob(&mut rng, 100)),
+        6 => WireMessage::Opaque(arb_blob(&mut rng, 100)),
+        _ => WireMessage::Hello(Hello {
+            tenant: rng.gen_range(0u64..u64::MAX),
+        }),
     }
 }
 

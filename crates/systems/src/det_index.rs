@@ -7,7 +7,7 @@
 //! attribute — which is precisely the leakage the frequency-count attack in
 //! `pds-adversary` exploits, and which QB removes (§VI of the paper).
 
-use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
+use pds_cloud::{BinEpisodeRequest, CloudServer, DbOwner, EpisodeChannel};
 use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
@@ -92,7 +92,7 @@ impl SecureSelectionEngine for DeterministicIndexEngine {
     fn select_bin_episode(
         &mut self,
         owner: &mut DbOwner,
-        session: &mut CloudSession<'_>,
+        session: &mut dyn EpisodeChannel,
         request: &BinEpisodeRequest,
     ) -> Result<BinEpisodeOutcome> {
         if !self.outsourced {

@@ -1,6 +1,7 @@
 //! The common interface of secure selection back-ends.
 
-use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
+use pds_cloud::{BinEpisodeRequest, CloudServer, DbOwner, EpisodeChannel};
+use pds_common::PdsError;
 use pds_common::{AttrId, Result, TupleId, Value};
 use pds_crypto::Ciphertext;
 use pds_storage::{Relation, Tuple};
@@ -93,10 +94,14 @@ pub trait SecureSelectionEngine: Send {
         false
     }
 
-    /// Executes one whole Query Binning bin-pair episode against a
-    /// [`CloudSession`]: the clear-text sub-query for the non-sensitive
+    /// Executes one whole Query Binning bin-pair episode against an
+    /// [`EpisodeChannel`]: the clear-text sub-query for the non-sensitive
     /// bin plus the encrypted sub-query for the sensitive bin, inside the
     /// episode the caller has already opened.
+    ///
+    /// The channel is a trait object so the same engine code runs against
+    /// the in-process [`pds_cloud::CloudSession`] *and* the socket-backed
+    /// [`pds_cloud::RemoteSession`] without knowing which it got.
     ///
     /// The default implementation is the fine-grained multi-round path
     /// ([`fine_grained_bin_episode`]); back-ends that can resolve a bin-set
@@ -105,7 +110,7 @@ pub trait SecureSelectionEngine: Send {
     fn select_bin_episode(
         &mut self,
         owner: &mut DbOwner,
-        session: &mut CloudSession<'_>,
+        session: &mut dyn EpisodeChannel,
         request: &BinEpisodeRequest,
     ) -> Result<BinEpisodeOutcome> {
         fine_grained_bin_episode(self, owner, session, request)
@@ -158,7 +163,7 @@ pub fn decrypt_real_matches(
 pub fn fine_grained_bin_episode<E: SecureSelectionEngine + ?Sized>(
     engine: &mut E,
     owner: &mut DbOwner,
-    session: &mut CloudSession<'_>,
+    session: &mut dyn EpisodeChannel,
     request: &BinEpisodeRequest,
 ) -> Result<BinEpisodeOutcome> {
     let nonsensitive = if request.nonsensitive_values.is_empty() {
@@ -169,7 +174,17 @@ pub fn fine_grained_bin_episode<E: SecureSelectionEngine + ?Sized>(
     let sensitive = if request.sensitive_values.is_empty() {
         Vec::new()
     } else {
-        engine.select(owner, session.server_mut(), &request.sensitive_values)?
+        // Multi-round back-ends drive the server's fine-grained methods
+        // directly, which only an in-process channel can grant.
+        let server = session.local_server().ok_or_else(|| {
+            PdsError::Wire(format!(
+                "the {} back-end runs multi-round fine-grained episodes, \
+                 which need in-process server access; a remote channel only \
+                 carries composed single-round episodes",
+                engine.name()
+            ))
+        })?;
+        engine.select(owner, server, &request.sensitive_values)?
     };
     Ok(BinEpisodeOutcome {
         nonsensitive,
@@ -220,7 +235,7 @@ impl SecureSelectionEngine for Box<dyn SecureSelectionEngine> {
     fn select_bin_episode(
         &mut self,
         owner: &mut DbOwner,
-        session: &mut CloudSession<'_>,
+        session: &mut dyn EpisodeChannel,
         request: &BinEpisodeRequest,
     ) -> Result<BinEpisodeOutcome> {
         (**self).select_bin_episode(owner, session, request)

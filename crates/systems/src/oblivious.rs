@@ -11,7 +11,7 @@
 //! (which tuples are returned) is exact; only wall-clock time is simulated.
 //! `DESIGN.md` §5 documents this substitution.
 
-use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner};
+use pds_cloud::{BinEpisodeRequest, CloudServer, DbOwner, EpisodeChannel};
 use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Relation, Tuple};
 
@@ -147,7 +147,7 @@ impl SecureSelectionEngine for ObliviousScanEngine {
     fn select_bin_episode(
         &mut self,
         owner: &mut DbOwner,
-        session: &mut CloudSession<'_>,
+        session: &mut dyn EpisodeChannel,
         request: &BinEpisodeRequest,
     ) -> Result<BinEpisodeOutcome> {
         if !self.outsourced {
