@@ -1,0 +1,132 @@
+//! Pass 4 — **unsafe-code attribute verification**.
+//!
+//! Every workspace crate (the `pds-*` crates, the root package, and the
+//! vendored stand-ins) must carry `#![forbid(unsafe_code)]` on its crate
+//! root.  `forbid` — unlike `deny` — cannot be overridden further down
+//! the tree, so the attribute's presence is a complete proof that the
+//! crate contains no `unsafe` block.  The workspace has no legitimate use
+//! for `unsafe`: everything performance-sensitive is plain safe Rust, and
+//! the security claims (partitioned data security, the egress lint) get
+//! simpler when memory safety is unconditional.
+//!
+//! The member list is parsed out of the root `Cargo.toml` by hand, so a
+//! newly added crate is covered the moment it joins the workspace.
+
+use std::path::Path;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Pass name.
+pub const PASS: &str = "unsafe-code";
+
+/// Parses the `members = [ ... ]` array out of the root manifest's text.
+pub fn workspace_members(manifest: &str) -> Vec<String> {
+    let Some(at) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let rest = &manifest[at..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[open + 1..close]
+        .split(',')
+        .filter_map(|item| {
+            let item = item.trim().trim_matches('"').trim();
+            (!item.is_empty() && !item.starts_with('#')).then(|| item.to_string())
+        })
+        .collect()
+}
+
+/// Whether the token stream opens with (or anywhere contains, since inner
+/// attributes must precede items anyway) `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks = &file.toks;
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Runs the pass.  Checks the crate root (`src/lib.rs`, or `src/main.rs`
+/// for binary-only crates) of every workspace member plus the root
+/// package.  Returns `(findings, summary)`.
+pub fn check(root: &Path, manifest: &str) -> (Vec<Finding>, String) {
+    let mut findings = Vec::new();
+    let mut roots: Vec<String> = vec!["src/lib.rs".to_string()];
+    for member in workspace_members(manifest) {
+        let lib = format!("{member}/src/lib.rs");
+        let main = format!("{member}/src/main.rs");
+        if root.join(&lib).is_file() {
+            roots.push(lib);
+        } else if root.join(&main).is_file() {
+            roots.push(main);
+        } else {
+            findings.push(Finding {
+                pass: PASS,
+                file: format!("{member}/Cargo.toml"),
+                line: 1,
+                message: format!(
+                    "workspace member `{member}` has neither src/lib.rs nor \
+                     src/main.rs; cannot verify #![forbid(unsafe_code)]"
+                ),
+            });
+        }
+    }
+    let checked = roots.len();
+    for rel in roots {
+        match SourceFile::load(root, &rel) {
+            Ok(file) => {
+                if !has_forbid_unsafe(&file) {
+                    findings.push(Finding {
+                        pass: PASS,
+                        file: rel,
+                        line: 1,
+                        message: "crate root is missing #![forbid(unsafe_code)]; every \
+                                  workspace crate forbids unsafe unconditionally"
+                            .to_string(),
+                    });
+                }
+            }
+            Err(e) => findings.push(Finding {
+                pass: PASS,
+                file: rel,
+                line: 1,
+                message: e,
+            }),
+        }
+    }
+    let summary = format!(
+        "unsafe-code: {checked} crate root(s) checked, {} missing the forbid",
+        findings.len()
+    );
+    (findings, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse_from_manifest_text() {
+        let m = "[workspace]\nmembers = [\n  \"crates/a\",\n  \"vendor/b\",\n]\n";
+        assert_eq!(workspace_members(m), ["crates/a", "vendor/b"]);
+    }
+
+    #[test]
+    fn forbid_attr_is_recognized_exactly() {
+        let yes = SourceFile::from_source("a.rs", "//! docs\n#![forbid(unsafe_code)]\nfn f() {}");
+        let no = SourceFile::from_source("b.rs", "#![deny(unsafe_code)]\nfn f() {}");
+        assert!(has_forbid_unsafe(&yes));
+        assert!(!has_forbid_unsafe(&no));
+    }
+}

@@ -1,0 +1,401 @@
+//! A lightweight hand-rolled Rust lexer — just enough structure for the
+//! project-specific passes, with no external parser dependencies
+//! (consistent with the workspace's vendored-offline policy).
+//!
+//! The lexer produces a flat token stream (identifiers, literals,
+//! punctuation) with line numbers, skipping comments and whitespace but
+//! *harvesting* [`Allow`] annotations out of the comments it skips:
+//!
+//! ```text
+//! // pds-allow: panic-path(fault injection for the unwind test)
+//! ```
+//!
+//! Totality matters more than fidelity here: unterminated strings or
+//! comments lex to the end of input instead of erroring, so a half-edited
+//! file still produces a useful (if partial) analysis instead of a crash.
+
+/// Kinds of token the passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `let`, `unwrap`, ...).
+    Ident,
+    /// A numeric literal (loosely lexed; suffixes included).
+    Number,
+    /// A string, raw-string, byte-string or char literal (text dropped —
+    /// no pass may match inside literals).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// A single punctuation character (`{`, `.`, `;`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's text (empty for [`TokKind::Literal`]).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// One `// pds-allow: <pass>(<reason>)` annotation harvested from a
+/// comment.  The reason is mandatory: an unexplained suppression is not an
+/// audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the annotation comment sits on.
+    pub line: u32,
+    /// The pass being suppressed (`plaintext-egress`, `lock-order`,
+    /// `panic-path`).
+    pub pass: String,
+    /// The free-text justification inside the parentheses.
+    pub reason: String,
+}
+
+/// The output of lexing one file: tokens plus harvested annotations.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The token stream (comments and whitespace removed).
+    pub toks: Vec<Tok>,
+    /// Every `pds-allow` annotation found in comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Marker that introduces an allow annotation inside a comment.
+pub const ALLOW_MARKER: &str = "pds-allow:";
+
+/// Parses the body of a comment for a `pds-allow: pass(reason)` form.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let at = comment.find(ALLOW_MARKER)?;
+    let rest = comment[at + ALLOW_MARKER.len()..].trim_start();
+    let open = rest.find('(')?;
+    let pass = rest[..open].trim().to_string();
+    let close = rest.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    let reason = rest[open + 1..close].trim().to_string();
+    if pass.is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some(Allow { line, pass, reason })
+}
+
+/// Lexes `src` into tokens and annotations.  Total: never fails.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    // Consumes a quoted body starting *after* the opening quote; returns
+    // the index after the closing quote, counting newlines into `line`.
+    fn skip_quoted(b: &[char], mut i: usize, line: &mut u32, quote: char) -> usize {
+        while i < b.len() {
+            match b[i] {
+                '\\' => i += 2,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                c if c == quote => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = b[start..i].iter().collect();
+                // Doc comments (`///`, `//!`) are documentation, not
+                // suppressions — the allow grammar may be *described* there
+                // without being enacted.
+                if !comment.starts_with("///") && !comment.starts_with("//!") {
+                    if let Some(allow) = parse_allow(&comment, line) {
+                        out.allows.push(allow);
+                    }
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Nested block comments, annotations harvested line-accurately.
+                let mut depth = 1usize;
+                let comment_line = line;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let comment: String = b[start..i.min(b.len())].iter().collect();
+                if !comment.starts_with("/**") && !comment.starts_with("/*!") {
+                    if let Some(allow) = parse_allow(&comment, comment_line) {
+                        out.allows.push(allow);
+                    }
+                }
+            }
+            '"' => {
+                let l = line;
+                i = skip_quoted(&b, i + 1, &mut line, '"');
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: l,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let l = line;
+                i = skip_string_prefix(&b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: l,
+                });
+            }
+            '\'' => {
+                // Disambiguate char literal from lifetime/label.
+                let l = line;
+                if i + 1 < b.len() && b[i + 1] == '\\' {
+                    i = skip_quoted(&b, i + 1, &mut line, '\'');
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                    i += 3;
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else {
+                    // Lifetime or loop label: 'ident
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line: l,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does position `i` (at `r` or `b`) start a raw/byte string literal
+/// rather than an identifier?
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Accept the prefixes r", r#", b", br", rb is not legal but harmless.
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    let mut k = j;
+    while k < b.len() && b[k] == '#' {
+        k += 1;
+    }
+    k < b.len() && b[k] == '"' && (k > j || j > i)
+    // either hashes present (raw) or a quote right after the prefix
+}
+
+/// Skips a raw/byte string starting at its `r`/`b` prefix; returns the
+/// index just past the closing delimiter.
+fn skip_string_prefix(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == '"' {
+        i += 1;
+        if hashes == 0 {
+            // Plain (byte) string: escapes apply.
+            while i < b.len() {
+                match b[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        *line += 1;
+                        i += 1;
+                    }
+                    '"' => return i + 1,
+                    _ => i += 1,
+                }
+            }
+        } else {
+            // Raw string: ends at `"` followed by the same number of `#`.
+            while i < b.len() {
+                if b[i] == '\n' {
+                    *line += 1;
+                    i += 1;
+                } else if b[i] == '"'
+                    && b[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+                {
+                    return i + 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_are_exact_tokens_not_substrings() {
+        let ids = idents("let nonsensitive_values = sensitive_values;");
+        assert_eq!(ids, ["let", "nonsensitive_values", "sensitive_values"]);
+    }
+
+    #[test]
+    fn literals_and_comments_hide_their_contents() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"expect("raw")"#;
+            let c = '\'';
+            let b = b"panic!";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { loop { break 'a; } }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+    }
+
+    #[test]
+    fn allow_annotations_are_harvested_with_lines() {
+        let src = "\n// pds-allow: panic-path(fault injection for a test)\npanic!();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.line, 2);
+        assert_eq!(a.pass, "panic-path");
+        assert_eq!(a.reason, "fault injection for a test");
+    }
+
+    #[test]
+    fn doc_comments_do_not_enact_allows() {
+        let src = "/// like `// pds-allow: panic-path(reason)` on the line\n\
+                   //! e.g. pds-allow: lock-order(reason)\n\
+                   /** pds-allow: plaintext-egress(reason) */\n\
+                   // pds-allow: panic-path(a real suppression)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 4);
+    }
+
+    #[test]
+    fn malformed_allow_annotations_are_ignored() {
+        assert!(lex("// pds-allow: panic-path").allows.is_empty());
+        assert!(lex("// pds-allow: panic-path()").allows.is_empty());
+        assert!(lex("// pds-allow: (reason)").allows.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_track_through_multiline_constructs() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -1,0 +1,362 @@
+//! Pass 2 — the **lock-order pass**.
+//!
+//! The daemon path (`service.rs`, `tcp.rs`, `cache.rs`) holds multiple
+//! `OrderedMutex` classes: per-tenant server state, the shared job queue,
+//! per-connection writers, connection registries, shard connection pools.
+//! A deadlock needs two threads taking two of those in opposite orders —
+//! and nothing in the type system prevents a refactor from introducing
+//! exactly that.  This pass extracts every static acquisition site,
+//! builds the nesting graph (which lock classes are acquired while which
+//! others are held, including through calls), and fails on any cycle.
+//!
+//! It is the static half of a two-sided witness: the runtime half is
+//! `pds_common::lockcheck::OrderedMutex`, which panics on the first
+//! *observed* inversion under the `lockcheck` feature.  The static pass
+//! catches orders no test happens to interleave; the runtime witness
+//! catches acquisitions this pass's heuristics cannot see (trait objects,
+//! closures stored in fields).  Their class vocabularies line up:
+//! statically a class is `<file-stem>.<receiver-ident>` (e.g.
+//! `service.writer`), matching the explicit class strings passed to
+//! `OrderedMutex::new`.
+//!
+//! Heuristics, stated precisely:
+//!
+//! * An acquisition site is the token shape `recv . lock ( )`; its class
+//!   is the receiver identifier.
+//! * A **let-bound** guard (`let g = x.lock();`) is held until its
+//!   enclosing block closes; a **temporary** (`x.lock().push(v)`) is held
+//!   until the end of its statement.
+//! * A free-function call made while holding locks contributes edges to
+//!   every class the callee (resolved by simple name within the analyzed
+//!   file set) can transitively acquire.  Method and `::`-path calls are
+//!   not resolved — simple names would conflate unrelated receivers —
+//!   which is one of the blind spots the runtime witness covers.
+//!
+//! Suppression: `// pds-allow: lock-order(<reason>)` on or directly above
+//! an acquisition line removes that *site* from the graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::Finding;
+use crate::source::{Function, SourceFile};
+
+/// Pass name, as used in findings and `pds-allow` annotations.
+pub const PASS: &str = "lock-order";
+
+/// One static acquisition site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Lock class (`<file-stem>.<receiver>`).
+    pub class: String,
+    /// File the acquisition is in.
+    pub file: String,
+    /// 1-based line of the `.lock()` call.
+    pub line: u32,
+}
+
+/// A directed nesting edge: `to` is acquired while `from` is held.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// The lock class already held.
+    pub from: String,
+    /// The lock class being acquired under it.
+    pub to: String,
+    /// Where the inner acquisition (or the call leading to it) happens.
+    pub site: Site,
+}
+
+/// Per-function facts extracted in one pass over its body.
+#[derive(Debug, Default)]
+struct FnFacts {
+    /// Classes acquired directly anywhere in the body.
+    acquires: BTreeSet<String>,
+    /// Direct nesting edges observed inside the body.
+    edges: Vec<Edge>,
+    /// Every callee name invoked in the body (for transitive acquires).
+    calls: BTreeSet<String>,
+    /// Calls made while holding locks: (held classes, callee, site).
+    calls_under_lock: Vec<(Vec<String>, String, Site)>,
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    class: String,
+    /// Brace depth at acquisition (relative to the body).
+    depth: usize,
+    let_bound: bool,
+}
+
+/// Runs the pass.  Returns `(findings, used_allows, summary)`.
+pub fn check(files: &[&SourceFile]) -> (Vec<Finding>, Vec<(String, u32)>, String) {
+    let mut used = Vec::new();
+    let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
+    let mut site_count = 0usize;
+    let mut classes: BTreeSet<String> = BTreeSet::new();
+
+    for &file in files {
+        let stem = file_stem(&file.rel);
+        for func in file.functions() {
+            let f = scan_function(file, &stem, &func, &mut used);
+            site_count += f.acquires.len();
+            classes.extend(f.acquires.iter().cloned());
+            // Same-name functions across files merge conservatively: the
+            // union over-approximates, which can only add edges, never
+            // hide one.
+            let entry = facts.entry(func.name.clone()).or_default();
+            entry.acquires.extend(f.acquires);
+            entry.edges.extend(f.edges);
+            entry.calls.extend(f.calls);
+            entry.calls_under_lock.extend(f.calls_under_lock);
+        }
+    }
+
+    // Fixpoint: what can each function transitively acquire?
+    let mut trans: BTreeMap<String, BTreeSet<String>> = facts
+        .iter()
+        .map(|(name, f)| (name.clone(), f.acquires.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, f) in &facts {
+            let mut add = BTreeSet::new();
+            for callee in &f.calls {
+                if let Some(set) = trans.get(callee) {
+                    add.extend(set.iter().cloned());
+                }
+            }
+            if let Some(mine) = trans.get_mut(name) {
+                for class in add {
+                    changed |= mine.insert(class);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the full edge set: direct edges plus call-mediated ones.
+    let mut edges: Vec<Edge> = Vec::new();
+    for f in facts.values() {
+        edges.extend(f.edges.iter().cloned());
+        for (held, callee, site) in &f.calls_under_lock {
+            if let Some(reach) = trans.get(callee) {
+                for from in held {
+                    for to in reach {
+                        edges.push(Edge {
+                            from: from.clone(),
+                            to: to.clone(),
+                            site: site.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Graph + cycle detection.
+    let mut graph: BTreeMap<&str, BTreeMap<&str, &Site>> = BTreeMap::new();
+    for e in &edges {
+        graph
+            .entry(e.from.as_str())
+            .or_default()
+            .entry(e.to.as_str())
+            .or_insert(&e.site);
+    }
+
+    let mut findings = Vec::new();
+    if let Some(cycle) = find_cycle(&graph) {
+        let order: Vec<&str> = cycle.clone();
+        let mut hops = Vec::new();
+        for w in order.windows(2) {
+            let site = graph[w[0]][w[1]];
+            hops.push(format!(
+                "`{}` then `{}` at {}:{}",
+                w[0], w[1], site.file, site.line
+            ));
+        }
+        let site = graph[order[0]][order[1]];
+        findings.push(Finding {
+            pass: PASS,
+            file: site.file.clone(),
+            line: site.line,
+            message: format!(
+                "lock classes form an acquisition cycle ({}); {} — two threads \
+                 running these paths concurrently can deadlock; acquire the \
+                 classes in one global order",
+                order.join(" -> "),
+                hops.join("; ")
+            ),
+        });
+    }
+
+    let edge_count: usize = graph.values().map(BTreeMap::len).sum();
+    let summary = format!(
+        "lock-order: {site_count} acquisition site(s), {} class(es), \
+         {edge_count} nesting edge(s), {}",
+        classes.len(),
+        if findings.is_empty() {
+            "acyclic"
+        } else {
+            "CYCLIC"
+        }
+    );
+    (findings, used, summary)
+}
+
+/// `crates/cloud/src/service.rs` -> `service`.
+fn file_stem(rel: &str) -> String {
+    rel.rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+/// One linear walk over a function body, tracking held locks by depth.
+fn scan_function(
+    file: &SourceFile,
+    stem: &str,
+    func: &Function,
+    used: &mut Vec<(String, u32)>,
+) -> FnFacts {
+    let toks = &file.toks[func.body.clone()];
+    let mut facts = FnFacts::default();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    // Token index where the current statement began (for let-detection).
+    let mut stmt_start = 0usize;
+
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            stmt_start = i + 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.depth <= depth);
+            stmt_start = i + 1;
+        } else if t.is_punct(';') {
+            held.retain(|h| h.let_bound || h.depth != depth);
+            stmt_start = i + 1;
+        } else if t.is_ident("lock")
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == crate::lexer::TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            let class = format!("{stem}.{}", toks[i - 2].text);
+            if let Some(allow) = file.allow_at(PASS, t.line) {
+                used.push((file.rel.clone(), allow.line));
+                i += 3;
+                continue;
+            }
+            let site = Site {
+                class: class.clone(),
+                file: file.rel.clone(),
+                line: t.line,
+            };
+            for h in &held {
+                facts.edges.push(Edge {
+                    from: h.class.clone(),
+                    to: class.clone(),
+                    site: site.clone(),
+                });
+            }
+            facts.acquires.insert(class.clone());
+            let let_bound = toks[stmt_start..i].iter().any(|t| t.is_ident("let"));
+            held.push(Held {
+                class,
+                depth,
+                let_bound,
+            });
+            i += 3;
+            continue;
+        } else if t.kind == crate::lexer::TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !t.is_ident("lock")
+            && !(i >= 1 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':')))
+        {
+            // A *free-function* call: resolvable by simple name within the
+            // analyzed files.  Method and path calls (`conn.shutdown(..)`,
+            // `Type::new(..)`) are excluded — simple-name resolution would
+            // conflate unrelated receivers (e.g. `TcpStream::shutdown` with
+            // `ShardDaemon::shutdown`); dynamic dispatch the static pass
+            // cannot see is what the runtime lockcheck witness is for.
+            // Skip keywords that syntactically precede parens without
+            // being calls.
+            const NOT_CALLS: &[&str] = &["if", "while", "for", "match", "return", "fn"];
+            if !NOT_CALLS.contains(&t.text.as_str()) {
+                facts.calls.insert(t.text.clone());
+                if !held.is_empty() {
+                    facts.calls_under_lock.push((
+                        held.iter().map(|h| h.class.clone()).collect(),
+                        t.text.clone(),
+                        Site {
+                            class: String::new(),
+                            file: file.rel.clone(),
+                            line: t.line,
+                        },
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Finds one cycle in the class graph, returned as a closed path
+/// (`[a, b, a]`), or `None` if the graph is acyclic.
+fn find_cycle<'g>(graph: &BTreeMap<&'g str, BTreeMap<&'g str, &Site>>) -> Option<Vec<&'g str>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+
+    fn dfs<'g>(
+        node: &'g str,
+        graph: &BTreeMap<&'g str, BTreeMap<&'g str, &Site>>,
+        marks: &mut BTreeMap<&'g str, Mark>,
+        stack: &mut Vec<&'g str>,
+    ) -> Option<Vec<&'g str>> {
+        marks.insert(node, Mark::Visiting);
+        stack.push(node);
+        if let Some(nexts) = graph.get(node) {
+            for &next in nexts.keys() {
+                match marks.get(next) {
+                    Some(Mark::Visiting) => {
+                        let start = stack.iter().position(|&n| n == next).unwrap_or(0);
+                        let mut cycle: Vec<&str> = stack[start..].to_vec();
+                        cycle.push(next);
+                        return Some(cycle);
+                    }
+                    Some(Mark::Done) => {}
+                    None => {
+                        if let Some(c) = dfs(next, graph, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Done);
+        None
+    }
+
+    for &node in graph.keys() {
+        if marks.contains_key(node) {
+            continue;
+        }
+        if let Some(c) = dfs(node, graph, &mut marks, &mut stack) {
+            return Some(c);
+        }
+    }
+    None
+}

@@ -1,0 +1,99 @@
+//! Command-line entry point for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p pds-analyze -- check              # run every pass; exit 1 on findings
+//! cargo run -p pds-analyze -- ratchet            # record the current panic count
+//! cargo run -p pds-analyze -- check --root PATH  # analyze another checkout
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// `--root` override or the workspace containing this crate (two levels up
+/// from `crates/analyze`), so `cargo run -p pds-analyze` works from any
+/// working directory.
+fn resolve_root(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(i) = args.iter().position(|a| a == "--root") {
+        return args
+            .get(i + 1)
+            .map(PathBuf::from)
+            .ok_or_else(|| "--root requires a path argument".to_string());
+    }
+    Ok(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn usage() -> String {
+    "usage: pds-analyze <check|ratchet> [--root PATH]\n\
+     \n\
+     check    run all passes (plaintext-egress, lock-order, panic-path,\n\
+     \t  unsafe-code, annotations); exit 1 if any finding\n\
+     ratchet  count workspace panic sites and rewrite crates/analyze/ratchet.toml"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let root = match resolve_root(&args) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("pds-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => match pds_analyze::run_check(&root) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("pds-analyze: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "ratchet" => match pds_analyze::current_panic_count(&root) {
+            Ok(count) => {
+                let path = root.join(pds_analyze::RATCHET_FILE);
+                let old = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|t| pds_analyze::panics::parse_ratchet(&t));
+                match std::fs::write(&path, pds_analyze::panics::render_ratchet(count)) {
+                    Ok(()) => {
+                        match old {
+                            Some(old) if count > old => println!(
+                                "ratchet RAISED {old} -> {count}: this will be visible \
+                                 in review; prefer converting the new sites to typed errors"
+                            ),
+                            Some(old) => println!("ratchet {old} -> {count}"),
+                            None => println!("ratchet initialized at {count}"),
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("pds-analyze: cannot write {}: {e}", path.display());
+                        ExitCode::from(2)
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("pds-analyze: {e}");
+                ExitCode::from(2)
+            }
+        },
+        other => {
+            eprintln!("pds-analyze: unknown command `{other}`\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

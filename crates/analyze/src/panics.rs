@@ -1,0 +1,170 @@
+//! Pass 3 — the **panic-path audit**.
+//!
+//! A panic in the daemon hot path either kills a worker thread or, at
+//! best, burns a connection and poisons locks; in the wire path it turns
+//! attacker-controlled bytes into a crash.  Two-tier policy:
+//!
+//! * **Hot paths** (the daemon's accept/serve/write path and the wire
+//!   codec) forbid panic sites outright.  Every `.unwrap()`, `.expect()`,
+//!   `panic!`, `unreachable!`, `todo!` or `unimplemented!` in those files
+//!   is a finding unless annotated
+//!   `// pds-allow: panic-path(<reason>)` on or directly above the line.
+//! * **Everywhere else** a committed ratchet holds the line: the
+//!   workspace-wide count of unsuppressed panic sites may only go down.
+//!   The baseline lives in `crates/analyze/ratchet.toml`; after a
+//!   burndown, `pds-analyze ratchet` records the new (lower) number.
+//!
+//! Matching is exact-token (`unwrap` preceded by `.` and followed by `(`),
+//! so `unwrap_or_else`, `unwrap_or_default` and friends — the *fixes* for
+//! panic sites — never count against the budget.
+
+use std::collections::BTreeSet;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Pass name, as used in findings and `pds-allow` annotations.
+pub const PASS: &str = "panic-path";
+
+/// Macro names that are panic sites when invoked (`name!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One detected panic site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// File the site is in.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What matched (`unwrap`, `expect`, `panic!`, ...).
+    pub what: String,
+}
+
+/// Scans one file for unsuppressed panic sites.  Suppressed sites push
+/// their annotation onto `used` instead of being returned.
+pub fn sites_in(file: &SourceFile, used: &mut Vec<(String, u32)>) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let what = if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            t.text.clone()
+        } else if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            format!("{}!", t.text)
+        } else {
+            continue;
+        };
+        if let Some(allow) = file.allow_at(PASS, t.line) {
+            used.push((file.rel.clone(), allow.line));
+            continue;
+        }
+        out.push(PanicSite {
+            file: file.rel.clone(),
+            line: t.line,
+            what,
+        });
+    }
+    out
+}
+
+/// Runs the audit.  `hot` names the workspace-relative files where panic
+/// sites are forbidden outright; `baseline` is the committed ratchet value
+/// (None when the ratchet file is missing, itself a finding).
+///
+/// Returns `(findings, used_allows, summary, workspace_count)`.
+pub fn check(
+    files: &[&SourceFile],
+    hot: &BTreeSet<&str>,
+    baseline: Option<u64>,
+    ratchet_rel: &str,
+) -> (Vec<Finding>, Vec<(String, u32)>, String, u64) {
+    let mut findings = Vec::new();
+    let mut used = Vec::new();
+    let mut count = 0u64;
+    let mut hot_hits = 0usize;
+
+    for &file in files {
+        let is_hot = hot.contains(file.rel.as_str());
+        for site in sites_in(file, &mut used) {
+            count += 1;
+            if is_hot {
+                hot_hits += 1;
+                findings.push(Finding {
+                    pass: PASS,
+                    file: site.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` in a daemon/wire hot path; return a typed PdsError \
+                         instead, or annotate with \
+                         `// pds-allow: panic-path(<reason>)` if provably \
+                         unreachable",
+                        site.what
+                    ),
+                });
+            }
+        }
+    }
+
+    match baseline {
+        None => findings.push(Finding {
+            pass: PASS,
+            file: ratchet_rel.to_string(),
+            line: 1,
+            message: format!(
+                "ratchet file is missing; run `pds-analyze ratchet` to record \
+                 the current workspace panic-site count ({count}) as the baseline"
+            ),
+        }),
+        Some(base) if count > base => findings.push(Finding {
+            pass: PASS,
+            file: ratchet_rel.to_string(),
+            line: 1,
+            message: format!(
+                "workspace panic-site count rose to {count} (ratchet baseline \
+                 is {base}); the count may only decrease — convert the new \
+                 sites to typed PdsErrors"
+            ),
+        }),
+        Some(_) => {}
+    }
+
+    let summary = format!(
+        "panic-path: {count} workspace site(s) (ratchet baseline {}), \
+         {hot_hits} in hot paths",
+        baseline.map_or_else(|| "missing".to_string(), |b| b.to_string()),
+    );
+    (findings, used, summary, count)
+}
+
+/// Parses `panic_sites = N` out of the ratchet file's text.
+pub fn parse_ratchet(text: &str) -> Option<u64> {
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("panic_sites") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                return value.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// Renders a fresh ratchet file for `pds-analyze ratchet`.
+pub fn render_ratchet(count: u64) -> String {
+    format!(
+        "# pds-analyze panic-path ratchet.\n\
+         #\n\
+         # The workspace-wide count of unsuppressed panic sites\n\
+         # (`.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`,\n\
+         # `unimplemented!`) in non-test code.  `pds-analyze check` fails if\n\
+         # the live count exceeds this number: the only way is down.  After\n\
+         # a burndown, refresh with `cargo run -p pds-analyze -- ratchet`.\n\
+         panic_sites = {count}\n"
+    )
+}

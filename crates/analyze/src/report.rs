@@ -1,0 +1,75 @@
+//! Findings and report formatting shared by all passes.
+
+use std::fmt;
+
+/// One analyzer finding: a pass, a location, and a human-actionable
+/// message.  Findings are the unit of failure — `check` exits nonzero iff
+/// any pass produced at least one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pass produced this (`plaintext-egress`, `lock-order`,
+    /// `panic-path`, `unsafe-code`, `annotations`).
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.pass, self.file, self.line, self.message
+        )
+    }
+}
+
+/// The aggregate result of a full `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings across passes, in pass order then file order.
+    pub findings: Vec<Finding>,
+    /// Per-pass summary lines printed even on success, so CI logs show
+    /// what was actually checked (files scanned, sites counted, ...).
+    pub summary: Vec<String>,
+}
+
+impl Report {
+    /// Whether the run passed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report for terminal/CI output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.summary {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.findings.is_empty() {
+            out.push_str("pds-analyze: all passes clean\n");
+        } else {
+            out.push('\n');
+            for f in &self.findings {
+                out.push_str(&f.to_string());
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "\npds-analyze: {} finding(s) across {} pass(es)\n",
+                self.findings.len(),
+                {
+                    let mut passes: Vec<_> = self.findings.iter().map(|f| f.pass).collect();
+                    passes.sort_unstable();
+                    passes.dedup();
+                    passes.len()
+                }
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,310 @@
+//! Source-file model: lexed workspace files with test code stripped and
+//! functions extracted.
+//!
+//! All passes operate on **non-test** code: files under `tests/`,
+//! `benches/`, `examples/` or `fixtures/` directories are skipped
+//! entirely, and `#[cfg(test)]` items (typically `mod tests { ... }`) are
+//! stripped from the token stream of the files that remain.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Allow, Tok, TokKind};
+
+/// One analyzed file: lexed, test-stripped, annotation-harvested.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Token stream with `#[cfg(test)]` items removed.
+    pub toks: Vec<Tok>,
+    /// Allow annotations (harvested before stripping, so an annotation
+    /// inside test code is simply never matched by a finding).
+    pub allows: Vec<Allow>,
+}
+
+/// One extracted `fn` item: name plus token ranges into the file's stream.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body (or of the signature for bodyless decls).
+    pub end_line: u32,
+    /// Token index range of the whole item (from `fn` through `}` / `;`),
+    /// signature included.
+    pub span: std::ops::Range<usize>,
+    /// Token index range of just the body (empty for bodyless decls).
+    pub body: std::ops::Range<usize>,
+}
+
+impl SourceFile {
+    /// Loads and lexes one file.  I/O errors surface as `Err(message)` so
+    /// the binary can report them without panicking.
+    pub fn load(root: &Path, rel: &str) -> Result<SourceFile, String> {
+        let path = root.join(rel);
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(SourceFile::from_source(rel, &src))
+    }
+
+    /// Builds a source file from in-memory text (used by fixture tests).
+    pub fn from_source(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        SourceFile {
+            rel: rel.to_string(),
+            toks: strip_cfg_test(lexed.toks),
+            allows: lexed.allows,
+        }
+    }
+
+    /// Every `fn` item in the stripped stream, nested ones included.
+    pub fn functions(&self) -> Vec<Function> {
+        extract_functions(&self.toks)
+    }
+
+    /// Whether an allow annotation for `pass` covers `line` (the
+    /// annotation must sit on the same line or the line directly above —
+    /// adjacency keeps suppressions reviewable next to what they excuse).
+    pub fn allow_at(&self, pass: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.pass == pass && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Removes every item annotated `#[cfg(test)]` from the token stream.
+///
+/// Recognizes the exact token shape `# [ cfg ( test ) ]`, then drops it,
+/// any further attributes, and the item that follows (through its matching
+/// close brace, or through `;` for bodyless items).
+pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(&toks, i) {
+            // Skip this attribute...
+            i = skip_attr(&toks, i);
+            // ...any stacked attributes on the same item...
+            while i < toks.len() && toks[i].is_punct('#') {
+                i = skip_attr(&toks, i);
+            }
+            // ...and the item itself.
+            i = skip_item(&toks, i);
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does `# [ cfg ( test ) ]` (or `#[cfg(all(test, ...))]` etc. — any
+/// attribute whose argument list contains the bare ident `test`) start at
+/// token `i`?
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    if !(toks.get(i).is_some_and(|t| t.is_punct('#'))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg")))
+    {
+        return false;
+    }
+    let end = match_delim(toks, i + 1, '[', ']');
+    let args = &toks[i + 2..end];
+    // `#[cfg(not(test))]` is *production* code; only strip when `test`
+    // appears un-negated (good enough for this workspace's attribute
+    // vocabulary — no pass needs full cfg-expression evaluation).
+    args.iter().any(|t| t.is_ident("test")) && !args.iter().any(|t| t.is_ident("not"))
+}
+
+/// Index just past the attribute starting at `#` token `i`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        match_delim(toks, j, '[', ']')
+    } else {
+        j
+    }
+}
+
+/// Index just past the item starting at token `i`: consumes through the
+/// first top-level `;`, or through the matching `}` of the first `{`.
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0usize;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index just past the `close` matching the `open` at token `i`.
+fn match_delim(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Extracts every `fn` item (free, impl, trait, nested).
+fn extract_functions(toks: &[Tok]) -> Vec<Function> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn(` type position, not an item
+        }
+        // Find the body `{` or a trait-decl `;`, skipping the signature
+        // (whose generics/where clauses may nest `<>`/`()` arbitrarily,
+        // but never braces).
+        let mut j = i + 2;
+        let mut body = 0..0;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                let end = match_delim(toks, j, '{', '}');
+                body = j + 1..end.saturating_sub(1);
+                j = end;
+                break;
+            }
+            if toks[j].is_punct(';') {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        let end_line = toks
+            .get(j.saturating_sub(1))
+            .map(|t| t.line)
+            .unwrap_or(t.line);
+        out.push(Function {
+            name: name_tok.text.clone(),
+            line: t.line,
+            end_line,
+            span: i..j,
+            body,
+        });
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` (relative results), in
+/// sorted order for deterministic reports.  Directories named `tests`,
+/// `benches`, `examples`, `fixtures` or `target` are pruned: every pass
+/// analyzes production code only.
+pub fn rust_files_under(root: &Path, rel_dir: &str) -> Result<Vec<String>, String> {
+    let mut found: Vec<PathBuf> = Vec::new();
+    let dir = root.join(rel_dir);
+    if dir.is_dir() {
+        walk(&dir, &mut found)?;
+    }
+    let prefix = root.to_path_buf();
+    let mut rels: Vec<String> = found
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(&prefix)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rels.sort();
+    Ok(rels)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    const PRUNE: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if !PRUNE.contains(&name.as_str()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }\nfn after() {}",
+        );
+        let names: Vec<_> = f.functions().iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, ["live", "after"]);
+        assert!(!f.toks.iter().any(|t| t.is_ident("tests")));
+    }
+
+    #[test]
+    fn cfg_all_test_is_stripped_too() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "#[cfg(all(test, feature = \"x\"))]\nmod gated { fn t() {} }\nfn live() {}",
+        );
+        let names: Vec<_> = f.functions().iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, ["live"]);
+    }
+
+    #[test]
+    fn functions_capture_spans_and_nesting() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "impl S {\n  fn outer(&self) -> u32 {\n    fn inner() {}\n    1\n  }\n}",
+        );
+        let fns = f.functions();
+        let names: Vec<_> = fns.iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        assert_eq!(fns[0].line, 2);
+        assert!(fns[0].end_line >= 5);
+    }
+
+    #[test]
+    fn allow_matches_same_or_previous_line() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "// pds-allow: panic-path(reason one)\nlet a = 1; // pds-allow: lock-order(reason two)\n",
+        );
+        assert!(f.allow_at("panic-path", 2).is_some());
+        assert!(f.allow_at("lock-order", 2).is_some());
+        assert!(f.allow_at("panic-path", 3).is_none());
+        assert!(f.allow_at("plaintext-egress", 2).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests for `pds-analyze`: each pass against its fixture
+//! corpus (positive and negative), then the full analyzer against the
+//! real workspace — the same invocation CI gates on.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use pds_analyze::source::SourceFile;
+use pds_analyze::{egress, lockorder, panics};
+
+fn fixture(name: &str) -> SourceFile {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    SourceFile::load(&dir, name).expect("fixture file is readable")
+}
+
+#[test]
+fn egress_lint_flags_the_leak_fixture() {
+    let file = fixture("egress_leak.rs");
+    let (findings, used) = egress::check(&[&file]);
+    assert_eq!(findings.len(), 1, "exactly the leaking fn: {findings:?}");
+    assert!(findings[0].message.contains("ship_bin"));
+    assert!(findings[0].message.contains("sensitive_values"));
+    assert!(used.is_empty());
+}
+
+#[test]
+fn egress_lint_accepts_boundary_and_nonsensitive_traffic() {
+    let file = fixture("egress_clean.rs");
+    let (findings, used) = egress::check(&[&file]);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+    assert!(used.is_empty());
+}
+
+#[test]
+fn egress_lint_honors_audited_allows_and_reports_them_used() {
+    let file = fixture("egress_allowed.rs");
+    let (findings, used) = egress::check(&[&file]);
+    assert!(findings.is_empty(), "allowed fixture flagged: {findings:?}");
+    assert_eq!(used.len(), 1, "the annotation must register as in-use");
+}
+
+#[test]
+fn lock_order_pass_finds_the_interprocedural_cycle() {
+    let file = fixture("lock_cycle.rs");
+    let (findings, used, summary) = lockorder::check(&[&file]);
+    assert_eq!(findings.len(), 1, "one cycle expected: {findings:?}");
+    assert!(findings[0].message.contains("lock_cycle.pool"));
+    assert!(findings[0].message.contains("lock_cycle.registry"));
+    assert!(summary.contains("CYCLIC"));
+    assert!(used.is_empty());
+}
+
+#[test]
+fn lock_order_pass_accepts_consistent_nesting() {
+    let file = fixture("lock_clean.rs");
+    let (findings, _used, summary) = lockorder::check(&[&file]);
+    assert!(
+        findings.is_empty(),
+        "consistent order flagged: {findings:?}"
+    );
+    assert!(summary.contains("acyclic"));
+}
+
+#[test]
+fn panic_audit_forbids_hot_path_sites_but_exempts_test_modules() {
+    let file = fixture("panic_hot.rs");
+    let hot: BTreeSet<&str> = ["panic_hot.rs"].into_iter().collect();
+    let (findings, used, _summary, count) =
+        panics::check(&[&file], &hot, Some(100), "ratchet.toml");
+    // .unwrap(), .expect(..), panic! — and NOT the unwrap_or_else decoy or
+    // anything inside #[cfg(test)].
+    assert_eq!(count, 3, "{findings:?}");
+    assert_eq!(findings.len(), 3);
+    assert!(findings.iter().any(|f| f.message.contains("`unwrap`")));
+    assert!(findings.iter().any(|f| f.message.contains("`expect`")));
+    assert!(findings.iter().any(|f| f.message.contains("`panic!`")));
+    assert!(used.is_empty());
+}
+
+#[test]
+fn panic_audit_accepts_annotated_and_lookalike_sites() {
+    let file = fixture("panic_allowed.rs");
+    let hot: BTreeSet<&str> = ["panic_allowed.rs"].into_iter().collect();
+    let (findings, used, _summary, count) = panics::check(&[&file], &hot, Some(0), "ratchet.toml");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(count, 0);
+    assert_eq!(used.len(), 1, "the annotation must register as in-use");
+}
+
+#[test]
+fn panic_ratchet_fails_when_the_count_rises() {
+    let file = fixture("panic_hot.rs");
+    let hot: BTreeSet<&str> = BTreeSet::new();
+    let (findings, _used, _summary, count) = panics::check(&[&file], &hot, Some(2), "ratchet.toml");
+    assert_eq!(count, 3);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("rose to 3"));
+    assert!(findings[0].message.contains("baseline is 2"));
+}
+
+#[test]
+fn panic_ratchet_is_quiet_at_or_below_baseline() {
+    let file = fixture("panic_hot.rs");
+    let hot: BTreeSet<&str> = BTreeSet::new();
+    let (findings, _used, _summary, _count) =
+        panics::check(&[&file], &hot, Some(3), "ratchet.toml");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The CI gate itself: every pass must come back clean on the live
+/// workspace, with the committed ratchet honored.
+#[test]
+fn full_workspace_check_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = pds_analyze::run_check(&root).expect("workspace is analyzable");
+    assert!(
+        report.is_clean(),
+        "workspace findings:\n{}",
+        report.render()
+    );
+}
+
+/// The fixtures directory must never leak into the production scan —
+/// otherwise the positive fixtures would fail the real gate.
+#[test]
+fn fixtures_are_excluded_from_workspace_scans() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = pds_analyze::load_workspace(&root).expect("workspace is readable");
+    assert!(files.iter().all(|f| !f.rel.contains("fixtures")));
+    assert!(files.iter().all(|f| !f.rel.contains("/tests/")));
+    assert!(
+        files.iter().any(|f| f.rel == "crates/cloud/src/service.rs"),
+        "the daemon source must be in scope"
+    );
+}
+
+/// `--root` handling end to end: the hot-path list in lib.rs must point at
+/// files that actually exist, or the forbid tier silently checks nothing.
+#[test]
+fn scope_lists_point_at_real_files() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for rel in pds_analyze::HOT_FILES.iter().chain(pds_analyze::LOCK_FILES) {
+        assert!(root.join(rel).is_file(), "scope entry {rel} does not exist");
+    }
+    for dir in pds_analyze::EGRESS_DIRS {
+        assert!(Path::new(&root).join(dir).is_dir(), "{dir} does not exist");
+    }
+    assert!(root.join(pds_analyze::RATCHET_FILE).is_file());
+}

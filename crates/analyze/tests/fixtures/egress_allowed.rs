@@ -1,0 +1,9 @@
+// Fixture: a real egress match suppressed by an audited annotation.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+// pds-allow: plaintext-egress(loopback-only debug channel; carries synthetic fixtures, never tenant data)
+pub fn ship_debug(stream: &mut TcpStream, sensitive_values: &[u8]) {
+    let _ = stream.write_all(sensitive_values);
+}

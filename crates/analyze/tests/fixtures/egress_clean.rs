@@ -1,0 +1,23 @@
+// Fixture: NEGATIVE for the plaintext-egress lint, twice over.
+//
+// `ship_encrypted` has source + sink but routes through the pds_crypto
+// boundary; `ship_public` writes only non-sensitive data (exact-token
+// matching must not confuse `nonsensitive_values` with the source ident).
+
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn ship_encrypted(stream: &mut TcpStream, sensitive_values: &[u8]) {
+    let cipher = pds_crypto_stub::encrypt(sensitive_values);
+    let _ = stream.write_all(&cipher);
+}
+
+pub fn ship_public(stream: &mut TcpStream, nonsensitive_values: &[u8]) {
+    let _ = stream.write_all(nonsensitive_values);
+}
+
+mod pds_crypto_stub {
+    pub fn encrypt(plain: &[u8]) -> Vec<u8> {
+        plain.iter().map(|b| b ^ 0x5a).collect()
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: POSITIVE for the plaintext-egress lint.
+//
+// `ship_bin` touches sensitive plaintext (`sensitive_values`) and a wire
+// sink (`write_all` on a `TcpStream`) with no pds-crypto boundary ident
+// anywhere in scope — the exact shape of the leak the lint exists for.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn ship_bin(stream: &mut TcpStream, sensitive_values: &[u8]) {
+    let framed = frame(sensitive_values);
+    let _ = stream.write_all(&framed);
+}
+
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = vec![body.len() as u8];
+    out.extend_from_slice(body);
+    out
+}

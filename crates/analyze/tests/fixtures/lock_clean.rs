@@ -1,0 +1,22 @@
+// Fixture: NEGATIVE for the lock-order pass.
+//
+// Both paths take `pool` before `registry`: the nesting graph has one
+// edge and no cycle.  `release` takes each lock in turn but never nests —
+// a temporary guard dies at its statement's end, so pool is not held when
+// registry is taken.
+
+pub fn ship(pool: &Pool, registry: &Registry) {
+    let conn = pool.lock();
+    registry.lock().mark(&conn);
+}
+
+pub fn audit(pool: &Pool, registry: &Registry) {
+    let conn = pool.lock();
+    let reg = registry.lock();
+    reg.check(&conn);
+}
+
+pub fn release(pool: &Pool, registry: &Registry) {
+    pool.lock().compact();
+    registry.lock().compact();
+}

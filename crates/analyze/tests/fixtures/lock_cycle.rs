@@ -1,0 +1,23 @@
+// Fixture: POSITIVE for the lock-order pass.
+//
+// `ship` nests registry under pool; `drain` nests pool under registry —
+// a classic AB/BA inversion, here split across a call boundary so the
+// interprocedural (transitive-acquire) half of the pass is what has to
+// find it: `drain` holds `registry` and calls the free function
+// `take_pooled`, which acquires `pool`.
+
+pub fn ship(pool: &Pool, registry: &Registry) {
+    let conn = pool.lock();
+    registry.lock().mark(&conn);
+}
+
+pub fn drain(pool: &Pool, registry: &Registry) {
+    let guard = registry.lock();
+    for _id in guard.ids() {
+        take_pooled(pool);
+    }
+}
+
+fn take_pooled(pool: &Pool) {
+    let _conn = pool.lock();
+}

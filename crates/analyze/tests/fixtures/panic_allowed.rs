@@ -1,0 +1,11 @@
+// Fixture: NEGATIVE for the panic-path audit — every site is either
+// annotated, a non-panicking lookalike, or hidden in a literal/comment.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    // pds-allow: panic-path(index 0 proven in-bounds by the framing layer's length check)
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).copied().unwrap_or_default();
+    // a comment saying panic! does not count
+    let label = "neither does .unwrap() in a string";
+    u32::from(*first) << 8 | u32::from(second) | label.len() as u32
+}

@@ -1,0 +1,24 @@
+// Fixture: POSITIVE for the panic-path audit when treated as a hot file.
+//
+// Three distinct site shapes: `.unwrap()`, `.expect(..)`, `panic!`.  The
+// `unwrap_or_else` is a decoy — exact-token matching must not count it.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("length checked by caller");
+    if *first == 0xff {
+        panic!("reserved tag");
+    }
+    let third = bytes.get(2).copied().unwrap_or_else(|| 0);
+    u32::from(*first) << 16 | u32::from(*second) << 8 | u32::from(third)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        super::decode(&[1, 2, 3]);
+        let x: Option<u8> = Some(1);
+        x.unwrap();
+    }
+}

@@ -39,6 +39,14 @@
 //! adversarial views and metrics windows.  Every connection must open with
 //! a [`pds_proto::Hello`] naming its tenant; the daemon validates the id
 //! and echoes the `Hello` back.
+//!
+//! Every lock in this module is an [`OrderedMutex`] with a named class
+//! (`service.tenant`, `service.jobs`, `service.conns`, `service.writer`).
+//! Built with the `lockcheck` feature, each acquisition is checked against
+//! the process-wide order graph and panics on an inversion, so the
+//! hostile-client matrix and the concurrency proptests double as a dynamic
+//! deadlock detector; `pds-analyze`'s static lock-order pass proves the
+//! same nesting graph acyclic from the source text on every commit.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -46,10 +54,10 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use pds_common::{PdsError, Result};
+use pds_common::{OrderedMutex, PdsError, Result};
 use pds_proto::{error_frame, msg_tag, FrameReader, ReadFrame, WireMessage};
 
 use crate::server::CloudServer;
@@ -94,7 +102,7 @@ impl ServiceConfig {
 struct Job {
     tenant: u64,
     msg: WireMessage,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: Arc<OrderedMutex<TcpStream>>,
     /// Set by a worker whose handler panicked, *before* it writes the
     /// Error frame: the reader checks it before enqueuing, so nothing the
     /// client sends after reading that frame can reach another worker.
@@ -103,11 +111,11 @@ struct Job {
 
 /// State shared by the acceptor, the readers and the worker pool.
 struct SharedState {
-    tenants: HashMap<u64, Mutex<CloudServer>>,
+    tenants: HashMap<u64, OrderedMutex<CloudServer>>,
     config: ServiceConfig,
     /// Duplicate handles of every accepted connection, so shutdown can
     /// unblock reader threads that are parked in a blocking read.
-    conns: Mutex<Vec<TcpStream>>,
+    conns: OrderedMutex<Vec<TcpStream>>,
 }
 
 /// A TCP daemon serving one shard's tenant servers on a loopback address.
@@ -141,14 +149,14 @@ impl ShardDaemon {
         let state = Arc::new(SharedState {
             tenants: tenants
                 .into_iter()
-                .map(|(id, server)| (id, Mutex::new(server)))
+                .map(|(id, server)| (id, OrderedMutex::new("service.tenant", server)))
                 .collect(),
             config,
-            conns: Mutex::new(Vec::new()),
+            conns: OrderedMutex::new("service.conns", Vec::new()),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(OrderedMutex::new("service.jobs", rx));
         let workers = (0..state.config.workers.max(1))
             .map(|_| {
                 let state = Arc::clone(&state);
@@ -191,13 +199,7 @@ impl ShardDaemon {
             .map(|h| h.join().unwrap_or_default())
             .unwrap_or_default();
         // Unblock reader threads parked in a blocking read.
-        for conn in self
-            .state
-            .conns
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .drain(..)
-        {
+        for conn in self.state.conns.lock().drain(..) {
             let _ = conn.shutdown(Shutdown::Both);
         }
         for reader in readers {
@@ -209,13 +211,16 @@ impl ShardDaemon {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        let state = Arc::try_unwrap(self.state)
-            .ok()
-            .expect("every daemon thread has been joined");
+        // Every daemon thread has been joined, so ours is the last handle;
+        // were it somehow not (a leaked clone), losing the recorded views
+        // beats aborting the caller mid-shutdown.
+        let Ok(state) = Arc::try_unwrap(self.state) else {
+            return Vec::new();
+        };
         let mut tenants: Vec<(u64, CloudServer)> = state
             .tenants
             .into_iter()
-            .map(|(id, m)| (id, m.into_inner().unwrap_or_else(|p| p.into_inner())))
+            .map(|(id, m)| (id, m.into_inner()))
             .collect();
         tenants.sort_by_key(|(id, _)| *id);
         tenants
@@ -235,11 +240,7 @@ fn run_acceptor(
         }
         let Ok(stream) = conn else { continue };
         if let Ok(dup) = stream.try_clone() {
-            state
-                .conns
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .push(dup);
+            state.conns.lock().push(dup);
         }
         let state = Arc::clone(state);
         let jobs = jobs.clone();
@@ -257,7 +258,7 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
         return;
     };
     let mut reader = std::io::BufReader::new(read_half);
-    let writer = Arc::new(Mutex::new(stream));
+    let writer = Arc::new(OrderedMutex::new("service.writer", stream));
     let dead = Arc::new(AtomicBool::new(false));
     let frames = FrameReader::new(state.config.max_payload);
 
@@ -353,10 +354,10 @@ fn oversized_error(state: &SharedState, msg_type: u8, declared: usize) -> PdsErr
 }
 
 /// One worker-pool thread: drain jobs until every sender is gone.
-fn run_worker(state: &SharedState, jobs: &Mutex<Receiver<Job>>) {
+fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
     loop {
         let job = {
-            let rx = jobs.lock().unwrap_or_else(|p| p.into_inner());
+            let rx = jobs.lock();
             match rx.recv() {
                 Ok(job) => job,
                 Err(_) => break,
@@ -365,8 +366,8 @@ fn run_worker(state: &SharedState, jobs: &Mutex<Receiver<Job>>) {
         // A panicking handler must not take the daemon down with it: catch
         // the unwind, answer the client with a typed Error frame, and drop
         // only that connection.  The tenant lock the handler held is
-        // poisoned by the unwind; every other lock site recovers via
-        // `unwrap_or_else(PoisonError::into_inner)`.
+        // poisoned by the unwind; every lock site recovers because
+        // [`OrderedMutex::lock`] resolves poison to the inner value.
         match catch_unwind(AssertUnwindSafe(|| serve(state, job.tenant, &job.msg))) {
             Ok(Ok(resp)) => {
                 let _ = write_msg(&job.writer, &resp);
@@ -398,11 +399,12 @@ fn serve(state: &SharedState, tenant: u64, msg: &WireMessage) -> Result<WireMess
         .tenants
         .get(&tenant)
         .ok_or_else(|| PdsError::Cloud(format!("unknown tenant {tenant}")))?;
-    let mut server = server.lock().unwrap_or_else(|p| p.into_inner());
+    let mut server = server.lock();
     if let (Some(trigger), WireMessage::Opaque(body)) = (&state.config.panic_trigger, msg) {
         // Panic while holding the tenant lock, so the regression test
         // proves poison recovery, not just unwind catching.
         if body == trigger {
+            // pds-allow: panic-path(fault injection for the unwind-isolation regression test; never armed in production configs)
             panic!("injected handler panic");
         }
     }
@@ -424,21 +426,21 @@ fn serve(state: &SharedState, tenant: u64, msg: &WireMessage) -> Result<WireMess
     resp
 }
 
-fn write_msg(writer: &Mutex<TcpStream>, msg: &WireMessage) -> Result<()> {
+fn write_msg(writer: &OrderedMutex<TcpStream>, msg: &WireMessage) -> Result<()> {
     let frame = msg.encode()?;
-    let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+    let mut stream = writer.lock();
     stream
         .write_all(&frame)
         .map_err(|e| PdsError::Wire(format!("response write failed: {e}")))
 }
 
 /// Best-effort typed refusal: Error frame out, then close.
-fn refuse(writer: &Mutex<TcpStream>, err: &PdsError) {
+fn refuse(writer: &OrderedMutex<TcpStream>, err: &PdsError) {
     let _ = write_msg(writer, &WireMessage::Error(error_frame(err)));
     close(writer);
 }
 
-fn close(writer: &Mutex<TcpStream>) {
-    let stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+fn close(writer: &OrderedMutex<TcpStream>) {
+    let stream = writer.lock();
     let _ = stream.shutdown(Shutdown::Both);
 }

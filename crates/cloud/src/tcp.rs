@@ -16,9 +16,9 @@
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use pds_common::{PdsError, Result, TupleId, Value};
+use pds_common::{OrderedMutex, PdsError, Result, TupleId, Value};
 use pds_crypto::Ciphertext;
 use pds_proto::{FetchBinRequest, FrameReader, Hello, ReadFrame, WireMessage};
 use pds_storage::Tuple;
@@ -83,7 +83,7 @@ impl TcpShardConn {
 struct ClientInner {
     tenant: u64,
     addrs: Vec<SocketAddr>,
-    pools: Vec<Mutex<Vec<TcpShardConn>>>,
+    pools: Vec<OrderedMutex<Vec<TcpShardConn>>>,
 }
 
 /// One tenant's pooled client to a sharded daemon deployment.  Cloning is
@@ -97,7 +97,10 @@ impl TcpCloudClient {
     /// A client for the given tenant over one daemon address per shard.
     /// Connections are dialed lazily on first checkout.
     pub fn new(tenant: u64, addrs: Vec<SocketAddr>) -> TcpCloudClient {
-        let pools = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let pools = addrs
+            .iter()
+            .map(|_| OrderedMutex::new("tcp.pool", Vec::new()))
+            .collect();
         TcpCloudClient {
             inner: Arc::new(ClientInner {
                 tenant,
@@ -126,7 +129,7 @@ impl TcpCloudClient {
                 self.inner.addrs.len()
             ))
         })?;
-        if let Some(conn) = pool.lock().unwrap_or_else(|p| p.into_inner()).pop() {
+        if let Some(conn) = pool.lock().pop() {
             return Ok(conn);
         }
         TcpShardConn::connect(self.inner.addrs[shard], self.inner.tenant)
@@ -137,7 +140,7 @@ impl TcpCloudClient {
     /// desynchronised.
     pub fn checkin(&self, shard: usize, conn: TcpShardConn) {
         if let Some(pool) = self.inner.pools.get(shard) {
-            pool.lock().unwrap_or_else(|p| p.into_inner()).push(conn);
+            pool.lock().push(conn);
         }
     }
 

@@ -1,0 +1,338 @@
+//! Runtime lock-order witnesses: a [`Mutex`] wrapper that proves, on every
+//! test run, that the process never acquires locks in two incompatible
+//! orders.
+//!
+//! The static lock-order pass in `pds-analyze` builds the *possible*
+//! nesting graph from source text; [`OrderedMutex`] is its dynamic twin.
+//! Every lock belongs to a named **class** (`"service.tenant"`,
+//! `"service.writer"`, ...), and with the `lockcheck` feature enabled each
+//! acquisition is checked against a process-wide order graph:
+//!
+//! * each thread keeps the stack of classes it currently holds;
+//! * acquiring class `B` while holding class `A` records the edge `A → B`;
+//! * if `A` is already reachable *from* `B` in the recorded graph, some
+//!   other execution ordered the same classes the opposite way — a latent
+//!   deadlock — and the acquisition **panics** with both paths named;
+//! * acquiring a second lock of a class the thread already holds panics
+//!   too: ordering within one class cannot be established by name alone.
+//!
+//! With the feature disabled (the default) the wrapper is a transparent,
+//! zero-bookkeeping [`Mutex`] whose `lock` recovers poison the same way
+//! the shard daemon always has (`unwrap_or_else(PoisonError::into_inner)`)
+//! — so production builds pay nothing and the daemon's poison-recovery
+//! semantics are unchanged either way.
+//!
+//! The intended harness: `cargo test -p pds-core --test tcp_service
+//! --features lockcheck` re-runs the hostile-client and concurrency
+//! proptests with every daemon lock witnessed, turning them into a dynamic
+//! race/deadlock detector on every commit.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+#[cfg(feature = "lockcheck")]
+mod tracking {
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    /// Directed class-order graph accumulated over the whole process.
+    /// Edges are only ever added, so a reachability answer never becomes
+    /// stale in the direction that matters (a missed inversion).
+    #[derive(Default)]
+    struct OrderGraph {
+        edges: BTreeMap<&'static str, BTreeSet<&'static str>>,
+    }
+
+    impl OrderGraph {
+        /// Is `to` reachable from `from` along recorded edges?  Returns the
+        /// path when it is (for the panic diagnostic).
+        fn path(&self, from: &'static str, to: &'static str) -> Option<Vec<&'static str>> {
+            let mut stack = vec![vec![from]];
+            let mut seen = BTreeSet::new();
+            while let Some(path) = stack.pop() {
+                let Some(&last) = path.last() else { continue };
+                if last == to {
+                    return Some(path);
+                }
+                if !seen.insert(last) {
+                    continue;
+                }
+                if let Some(nexts) = self.edges.get(last) {
+                    for &next in nexts {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push(p);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    fn graph() -> &'static Mutex<OrderGraph> {
+        static GRAPH: OnceLock<Mutex<OrderGraph>> = OnceLock::new();
+        GRAPH.get_or_init(|| Mutex::new(OrderGraph::default()))
+    }
+
+    thread_local! {
+        /// Classes this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Checks and records the acquisition of `class` *before* blocking on
+    /// the underlying mutex, so an order inversion panics instead of
+    /// deadlocking the test run.
+    pub(super) fn acquiring(class: &'static str) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if held.is_empty() {
+                return;
+            }
+            // The graph mutex is a leaf: it is never held while taking a
+            // user lock, so the checker cannot deadlock the checked.
+            let mut graph = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            for &h in held.iter() {
+                if h == class {
+                    panic!(
+                        "lockcheck: thread already holds a \"{class}\" lock while \
+                         acquiring another; same-class nesting has no provable order \
+                         (held stack: {held:?})"
+                    );
+                }
+                if let Some(path) = graph.path(class, h) {
+                    panic!(
+                        "lockcheck: order inversion acquiring \"{class}\" while \
+                         holding \"{h}\" — the opposite order {path:?} was already \
+                         observed (held stack: {held:?})"
+                    );
+                }
+                graph.edges.entry(h).or_default().insert(class);
+            }
+        });
+        HELD.with(|held| held.borrow_mut().push(class));
+    }
+
+    /// Pops `class` from the holder's stack (last occurrence, so nested
+    /// distinct classes release in any order without confusion).
+    pub(super) fn released(class: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == class) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Test-only view of one class's recorded successors.
+    #[cfg(test)]
+    pub(super) fn successors(class: &'static str) -> Vec<&'static str> {
+        let graph = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        graph
+            .edges
+            .get(class)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A named, order-witnessed [`Mutex`].  See the module docs.
+#[derive(Debug, Default)]
+pub struct OrderedMutex<T> {
+    class: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` in a mutex belonging to the named lock class.
+    pub fn new(class: &'static str, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The lock class this mutex belongs to.
+    pub fn class(&self) -> &'static str {
+        self.class
+    }
+
+    /// Acquires the lock, recovering poison (a panicked holder's unwind
+    /// must not cascade: the daemon already answered it with a typed error
+    /// and condemned only that connection).  With the `lockcheck` feature
+    /// enabled the acquisition is order-checked first and panics on an
+    /// inversion — before blocking, so a latent deadlock becomes a loud
+    /// test failure rather than a hung run.
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        #[cfg(feature = "lockcheck")]
+        tracking::acquiring(self.class);
+        OrderedGuard {
+            guard: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            class: self.class,
+        }
+    }
+
+    /// Consumes the mutex and returns its value, recovering poison.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard of an [`OrderedMutex`]; releases the witness record on drop.
+#[derive(Debug)]
+pub struct OrderedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    class: &'static str,
+}
+
+impl<T> OrderedGuard<'_, T> {
+    /// The lock class of the mutex this guard holds.
+    pub fn class(&self) -> &'static str {
+        self.class
+    }
+}
+
+impl<T> Deref for OrderedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        tracking::released(self.class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_lock_and_into_inner() {
+        let m = OrderedMutex::new("test.passthrough", 41);
+        {
+            let mut g = m.lock();
+            assert_eq!(m.class(), "test.passthrough");
+            assert_eq!(g.class(), "test.passthrough");
+            *g += 1;
+        }
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn poison_is_recovered() {
+        let m = std::sync::Arc::new(OrderedMutex::new("test.poison", 7));
+        let m2 = std::sync::Arc::clone(&m);
+        // Poison the inner mutex from a panicking thread.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "poisoned lock still serves its value");
+    }
+
+    // The witness tests only exist when the bookkeeping is compiled in:
+    // `cargo test -p pds-common --features lockcheck`.
+    #[cfg(feature = "lockcheck")]
+    mod witnessed {
+        use super::super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn nesting_records_an_edge_and_releases_on_drop() {
+            let a = OrderedMutex::new("test.edge-a", ());
+            let b = OrderedMutex::new("test.edge-b", ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            assert!(tracking::successors("test.edge-a").contains(&"test.edge-b"));
+            // Both released: taking b alone then a alone records nothing new
+            // and does not trip the inversion check (no nesting).
+            drop(b.lock());
+            drop(a.lock());
+        }
+
+        #[test]
+        fn order_inversion_panics_with_both_paths_named() {
+            let a = OrderedMutex::new("test.inv-a", ());
+            let b = OrderedMutex::new("test.inv-b", ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock(); // inverts the recorded a → b order
+            }))
+            .expect_err("inversion must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("order inversion"), "{msg}");
+            assert!(
+                msg.contains("test.inv-a") && msg.contains("test.inv-b"),
+                "{msg}"
+            );
+        }
+
+        #[test]
+        fn transitive_inversion_is_caught() {
+            let a = OrderedMutex::new("test.tr-a", ());
+            let b = OrderedMutex::new("test.tr-b", ());
+            let c = OrderedMutex::new("test.tr-c", ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            {
+                let _gb = b.lock();
+                let _gc = c.lock();
+            }
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _gc = c.lock();
+                let _ga = a.lock(); // a ↝ c exists through b
+            }))
+            .expect_err("transitive inversion must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("order inversion"), "{msg}");
+        }
+
+        #[test]
+        fn same_class_nesting_panics() {
+            let a1 = OrderedMutex::new("test.same", ());
+            let a2 = OrderedMutex::new("test.same", ());
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _g1 = a1.lock();
+                let _g2 = a2.lock();
+            }))
+            .expect_err("same-class nesting must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("same-class"), "{msg}");
+        }
+
+        #[test]
+        fn witness_state_survives_a_caught_panic() {
+            let a = OrderedMutex::new("test.unwind-a", ());
+            let b = OrderedMutex::new("test.unwind-b", ());
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _ga = a.lock();
+                panic!("unwind with the lock held");
+            }));
+            // The guard's Drop ran during the unwind, so this thread holds
+            // nothing: fresh acquisitions must not see a stale stack.
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+    }
+}

@@ -64,6 +64,26 @@ const CRC32_TABLE: [u32; 256] = {
     table
 };
 
+/// Big-endian u32 from (the first 4 bytes of) `bytes`, without a panic
+/// path: the fold simply consumes what is there, and every caller has
+/// already length-checked its slice.  Decoding must stay total — a hostile
+/// frame may exercise any byte pattern, and the daemon's hot path forbids
+/// `unwrap`/`expect` (see `pds-analyze`'s panic-path pass).
+pub(crate) fn be_u32(bytes: &[u8]) -> u32 {
+    bytes
+        .iter()
+        .take(4)
+        .fold(0u32, |acc, &b| (acc << 8) | u32::from(b))
+}
+
+/// Big-endian u64 twin of [`be_u32`].
+pub(crate) fn be_u64(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .take(8)
+        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+}
+
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
@@ -124,7 +144,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
         )));
     }
     let msg_type = bytes[3];
-    let len = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let len = be_u32(&bytes[4..8]) as usize;
     if len > MAX_PAYLOAD_LEN {
         return Err(PdsError::Wire(format!(
             "declared payload of {len} bytes exceeds the {MAX_PAYLOAD_LEN}-byte frame limit"
@@ -145,7 +165,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
         )));
     }
     let body_end = HEADER_LEN + len;
-    let declared_crc = u32::from_be_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+    let declared_crc = be_u32(&bytes[body_end..]);
     let actual_crc = crc32(&bytes[..body_end]);
     if declared_crc != actual_crc {
         return Err(PdsError::Wire(format!(
@@ -248,7 +268,7 @@ impl FrameReader {
             )));
         }
         let msg_type = header[3];
-        let declared = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let declared = be_u32(&header[4..8]) as usize;
         if declared > self.max_payload {
             return Ok(ReadFrame::Oversized { msg_type, declared });
         }

@@ -15,7 +15,7 @@
 use pds_common::{PdsError, Result, Value};
 use pds_storage::Tuple;
 
-use crate::frame::{decode_frame, encode_frame};
+use crate::frame::{be_u32, be_u64, decode_frame, encode_frame};
 
 /// One encrypted row as it travels over the wire.
 ///
@@ -462,15 +462,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(be_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(be_u64(self.take(8)?))
     }
 
     fn bytes(&mut self) -> Result<&'a [u8]> {

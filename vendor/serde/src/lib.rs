@@ -8,6 +8,8 @@
 //! real `serde` (with the `derive` feature) is a one-line change in the
 //! root `Cargo.toml`'s `[workspace.dependencies]`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde::Serialize`. Emits no code.
