@@ -41,6 +41,12 @@ use crate::source::SourceFile;
 pub const PASS: &str = "plaintext-egress";
 
 /// Identifiers that mark sensitive plaintext in scope.
+///
+/// `sensitive_attr` / `sensitive_predicate` cover the residual-pushdown
+/// invariant: a predicate over the sensitive (or searchable) attribute
+/// must never be framed for cloud-side evaluation — the planner evaluates
+/// those owner-side only, so any function holding one next to a pushdown
+/// sink is a leak shape.
 pub const SOURCES: &[&str] = &[
     "sensitive_values",
     "sensitive_tuples",
@@ -48,9 +54,14 @@ pub const SOURCES: &[&str] = &[
     "decrypted_tuples",
     "decrypt_tuple",
     "decrypt_value",
+    "sensitive_attr",
+    "sensitive_predicate",
 ];
 
-/// Identifiers that mark a wire-egress point.
+/// Identifiers that mark a wire-egress point.  The last three are the
+/// residual-pushdown path: the predicate encoder, the cloud's filtered
+/// select entry point, and the planner accessor that releases a residual
+/// onto the wire.
 pub const SINKS: &[&str] = &[
     "write_all",
     "encode",
@@ -62,6 +73,9 @@ pub const SINKS: &[&str] = &[
     "FetchBinRequest",
     "InsertRequest",
     "BinPayload",
+    "write_predicate",
+    "plain_select_filtered",
+    "wire_residual",
 ];
 
 /// Identifiers that mark the `pds-crypto` seam between the two.

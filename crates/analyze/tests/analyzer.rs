@@ -32,6 +32,28 @@ fn egress_lint_accepts_boundary_and_nonsensitive_traffic() {
 }
 
 #[test]
+fn egress_lint_flags_sensitive_predicates_on_the_pushdown_path() {
+    let file = fixture("egress_pushdown_leak.rs");
+    let (findings, used) = egress::check(&[&file]);
+    assert_eq!(findings.len(), 1, "exactly the pushing fn: {findings:?}");
+    assert!(findings[0].message.contains("push_sensitive_filter"));
+    assert!(findings[0].message.contains("sensitive_attr"));
+    assert!(findings[0].message.contains("write_predicate"));
+    assert!(used.is_empty());
+}
+
+#[test]
+fn egress_lint_accepts_nonsensitive_and_owner_side_residuals() {
+    let file = fixture("egress_pushdown_clean.rs");
+    let (findings, used) = egress::check(&[&file]);
+    assert!(
+        findings.is_empty(),
+        "clean pushdown fixture flagged: {findings:?}"
+    );
+    assert!(used.is_empty());
+}
+
+#[test]
 fn egress_lint_honors_audited_allows_and_reports_them_used() {
     let file = fixture("egress_allowed.rs");
     let (findings, used) = egress::check(&[&file]);

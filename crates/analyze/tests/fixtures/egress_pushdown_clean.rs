@@ -1,0 +1,30 @@
+// Fixture: NEGATIVE for the plaintext-egress lint, pushdown path.
+//
+// Two functions the extended lint must keep quiet about:
+//  * `push_office_filter` frames a residual over a *non-sensitive*
+//    attribute (`office_attr`) — predicates on clear-text attributes ride
+//    the wire by design;
+//  * `filter_sensitive_owner_side` touches the sensitive attribute but
+//    never nears a pushdown sink — owner-side residual evaluation is the
+//    sanctioned home for such predicates.
+
+pub fn push_office_filter(out: &mut Vec<u8>, office_attr: u32, lo: i64, hi: i64) {
+    let predicate = range_over(office_attr, lo, hi);
+    write_predicate(out, &predicate);
+}
+
+pub fn filter_sensitive_owner_side(rows: &mut Vec<i64>, sensitive_attr: i64) {
+    rows.retain(|&v| v != sensitive_attr);
+}
+
+fn range_over(attr: u32, lo: i64, hi: i64) -> Vec<u8> {
+    let mut p = attr.to_be_bytes().to_vec();
+    p.extend_from_slice(&lo.to_be_bytes());
+    p.extend_from_slice(&hi.to_be_bytes());
+    p
+}
+
+fn write_predicate(out: &mut Vec<u8>, p: &[u8]) {
+    out.push(p.len() as u8);
+    out.extend_from_slice(p);
+}

@@ -1,0 +1,23 @@
+// Fixture: POSITIVE for the plaintext-egress lint, pushdown path.
+//
+// `push_sensitive_filter` builds a predicate over the sensitive attribute
+// (`sensitive_attr`) and frames it for cloud-side evaluation
+// (`write_predicate`) with no pds-crypto boundary ident in scope — the
+// exact shape of a residual leaking what the binning is meant to hide.
+
+pub fn push_sensitive_filter(out: &mut Vec<u8>, sensitive_attr: u32, lo: i64, hi: i64) {
+    let predicate = range_over(sensitive_attr, lo, hi);
+    write_predicate(out, &predicate);
+}
+
+fn range_over(attr: u32, lo: i64, hi: i64) -> Vec<u8> {
+    let mut p = attr.to_be_bytes().to_vec();
+    p.extend_from_slice(&lo.to_be_bytes());
+    p.extend_from_slice(&hi.to_be_bytes());
+    p
+}
+
+fn write_predicate(out: &mut Vec<u8>, p: &[u8]) {
+    out.push(p.len() as u8);
+    out.extend_from_slice(p);
+}

@@ -63,17 +63,20 @@ fn bench_composed_vs_fine_grained(c: &mut Criterion) {
         nonsensitive_bin: 9,
         encrypted_values: tokens.clone(),
         nonsensitive_values: values.clone(),
+        predicate: None,
     });
     let fine: Vec<WireMessage> = vec![
         WireMessage::FetchBinRequest(FetchBinRequest {
             values,
             ids: Vec::new(),
             tags: Vec::new(),
+            predicate: None,
         }),
         WireMessage::FetchBinRequest(FetchBinRequest {
             values: Vec::new(),
             ids: Vec::new(),
             tags: tokens,
+            predicate: None,
         }),
     ];
     let composed_len = composed.encoded_len().unwrap();

@@ -3,7 +3,7 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|rwmix|service|employee|all]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|planner|rwmix|service|employee|all]
 //!               [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]
 //!               [--latency <sec>] [--bandwidth <mbps>] [--workers <n>] [--owners <n>]
 //!
@@ -24,12 +24,12 @@
 //! count, default 2).
 
 use pds_bench::{
-    attacks, fig6a, fig6b, fig6c, hetero, rwmix, service, sharded, table6, wire, zipf,
+    attacks, fig6a, fig6b, fig6c, hetero, planner, rwmix, service, sharded, table6, wire, zipf,
 };
 
-const KNOWN: [&str; 14] = [
+const KNOWN: [&str; 15] = [
     "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "wire",
-    "hetero", "rwmix", "service", "employee",
+    "hetero", "planner", "rwmix", "service", "employee",
 ];
 
 fn usage_exit(message: &str) -> ! {
@@ -176,6 +176,9 @@ fn main() {
     }
     if run_all || which == "hetero" {
         sharded_ok &= print_hetero(shards.unwrap_or(4), scale);
+    }
+    if run_all || which == "planner" {
+        sharded_ok &= print_planner(scale);
     }
     if run_all || which == "rwmix" {
         // `--cache` primarily pins zipf; an explicit `rwmix --cache 0` was
@@ -593,6 +596,91 @@ fn print_hetero(shards: usize, scale: f64) -> bool {
         }
         Err(e) => {
             eprintln!("hetero run failed: {e}");
+            println!();
+            false
+        }
+    }
+}
+
+/// Prints the cost-based planner run — the chosen per-(scenario, shard)
+/// plan and the suite totals against every homogeneous deployment — and
+/// returns whether the gate held (planner secure + byte-exact, and it
+/// beats every homogeneous deployment offering equal attack-checked
+/// security on rounds, bytes, modelled seconds and wall-clock).
+fn print_planner(scale: f64) -> bool {
+    let tuples = ((8_000.0 * scale) as usize).max(600);
+    println!(
+        "== Cost-based planner: engine per shard, pushdown, calibrated model ({tuples} tuples) =="
+    );
+    match planner::run(tuples, 42) {
+        Ok(outcome) => {
+            println!(
+                "{:>14} {:>6} {:>10} {:>8} {:>16} {:>10} {:>10} {:>12}",
+                "scenario",
+                "shard",
+                "advantage",
+                "obliv?",
+                "engine",
+                "composed",
+                "pushdown",
+                "est (s)"
+            );
+            for p in &outcome.plans {
+                println!(
+                    "{:>14} {:>6} {:>10.3} {:>8} {:>16} {:>10} {:>10} {:>12.6}",
+                    p.scenario,
+                    p.shard,
+                    p.advantage,
+                    p.oblivious_required,
+                    p.engine,
+                    p.composed,
+                    p.pushdown,
+                    p.estimated_sec
+                );
+            }
+            println!(
+                "{:>16} {:>8} {:>12} {:>14} {:>12} {:>8} {:>7} {:>7}",
+                "deployment",
+                "rounds",
+                "bytes",
+                "modelled (s)",
+                "wall (s)",
+                "secure?",
+                "exact?",
+                "beaten?"
+            );
+            for h in std::iter::once(&outcome.planner).chain(&outcome.homogeneous) {
+                println!(
+                    "{:>16} {:>8} {:>12} {:>14.6} {:>12.6} {:>8} {:>7} {:>7}",
+                    h.engine,
+                    h.rounds,
+                    h.bytes,
+                    h.modelled_sec,
+                    h.measured_wall_sec,
+                    h.secure,
+                    h.exact,
+                    if std::ptr::eq(h, &outcome.planner) {
+                        "-".to_string()
+                    } else if !h.secure {
+                        "n/a".to_string()
+                    } else {
+                        outcome.beats(h).to_string()
+                    }
+                );
+            }
+            println!(
+                "advantage threshold {:.2}; wall-clock slack {:.1}x",
+                outcome.advantage_threshold,
+                planner::WALL_SLACK
+            );
+            if !outcome.holds() {
+                eprintln!("planner failed its gate: it must beat every equally-secure homogeneous deployment");
+            }
+            println!();
+            outcome.holds()
+        }
+        Err(e) => {
+            eprintln!("planner run failed: {e}");
             println!();
             false
         }

@@ -227,13 +227,28 @@ pub fn hetero_qb_deployment(
     network: NetworkModel,
     seed: u64,
 ) -> Result<ShardedQbDeployment<Box<dyn SecureSelectionEngine>>> {
+    let parts = partition_at_alpha(relation, alpha, seed)?;
+    hetero_qb_deployment_over(parts, SEARCH_ATTR, engines, network, seed)
+}
+
+/// The general form of [`hetero_qb_deployment`]: an explicit boxed engine
+/// per shard over an **already-partitioned** relation and an explicit
+/// searchable attribute, so experiments can deploy schemas beyond the
+/// TPC-H default (the planner experiment runs the paper's Employee
+/// relation through it).
+pub fn hetero_qb_deployment_over(
+    parts: PartitionedRelation,
+    attr: &str,
+    engines: Vec<Box<dyn SecureSelectionEngine>>,
+    network: NetworkModel,
+    seed: u64,
+) -> Result<ShardedQbDeployment<Box<dyn SecureSelectionEngine>>> {
     let prototype = engines
         .first()
         .ok_or_else(|| pds_common::PdsError::Config("at least one engine required".into()))?
         .fork();
     let shards = engines.len();
-    let parts = partition_at_alpha(relation, alpha, seed)?;
-    let binning = QueryBinning::build(&parts, SEARCH_ATTR, BinningConfig::default())?;
+    let binning = QueryBinning::build(&parts, attr, BinningConfig::default())?;
     let mut executor = QbExecutor::new(binning, prototype);
     let mut owner = DbOwner::new(seed.wrapping_add(7));
     let mut router = ShardRouter::new(shards, network, seed)?;
@@ -268,6 +283,18 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
         queries: &[Value],
         transport: BinTransport,
     ) -> Result<ShardedCostBreakdown> {
+        Ok(self.run_and_cost_answers(queries, transport)?.0)
+    }
+
+    /// Like [`ShardedQbDeployment::run_and_cost_with`], but also returns the
+    /// per-query answers so callers comparing cost **and** correctness (the
+    /// planner experiment's byte-identity gate) measure both on the same
+    /// run.
+    pub fn run_and_cost_answers(
+        &mut self,
+        queries: &[Value],
+        transport: BinTransport,
+    ) -> Result<(ShardedCostBreakdown, Vec<Vec<pds_storage::Tuple>>)> {
         let shards = self.router.shard_count();
         let before_owner = *self.owner.metrics();
         let before_shards = self.router.shard_metrics();
@@ -342,19 +369,22 @@ impl<E: SecureSelectionEngine> ShardedQbDeployment<E> {
             }
         };
 
-        Ok(ShardedCostBreakdown {
-            aggregate: CostBreakdown {
-                computation_sec: aggregate_computation,
-                communication_sec,
-                queries: queries.len(),
+        Ok((
+            ShardedCostBreakdown {
+                aggregate: CostBreakdown {
+                    computation_sec: aggregate_computation,
+                    communication_sec,
+                    queries: queries.len(),
+                },
+                parallel_sec,
+                measured_wall_sec: run.wall_clock_sec,
+                sim_wall_sec,
+                cache_hits: run.cache_hits,
+                rounds: run.rounds,
+                shards,
             },
-            parallel_sec,
-            measured_wall_sec: run.wall_clock_sec,
-            sim_wall_sec,
-            cache_hits: run.cache_hits,
-            rounds: run.rounds,
-            shards,
-        })
+            run.answers,
+        ))
     }
 
     /// A uniform workload over the distinct values of the search attribute.

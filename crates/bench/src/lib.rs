@@ -16,6 +16,7 @@
 //! | [`zipf`] | beyond the paper — Zipf-skewed workloads × owner-side hot-bin cache sizes: hit rate and bytes moved vs skew |
 //! | [`wire`] | beyond the paper — wire-protocol sweep: byte-accurate bytes moved and the event-simulated network wall-clock over latency × bandwidth × shards, plus the composed-vs-fine-grained rounds gate |
 //! | [`hetero`] | beyond the paper — heterogeneous shards: a different secure back-end per shard, exact answers and per-shard + composed security |
+//! | [`planner`] | beyond the paper — the cost-based optimizer: measured calibration, per-shard engine choice under the workload-skew advantage constraint, residual pushdown; gated on beating every equally-secure homogeneous deployment |
 //! | [`rwmix`] | beyond the paper — read/write mixes over the Employee workload driving cache invalidation on insert under load |
 //! | [`service`] | beyond the paper — real TCP shard daemons: concurrent multi-tenant owners in a closed loop, throughput vs worker-pool size with p50/p99 latency, gated on exact answers and composed security |
 //!
@@ -32,6 +33,7 @@ pub mod fig6a;
 pub mod fig6b;
 pub mod fig6c;
 pub mod hetero;
+pub mod planner;
 pub mod rwmix;
 pub mod service;
 pub mod sharded;

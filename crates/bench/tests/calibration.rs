@@ -1,0 +1,113 @@
+//! Regression test for the planner's cost-model calibration: on the
+//! exhaustive workload, a calibrated estimate must track a freshly
+//! measured run within a bounded factor, and the work profile the model
+//! prices must be deterministic across identical runs.
+//!
+//! The bound is deliberately wide: these tests run in debug builds on
+//! shared CI machines, so wall-clock noise of several× is normal, and the
+//! model's scale clamp (`pds_core::planner`) caps how far one observation
+//! can pull an estimate anyway.  What the factor regresses is the model
+//! drifting *grossly* from reality — a seed profile or counter change that
+//! leaves modelled costs orders of magnitude off measurement.
+
+use pds_bench::deploy::{hetero_qb_deployment_over, lineitem, partition_at_alpha, SEARCH_ATTR};
+use pds_bench::planner::HOMOGENEOUS;
+use pds_cloud::{BinTransport, Metrics, NetworkModel};
+use pds_common::Value;
+use pds_core::CostModel;
+use pds_storage::PartitionedRelation;
+use pds_systems::{
+    oblivious, ArxEngine, DeterministicIndexEngine, DpfEngine, NonDetScanEngine,
+    SecretSharingEngine, SecureSelectionEngine,
+};
+
+/// Maximum allowed ratio between the calibrated estimate and a fresh
+/// measurement (either direction).  See the module doc for why it is wide.
+const CALIBRATION_FACTOR: f64 = 32.0;
+
+fn engine(name: &str) -> Box<dyn SecureSelectionEngine> {
+    match name {
+        "det-index" => Box::new(DeterministicIndexEngine::new()),
+        "nondet-scan" => Box::new(NonDetScanEngine::new()),
+        "arx-index" => Box::new(ArxEngine::new()),
+        "secret-sharing" => Box::new(SecretSharingEngine::new(3, 5)),
+        "dpf" => Box::new(DpfEngine::new(7)),
+        "opaque-sim" => Box::new(oblivious::opaque_sim()),
+        other => panic!("unknown engine {other:?}"),
+    }
+}
+
+/// Every distinct value of the searchable attribute on either side.
+fn exhaustive_workload(parts: &PartitionedRelation) -> Vec<Value> {
+    let id = parts.nonsensitive.schema().attr_id(SEARCH_ATTR).unwrap();
+    let mut all = parts.nonsensitive.distinct_values(id);
+    let sid = parts.sensitive.schema().attr_id(SEARCH_ATTR).unwrap();
+    for v in parts.sensitive.distinct_values(sid) {
+        if !all.contains(&v) {
+            all.push(v);
+        }
+    }
+    all
+}
+
+/// Runs the exhaustive workload once on a fresh single-shard deployment of
+/// `name`, returning the shard's work delta and the measured wall-clock.
+fn measured_run(parts: &PartitionedRelation, workload: &[Value], name: &str) -> (Metrics, f64) {
+    let mut dep = hetero_qb_deployment_over(
+        parts.clone(),
+        SEARCH_ATTR,
+        vec![engine(name)],
+        NetworkModel::paper_wan(),
+        7,
+    )
+    .unwrap();
+    let before = dep.router.shard_metrics();
+    let (breakdown, _) = dep
+        .run_and_cost_answers(workload, BinTransport::Sequential)
+        .unwrap();
+    let delta = dep.router.shards()[0].metrics().delta_since(&before[0]);
+    (delta, breakdown.measured_wall_sec)
+}
+
+#[test]
+fn calibrated_estimates_track_measured_costs_on_the_exhaustive_workload() {
+    let relation = lineitem(600, 7);
+    let parts = partition_at_alpha(&relation, 0.3, 7).unwrap();
+    let workload = exhaustive_workload(&parts);
+    // lineitem(600) carves 75 distinct partkeys; exhaustive covers them all.
+    assert!(
+        workload.len() >= 75,
+        "exhaustive workload unexpectedly small"
+    );
+
+    for name in HOMOGENEOUS {
+        let mut model = CostModel::seeded(&[name]);
+        // The wall being compared is pure compute: charge no per-round WAN
+        // latency on top.
+        model.set_round_trip_cost(0.0);
+
+        let first = measured_run(&parts, &workload, name);
+        let second = measured_run(&parts, &workload, name);
+
+        // Identical deployments do identical work, so the modelled cost of
+        // the two runs is identical by construction — the deterministic
+        // half of calibration.
+        assert_eq!(
+            first.0, second.0,
+            "{name}: work profile diverged between runs"
+        );
+        let modelled = model.modelled(name, &first.0).unwrap();
+        assert!(modelled > 0.0, "{name}: modelled cost must be positive");
+
+        // Calibrate on run one, predict run two.
+        model.observe(name, 0, &first.0, first.1);
+        let predicted = model.estimate(name, 0, &second.0).unwrap();
+        let measured = second.1.max(f64::EPSILON);
+        let ratio = predicted / measured;
+        assert!(
+            (1.0 / CALIBRATION_FACTOR..=CALIBRATION_FACTOR).contains(&ratio),
+            "{name}: calibrated estimate {predicted:.6}s vs measured {measured:.6}s \
+             ({ratio:.2}x) outside the documented {CALIBRATION_FACTOR}x band"
+        );
+    }
+}

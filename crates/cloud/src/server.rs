@@ -31,6 +31,11 @@ use crate::network::NetworkModel;
 use crate::store::{EncryptedRow, EncryptedStore};
 use crate::view::AdversarialView;
 
+/// The resolved clear-text side of a composed episode: matching tuples,
+/// their ids, the values they matched, and how many tuples the pushed-down
+/// residual filtered out cloud-side.
+type ResolvedPlain = (Vec<Tuple>, Vec<TupleId>, Vec<Value>, usize);
+
 /// Encodes a message and returns its frame length, round-trip-verifying the
 /// codec in debug builds (the test suite runs unoptimised, so every frame
 /// the simulator accounts for is proven to decode back to its message).
@@ -237,23 +242,46 @@ impl CloudServer {
 
     /// Executes a clear-text `IN` selection on the non-sensitive relation.
     pub fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>> {
+        self.plain_select_filtered(values, None)
+    }
+
+    /// Clear-text `IN` selection with an optional **residual predicate
+    /// pushed below the bin fetch**: the index resolves `values` as usual,
+    /// then the residual filters the matching tuples *before* the downlink,
+    /// so non-matching tuples never travel.  The uplink frame carries the
+    /// predicate (it is part of the request), which is why residuals must
+    /// only mention non-sensitive, non-searchable attributes — the planner
+    /// enforces that owner-side before anything reaches this wire path.
+    pub fn plain_select_filtered(
+        &mut self,
+        values: &[Value],
+        residual: Option<&pds_storage::Predicate>,
+    ) -> Result<Vec<Tuple>> {
         let plain = self
             .plain
             .as_ref()
             .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
         let ids = plain.index.lookup_many(values);
-        let tuples: Vec<Tuple> = ids
+        let matched: Vec<Tuple> = ids
             .iter()
             .filter_map(|&id| plain.relation.get(id).cloned())
             .collect();
+        let scanned = matched.len();
+        let tuples: Vec<Tuple> = match residual {
+            Some(p) => matched.into_iter().filter(|t| p.matches(t)).collect(),
+            None => matched,
+        };
         let attr = plain.attr;
 
         // Adversarial view: the request values arrive in clear-text, and the
-        // full matching tuples go back in clear-text.
+        // (residual-filtered) matching tuples go back in clear-text.  The
+        // request side still names the whole bin, so bin-level anonymity is
+        // exactly what it is without pushdown.
         self.view.observe_plaintext_request(values);
+        let returned_ids: Vec<TupleId> = tuples.iter().map(|t| t.id).collect();
         let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
         self.view
-            .observe_nonsensitive_result(&ids, &returned_values);
+            .observe_nonsensitive_result(&returned_ids, &returned_values);
 
         // Metrics: index lookups, measured frame bytes for request and
         // response.
@@ -261,13 +289,14 @@ impl CloudServer {
             values: values.to_vec(),
             ids: Vec::new(),
             tags: Vec::new(),
+            predicate: residual.cloned(),
         }));
         let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: tuples.clone(),
             encrypted_rows: Vec::new(),
         }));
         self.metrics.plaintext_index_lookups += values.len() as u64;
-        self.metrics.plaintext_tuples_scanned += tuples.len() as u64;
+        self.metrics.plaintext_tuples_scanned += scanned as u64;
         self.metrics.tuples_returned += tuples.len() as u64;
         self.metrics.round_trips += 1;
         self.record_exchange(Some(up), Some(down));
@@ -288,9 +317,14 @@ impl CloudServer {
         let returned_values: Vec<Value> = tuples.iter().map(|t| t.value(attr).clone()).collect();
         self.view
             .observe_nonsensitive_result(&ids, &returned_values);
-        // The predicate itself is pushed down out of band today; the wire
-        // charges an empty request frame plus the full result payload.
-        let up = frame(&WireMessage::Opaque(Vec::new()));
+        // The predicate travels in the request frame, so the uplink charge
+        // is the real encoded size of the pushed-down selection.
+        let up = frame(&WireMessage::FetchBinRequest(FetchBinRequest {
+            values: Vec::new(),
+            ids: Vec::new(),
+            tags: Vec::new(),
+            predicate: Some(predicate.clone()),
+        }));
         let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: tuples.clone(),
             encrypted_rows: Vec::new(),
@@ -354,6 +388,7 @@ impl CloudServer {
             values: Vec::new(),
             ids: ids.iter().map(|id| id.raw()).collect(),
             tags: Vec::new(),
+            predicate: None,
         }));
         let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: Vec::new(),
@@ -422,6 +457,7 @@ impl CloudServer {
             values: Vec::new(),
             ids: Vec::new(),
             tags: tags.to_vec(),
+            predicate: None,
         }));
         let down = frame(&WireMessage::BinPayload(BinPayload {
             plain_tuples: Vec::new(),
@@ -441,21 +477,31 @@ impl CloudServer {
     /// Empty value sets resolve to an empty result even before outsourcing,
     /// mirroring the fine-grained path which skips the plaintext sub-query
     /// entirely in that case.
-    fn resolve_plain(&self, values: &[Value]) -> Result<(Vec<Tuple>, Vec<TupleId>, Vec<Value>)> {
+    fn resolve_plain(
+        &self,
+        values: &[Value],
+        residual: Option<&pds_storage::Predicate>,
+    ) -> Result<ResolvedPlain> {
         if values.is_empty() {
-            return Ok((Vec::new(), Vec::new(), Vec::new()));
+            return Ok((Vec::new(), Vec::new(), Vec::new(), 0));
         }
         let plain = self
             .plain
             .as_ref()
             .ok_or_else(|| PdsError::Cloud("no plaintext relation outsourced".into()))?;
         let ids = plain.index.lookup_many(values);
-        let tuples: Vec<Tuple> = ids
+        let matched: Vec<Tuple> = ids
             .iter()
             .filter_map(|&id| plain.relation.get(id).cloned())
             .collect();
+        let scanned = matched.len();
+        let tuples: Vec<Tuple> = match residual {
+            Some(p) => matched.into_iter().filter(|t| p.matches(t)).collect(),
+            None => matched,
+        };
+        let ids: Vec<TupleId> = tuples.iter().map(|t| t.id).collect();
         let returned: Vec<Value> = tuples.iter().map(|t| t.value(plain.attr).clone()).collect();
-        Ok((tuples, ids, returned))
+        Ok((tuples, ids, returned, scanned))
     }
 
     /// Serves one **composed** Query Binning episode in a single round
@@ -467,7 +513,8 @@ impl CloudServer {
     /// what makes the composed path strictly cheaper in rounds than the
     /// fine-grained multi-message episode.
     pub fn bin_pair_by_tags(&mut self, request: &BinPairRequest) -> Result<BinPairResult> {
-        let (plain_tuples, ns_ids, ns_values) = self.resolve_plain(&request.nonsensitive_values)?;
+        let (plain_tuples, ns_ids, ns_values, ns_scanned) =
+            self.resolve_plain(&request.nonsensitive_values, request.predicate.as_ref())?;
 
         // Sensitive side: match the opaque tokens against the tag index,
         // exactly as `tag_select` would.
@@ -482,7 +529,15 @@ impl CloudServer {
             .filter_map(|&id| self.encrypted.get(id).map(|r| (r.id, r.tuple_ct.clone())))
             .collect();
 
-        self.record_bin_pair_exchange(request, &plain_tuples, &ns_ids, &ns_values, &ids, &rows);
+        self.record_bin_pair_exchange(
+            request,
+            &plain_tuples,
+            ns_scanned,
+            &ns_ids,
+            &ns_values,
+            &ids,
+            &rows,
+        );
         self.metrics.plaintext_index_lookups += request.encrypted_values.len() as u64;
         Ok((plain_tuples, rows))
     }
@@ -499,21 +554,32 @@ impl CloudServer {
         matching: &[TupleId],
         scanned: usize,
     ) -> Result<BinPairResult> {
-        let (plain_tuples, ns_ids, ns_values) = self.resolve_plain(&request.nonsensitive_values)?;
+        let (plain_tuples, ns_ids, ns_values, ns_scanned) =
+            self.resolve_plain(&request.nonsensitive_values, request.predicate.as_ref())?;
         let fetched = self.encrypted.fetch(matching)?;
         let rows: Vec<(TupleId, Ciphertext)> =
             fetched.iter().map(|r| (r.id, r.tuple_ct.clone())).collect();
-        self.record_bin_pair_exchange(request, &plain_tuples, &ns_ids, &ns_values, matching, &rows);
+        self.record_bin_pair_exchange(
+            request,
+            &plain_tuples,
+            ns_scanned,
+            &ns_ids,
+            &ns_values,
+            matching,
+            &rows,
+        );
         self.metrics.encrypted_tuples_scanned += scanned as u64;
         Ok((plain_tuples, rows))
     }
 
     /// Shared accounting of one composed episode: adversarial view, work
     /// counters, and the single request/response exchange off the wire.
+    #[allow(clippy::too_many_arguments)]
     fn record_bin_pair_exchange(
         &mut self,
         request: &BinPairRequest,
         plain_tuples: &[Tuple],
+        ns_scanned: usize,
         ns_ids: &[TupleId],
         ns_values: &[Value],
         sensitive_ids: &[TupleId],
@@ -531,7 +597,7 @@ impl CloudServer {
             encrypted_rows: tuple_ct_rows(rows),
         }));
         self.metrics.plaintext_index_lookups += request.nonsensitive_values.len() as u64;
-        self.metrics.plaintext_tuples_scanned += plain_tuples.len() as u64;
+        self.metrics.plaintext_tuples_scanned += ns_scanned as u64;
         self.metrics.tuples_returned += (plain_tuples.len() + rows.len()) as u64;
         self.metrics.round_trips += 1;
         self.record_exchange(Some(up), Some(down));
@@ -866,6 +932,7 @@ mod tests {
                 nonsensitive_bin: 0,
                 encrypted_values: vec![vec![0u8], vec![2u8]],
                 nonsensitive_values: vec![Value::from("E259"), Value::from("E254")],
+                predicate: None,
             })
             .unwrap();
         s.end_query();
@@ -895,6 +962,7 @@ mod tests {
                     nonsensitive_bin: 2,
                     encrypted_values: vec![vec![9u8; 32]],
                     nonsensitive_values: vec![Value::from("E199")],
+                    predicate: None,
                 },
                 &[TupleId::new(100), TupleId::new(102)],
                 4,

@@ -31,7 +31,7 @@
 use pds_common::{PdsError, Result, TupleId, Value};
 use pds_crypto::Ciphertext;
 use pds_proto::{error_frame, Ack, BinPairRequest, BinPayload, WireMessage, WireRow};
-use pds_storage::Tuple;
+use pds_storage::{Predicate, Tuple};
 
 use crate::server::{BinPairResult, CloudServer};
 use crate::store::EncryptedRow;
@@ -54,6 +54,11 @@ pub struct BinEpisodeRequest {
     pub sensitive_values: Vec<Value>,
     /// Clear-text values of the non-sensitive bin.
     pub nonsensitive_values: Vec<Value>,
+    /// Residual predicate the planner pushed below the bin fetch, applied
+    /// cloud-side to the clear-text (non-sensitive) result stream before the
+    /// downlink.  Must only reference non-sensitive, non-searchable
+    /// attributes — the planner validates that before it reaches a request.
+    pub pushdown: Option<Predicate>,
 }
 
 impl BinEpisodeRequest {
@@ -65,6 +70,7 @@ impl BinEpisodeRequest {
             nonsensitive_bin: self.nonsensitive_bin as u32,
             encrypted_values,
             nonsensitive_values: self.nonsensitive_values.clone(),
+            predicate: self.pushdown.clone(),
         }
     }
 }
@@ -137,6 +143,17 @@ impl<'a> CloudSession<'a> {
         self.server.plain_select_in(values)
     }
 
+    /// Clear-text `IN` selection with an optional residual predicate pushed
+    /// below the bin fetch (one round; see
+    /// [`CloudServer::plain_select_filtered`]).
+    pub fn plain_select_filtered(
+        &mut self,
+        values: &[Value],
+        residual: Option<&Predicate>,
+    ) -> Result<Vec<Tuple>> {
+        self.server.plain_select_filtered(values, residual)
+    }
+
     /// One composed episode whose sensitive side is resolved by the
     /// cloud-side tag index (deterministic tags, Arx counter tokens):
     /// a single [`BinPairRequest`] frame up, a single payload frame down.
@@ -192,7 +209,9 @@ impl<'a> CloudSession<'a> {
             WireMessage::FetchBinRequest(req) => {
                 let mut payload = BinPayload::default();
                 if !req.values.is_empty() {
-                    payload.plain_tuples = self.server.plain_select_in(&req.values)?;
+                    payload.plain_tuples = self
+                        .server
+                        .plain_select_filtered(&req.values, req.predicate.as_ref())?;
                 }
                 if !req.ids.is_empty() {
                     let ids: Vec<TupleId> = req.ids.iter().map(|&id| TupleId::new(id)).collect();
@@ -272,6 +291,16 @@ pub trait EpisodeChannel {
     /// Clear-text `IN` selection on the non-sensitive side (one round).
     fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>>;
 
+    /// Clear-text `IN` selection with an optional residual predicate pushed
+    /// below the bin fetch, evaluated cloud-side before the downlink.  Not
+    /// defaulted on purpose: a local fallback that filtered after the wire
+    /// would silently mis-account the bytes pushdown exists to save.
+    fn plain_select_filtered(
+        &mut self,
+        values: &[Value],
+        residual: Option<&Predicate>,
+    ) -> Result<Vec<Tuple>>;
+
     /// One composed episode resolved by the cloud-side tag index.
     fn bin_pair_by_tags(
         &mut self,
@@ -297,6 +326,14 @@ pub trait EpisodeChannel {
 impl EpisodeChannel for CloudSession<'_> {
     fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>> {
         CloudSession::plain_select_in(self, values)
+    }
+
+    fn plain_select_filtered(
+        &mut self,
+        values: &[Value],
+        residual: Option<&Predicate>,
+    ) -> Result<Vec<Tuple>> {
+        CloudSession::plain_select_filtered(self, values, residual)
     }
 
     fn bin_pair_by_tags(
@@ -386,6 +423,7 @@ mod tests {
                     nonsensitive_bin: 0,
                     sensitive_values: vec![Value::from("x")],
                     nonsensitive_values: vec![Value::from("E259")],
+                    pushdown: None,
                 },
                 vec![vec![0u8]],
             )
@@ -410,6 +448,7 @@ mod tests {
                 values: vec![Value::from("E259")],
                 ids: Vec::new(),
                 tags: Vec::new(),
+                predicate: None,
             }))
             .unwrap();
         match resp {
@@ -423,6 +462,7 @@ mod tests {
                 values: Vec::new(),
                 ids: vec![100],
                 tags: vec![vec![1u8]],
+                predicate: None,
             }))
             .unwrap();
         match resp {
@@ -437,6 +477,7 @@ mod tests {
                 nonsensitive_bin: 0,
                 encrypted_values: vec![vec![2u8]],
                 nonsensitive_values: vec![Value::from("E199")],
+                predicate: None,
             }))
             .unwrap();
         match resp {
@@ -500,9 +541,59 @@ mod tests {
                 nonsensitive_bin: 0,
                 encrypted_values: vec![vec![1, 2, 3]],
                 nonsensitive_values: Vec::new(),
+                predicate: None,
             }))
             .unwrap();
         assert!(matches!(resp, WireMessage::Error(_)), "{resp:?}");
+    }
+
+    #[test]
+    fn pushdown_filters_cloud_side_and_shrinks_the_downlink() {
+        // Residual predicate on the non-search attribute: the filtered
+        // episode must return exactly the matching subset and move fewer
+        // downlink bytes than the unfiltered one.
+        let dept = pds_common::AttrId::new(1);
+        let residual = Predicate::Eq {
+            attr: dept,
+            value: Value::from("Design"),
+        };
+        let bin = [Value::from("E259"), Value::from("E254")];
+
+        let mut plain_cloud = server();
+        let unfiltered = plain_cloud.plain_select_in(&bin).unwrap();
+        let plain_down: u64 = plain_cloud.metrics().bytes_downloaded;
+
+        let mut cloud = server();
+        let filtered = cloud.plain_select_filtered(&bin, Some(&residual)).unwrap();
+        let filtered_down: u64 = cloud.metrics().bytes_downloaded;
+
+        assert_eq!(unfiltered.len(), 2);
+        assert_eq!(filtered.len(), 1, "E254 is in Sales and must be dropped");
+        assert!(filtered.iter().all(|t| residual.matches(t)));
+        assert!(
+            filtered_down < plain_down,
+            "pushdown must shrink the downlink ({filtered_down} vs {plain_down})"
+        );
+        // Uplink pays for carrying the predicate; scan counters still see
+        // both index matches.
+        assert_eq!(cloud.metrics().plaintext_tuples_scanned, 2);
+        assert_eq!(cloud.metrics().tuples_returned, 1);
+
+        // The message-level adapter serves the same filtered episode.
+        let mut dispatch_cloud = server();
+        let mut session = CloudSession::new(&mut dispatch_cloud);
+        let resp = session
+            .dispatch(&WireMessage::FetchBinRequest(FetchBinRequest {
+                values: bin.to_vec(),
+                ids: Vec::new(),
+                tags: Vec::new(),
+                predicate: Some(residual.clone()),
+            }))
+            .unwrap();
+        match resp {
+            WireMessage::BinPayload(p) => assert_eq!(p.plain_tuples, filtered),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]
@@ -514,6 +605,7 @@ mod tests {
             nonsensitive_bin: 0,
             encrypted_values: vec![vec![0u8], vec![1u8]],
             nonsensitive_values: vec![Value::from("E259"), Value::from("E254")],
+            predicate: None,
         };
         let mut direct_cloud = server();
         let (plain, rows) = direct_cloud.bin_pair_by_tags(&request).unwrap();

@@ -206,10 +206,19 @@ impl<'a> RemoteSession<'a> {
 
 impl EpisodeChannel for RemoteSession<'_> {
     fn plain_select_in(&mut self, values: &[Value]) -> Result<Vec<Tuple>> {
+        self.plain_select_filtered(values, None)
+    }
+
+    fn plain_select_filtered(
+        &mut self,
+        values: &[Value],
+        residual: Option<&pds_storage::Predicate>,
+    ) -> Result<Vec<Tuple>> {
         let resp = self.exchange(&WireMessage::FetchBinRequest(FetchBinRequest {
             values: values.to_vec(),
             ids: Vec::new(),
             tags: Vec::new(),
+            predicate: residual.cloned(),
         }))?;
         match resp {
             WireMessage::BinPayload(p) => Ok(p.plain_tuples),

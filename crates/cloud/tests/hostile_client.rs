@@ -46,6 +46,7 @@ fn fetch(values: &[&str]) -> WireMessage {
         values: values.iter().map(|v| Value::from(*v)).collect(),
         ids: Vec::new(),
         tags: Vec::new(),
+        predicate: None,
     })
 }
 
@@ -221,6 +222,7 @@ fn tenants_are_served_from_disjoint_namespaces() {
         values: Vec::new(),
         ids: vec![100, 101, 102],
         tags: Vec::new(),
+        predicate: None,
     });
     let mut one = TcpShardConn::connect(daemon.addr(), 1).unwrap();
     let mut two = TcpShardConn::connect(daemon.addr(), 2).unwrap();

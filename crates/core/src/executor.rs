@@ -31,7 +31,7 @@ use pds_cloud::{
     DbOwner, Metrics, RemoteSession, TcpCloudClient,
 };
 use pds_common::{AttrId, PdsError, Result, TupleId, Value};
-use pds_storage::{PartitionedRelation, Relation, Tuple};
+use pds_storage::{PartitionedRelation, Predicate, Relation, Tuple};
 use pds_systems::SecureSelectionEngine;
 
 use crate::binning::{BinPair, QueryBinning};
@@ -39,6 +39,7 @@ use crate::plan::{
     execute_episode, execute_episode_remote, CacheServed, EpisodeResult, EpisodeStep, PlanMode,
     QueryPlan,
 };
+use crate::planner::{reorder_for_locality, PlannerConfig};
 
 /// Counters describing one QB selection (used by experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +83,9 @@ pub struct QbExecutor<E: SecureSelectionEngine> {
     shard_engines: Vec<E>,
     /// How episodes are shaped on the wire (composed vs fine-grained).
     plan_mode: PlanMode,
+    /// The cost-based planner's per-batch behaviour: episode reordering,
+    /// residual predicate, and whether the residual pushes down the wire.
+    planner: PlannerConfig,
     sensitive_attr: Option<AttrId>,
     nonsensitive_attr: Option<AttrId>,
     outsourced: bool,
@@ -108,6 +112,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             engine,
             shard_engines: Vec::new(),
             plan_mode: PlanMode::default(),
+            planner: PlannerConfig::default(),
             sensitive_attr: None,
             nonsensitive_attr: None,
             outsourced: false,
@@ -163,6 +168,62 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     /// multi-round path everywhere, for baseline comparisons).
     pub fn set_plan_mode(&mut self, mode: PlanMode) {
         self.plan_mode = mode;
+    }
+
+    /// Installs a planner configuration (builder form).
+    pub fn with_planner(mut self, config: PlannerConfig) -> Result<Self> {
+        self.set_planner(config)?;
+        Ok(self)
+    }
+
+    /// The planner configuration in force.
+    pub fn planner(&self) -> &PlannerConfig {
+        &self.planner
+    }
+
+    /// Installs a planner configuration.  Fails if the residual predicate
+    /// mentions the searchable attribute on either side — a residual on
+    /// the binned attribute would travel in clear-text inside the episode
+    /// request and leak exactly what binning hides.  Changing the residual
+    /// drops the hot-bin cache: cached non-sensitive bins hold the
+    /// *filtered* stream of whatever residual fetched them, so they are
+    /// only valid while that residual stays in force.
+    pub fn set_planner(&mut self, config: PlannerConfig) -> Result<()> {
+        Self::validate_residual(
+            config.residual.as_ref(),
+            self.sensitive_attr,
+            self.nonsensitive_attr,
+        )?;
+        if config.residual != self.planner.residual {
+            self.cache.clear();
+        }
+        self.planner = config;
+        Ok(())
+    }
+
+    /// Rejects residual predicates that mention a searchable attribute.
+    /// Called both when a planner config is installed and again at
+    /// outsourcing time, when the searchable attribute ids first become
+    /// known.
+    fn validate_residual(
+        residual: Option<&Predicate>,
+        sensitive_attr: Option<AttrId>,
+        nonsensitive_attr: Option<AttrId>,
+    ) -> Result<()> {
+        let Some(residual) = residual else {
+            return Ok(());
+        };
+        let attrs = residual.attrs();
+        for searchable in [sensitive_attr, nonsensitive_attr].into_iter().flatten() {
+            if attrs.contains(&searchable) {
+                return Err(PdsError::Config(format!(
+                    "residual predicate mentions searchable attribute {searchable:?}; \
+                     selections on the binned attribute must go through Query Binning, \
+                     not ride the wire in clear-text"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Replaces the hot-bin cache with a fresh one holding at most
@@ -262,6 +323,14 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         cloud.upload_plaintext(partitioned.nonsensitive.clone(), &attr_name)?;
         self.nonsensitive_attr = cloud.shard(0).plain_searchable_attr();
 
+        // A residual installed before outsourcing could not be checked
+        // against the searchable attributes; re-validate now they exist.
+        Self::validate_residual(
+            self.planner.residual.as_ref(),
+            self.sensitive_attr,
+            self.nonsensitive_attr,
+        )?;
+
         // A re-outsource starts a fresh cache epoch: bin numbering may
         // change with the new binning, so neither cached contents nor the
         // seen-pair history may carry over.
@@ -360,6 +429,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     /// shard hosting the sensitive bin, composed iff the plan mode allows
     /// it and that shard's engine can answer a bin-set request in one
     /// round.
+    // pds-allow: plaintext-egress(BinEpisodeRequest is the owner-side episode description, not a wire frame: sensitive_values leave only as pds_crypto search tags when the session encodes the episode, and set_planner rejects residuals mentioning sensitive or searchable attributes before wire_residual will release one)
     fn compile_step<C: BinRoutedCloud>(
         &self,
         cloud: &C,
@@ -382,6 +452,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                 nonsensitive_bin: pair.nonsensitive_bin,
                 sensitive_values: self.binning.sensitive_bin(pair.sensitive_bin).to_vec(),
                 nonsensitive_values: self.binning.nonsensitive_bin(pair.nonsensitive_bin),
+                pushdown: self.planner.wire_residual().cloned(),
             },
         }
     }
@@ -518,6 +589,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             s_attr,
             ns_attr,
             value,
+            self.planner.residual.as_ref(),
             ns_tuples,
             s_tuples,
         );
@@ -554,13 +626,15 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         let (ns_tuples, s_tuples, cached, rounds) =
             self.retrieve_pair_planned(owner, cloud, pair)?;
         let before = ns_tuples.len() + s_tuples.len();
+        let residual = self.planner.residual.as_ref();
+        let keep = |t: &Tuple| residual.map_or(true, |p| p.matches(t));
         let mut out: Vec<Tuple> = Vec::with_capacity(before);
         for t in s_tuples {
-            if !self.fake_id_set.contains(&t.id) && !DbOwner::is_fake(&t) {
+            if !self.fake_id_set.contains(&t.id) && !DbOwner::is_fake(&t) && keep(&t) {
                 out.push(t);
             }
         }
-        out.extend(ns_tuples);
+        out.extend(ns_tuples.into_iter().filter(|t| keep(t)));
         self.last_stats = SelectionStats {
             sensitive_values_requested: sensitive_requested,
             nonsensitive_values_requested: nonsensitive_requested,
@@ -688,6 +762,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                 s_attr,
                 ns_attr,
                 &values[served.index],
+                self.planner.residual.as_ref(),
                 served.nonsensitive.clone(),
                 served.sensitive.clone(),
             );
@@ -762,6 +837,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                     s_attr,
                     ns_attr,
                     &values[idx],
+                    self.planner.residual.as_ref(),
                     res.outcome.nonsensitive,
                     res.outcome.sensitive,
                 );
@@ -788,6 +864,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
                 s_attr,
                 ns_attr,
                 &values[idx],
+                self.planner.residual.as_ref(),
                 ns_tuples,
                 s_tuples,
             );
@@ -801,6 +878,22 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             cache_misses,
             rounds,
         })
+    }
+
+    /// Compiles a batch into its [`QueryPlan`] **without executing it** —
+    /// the introspection entry point the plan-equivalence suite replays:
+    /// an identically-built deployment with the same planner configuration
+    /// and workload must compile to a byte-identical plan
+    /// (`format!("{plan:?}")`).  Cache lookups are performed (and counted)
+    /// exactly as the executing path would, but nothing is fetched and the
+    /// cache is never populated.
+    pub fn compile_workload<C: BinRoutedCloud>(
+        &mut self,
+        owner: &mut DbOwner,
+        cloud: &C,
+        values: &[Value],
+    ) -> QueryPlan {
+        self.plan_workload(owner, cloud, values)
     }
 
     /// Compiles one batch into a [`QueryPlan`]: resolves each value to its
@@ -841,6 +934,12 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             pending_pairs.insert(pair_key);
             let step = self.compile_step(cloud, idx, pair);
             plan.per_shard[step.shard].push(step);
+        }
+        // The optimizer pass: per-shard episodes settle into deterministic
+        // bin-major order (results are keyed by `EpisodeStep::index`, so
+        // answer alignment is order-independent).
+        if self.planner.reorder {
+            reorder_for_locality(&mut plan);
         }
         plan
     }
@@ -948,23 +1047,36 @@ fn tcp_fan_out<E: SecureSelectionEngine>(
 }
 
 /// `qmerge` of §II for a point query: drop fakes (by id and by marker),
-/// keep only tuples matching the queried value, concatenate both streams.
+/// keep only tuples matching the queried value — and the residual
+/// predicate, when one is in force — then concatenate both streams.
+///
+/// The residual is applied owner-side *unconditionally*: on the sensitive
+/// stream the cloud can never evaluate it (the tuples are encrypted), and
+/// on the non-sensitive stream re-applying what pushdown already filtered
+/// is idempotent — which is exactly what makes answers byte-identical
+/// whether the residual rode the wire or not.
 fn merge_point_answer(
     fake_ids: &HashSet<TupleId>,
     s_attr: AttrId,
     ns_attr: AttrId,
     value: &Value,
+    residual: Option<&Predicate>,
     ns_tuples: Vec<Tuple>,
     s_tuples: Vec<Tuple>,
 ) -> Vec<Tuple> {
+    let keep = |t: &Tuple| residual.map_or(true, |p| p.matches(t));
     let mut answer: Vec<Tuple> = Vec::new();
     for t in s_tuples {
-        if !fake_ids.contains(&t.id) && !DbOwner::is_fake(&t) && t.value(s_attr) == value {
+        if !fake_ids.contains(&t.id)
+            && !DbOwner::is_fake(&t)
+            && t.value(s_attr) == value
+            && keep(&t)
+        {
             answer.push(t);
         }
     }
     for t in ns_tuples {
-        if t.value(ns_attr) == value {
+        if t.value(ns_attr) == value && keep(&t) {
             answer.push(t);
         }
     }

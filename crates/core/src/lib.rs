@@ -35,6 +35,11 @@
 //!   `BinPairRequest`s where the back-end supports them, fine-grained
 //!   multi-round episodes otherwise) executed through
 //!   [`pds_cloud::CloudSession`]s;
+//! * [`planner`] — the cost-based optimizer over that pipeline: a
+//!   calibrated [`planner::CostModel`] picks each shard's back-end under a
+//!   workload-skew security constraint, residual predicates push below the
+//!   bin fetch for cloud-side filtering, and per-shard episodes reorder
+//!   into deterministic bin-major order;
 //! * [`cost`] — the analytical performance model η of §V-A;
 //! * [`extensions`] — range queries, inserts, group-by aggregation and
 //!   equi-joins on top of QB (the full-version extensions).
@@ -66,10 +71,12 @@ pub mod cost;
 pub mod executor;
 pub mod extensions;
 pub mod plan;
+pub mod planner;
 pub mod shape;
 
 pub use binning::{BinAssignment, BinPair, BinningConfig, QueryBinning};
 pub use cost::EtaModel;
 pub use executor::{QbExecutor, SelectionStats, TransportedRun};
 pub use plan::{EpisodeStep, PlanMode, QueryPlan};
+pub use planner::{choose_engines, CostModel, EngineCandidate, PlannerConfig, ShardPlan};
 pub use shape::BinShape;

@@ -12,8 +12,8 @@
 //! already rejects corrupted-in-flight bytes; the payload decoders defend
 //! against malformed-but-checksummed input (a buggy or malicious peer).
 
-use pds_common::{PdsError, Result, Value};
-use pds_storage::Tuple;
+use pds_common::{AttrId, PdsError, Result, Value};
+use pds_storage::{Predicate, Tuple};
 
 use crate::frame::{be_u32, be_u64, decode_frame, encode_frame};
 
@@ -75,6 +75,12 @@ pub struct FetchBinRequest {
     pub ids: Vec<u64>,
     /// Opaque searchable tags (deterministic tags / Arx counter tokens).
     pub tags: Vec<Vec<u8>>,
+    /// Optional residual predicate pushed below the bin fetch: the cloud
+    /// evaluates it on the *clear-text* (non-sensitive) result stream before
+    /// the downlink, so non-matching tuples never travel.  The owner must
+    /// only place predicates over non-sensitive, non-searchable attributes
+    /// here — anything else would leak plaintext structure on the wire.
+    pub predicate: Option<Predicate>,
 }
 
 /// Owner → cloud: one whole Query Binning episode as a single message —
@@ -93,6 +99,10 @@ pub struct BinPairRequest {
     pub encrypted_values: Vec<Vec<u8>>,
     /// Clear-text values of the non-sensitive bin.
     pub nonsensitive_values: Vec<Value>,
+    /// Optional residual predicate applied to the clear-text non-sensitive
+    /// result stream cloud-side (see [`FetchBinRequest::predicate`]).  The
+    /// encrypted sensitive stream is never filtered by it.
+    pub predicate: Option<Predicate>,
 }
 
 /// Cloud → owner: the result stream of a retrieval — clear-text tuples from
@@ -268,6 +278,7 @@ impl WireMessage {
                 for tag in &m.tags {
                     write_bytes(&mut payload, tag);
                 }
+                write_opt_predicate(&mut payload, m.predicate.as_ref())?;
             }
             WireMessage::BinPairRequest(m) => {
                 write_u32(&mut payload, m.sensitive_bin);
@@ -280,6 +291,7 @@ impl WireMessage {
                 for v in &m.nonsensitive_values {
                     write_bytes(&mut payload, &v.encode());
                 }
+                write_opt_predicate(&mut payload, m.predicate.as_ref())?;
             }
             WireMessage::BinPayload(m) => {
                 write_u32(&mut payload, m.plain_tuples.len() as u32);
@@ -339,7 +351,13 @@ impl WireMessage {
                 for _ in 0..tag_count {
                     tags.push(r.bytes()?.to_vec());
                 }
-                WireMessage::FetchBinRequest(FetchBinRequest { values, ids, tags })
+                let predicate = read_opt_predicate(&mut r)?;
+                WireMessage::FetchBinRequest(FetchBinRequest {
+                    values,
+                    ids,
+                    tags,
+                    predicate,
+                })
             }
             2 => {
                 let sensitive_bin = r.u32()?;
@@ -354,11 +372,13 @@ impl WireMessage {
                 for _ in 0..v_count {
                     nonsensitive_values.push(r.value()?);
                 }
+                let predicate = read_opt_predicate(&mut r)?;
                 WireMessage::BinPairRequest(BinPairRequest {
                     sensitive_bin,
                     nonsensitive_bin,
                     encrypted_values,
                     nonsensitive_values,
+                    predicate,
                 })
             }
             3 => {
@@ -423,6 +443,143 @@ fn read_tuples_and_rows(r: &mut Reader<'_>) -> Result<(Vec<Tuple>, Vec<WireRow>)
 /// forged count cannot force a large allocation before its items fail to
 /// parse.
 const PREALLOC_CAP: usize = 1024;
+
+/// Maximum nesting depth of a wire predicate, bounding decode recursion
+/// against adversarial deeply-nested `Not(Not(Not(..)))` payloads.  The
+/// same cap is enforced on encode so both directions agree on what is
+/// representable.
+const PREDICATE_DEPTH_CAP: usize = 16;
+
+/// One-byte structure tags of the predicate encoding (distinct from the
+/// frame-level `msg_tag`s; these only appear inside a request payload).
+mod pred_tag {
+    pub const EQ: u8 = 1;
+    pub const IN_SET: u8 = 2;
+    pub const RANGE: u8 = 3;
+    pub const AND: u8 = 4;
+    pub const OR: u8 = 5;
+    pub const NOT: u8 = 6;
+    pub const TRUE: u8 = 7;
+}
+
+/// Writes an `Option<Predicate>` as a presence byte plus, when present, the
+/// recursive tagged encoding.  Predicates travel in clear by design — they
+/// may only reference non-sensitive attributes (the planner enforces this
+/// owner-side; `pds-analyze`'s egress lint watches the call sites).
+pub fn write_opt_predicate(out: &mut Vec<u8>, p: Option<&Predicate>) -> Result<()> {
+    match p {
+        None => {
+            out.push(0);
+            Ok(())
+        }
+        Some(p) => {
+            out.push(1);
+            write_predicate(out, p, 0)
+        }
+    }
+}
+
+fn write_predicate(out: &mut Vec<u8>, p: &Predicate, depth: usize) -> Result<()> {
+    if depth >= PREDICATE_DEPTH_CAP {
+        return Err(PdsError::Wire(format!(
+            "predicate nesting exceeds the wire depth cap of {PREDICATE_DEPTH_CAP}"
+        )));
+    }
+    match p {
+        Predicate::Eq { attr, value } => {
+            out.push(pred_tag::EQ);
+            out.extend_from_slice(&attr.raw().to_be_bytes());
+            write_bytes(out, &value.encode());
+        }
+        Predicate::InSet { attr, values } => {
+            out.push(pred_tag::IN_SET);
+            out.extend_from_slice(&attr.raw().to_be_bytes());
+            write_u32(out, values.len() as u32);
+            for v in values {
+                write_bytes(out, &v.encode());
+            }
+        }
+        Predicate::Range { attr, lo, hi } => {
+            out.push(pred_tag::RANGE);
+            out.extend_from_slice(&attr.raw().to_be_bytes());
+            write_bytes(out, &lo.encode());
+            write_bytes(out, &hi.encode());
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            out.push(if matches!(p, Predicate::And(_)) {
+                pred_tag::AND
+            } else {
+                pred_tag::OR
+            });
+            write_u32(out, ps.len() as u32);
+            for child in ps {
+                write_predicate(out, child, depth + 1)?;
+            }
+        }
+        Predicate::Not(child) => {
+            out.push(pred_tag::NOT);
+            write_predicate(out, child, depth + 1)?;
+        }
+        Predicate::True => out.push(pred_tag::TRUE),
+    }
+    Ok(())
+}
+
+fn read_opt_predicate(r: &mut Reader<'_>) -> Result<Option<Predicate>> {
+    match r.take(1)?[0] {
+        0 => Ok(None),
+        1 => Ok(Some(read_predicate(r, 0)?)),
+        other => Err(PdsError::Wire(format!(
+            "invalid predicate presence byte {other}"
+        ))),
+    }
+}
+
+fn read_predicate(r: &mut Reader<'_>, depth: usize) -> Result<Predicate> {
+    if depth >= PREDICATE_DEPTH_CAP {
+        return Err(PdsError::Wire(format!(
+            "predicate nesting exceeds the wire depth cap of {PREDICATE_DEPTH_CAP}"
+        )));
+    }
+    let tag = r.take(1)?[0];
+    match tag {
+        pred_tag::EQ => Ok(Predicate::Eq {
+            attr: AttrId::new(r.u64()?),
+            value: r.value()?,
+        }),
+        pred_tag::IN_SET => {
+            let attr = AttrId::new(r.u64()?);
+            let count = r.u32()? as usize;
+            let mut values = Vec::with_capacity(count.min(PREALLOC_CAP));
+            for _ in 0..count {
+                values.push(r.value()?);
+            }
+            Ok(Predicate::InSet { attr, values })
+        }
+        pred_tag::RANGE => Ok(Predicate::Range {
+            attr: AttrId::new(r.u64()?),
+            lo: r.value()?,
+            hi: r.value()?,
+        }),
+        pred_tag::AND | pred_tag::OR => {
+            let count = r.u32()? as usize;
+            let mut children = Vec::with_capacity(count.min(PREALLOC_CAP));
+            for _ in 0..count {
+                children.push(read_predicate(r, depth + 1)?);
+            }
+            Ok(if tag == pred_tag::AND {
+                Predicate::And(children)
+            } else {
+                Predicate::Or(children)
+            })
+        }
+        pred_tag::NOT => Ok(Predicate::Not(Box::new(read_predicate(r, depth + 1)?))),
+        pred_tag::TRUE => Ok(Predicate::True),
+        other => Err(PdsError::Wire(format!(
+            "unknown predicate structure tag {other}"
+        ))),
+    }
+}
 
 fn write_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_be_bytes());
@@ -519,18 +676,41 @@ mod tests {
         )
     }
 
+    fn sample_predicate() -> Predicate {
+        Predicate::And(vec![
+            Predicate::Range {
+                attr: AttrId::new(2),
+                lo: Value::Int(1),
+                hi: Value::Int(4),
+            },
+            Predicate::Not(Box::new(Predicate::Eq {
+                attr: AttrId::new(3),
+                value: Value::from("closed"),
+            })),
+            Predicate::Or(vec![
+                Predicate::InSet {
+                    attr: AttrId::new(4),
+                    values: vec![Value::Bool(true), Value::Null],
+                },
+                Predicate::True,
+            ]),
+        ])
+    }
+
     fn sample_messages() -> Vec<WireMessage> {
         vec![
             WireMessage::FetchBinRequest(FetchBinRequest {
                 values: vec![Value::from("E259"), Value::Int(-4), Value::Null],
                 ids: vec![0, u64::MAX],
                 tags: vec![vec![], vec![1, 2, 3]],
+                predicate: Some(sample_predicate()),
             }),
             WireMessage::BinPairRequest(BinPairRequest {
                 sensitive_bin: 3,
                 nonsensitive_bin: 7,
                 encrypted_values: vec![vec![9; 48], vec![]],
                 nonsensitive_values: vec![Value::from("E101")],
+                predicate: None,
             }),
             WireMessage::BinPayload(BinPayload {
                 plain_tuples: vec![sample_tuple(1), sample_tuple(2)],
@@ -627,6 +807,64 @@ mod tests {
             message: "m".into(),
         };
         assert_eq!(odd.into_error().category(), "wire");
+    }
+
+    #[test]
+    fn predicate_roundtrips_on_both_request_types() {
+        let deep = Predicate::Not(Box::new(sample_predicate()));
+        for msg in [
+            WireMessage::FetchBinRequest(FetchBinRequest {
+                values: vec![Value::from("a")],
+                predicate: Some(deep.clone()),
+                ..FetchBinRequest::default()
+            }),
+            WireMessage::BinPairRequest(BinPairRequest {
+                sensitive_bin: 1,
+                nonsensitive_bin: 2,
+                predicate: Some(deep.clone()),
+                ..BinPairRequest::default()
+            }),
+        ] {
+            let frame = msg.encode().unwrap();
+            assert_eq!(WireMessage::decode(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn predicate_depth_cap_rejects_towers_both_ways() {
+        // A Not-tower deeper than the cap must fail to encode...
+        let mut tower = Predicate::True;
+        for _ in 0..(PREDICATE_DEPTH_CAP + 1) {
+            tower = Predicate::Not(Box::new(tower));
+        }
+        let msg = WireMessage::FetchBinRequest(FetchBinRequest {
+            predicate: Some(tower),
+            ..FetchBinRequest::default()
+        });
+        assert!(msg.encode().is_err());
+
+        // ...and a hand-forged payload of NOT tags must fail to decode
+        // before recursing past the cap.
+        let mut payload = Vec::new();
+        write_u32(&mut payload, 0); // values
+        write_u32(&mut payload, 0); // ids
+        write_u32(&mut payload, 0); // tags
+        payload.push(1); // predicate present
+        payload.extend(std::iter::repeat(pred_tag::NOT).take(64));
+        payload.push(pred_tag::TRUE);
+        let frame = crate::frame::encode_frame(msg_tag::FETCH_BIN_REQUEST, &payload).unwrap();
+        assert!(WireMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn invalid_predicate_presence_byte_is_an_error() {
+        let mut payload = Vec::new();
+        write_u32(&mut payload, 0);
+        write_u32(&mut payload, 0);
+        write_u32(&mut payload, 0);
+        payload.push(9); // neither 0 nor 1
+        let frame = crate::frame::encode_frame(msg_tag::FETCH_BIN_REQUEST, &payload).unwrap();
+        assert!(WireMessage::decode(&frame).is_err());
     }
 
     #[test]

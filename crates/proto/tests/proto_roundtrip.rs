@@ -11,7 +11,7 @@ use pds_proto::{
     Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, Hello, InsertRequest,
     WireMessage, WireRow,
 };
-use pds_storage::Tuple;
+use pds_storage::{Predicate, Tuple};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -48,6 +48,47 @@ fn arb_tuple<R: Rng>(rng: &mut R) -> Tuple {
     )
 }
 
+fn arb_predicate<R: Rng>(rng: &mut R, depth: usize) -> Predicate {
+    let leaf_only = depth >= 3;
+    match rng.gen_range(0u8..if leaf_only { 4 } else { 7 }) {
+        0 => Predicate::True,
+        1 => Predicate::Eq {
+            attr: pds_common::AttrId::new(rng.gen_range(0u64..16)),
+            value: arb_value(rng),
+        },
+        2 => Predicate::InSet {
+            attr: pds_common::AttrId::new(rng.gen_range(0u64..16)),
+            values: (0..rng.gen_range(0usize..4))
+                .map(|_| arb_value(rng))
+                .collect(),
+        },
+        3 => Predicate::Range {
+            attr: pds_common::AttrId::new(rng.gen_range(0u64..16)),
+            lo: arb_value(rng),
+            hi: arb_value(rng),
+        },
+        4 => Predicate::Not(Box::new(arb_predicate(rng, depth + 1))),
+        other => {
+            let children = (0..rng.gen_range(0usize..3))
+                .map(|_| arb_predicate(rng, depth + 1))
+                .collect();
+            if other == 5 {
+                Predicate::And(children)
+            } else {
+                Predicate::Or(children)
+            }
+        }
+    }
+}
+
+fn arb_opt_predicate<R: Rng>(rng: &mut R) -> Option<Predicate> {
+    if rng.gen_range(0u8..3) == 0 {
+        Some(arb_predicate(rng, 0))
+    } else {
+        None
+    }
+}
+
 fn arb_row<R: Rng>(rng: &mut R) -> WireRow {
     WireRow {
         id: rng.gen_range(0u64..u64::MAX),
@@ -73,6 +114,7 @@ fn arb_message(seed: u64) -> WireMessage {
             tags: (0..rng.gen_range(0usize..4))
                 .map(|_| arb_blob(&mut rng, 24))
                 .collect(),
+            predicate: arb_opt_predicate(&mut rng),
         }),
         1 => WireMessage::BinPairRequest(BinPairRequest {
             sensitive_bin: rng.gen_range(0u32..1 << 20),
@@ -83,6 +125,7 @@ fn arb_message(seed: u64) -> WireMessage {
             nonsensitive_values: (0..rng.gen_range(0usize..5))
                 .map(|_| arb_value(&mut rng))
                 .collect(),
+            predicate: arb_opt_predicate(&mut rng),
         }),
         2 => WireMessage::BinPayload(BinPayload {
             plain_tuples: (0..rng.gen_range(0usize..4))

@@ -13,7 +13,7 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 
 /// A boolean predicate over a tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Predicate {
     /// `attr = value`
     Eq {
@@ -94,6 +94,35 @@ impl Predicate {
             Predicate::Not(p) => !p.matches(tuple),
             Predicate::True => true,
         }
+    }
+
+    /// Every attribute position the predicate mentions, sorted and deduped.
+    ///
+    /// The predicate-pushdown path uses this to enforce its security
+    /// invariant owner-side: a predicate travelling in clear inside a wire
+    /// frame must only reference non-sensitive attributes, and in
+    /// particular never the searchable attribute whose per-value access
+    /// pattern Query Binning exists to hide.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        fn walk(p: &Predicate, out: &mut Vec<AttrId>) {
+            match p {
+                Predicate::Eq { attr, .. }
+                | Predicate::InSet { attr, .. }
+                | Predicate::Range { attr, .. } => out.push(*attr),
+                Predicate::And(ps) | Predicate::Or(ps) => {
+                    for child in ps {
+                        walk(child, out);
+                    }
+                }
+                Predicate::Not(child) => walk(child, out),
+                Predicate::True => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// All equality-searchable values mentioned by the predicate on `attr`

@@ -74,7 +74,8 @@ pub mod prelude {
     pub use pds_core::executor::NaivePartitionedExecutor;
     pub use pds_core::extensions::{equi_join, group_by_aggregate, select_range, InsertPlanner};
     pub use pds_core::{
-        BinShape, BinningConfig, EtaModel, PlanMode, QbExecutor, QueryBinning, SelectionStats,
+        choose_engines, BinShape, BinningConfig, CostModel, EngineCandidate, EtaModel, PlanMode,
+        PlannerConfig, QbExecutor, QueryBinning, QueryPlan, SelectionStats, ShardPlan,
         TransportedRun,
     };
     pub use pds_storage::{

@@ -9,6 +9,11 @@
 //! The engines are driven as `Box<dyn SecureSelectionEngine>` — the same
 //! trait-object form heterogeneous deployments use — so this suite also
 //! proves the boxed path end to end for all six back-ends.
+//!
+//! The cost-based optimizer rides the same harness: identical seed and
+//! cost inputs must compile to a byte-identical [`QueryPlan`], and the
+//! heterogeneous deployment the optimizer picks must return byte-identical
+//! answers to every forced-homogeneous baseline.
 
 use proptest::prelude::*;
 
@@ -31,6 +36,88 @@ fn backend(i: usize) -> Box<dyn SecureSelectionEngine> {
 }
 
 const BACKENDS: usize = 6;
+
+/// The engine an optimizer decision names, as a boxed trait object.
+fn engine_named(name: &str) -> Box<dyn SecureSelectionEngine> {
+    match name {
+        "nondet-scan" => Box::new(NonDetScanEngine::new()),
+        "det-index" => Box::new(DeterministicIndexEngine::new()),
+        "arx-index" => Box::new(ArxEngine::new()),
+        "secret-sharing" => Box::new(SecretSharingEngine::default_deployment()),
+        "dpf" => Box::new(DpfEngine::new(99)),
+        "opaque-sim" => Box::new(oblivious::opaque_sim()),
+        other => panic!("planner chose an unknown engine {other:?}"),
+    }
+}
+
+/// A calibrated cost model built from **synthetic, seed-derived**
+/// observations — no wall-clock is ever read, so identical `(shards, seed)`
+/// inputs always reproduce the identical model.
+fn synthetic_model(shards: usize, seed: u64) -> (CostModel, Vec<EngineCandidate>) {
+    let candidates: Vec<EngineCandidate> = (0..BACKENDS)
+        .map(|i| EngineCandidate::of(backend(i).as_ref()))
+        .collect();
+    let names: Vec<&str> = candidates.iter().map(|c| c.name.as_str()).collect();
+    let mut model = CostModel::seeded(&names);
+    model.set_round_trip_cost(0.010);
+    for (i, name) in names.iter().enumerate() {
+        for shard in 0..shards {
+            let work = Metrics {
+                encrypted_tuples_scanned: 40 + 3 * i as u64,
+                plaintext_tuples_scanned: 60,
+                plaintext_index_lookups: 1,
+                owner_decryptions: 40 + 3 * i as u64,
+                round_trips: 1 + i as u64 % 2,
+                ..Default::default()
+            };
+            let modelled = model.modelled(name, &work).expect("engine is seeded");
+            // A deterministic pseudo-measurement in [0.5, 1.9] × modelled.
+            let jitter = ((seed ^ (i as u64 * 31 + shard as u64 * 7)) % 15) as f64 / 10.0;
+            model.observe(name, shard, &work, modelled * (0.5 + jitter));
+        }
+    }
+    (model, candidates)
+}
+
+/// Deterministic per-shard linkage advantages with some shards pushed over
+/// the 0.5 threshold, so both branches of the security constraint (free
+/// choice vs oblivious-only) are exercised.
+fn synthetic_advantages(shards: usize, seed: u64) -> Vec<f64> {
+    (0..shards)
+        .map(|s| {
+            if (s as u64 + seed) % 4 == 0 {
+                0.9
+            } else {
+                0.05
+            }
+        })
+        .collect()
+}
+
+/// Deploys `engines` (one per shard) over the Employee parts with the
+/// given planner configuration, runs the whole workload as one batch and
+/// returns the per-query answer bytes.
+fn run_deployment(
+    parts: &pds_storage::PartitionedRelation,
+    values: &[Value],
+    engines: Vec<Box<dyn SecureSelectionEngine>>,
+    config: PlannerConfig,
+    placement_seed: u64,
+) -> Vec<Vec<Vec<u8>>> {
+    let shards = engines.len();
+    let binning = QueryBinning::build(parts, "EId", BinningConfig::default()).unwrap();
+    let mut executor = QbExecutor::new(binning, engines[0].fork());
+    let mut owner = DbOwner::new(5);
+    let mut router = ShardRouter::new(shards, NetworkModel::paper_wan(), placement_seed).unwrap();
+    executor
+        .outsource_with_engines(&mut owner, &mut router, parts, engines)
+        .unwrap();
+    executor.set_planner(config).unwrap();
+    let run = executor
+        .run_workload_transported(&mut owner, &mut router, values, &BinTransport::Sequential)
+        .unwrap();
+    run.answers.iter().map(|ts| answer_bytes(ts)).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -112,6 +199,111 @@ proptest! {
                 prop_assert_eq!(bin_pair_frames[0], 0u64);
                 prop_assert_eq!(rounds[0], rounds[1]);
             }
+        }
+    }
+
+    /// Identical seed and cost inputs produce a **byte-identical** optimizer
+    /// outcome: the same `ShardPlan` vector from `choose_engines`, and the
+    /// same compiled `QueryPlan` (compared via `format!("{plan:?}")`) from
+    /// two independently-built but identically-configured deployments on
+    /// the same (rotated) workload.
+    #[test]
+    fn planner_compilation_is_deterministic(
+        shards in 1usize..=8,
+        placement_seed in 0u64..1_000,
+        rotation in 0usize..32,
+    ) {
+        let (parts, values) = employee_setup();
+        let mut workload = values.clone();
+        let len = workload.len();
+        workload.rotate_left(rotation % len);
+
+        let (model, candidates) = synthetic_model(shards, placement_seed);
+        let advantage = synthetic_advantages(shards, placement_seed);
+        let chosen = choose_engines(&model, &candidates, &advantage, 0.5).unwrap();
+        let chosen_again = choose_engines(&model, &candidates, &advantage, 0.5).unwrap();
+        prop_assert_eq!(format!("{chosen:?}"), format!("{chosen_again:?}"));
+        for plan in &chosen {
+            if plan.oblivious_required {
+                // opaque-sim is the only access-pattern-hiding candidate.
+                prop_assert_eq!(plan.engine.as_str(), "opaque-sim");
+            }
+        }
+
+        let residual =
+            Predicate::range(employee_relation().schema(), "Office", 1i64, 3i64).unwrap();
+        let mut compiled = Vec::new();
+        for _ in 0..2 {
+            let binning =
+                QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+            let engines: Vec<Box<dyn SecureSelectionEngine>> =
+                chosen.iter().map(|p| engine_named(&p.engine)).collect();
+            let mut executor = QbExecutor::new(binning, engine_named(&chosen[0].engine));
+            let mut owner = DbOwner::new(5);
+            let mut router =
+                ShardRouter::new(shards, NetworkModel::paper_wan(), placement_seed).unwrap();
+            executor
+                .outsource_with_engines(&mut owner, &mut router, &parts, engines)
+                .unwrap();
+            executor.set_planner(PlannerConfig {
+                residual: Some(residual.clone()),
+                ..PlannerConfig::default()
+            }).unwrap();
+            let plan = executor.compile_workload(&mut owner, &router, &workload);
+            compiled.push(format!("{plan:?}"));
+        }
+        prop_assert!(
+            compiled[0] == compiled[1],
+            "plan compilation diverged ({} shards, seed {}, rotation {})",
+            shards, placement_seed, rotation
+        );
+    }
+
+    /// Across 1–8 shards, the heterogeneous deployment the optimizer picks
+    /// (residual pushed down the wire) returns byte-identical answers to
+    /// every forced-homogeneous baseline evaluating the same residual
+    /// owner-side only.
+    #[test]
+    fn planner_choice_matches_every_forced_homogeneous_baseline(
+        shards in 1usize..=8,
+        placement_seed in 0u64..1_000,
+    ) {
+        let (parts, values) = employee_setup();
+        let residual =
+            Predicate::range(employee_relation().schema(), "Office", 1i64, 3i64).unwrap();
+
+        let (model, candidates) = synthetic_model(shards, placement_seed);
+        let advantage = synthetic_advantages(shards, placement_seed);
+        let chosen = choose_engines(&model, &candidates, &advantage, 0.5).unwrap();
+
+        let planner_answers = run_deployment(
+            &parts,
+            &values,
+            chosen.iter().map(|p| engine_named(&p.engine)).collect(),
+            PlannerConfig {
+                residual: Some(residual.clone()),
+                pushdown: true,
+                ..PlannerConfig::default()
+            },
+            placement_seed,
+        );
+        for backend_idx in 0..BACKENDS {
+            let baseline = run_deployment(
+                &parts,
+                &values,
+                (0..shards).map(|_| backend(backend_idx)).collect(),
+                PlannerConfig {
+                    residual: Some(residual.clone()),
+                    pushdown: false,
+                    ..PlannerConfig::default()
+                },
+                placement_seed,
+            );
+            prop_assert!(
+                planner_answers == baseline,
+                "planner answers diverged from forced backend {} ({} shards, seed {})",
+                backend_idx, shards, placement_seed
+            );
         }
     }
 }
