@@ -14,6 +14,9 @@
 //!    (`crates/analyze/ratchet.toml`) only ever goes down.
 //! 4. **[`attributes`]** — every workspace crate root carries
 //!    `#![forbid(unsafe_code)]`.
+//! 5. **[`redaction`]** — the telemetry-redaction lint.  No `pds-obs`
+//!    trace/metric emission call may take sensitive-plaintext
+//!    identifiers in its argument list, anywhere in the workspace.
 //!
 //! Suppressions use one audited grammar, checked for staleness: a
 //! `// pds-allow: <pass>(<reason>)` comment on (or directly above) the
@@ -35,6 +38,7 @@ pub mod egress;
 pub mod lexer;
 pub mod lockorder;
 pub mod panics;
+pub mod redaction;
 pub mod report;
 pub mod source;
 
@@ -46,7 +50,7 @@ use report::{Finding, Report};
 use source::SourceFile;
 
 /// Pass names a `pds-allow` annotation may legitimately target.
-pub const KNOWN_PASSES: &[&str] = &[egress::PASS, lockorder::PASS, panics::PASS];
+pub const KNOWN_PASSES: &[&str] = &[egress::PASS, lockorder::PASS, panics::PASS, redaction::PASS];
 
 /// Directories whose non-test functions get the plaintext-egress lint:
 /// the wire-adjacent crates.
@@ -130,12 +134,32 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
     report.findings.extend(findings);
     used.extend(u);
 
-    // Pass 4: unsafe-code attribute on every workspace crate root.
+    // Pass 4: telemetry redaction over the whole workspace — any crate
+    // may instrument itself, so any crate can leak through a label.
+    let emission_count: usize = file_refs
+        .iter()
+        .map(|f| {
+            f.toks
+                .iter()
+                .filter(|t| redaction::SINKS.iter().any(|s| t.is_ident(s)))
+                .count()
+        })
+        .sum();
+    let (findings, u) = redaction::check(&file_refs);
+    report.summary.push(format!(
+        "telemetry-redaction: {} file(s), {emission_count} emission site(s), {} finding(s)",
+        file_refs.len(),
+        findings.len()
+    ));
+    report.findings.extend(findings);
+    used.extend(u);
+
+    // Pass 5: unsafe-code attribute on every workspace crate root.
     let (findings, summary) = attributes::check(root, &manifest);
     report.summary.push(summary);
     report.findings.extend(findings);
 
-    // Pass 5: annotation hygiene.  Every harvested allow must name a
+    // Pass 6: annotation hygiene.  Every harvested allow must name a
     // known pass and have suppressed something this run.
     let mut stale = 0usize;
     for file in &files {

@@ -1,0 +1,124 @@
+//! Pass 6 — the **telemetry-redaction lint**.
+//!
+//! Observability must never become an exfiltration channel: a span name,
+//! metric label, or histogram sample that carries sensitive plaintext
+//! would hand the adversary exactly what the partitioned store withholds.
+//! This pass re-uses the plaintext-egress source vocabulary
+//! ([`crate::egress::SOURCES`]) but swaps the sink set for the `pds-obs`
+//! emission API: no **trace or metric emission call** may mention a
+//! sensitive-plaintext identifier *inside its argument list*.
+//!
+//! The granularity is deliberately finer than the egress lint's
+//! whole-function triple.  Instrumented functions legitimately mention
+//! sensitive identifiers — `fine_grained_bin_episode` opens a span *and*
+//! reads `request.sensitive_values` two lines later, and that is the
+//! whole point of instrumenting it.  What must never happen is the
+//! sensitive identifier appearing **between the emission call's
+//! parentheses**, where it would flow into a span name, label value, or
+//! recorded sample.  So the pass finds each sink identifier followed by
+//! `(`, walks to the matching close paren, and flags any source
+//! identifier inside that argument span.
+//!
+//! False positives are suppressed with the usual audited annotation on
+//! (or immediately above) the `fn` line or next to the flagged call:
+//!
+//! ```text
+//! // pds-allow: telemetry-redaction(<why this emission is clean>)
+//! ```
+
+use crate::egress::SOURCES;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Pass name, as used in findings and `pds-allow` annotations.
+pub const PASS: &str = "telemetry-redaction";
+
+/// The `pds-obs` emission surface: every function through which a string
+/// or sample leaves instrumented code and enters the trace ring or the
+/// metrics registry.  Anything sensitive between one of these calls'
+/// parentheses ends up in a JSONL trace artifact or a Prometheus
+/// snapshot a tenant can request over the wire.
+pub const SINKS: &[&str] = &[
+    "obs_span",
+    "record_manual",
+    "counter_add",
+    "counter_set",
+    "gauge_set",
+    "hist_observe",
+    "observe_ms",
+    "meta_line",
+];
+
+/// Runs the lint over the given files.  Returns `(findings, used_allows)`
+/// with the same shape as [`crate::egress::check`] so the driver's
+/// stale-annotation accounting covers this pass too.
+pub fn check(files: &[&SourceFile]) -> (Vec<Finding>, Vec<(String, u32)>) {
+    let mut findings = Vec::new();
+    let mut used = Vec::new();
+    for &file in files {
+        for func in file.functions() {
+            let span = &file.toks[func.span.clone()];
+            for (sink, source, line) in leaky_emissions(span) {
+                // Suppression: annotation on/above the fn line or
+                // anywhere inside the function (next to the call).
+                if let Some(allow) = file
+                    .allows
+                    .iter()
+                    .find(|a| a.pass == PASS && a.line + 1 >= func.line && a.line <= func.end_line)
+                {
+                    used.push((file.rel.clone(), allow.line));
+                    continue;
+                }
+                findings.push(Finding {
+                    pass: PASS,
+                    file: file.rel.clone(),
+                    line,
+                    message: format!(
+                        "fn `{}` passes sensitive plaintext (`{source}`) into the \
+                         telemetry emission `{sink}(..)`; redact the value before \
+                         it reaches pds-obs or annotate with \
+                         `// pds-allow: telemetry-redaction(<reason>)`",
+                        func.name
+                    ),
+                });
+            }
+        }
+    }
+    (findings, used)
+}
+
+/// Scans one function's token span for emission calls whose argument list
+/// contains a sensitive-source identifier.  Returns `(sink, source,
+/// line)` triples — one per offending source occurrence.
+fn leaky_emissions(span: &[crate::lexer::Tok]) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < span.len() {
+        let t = &span[i];
+        let is_sink = SINKS.iter().any(|s| t.is_ident(s));
+        if !is_sink || !span.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        // Walk the argument list to its matching close paren.  The lexer
+        // is total, so an unbalanced span just runs to the end of the
+        // function — degrading to coarser granularity, never crashing.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < span.len() {
+            if span[j].is_punct('(') {
+                depth += 1;
+            } else if span[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(src) = SOURCES.iter().find(|s| span[j].is_ident(s)) {
+                out.push((t.text.clone(), (*src).to_string(), span[j].line));
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    out
+}

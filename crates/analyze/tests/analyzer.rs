@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use pds_analyze::source::SourceFile;
-use pds_analyze::{egress, lockorder, panics};
+use pds_analyze::{egress, lockorder, panics, redaction};
 
 fn fixture(name: &str) -> SourceFile {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -58,6 +58,39 @@ fn egress_lint_honors_audited_allows_and_reports_them_used() {
     let file = fixture("egress_allowed.rs");
     let (findings, used) = egress::check(&[&file]);
     assert!(findings.is_empty(), "allowed fixture flagged: {findings:?}");
+    assert_eq!(used.len(), 1, "the annotation must register as in-use");
+}
+
+#[test]
+fn redaction_lint_flags_sensitive_arguments_to_emission_calls() {
+    let file = fixture("redaction_leak.rs");
+    let (findings, used) = redaction::check(&[&file]);
+    assert_eq!(findings.len(), 3, "the three leaking fns: {findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("report_bin_contents")
+            && f.message.contains("sensitive_values")
+            && f.message.contains("counter_add")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("gauge_decrypted") && f.message.contains("decrypted")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("trace_sensitive")
+            && f.message.contains("sensitive_tuples")
+            && f.message.contains("meta_line")));
+    // The instrumented control fn in the same file stays clean.
+    assert!(!findings
+        .iter()
+        .any(|f| f.message.contains("instrumented_episode")));
+    assert!(used.is_empty());
+}
+
+#[test]
+fn redaction_lint_accepts_instrumented_functions_and_audited_allows() {
+    let file = fixture("redaction_clean.rs");
+    let (findings, used) = redaction::check(&[&file]);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
     assert_eq!(used.len(), 1, "the annotation must register as in-use");
 }
 

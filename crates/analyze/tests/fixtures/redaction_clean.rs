@@ -1,0 +1,33 @@
+//! Negative fixture for the telemetry-redaction lint: heavily
+//! instrumented code that handles sensitive plaintext but only ever
+//! passes static names, aggregate counts, and non-sensitive labels to
+//! the `pds-obs` emission API.
+
+/// Instrumented work over sensitive data: the span name is static and
+/// the histogram sample is a duration, not a value.
+fn run_sensitive_episode(sensitive_values: &[u64], decrypted_tuples: usize) -> usize {
+    let _span = pds_obs::obs_span("episode.execute");
+    let registry = pds_obs::global();
+    registry.counter_add("pds_tuples_returned_total", &[("tenant", "7")], 1);
+    registry.hist_observe("pds_episode_ms", &[], 3.5);
+    sensitive_values.len() + decrypted_tuples
+}
+
+/// Aggregates over sensitive loads are fine: only the derived statistic
+/// reaches the registry, under a non-sensitive name.
+fn flush_uniformity(loads: &[usize]) {
+    let mean = loads.iter().sum::<usize>() as f64 / loads.len().max(1) as f64;
+    pds_obs::global().gauge_set("pds_bin_load_uniformity", &[("shard", "0")], mean);
+}
+
+/// Manual cross-thread interval with clean endpoints.
+fn record_queue_wait(enqueued_ns: u64) {
+    pds_obs::record_manual("daemon.queue", enqueued_ns, pds_obs::now_ns());
+}
+
+/// An audited exception: the reason-bearing annotation suppresses the
+/// finding and is reported as used.
+// pds-allow: telemetry-redaction(test-only fixture demonstrating the audited escape hatch)
+fn audited_debug_dump(sensitive_attr: u32) {
+    pds_obs::global().gauge_set("pds_debug_attr", &[], sensitive_attr as f64);
+}

@@ -1,0 +1,31 @@
+//! Positive fixture for the telemetry-redaction lint: emission calls
+//! whose argument lists carry sensitive plaintext.  Each leaking fn is a
+//! distinct shape the pass must catch.
+
+/// Leak shape 1: a sensitive identifier recorded as a metric label value.
+fn report_bin_contents(sensitive_values: &[u64]) {
+    let registry = pds_obs::global();
+    registry.counter_add(
+        "pds_bin_values_total",
+        &[("value", &format!("{:?}", sensitive_values))],
+        1,
+    );
+}
+
+/// Leak shape 2: a decrypted tuple's field flowing into a gauge.
+fn gauge_decrypted(decrypted: f64) {
+    pds_obs::global().gauge_set("pds_last_value", &[], decrypted);
+}
+
+/// Leak shape 3: sensitive data interpolated into a trace meta line.
+fn trace_sensitive(out: &mut String, sensitive_tuples: &str) {
+    pds_obs::trace::meta_line(out, "payload", sensitive_tuples);
+}
+
+/// Clean control in the same file: the span is opened *next to* the
+/// sensitive data, but the emission's argument list is a static name —
+/// exactly the instrumented-function shape that must NOT be flagged.
+fn instrumented_episode(sensitive_values: &[u64]) -> usize {
+    let _span = pds_obs::obs_span("episode.execute");
+    sensitive_values.len()
+}

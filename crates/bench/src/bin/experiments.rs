@@ -36,7 +36,10 @@ fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: experiments [{}] [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>] \
-         [--latency <sec>] [--bandwidth <mbps>] [--workers <n>] [--owners <n>]",
+         [--latency <sec>] [--bandwidth <mbps>] [--workers <n>] [--owners <n>] \
+         [--trace <out.jsonl>]\n\
+         \x20      experiments trace-report <trace.jsonl> [--gate-pct <f64>]\n\
+         \x20      experiments obs-overhead [--budget-pct <f64>]",
         KNOWN.join("|")
     );
     std::process::exit(2);
@@ -71,6 +74,9 @@ fn main() {
             || arg == "--bandwidth"
             || arg == "--workers"
             || arg == "--owners"
+            || arg == "--trace"
+            || arg == "--gate-pct"
+            || arg == "--budget-pct"
         {
             i += 2; // skip the flag and its value (validated below)
             continue;
@@ -81,6 +87,34 @@ fn main() {
         positionals.push(arg);
         i += 1;
     }
+
+    // Observability subcommands take their own positionals and exit early.
+    let gate_pct = parse_flag::<f64>(&args, "--gate-pct").unwrap_or(5.0);
+    if !gate_pct.is_finite() || gate_pct <= 0.0 {
+        usage_exit(&format!(
+            "--gate-pct must be a finite value > 0, got {gate_pct}"
+        ));
+    }
+    let budget_pct = parse_flag::<f64>(&args, "--budget-pct").unwrap_or(3.0);
+    if !budget_pct.is_finite() || budget_pct <= 0.0 {
+        usage_exit(&format!(
+            "--budget-pct must be a finite value > 0, got {budget_pct}"
+        ));
+    }
+    if positionals.first() == Some(&"trace-report") {
+        let file = match positionals.as_slice() {
+            ["trace-report", file] => *file,
+            _ => usage_exit("trace-report takes exactly one trace file"),
+        };
+        std::process::exit(run_trace_report(file, gate_pct));
+    }
+    if positionals.first() == Some(&"obs-overhead") {
+        if positionals.len() != 1 {
+            usage_exit("obs-overhead takes no positional arguments");
+        }
+        std::process::exit(run_obs_overhead(budget_pct));
+    }
+
     let which = match positionals.as_slice() {
         [] => "all",
         [one] => one,
@@ -142,6 +176,17 @@ fn main() {
         usage_exit("rwmix needs --cache >= 1 (capacity 0 never hits, so nothing to invalidate)");
     }
 
+    // `--trace out.jsonl`: record spans for the whole run, bracketed by one
+    // root span whose duration is also measured as the wall-clock the
+    // `trace-report` coverage gate compares against.
+    let trace_path = parse_flag::<String>(&args, "--trace");
+    if trace_path.is_some() {
+        pds_obs::set_tracing(true);
+        let _ = pds_obs::drain(); // fresh epoch: nothing stale in the file
+    }
+    let trace_start = std::time::Instant::now();
+    let trace_root = pds_obs::obs_span("experiment.run");
+
     let run_all = which == "all";
     if run_all || which == "fig6a" {
         print_fig6a();
@@ -192,9 +237,154 @@ fn main() {
     if run_all || which == "employee" {
         print_employee();
     }
+
+    drop(trace_root);
+    if let Some(path) = trace_path {
+        pds_obs::set_tracing(false);
+        let wall_ns = trace_start.elapsed().as_nanos() as f64;
+        if let Err(e) = write_trace(&path, wall_ns) {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if !sharded_ok {
         std::process::exit(1);
     }
+}
+
+/// Drains every span recorded since tracing was enabled and writes them
+/// as JSON lines, closed by `wall_clock_ns` / `dropped` meta lines.
+fn write_trace(path: &str, wall_ns: f64) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let drained = pds_obs::drain();
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    for ev in &drained.events {
+        writeln!(out, "{}", ev.to_json_line())?;
+    }
+    writeln!(
+        out,
+        "{}",
+        pds_obs::trace::meta_line("wall_clock_ns", wall_ns)
+    )?;
+    writeln!(
+        out,
+        "{}",
+        pds_obs::trace::meta_line("dropped", drained.dropped as f64)
+    )?;
+    out.flush()?;
+    println!(
+        "trace: {} spans ({} dropped) -> {path}",
+        drained.events.len(),
+        drained.dropped
+    );
+    Ok(())
+}
+
+/// `experiments trace-report <file>`: aggregate a recorded trace into
+/// per-phase self-time totals and a critical path, gating main-thread
+/// root-span coverage against the recorded wall-clock.
+fn run_trace_report(path: &str, gate_pct: f64) -> i32 {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let report = match pds_obs::analyze_trace(content.lines()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-report failed: {e}");
+            return 2;
+        }
+    };
+    print!("{}", pds_obs::render_report(&report));
+    if report.dropped > 0 {
+        eprintln!(
+            "trace-report gate FAILED: {} spans were dropped, totals are incomplete",
+            report.dropped
+        );
+        return 1;
+    }
+    if report.wall_clock_ns.is_some() {
+        let deviation = (report.coverage_pct - 100.0).abs();
+        if deviation > gate_pct {
+            eprintln!(
+                "trace-report gate FAILED: main-thread root spans cover {:.2}% of \
+                 wall-clock (allowed 100% +/- {gate_pct}%)",
+                report.coverage_pct
+            );
+            return 1;
+        }
+        println!(
+            "trace-report gate OK: {:.2}% coverage (within +/- {gate_pct}%)",
+            report.coverage_pct
+        );
+    } else {
+        println!("no wall_clock_ns meta line: coverage gate skipped");
+    }
+    0
+}
+
+/// `experiments obs-overhead`: gate the projected cost of *disabled*
+/// tracing on the service smoke workload.
+///
+/// Overhead is projected, not differenced: two timed service runs differ
+/// by scheduler noise far larger than a relaxed atomic load, so instead we
+/// measure (a) the real per-call cost of a disabled `obs_span` and (b) the
+/// number of span call sites one smoke run actually exercises (counted by
+/// a traced run), and bound their product against the untraced wall-clock.
+fn run_obs_overhead(budget_pct: f64) -> i32 {
+    pds_obs::set_tracing(false);
+
+    // (a) Disabled-path cost per call, amortised over enough iterations
+    // that the clock reads at the ends vanish.
+    let iters: u64 = 4_000_000;
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(pds_obs::obs_span("obs.overhead_probe"));
+    }
+    let per_call_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // (b) Untraced smoke workload wall-clock.
+    let t = std::time::Instant::now();
+    let baseline = service::run(2, &[2], 2, 42);
+    let wall_disabled_ns = t.elapsed().as_nanos() as f64;
+    if let Err(e) = baseline {
+        eprintln!("obs-overhead baseline service run failed: {e}");
+        return 2;
+    }
+
+    // (c) Span count of the identical workload with tracing enabled.
+    let _ = pds_obs::drain();
+    pds_obs::set_tracing(true);
+    let traced = service::run(2, &[2], 2, 42);
+    pds_obs::set_tracing(false);
+    let drained = pds_obs::drain();
+    if let Err(e) = traced {
+        eprintln!("obs-overhead traced service run failed: {e}");
+        return 2;
+    }
+
+    let spans = drained.events.len() as f64;
+    let projected_pct = 100.0 * spans * per_call_ns / wall_disabled_ns.max(1.0);
+    println!(
+        "obs-overhead: disabled obs_span {per_call_ns:.2} ns/call, {spans} spans per \
+         smoke run, untraced wall {:.1} ms",
+        wall_disabled_ns / 1e6
+    );
+    println!(
+        "obs-overhead: projected tracing-disabled overhead {projected_pct:.4}% \
+         (budget {budget_pct}%)"
+    );
+    if projected_pct > budget_pct {
+        eprintln!("obs-overhead gate FAILED: {projected_pct:.4}% > {budget_pct}%");
+        return 1;
+    }
+    println!("obs-overhead gate OK");
+    0
 }
 
 fn print_fig6a() {

@@ -349,7 +349,17 @@ fn shard_advantages(sc: &Scenario, seed: u64) -> Result<Vec<f64>> {
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let popularity: Vec<Value> = ranked.into_iter().map(|(v, _)| v).collect();
         let outcome = WorkloadSkewAttack::run(shard.adversarial_view(), &popularity, &truth[idx]);
-        advantages.push(outcome.advantage());
+        let advantage = outcome.advantage();
+        // Leakage telemetry: the measured adversary advantage per shard,
+        // live in the global registry next to the daemons' bin-load
+        // uniformity gauges.
+        let shard_label = idx.to_string();
+        pds_obs::global().gauge_set(
+            "pds_adversary_advantage",
+            &[("attack", "workload_skew"), ("shard", &shard_label)],
+            advantage,
+        );
+        advantages.push(advantage);
     }
     Ok(advantages)
 }

@@ -26,6 +26,7 @@ use pds_cloud::{
 };
 use pds_common::{Result, Value};
 use pds_core::{BinningConfig, QbExecutor, QueryBinning};
+use pds_obs::LatencySummary;
 use pds_storage::{Partitioner, Tuple};
 use pds_systems::DeterministicIndexEngine;
 use pds_workload::{employee_relation, employee_sensitivity_policy};
@@ -149,7 +150,13 @@ pub fn run(
         }
         let daemons: Vec<ShardDaemon> = hosted
             .into_iter()
-            .map(|servers| ShardDaemon::spawn(servers, ServiceConfig::with_workers(pool)))
+            .enumerate()
+            .map(|(s, servers)| {
+                ShardDaemon::spawn(
+                    servers,
+                    ServiceConfig::with_workers(pool).with_shard(s as u64),
+                )
+            })
             .collect::<Result<_>>()?;
         let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
 
@@ -204,20 +211,26 @@ pub fn run(
             secure &= check_sharded_partitioned_security(&t.router.adversarial_views()).is_secure();
         }
 
-        let mut latencies: Vec<f64> = Vec::new();
+        // Latency percentiles come from the shared pds-obs log-bucketed
+        // histogram (the one replacement for the old per-experiment
+        // sorted-vector percentile code); the regression test in
+        // `tests/latency_summary.rs` pins it to the old method within one
+        // bucket width.
+        let mut summary = LatencySummary::new();
         let mut exact = true;
         for (lats, ok) in per_owner {
-            latencies.extend(lats);
+            for ms in lats {
+                summary.observe_ms(ms);
+            }
             exact &= ok;
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         points.push(ServicePoint {
             workers: pool,
             owners,
-            ops: latencies.len(),
+            ops: summary.count() as usize,
             wall_clock_sec,
-            p50_ms: percentile(&latencies, 0.50),
-            p99_ms: percentile(&latencies, 0.99),
+            p50_ms: summary.percentile_ms(50.0),
+            p99_ms: summary.percentile_ms(99.0),
             exact,
             secure,
         });
@@ -225,27 +238,9 @@ pub fn run(
     Ok(points)
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 0.5), 3.0);
-        assert_eq!(percentile(&v, 0.99), 5.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-    }
 
     #[test]
     fn smoke_sweep_is_exact_secure_and_nonzero() {

@@ -1,0 +1,76 @@
+//! Regression pin for the percentile dedup: the shared
+//! [`pds_obs::LatencySummary`] log-bucketed histogram must agree with
+//! the sorted-vector nearest-rank percentile it replaced (the old
+//! per-experiment `percentile()` helpers) to within one bucket width
+//! (× [`pds_obs::HISTOGRAM_GROWTH`] ≈ 1.19) in either direction.
+
+use pds_obs::{LatencySummary, HISTOGRAM_GROWTH};
+
+/// The exact sorted-vector estimator the experiments used before the
+/// dedup, kept verbatim so the pin is against the *old* behavior, not a
+/// convenient restatement of the new one.
+fn old_percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Deterministic latency-shaped samples: an LCG over a few decades of
+/// milliseconds, the range the service sweep actually produces.
+fn samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+        // 0.1ms .. 1000ms, log-uniform: every histogram decade gets mass.
+        out.push(0.1 * 10f64.powf(unit * 4.0));
+    }
+    out
+}
+
+#[test]
+fn summary_percentiles_match_the_old_sorted_vector_method() {
+    for seed in [7u64, 42, 1234, 99991] {
+        let lat = samples(2000, seed);
+        let mut summary = LatencySummary::new();
+        for &ms in &lat {
+            summary.observe_ms(ms);
+        }
+        let mut sorted = lat.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let old = old_percentile(&sorted, p / 100.0);
+            let new = summary.percentile_ms(p);
+            // One bucket width of slack either way: the histogram may
+            // round its nearest-rank sample up to the bucket bound, and
+            // the two estimators' rank conventions differ by at most one
+            // adjacent order statistic.
+            assert!(
+                new >= old / HISTOGRAM_GROWTH && new <= old * HISTOGRAM_GROWTH,
+                "p{p} drifted: old {old:.4}ms vs summary {new:.4}ms (seed {seed})"
+            );
+        }
+        assert_eq!(summary.count(), lat.len() as u64);
+    }
+}
+
+#[test]
+fn summary_handles_empty_and_single_sample_edge_cases() {
+    let empty = LatencySummary::new();
+    assert_eq!(empty.percentile_ms(50.0), 0.0);
+    assert_eq!(empty.count(), 0);
+
+    let mut one = LatencySummary::new();
+    one.observe_ms(3.5);
+    let old = old_percentile(&[3.5], 0.5);
+    let new = one.percentile_ms(50.0);
+    assert!(new >= old / HISTOGRAM_GROWTH && new <= old * HISTOGRAM_GROWTH);
+    // The clamp to the observed max keeps a single sample exact.
+    assert_eq!(new, 3.5);
+}

@@ -203,16 +203,28 @@ impl BinCache {
         sensitive_bin: usize,
         nonsensitive_bin: usize,
     ) -> Option<(Vec<Tuple>, Vec<Tuple>)> {
+        let _span = pds_obs::obs_span("cache.get_pair");
         let s_key = BinKey::sensitive(sensitive_bin).for_tenant(self.tenant);
         let ns_key = BinKey::nonsensitive(nonsensitive_bin).for_tenant(self.tenant);
         let servable = self.seen_pairs.contains(&(sensitive_bin, nonsensitive_bin))
             && self.entries.contains_key(&s_key)
             && self.entries.contains_key(&ns_key);
+        let tenant_label = self.tenant.to_string();
         if !servable {
             self.stats.misses += 1;
+            pds_obs::global().counter_add(
+                "pds_bin_cache_events_total",
+                &[("result", "miss"), ("tenant", &tenant_label)],
+                1,
+            );
             return None;
         }
         self.stats.hits += 1;
+        pds_obs::global().counter_add(
+            "pds_bin_cache_events_total",
+            &[("result", "hit"), ("tenant", &tenant_label)],
+            1,
+        );
         let stamp = self.tick();
         let s = {
             let e = self.entries.get_mut(&s_key).expect("checked above");
@@ -243,6 +255,7 @@ impl BinCache {
         if self.capacity == 0 {
             return;
         }
+        let _span = pds_obs::obs_span("cache.store_pair");
         self.seen_pairs.insert((sensitive_bin, nonsensitive_bin));
         self.store(
             BinKey::sensitive(sensitive_bin).for_tenant(self.tenant),

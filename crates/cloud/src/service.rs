@@ -58,6 +58,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use pds_common::{OrderedMutex, PdsError, Result};
+use pds_obs::{obs_span, record_manual, Registry, StatsScope};
 use pds_proto::{error_frame, msg_tag, FrameReader, ReadFrame, WireMessage};
 
 use crate::server::CloudServer;
@@ -76,6 +77,8 @@ pub struct ServiceConfig {
     /// `Opaque` frame whose body equals this trigger panics the worker
     /// mid-request (while it holds the tenant lock).  `None` in production.
     pub panic_trigger: Option<Vec<u8>>,
+    /// Shard id stamped on every metric series this daemon records.
+    pub shard: u64,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +87,7 @@ impl Default for ServiceConfig {
             workers: 4,
             max_payload: pds_proto::MAX_PAYLOAD_LEN,
             panic_trigger: None,
+            shard: 0,
         }
     }
 }
@@ -96,6 +100,12 @@ impl ServiceConfig {
             ..Default::default()
         }
     }
+
+    /// The same config with a different shard id for metric labels.
+    pub fn with_shard(mut self, shard: u64) -> Self {
+        self.shard = shard;
+        self
+    }
 }
 
 /// One unit of compute work: a decoded request plus where to answer.
@@ -107,6 +117,9 @@ struct Job {
     /// Error frame: the reader checks it before enqueuing, so nothing the
     /// client sends after reading that frame can reach another worker.
     dead: Arc<AtomicBool>,
+    /// Trace timestamp at enqueue, so the dequeuing worker can record the
+    /// time this job spent queued (0 when tracing is disabled).
+    enqueued_ns: u64,
 }
 
 /// State shared by the acceptor, the readers and the worker pool.
@@ -116,6 +129,13 @@ struct SharedState {
     /// Duplicate handles of every accepted connection, so shutdown can
     /// unblock reader threads that are parked in a blocking read.
     conns: OrderedMutex<Vec<TcpStream>>,
+    /// Live metric series for this daemon (request/connection counters,
+    /// flushed tenant work counters, leakage gauges). Deterministic-only:
+    /// nothing timing-derived goes in, so `StatsRequest` snapshots are
+    /// byte-stable across identical runs.
+    registry: Arc<Registry>,
+    /// `config.shard` pre-rendered for label slices.
+    shard_label: String,
 }
 
 /// A TCP daemon serving one shard's tenant servers on a loopback address.
@@ -146,6 +166,7 @@ impl ShardDaemon {
         let addr = listener
             .local_addr()
             .map_err(|e| PdsError::Cloud(format!("shard daemon local_addr failed: {e}")))?;
+        let shard_label = config.shard.to_string();
         let state = Arc::new(SharedState {
             tenants: tenants
                 .into_iter()
@@ -153,6 +174,8 @@ impl ShardDaemon {
                 .collect(),
             config,
             conns: OrderedMutex::new("service.conns", Vec::new()),
+            registry: Arc::new(Registry::new()),
+            shard_label,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::<Job>();
@@ -185,6 +208,13 @@ impl ShardDaemon {
         self.addr
     }
 
+    /// This daemon's metric registry. The returned handle stays valid
+    /// after [`ShardDaemon::shutdown`], which flushes every tenant's
+    /// final work counters and leakage gauges into it.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.state.registry)
+    }
+
     /// Stops accepting, drains every thread, and returns the per-tenant
     /// shard servers (sorted by tenant id) with everything they recorded —
     /// adversarial views, metrics windows — so callers can run the
@@ -210,6 +240,15 @@ impl ShardDaemon {
         drop(self.jobs.take());
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Every in-flight request has now been answered and its spans
+        // recorded (worker ring buffers outlive their threads in the
+        // global trace registry); flush each tenant's final work counters
+        // and leakage gauges so nothing recorded by a served request is
+        // lost to the shutdown race.
+        for (&tenant, server) in &self.state.tenants {
+            let server = server.lock();
+            flush_tenant_stats(&self.state, tenant, &server);
         }
         // Every daemon thread has been joined, so ours is the last handle;
         // were it somehow not (a leaked clone), losing the recorded views
@@ -239,6 +278,12 @@ fn run_acceptor(
             break;
         }
         let Ok(stream) = conn else { continue };
+        let _span = obs_span("daemon.accept");
+        state.registry.counter_add(
+            "pds_daemon_connections_total",
+            &[("shard", &state.shard_label)],
+            1,
+        );
         if let Ok(dup) = stream.try_clone() {
             state.conns.lock().push(dup);
         }
@@ -310,29 +355,42 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
     loop {
         match frames.read(&mut reader) {
             Ok(ReadFrame::Eof) => break,
-            Ok(ReadFrame::Frame(bytes)) => match WireMessage::decode(&bytes) {
-                Ok(msg) => {
-                    // A panicked handler condemned this connection; the flag
-                    // was raised before its Error frame went out, so any
-                    // frame arriving after the client read it lands here.
-                    if dead.load(Ordering::SeqCst) {
-                        break;
+            Ok(ReadFrame::Frame(bytes)) => {
+                // Covers decode + enqueue, not the blocking wait for bytes:
+                // idle socket time is not daemon work.
+                let read_span = obs_span("daemon.read");
+                match WireMessage::decode(&bytes) {
+                    Ok(msg) => {
+                        // A panicked handler condemned this connection; the flag
+                        // was raised before its Error frame went out, so any
+                        // frame arriving after the client read it lands here.
+                        if dead.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let job = Job {
+                            tenant,
+                            msg,
+                            writer: Arc::clone(&writer),
+                            dead: Arc::clone(&dead),
+                            // Clock reads are not free: only stamp when the
+                            // dequeuing worker will actually record the wait.
+                            enqueued_ns: if pds_obs::tracing_enabled() {
+                                pds_obs::now_ns()
+                            } else {
+                                0
+                            },
+                        };
+                        if jobs.send(job).is_err() {
+                            break;
+                        }
                     }
-                    let job = Job {
-                        tenant,
-                        msg,
-                        writer: Arc::clone(&writer),
-                        dead: Arc::clone(&dead),
-                    };
-                    if jobs.send(job).is_err() {
-                        break;
+                    Err(e) => {
+                        drop(read_span);
+                        refuse(&writer, &e);
+                        return;
                     }
                 }
-                Err(e) => {
-                    refuse(&writer, &e);
-                    return;
-                }
-            },
+            }
             Ok(ReadFrame::Oversized { msg_type, declared }) => {
                 refuse(&writer, &oversized_error(state, msg_type, declared));
                 return;
@@ -363,6 +421,32 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
                 Err(_) => break,
             }
         };
+        // Queue wait: stamped by the reader at enqueue, recorded here as a
+        // root span because it crosses threads. A zero stamp means the job
+        // was enqueued before tracing was enabled — nothing to record.
+        if job.enqueued_ns != 0 {
+            record_manual("daemon.queue", job.enqueued_ns, pds_obs::now_ns());
+        }
+        let _worker_span = obs_span("daemon.worker");
+        // Stats requests are observability plumbing, not tenant work: they
+        // are answered outside the tenant lock, the episode bracketing,
+        // and the request counters, so asking for a snapshot never
+        // perturbs the snapshot.
+        if matches!(job.msg, WireMessage::StatsRequest) {
+            let text = stats_snapshot(state, job.tenant);
+            let _ = write_msg(&job.writer, &WireMessage::StatsSnapshot(text));
+            continue;
+        }
+        let tenant_label = job.tenant.to_string();
+        state.registry.counter_add(
+            "pds_daemon_requests_total",
+            &[
+                ("shard", &state.shard_label),
+                ("tenant", &tenant_label),
+                ("type", job.msg.name()),
+            ],
+            1,
+        );
         // A panicking handler must not take the daemon down with it: catch
         // the unwind, answer the client with a typed Error frame, and drop
         // only that connection.  The tenant lock the handler held is
@@ -373,9 +457,19 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
                 let _ = write_msg(&job.writer, &resp);
             }
             Ok(Err(e)) => {
+                state.registry.counter_add(
+                    "pds_daemon_request_errors_total",
+                    &[("shard", &state.shard_label), ("tenant", &tenant_label)],
+                    1,
+                );
                 let _ = write_msg(&job.writer, &WireMessage::Error(error_frame(&e)));
             }
             Err(_) => {
+                state.registry.counter_add(
+                    "pds_daemon_handler_panics_total",
+                    &[("shard", &state.shard_label), ("tenant", &tenant_label)],
+                    1,
+                );
                 // Condemn the connection *before* the Error frame goes out:
                 // the moment the client reads it, nothing it sends afterwards
                 // may reach a worker, or a fast client could race one more
@@ -395,6 +489,7 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
 
 /// Serves one decoded request against the tenant's shard server.
 fn serve(state: &SharedState, tenant: u64, msg: &WireMessage) -> Result<WireMessage> {
+    let _span = obs_span("daemon.dispatch");
     let server = state
         .tenants
         .get(&tenant)
@@ -443,4 +538,97 @@ fn refuse(writer: &OrderedMutex<TcpStream>, err: &PdsError) {
 fn close(writer: &OrderedMutex<TcpStream>) {
     let stream = writer.lock();
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Answers a [`WireMessage::StatsRequest`]: flush the asking tenant's work
+/// counters and leakage gauges, then render the registry scoped to that
+/// tenant (own series plus series carrying no tenant label — global shard
+/// health).
+///
+/// Only deterministic counters and gauges live in the daemon registry, so
+/// two identical seeded runs produce byte-identical snapshots.
+fn stats_snapshot(state: &SharedState, tenant: u64) -> String {
+    if let Some(server) = state.tenants.get(&tenant) {
+        let server = server.lock();
+        flush_tenant_stats(state, tenant, &server);
+    }
+    state.registry.render(StatsScope::Tenant(tenant))
+}
+
+/// Copies one tenant's accumulated [`crate::Metrics`] work counters and
+/// leakage gauges into the daemon registry. Counter flushes use
+/// `counter_set` (monotonic absolute values), so flushing is idempotent
+/// and repeat snapshots never double-count.
+fn flush_tenant_stats(state: &SharedState, tenant: u64, server: &CloudServer) {
+    let registry = &state.registry;
+    let tenant_label = tenant.to_string();
+    let labels: &[(&str, &str)] = &[("shard", &state.shard_label), ("tenant", &tenant_label)];
+    let m = server.metrics();
+    for (slot, &count) in m.wire_frames_by_type.iter().enumerate() {
+        let tag = (slot + 1) as u8;
+        registry.counter_set(
+            "pds_wire_frames_total",
+            &[
+                ("shard", &state.shard_label),
+                ("tenant", &tenant_label),
+                ("type", msg_tag::name(tag)),
+            ],
+            count,
+        );
+    }
+    registry.counter_set("pds_wire_bytes_uploaded_total", labels, m.bytes_uploaded);
+    registry.counter_set(
+        "pds_wire_bytes_downloaded_total",
+        labels,
+        m.bytes_downloaded,
+    );
+    registry.counter_set("pds_round_trips_total", labels, m.round_trips);
+    registry.counter_set("pds_tuples_returned_total", labels, m.tuples_returned);
+    registry.counter_set(
+        "pds_fake_tuples_returned_total",
+        labels,
+        m.fake_tuples_returned,
+    );
+    registry.counter_set(
+        "pds_plaintext_tuples_scanned_total",
+        labels,
+        m.plaintext_tuples_scanned,
+    );
+    registry.counter_set(
+        "pds_encrypted_tuples_scanned_total",
+        labels,
+        m.encrypted_tuples_scanned,
+    );
+    // Leakage telemetry: how uniform the per-episode encrypted result
+    // loads the adversary observed are (1.0 = indistinguishable loads,
+    // → 0 = one episode sticks out). Computed over sizes only — the
+    // tuple contents never reach the registry.
+    let episode_loads: Vec<f64> = server
+        .adversarial_view()
+        .episodes()
+        .iter()
+        .map(|ep| ep.sensitive_returned.len() as f64)
+        .collect();
+    registry.gauge_set(
+        "pds_bin_load_uniformity",
+        labels,
+        load_uniformity(&episode_loads),
+    );
+    registry.counter_set(
+        "pds_observed_episodes_total",
+        labels,
+        episode_loads.len() as u64,
+    );
+}
+
+/// Mean/max uniformity of observed per-episode loads: 1.0 when every
+/// episode returns the same number of encrypted rows (or there is nothing
+/// to observe), approaching 0 as one episode dominates.
+fn load_uniformity(loads: &[f64]) -> f64 {
+    let max = loads.iter().copied().fold(0.0f64, f64::max);
+    if loads.is_empty() || max <= 0.0 {
+        return 1.0;
+    }
+    let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+    mean / max
 }

@@ -205,6 +205,7 @@ impl<'a> CloudSession<'a> {
     ///   at an untagged deployment returns a typed [`WireMessage::Error`]
     ///   instead of a silently empty payload.
     pub fn dispatch(&mut self, msg: &WireMessage) -> Result<WireMessage> {
+        let _span = pds_obs::obs_span("cloud.dispatch");
         match msg {
             WireMessage::FetchBinRequest(req) => {
                 let mut payload = BinPayload::default();

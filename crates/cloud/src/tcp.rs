@@ -63,6 +63,7 @@ impl TcpShardConn {
     /// One request/response exchange: write the encoded frame, read and
     /// decode exactly one response frame.
     pub fn call(&mut self, msg: &WireMessage) -> Result<WireMessage> {
+        let _span = pds_obs::obs_span("wire.call");
         let frame = msg.encode()?;
         self.writer
             .write_all(&frame)
@@ -147,6 +148,24 @@ impl TcpCloudClient {
     /// Whether two handles share the same pools (identity, not config).
     pub fn same_client(&self, other: &TcpCloudClient) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Fetches a tenant-scoped Prometheus-text metrics snapshot from one
+    /// shard daemon via a [`WireMessage::StatsRequest`] exchange.
+    pub fn fetch_stats(&self, shard: usize) -> Result<String> {
+        let mut conn = self.checkout(shard)?;
+        let resp = conn.call(&WireMessage::StatsRequest)?;
+        match resp {
+            WireMessage::StatsSnapshot(text) => {
+                self.checkin(shard, conn);
+                Ok(text)
+            }
+            WireMessage::Error(e) => Err(e.into_error()),
+            other => Err(PdsError::Wire(format!(
+                "StatsRequest expected a StatsSnapshot, got {}",
+                other.name()
+            ))),
+        }
     }
 }
 

@@ -906,6 +906,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         cloud: &C,
         values: &[Value],
     ) -> QueryPlan {
+        let _span = pds_obs::obs_span("plan.compile");
         let mut plan = QueryPlan::new(cloud.shard_count());
         let mut pending_pairs: HashSet<(usize, usize)> = HashSet::new();
         for (idx, value) in values.iter().enumerate() {

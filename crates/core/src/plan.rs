@@ -130,12 +130,16 @@ pub fn execute_episode<E: SecureSelectionEngine + ?Sized>(
     engine: &mut E,
     step: &EpisodeStep,
 ) -> Result<EpisodeResult> {
+    let _span = pds_obs::obs_span("episode.execute");
     let mut session = CloudSession::new(shard);
     session.begin_episode();
-    let outcome = if step.composed {
-        engine.select_bin_episode(owner, &mut session, &step.request)
-    } else {
-        fine_grained_bin_episode(engine, owner, &mut session, &step.request)
+    let outcome = {
+        let _engine_span = pds_obs::obs_span("engine.call");
+        if step.composed {
+            engine.select_bin_episode(owner, &mut session, &step.request)
+        } else {
+            fine_grained_bin_episode(engine, owner, &mut session, &step.request)
+        }
     };
     let rounds = session.end_episode();
     Ok(EpisodeResult {
@@ -165,8 +169,12 @@ pub fn execute_episode_remote<E: SecureSelectionEngine + ?Sized>(
             engine.name()
         )));
     }
+    let _span = pds_obs::obs_span("episode.execute_remote");
     session.begin_episode();
-    let outcome = engine.select_bin_episode(owner, session, &step.request);
+    let outcome = {
+        let _engine_span = pds_obs::obs_span("engine.call");
+        engine.select_bin_episode(owner, session, &step.request)
+    };
     let rounds = session.end_episode();
     Ok(EpisodeResult {
         outcome: outcome?,

@@ -1,0 +1,185 @@
+//! Seed-replayable (`PROPTEST_SEED`) span-tree well-formedness: under a
+//! full three-tenant concurrent TCP run with tracing enabled, the drained
+//! trace must form a forest — unique ids, every non-root parent recorded
+//! on the same thread with a containing interval — and lose nothing to
+//! ring overflow.
+//!
+//! Tracing is process-global state, so this property lives alone in its
+//! own integration-test binary (proptest cases run sequentially within
+//! the single `#[test]`).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use pds_cloud::{
+    BinRoutedCloud, BinTransport, CloudServer, DbOwner, NetworkModel, ServiceConfig, ShardDaemon,
+    ShardRouter, TcpCloudClient,
+};
+use pds_common::rng::derive_seed;
+use pds_common::Value;
+use pds_core::{BinningConfig, QbExecutor, QueryBinning};
+use pds_obs::TraceEvent;
+use pds_storage::Partitioner;
+use pds_systems::DeterministicIndexEngine;
+use pds_workload::{employee_relation, employee_sensitivity_policy};
+use proptest::prelude::*;
+
+struct Tenant {
+    id: u64,
+    owner: DbOwner,
+    router: ShardRouter,
+    executor: QbExecutor<DeterministicIndexEngine>,
+    workload: Vec<Value>,
+}
+
+fn tenant_deployment(id: u64, shards: usize) -> Tenant {
+    let rel = employee_relation();
+    let policy = employee_sensitivity_policy(&rel).unwrap();
+    let parts = Partitioner::new(policy).split(&rel).unwrap();
+    let attr = parts.sensitive.schema().attr_id("EId").unwrap();
+    let mut workload = parts.sensitive.distinct_values(attr);
+    for v in parts.nonsensitive.distinct_values(attr) {
+        if !workload.contains(&v) {
+            workload.push(v);
+        }
+    }
+    let binning = QueryBinning::build(&parts, "EId", BinningConfig::default()).unwrap();
+    let mut executor = QbExecutor::new(binning, DeterministicIndexEngine::new()).with_tenant(id);
+    let mut owner = DbOwner::new(1000 + id);
+    let mut router = ShardRouter::new(shards, NetworkModel::paper_wan(), 11 + id).unwrap();
+    executor.outsource(&mut owner, &mut router, &parts).unwrap();
+    Tenant {
+        id,
+        owner,
+        router,
+        executor,
+        workload,
+    }
+}
+
+/// The forest property over one drained trace.
+fn assert_well_formed(events: &[TraceEvent]) {
+    let mut by_id: HashMap<u64, &TraceEvent> = HashMap::with_capacity(events.len());
+    for e in events {
+        assert_ne!(e.id, 0, "span ids are never 0 (0 is the root marker)");
+        assert!(
+            by_id.insert(e.id, e).is_none(),
+            "duplicate span id {}",
+            e.id
+        );
+        assert!(
+            e.start_ns <= e.end_ns,
+            "span {} ({}) ends before it starts",
+            e.id,
+            e.name
+        );
+        assert!(
+            e.name.contains('.'),
+            "span name `{}` has no phase prefix",
+            e.name
+        );
+    }
+    for e in events {
+        if e.parent == 0 {
+            continue;
+        }
+        let parent = by_id.get(&e.parent).unwrap_or_else(|| {
+            panic!(
+                "span {} ({}) names parent {} which was never recorded",
+                e.id, e.name, e.parent
+            )
+        });
+        assert_eq!(
+            parent.thread, e.thread,
+            "span {} ({}) crosses threads to parent {} ({})",
+            e.id, e.name, parent.id, parent.name
+        );
+        assert!(
+            parent.start_ns <= e.start_ns && e.end_ns <= parent.end_ns,
+            "span {} ({}) [{}, {}] escapes parent {} ({}) [{}, {}]",
+            e.id,
+            e.name,
+            e.start_ns,
+            e.end_ns,
+            parent.id,
+            parent.name,
+            parent.start_ns,
+            parent.end_ns
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn concurrent_traced_runs_produce_a_well_formed_span_forest(
+        seed in proptest::arbitrary::any::<u64>()
+    ) {
+        const TENANTS: u64 = 3;
+        const SHARDS: usize = 2;
+
+        pds_obs::set_tracing(true);
+        // Clean slate per case: earlier cases' spans must not bleed in.
+        pds_obs::drain();
+
+        let mut tenants: Vec<_> = (1..=TENANTS)
+            .map(|id| tenant_deployment(id, SHARDS))
+            .collect();
+
+        // Seed-derived workload subsets, as in the equivalence property.
+        for t in &mut tenants {
+            let tseed = derive_seed(seed, &format!("tenant-{}", t.id));
+            let len = 1 + (tseed % 6) as usize;
+            t.workload = (0..len)
+                .map(|k| {
+                    let idx = derive_seed(tseed, &format!("q{k}")) as usize % t.workload.len();
+                    t.workload[idx].clone()
+                })
+                .collect();
+        }
+
+        // Lift shard servers into daemons and run all tenants concurrently.
+        let mut per_shard: Vec<Vec<(u64, CloudServer)>> =
+            (0..SHARDS).map(|_| Vec::new()).collect();
+        for t in tenants.iter_mut() {
+            for (s, server) in t.router.shards_mut().iter_mut().enumerate() {
+                per_shard[s].push((t.id, std::mem::take(server)));
+            }
+        }
+        let daemons: Vec<ShardDaemon> = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(s, hosted)| {
+                ShardDaemon::spawn(
+                    hosted,
+                    ServiceConfig::with_workers(2).with_shard(s as u64),
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+
+        std::thread::scope(|scope| {
+            for t in tenants.iter_mut() {
+                let addrs = addrs.clone();
+                scope.spawn(move || {
+                    let workload = t.workload.clone();
+                    let transport = BinTransport::Tcp(TcpCloudClient::new(t.id, addrs));
+                    t.executor
+                        .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+                        .unwrap();
+                });
+            }
+        });
+        for d in daemons {
+            d.shutdown();
+        }
+
+        let drained = pds_obs::drain();
+        pds_obs::set_tracing(false);
+        prop_assert_eq!(drained.dropped, 0);
+        prop_assert!(!drained.events.is_empty(), "a traced run records spans");
+        assert_well_formed(&drained.events);
+    }
+}

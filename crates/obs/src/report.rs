@@ -1,0 +1,279 @@
+//! Offline aggregation of a JSON-lines trace into per-phase totals and
+//! a critical-path breakdown.
+//!
+//! A span's *phase* is its name up to the first `.` (`daemon.dispatch`
+//! → `daemon`). Totals are **self time** — a span's duration minus the
+//! durations of its direct children — so on any single thread the phase
+//! totals partition the root spans exactly and sum to the traced
+//! wall-clock. That is the 5% coverage gate `experiments trace-report`
+//! enforces: main-thread root-span time must match the recorded
+//! `wall_clock_ns` meta line.
+
+use crate::trace::{parse_trace_line, TraceEvent, TraceLine};
+use std::collections::{BTreeMap, HashMap};
+
+/// Aggregated totals for one span name or phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseTotal {
+    /// Span or phase name.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Total inclusive duration (ns), summed across spans.
+    pub total_ns: u64,
+    /// Total exclusive self time (ns): duration minus direct children.
+    pub self_ns: u64,
+}
+
+/// One hop on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    /// Span name.
+    pub name: String,
+    /// Inclusive duration of the chosen span (ns).
+    pub total_ns: u64,
+    /// Self time of the chosen span (ns).
+    pub self_ns: u64,
+}
+
+/// Result of analysing a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Per-phase totals (phase = name prefix before the first `.`),
+    /// sorted by descending self time.
+    pub phases: Vec<PhaseTotal>,
+    /// Per-span-name totals, sorted by descending self time.
+    pub names: Vec<PhaseTotal>,
+    /// Longest root-to-leaf chain by inclusive duration, starting from
+    /// the largest root span.
+    pub critical_path: Vec<CriticalHop>,
+    /// Number of events in the trace.
+    pub events: u64,
+    /// Events the recorder dropped (from a `dropped` meta line).
+    pub dropped: u64,
+    /// Wall-clock of the traced region (from a `wall_clock_ns` meta
+    /// line), if present.
+    pub wall_clock_ns: Option<u64>,
+    /// Sum of root-span durations on the busiest thread (ns) — the
+    /// quantity gated against `wall_clock_ns`.
+    pub main_thread_root_ns: u64,
+    /// Main-thread root coverage as a percentage of wall-clock
+    /// (0 when no wall-clock meta line is present).
+    pub coverage_pct: f64,
+}
+
+fn duration(e: &TraceEvent) -> u64 {
+    e.end_ns.saturating_sub(e.start_ns)
+}
+
+/// Analyse the lines of a JSON-lines trace file.
+///
+/// Unparseable lines are skipped (a trace may be truncated by a crash);
+/// returns an error only when no span events are found at all.
+pub fn analyze_trace<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Result<Report, String> {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut wall_clock_ns = None;
+    let mut dropped = 0u64;
+    for line in lines {
+        match parse_trace_line(line) {
+            Some(TraceLine::Event(e)) => events.push(e),
+            Some(TraceLine::Meta(key, value)) => match key.as_str() {
+                "wall_clock_ns" => wall_clock_ns = Some(value as u64),
+                "dropped" => dropped = value as u64,
+                _ => {}
+            },
+            None => {}
+        }
+    }
+    if events.is_empty() {
+        return Err("trace contains no span events".to_string());
+    }
+
+    // Self time: duration minus direct children (parent links are
+    // recorded per-thread, so children always lie within the parent).
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.parent != 0 {
+            *child_ns.entry(e.parent).or_insert(0) += duration(e);
+            children.entry(e.parent).or_default().push(i);
+        }
+    }
+
+    let mut by_name: BTreeMap<String, PhaseTotal> = BTreeMap::new();
+    let mut by_phase: BTreeMap<String, PhaseTotal> = BTreeMap::new();
+    let mut root_ns_by_thread: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        let total = duration(e);
+        let self_ns = total.saturating_sub(child_ns.get(&e.id).copied().unwrap_or(0));
+        let phase = e.name.split('.').next().unwrap_or(&e.name).to_string();
+        for (map, key) in [(&mut by_name, e.name.clone()), (&mut by_phase, phase)] {
+            let t = map.entry(key.clone()).or_default();
+            t.name = key;
+            t.count += 1;
+            t.total_ns += total;
+            t.self_ns += self_ns;
+        }
+        if e.parent == 0 {
+            *root_ns_by_thread.entry(e.thread).or_insert(0) += total;
+        }
+    }
+
+    let main_thread_root_ns = root_ns_by_thread.values().copied().max().unwrap_or(0);
+    let coverage_pct = match wall_clock_ns {
+        Some(w) if w > 0 => 100.0 * main_thread_root_ns as f64 / w as f64,
+        _ => 0.0,
+    };
+
+    // Critical path: start from the largest root span anywhere, then
+    // repeatedly descend into the largest direct child.
+    let mut critical_path = Vec::new();
+    let root = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.parent == 0)
+        .max_by_key(|(_, e)| duration(e))
+        .map(|(i, _)| i);
+    let mut cursor = root;
+    while let Some(i) = cursor {
+        let e = &events[i];
+        let total = duration(e);
+        critical_path.push(CriticalHop {
+            name: e.name.clone(),
+            total_ns: total,
+            self_ns: total.saturating_sub(child_ns.get(&e.id).copied().unwrap_or(0)),
+        });
+        cursor = children
+            .get(&e.id)
+            .and_then(|kids| kids.iter().max_by_key(|&&k| duration(&events[k])))
+            .copied();
+        if critical_path.len() > 1024 {
+            break; // malformed (cyclic) parent links — bail out
+        }
+    }
+
+    let mut phases: Vec<PhaseTotal> = by_phase.into_values().collect();
+    phases.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let mut names: Vec<PhaseTotal> = by_name.into_values().collect();
+    names.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+
+    Ok(Report {
+        phases,
+        names,
+        critical_path,
+        events: events.len() as u64,
+        dropped,
+        wall_clock_ns,
+        main_thread_root_ns,
+        coverage_pct,
+    })
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render a human-readable report.
+pub fn render_report(r: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} events, {} dropped\n",
+        r.events, r.dropped
+    ));
+    if let Some(w) = r.wall_clock_ns {
+        out.push_str(&format!(
+            "wall clock {}, main-thread root spans {} ({:.1}% coverage)\n",
+            fmt_ns(w),
+            fmt_ns(r.main_thread_root_ns),
+            r.coverage_pct
+        ));
+    }
+    out.push_str("\nper-phase self time:\n");
+    for p in &r.phases {
+        out.push_str(&format!(
+            "  {:<12} {:>7} spans  self {:>12}  total {:>12}\n",
+            p.name,
+            p.count,
+            fmt_ns(p.self_ns),
+            fmt_ns(p.total_ns)
+        ));
+    }
+    out.push_str("\ntop span names by self time:\n");
+    for n in r.names.iter().take(12) {
+        out.push_str(&format!(
+            "  {:<28} {:>7} spans  self {:>12}\n",
+            n.name,
+            n.count,
+            fmt_ns(n.self_ns)
+        ));
+    }
+    out.push_str("\ncritical path:\n");
+    for (depth, hop) in r.critical_path.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}{} total {} (self {})\n",
+            "  ".repeat(depth),
+            hop.name,
+            fmt_ns(hop.total_ns),
+            fmt_ns(hop.self_ns)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64, parent: u64, thread: u64, name: &str, start: u64, end: u64) -> String {
+        TraceEvent {
+            id,
+            parent,
+            thread,
+            name: name.to_string(),
+            start_ns: start,
+            end_ns: end,
+        }
+        .to_json_line()
+    }
+
+    #[test]
+    fn self_time_partitions_the_root() {
+        let lines = [
+            ev(1, 0, 1, "episode.run", 0, 1000),
+            ev(2, 1, 1, "crypto.encrypt", 100, 400),
+            ev(3, 1, 1, "wire.call", 500, 900),
+            crate::trace::meta_line("wall_clock_ns", 1000.0),
+        ];
+        let r = analyze_trace(lines.iter().map(|s| s.as_str())).expect("report");
+        let self_sum: u64 = r.phases.iter().map(|p| p.self_ns).sum();
+        assert_eq!(self_sum, 1000, "self times partition the root exactly");
+        assert_eq!(r.main_thread_root_ns, 1000);
+        assert!((r.coverage_pct - 100.0).abs() < 1e-9);
+        assert_eq!(r.critical_path[0].name, "episode.run");
+        assert_eq!(r.critical_path[1].name, "wire.call");
+    }
+
+    #[test]
+    fn busiest_thread_wins_the_coverage_gate() {
+        let lines = [
+            ev(1, 0, 1, "experiment.main", 0, 2000),
+            ev(2, 0, 7, "daemon.worker", 0, 100),
+            crate::trace::meta_line("wall_clock_ns", 2000.0),
+        ];
+        let r = analyze_trace(lines.iter().map(|s| s.as_str())).expect("report");
+        assert_eq!(r.main_thread_root_ns, 2000);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(analyze_trace(["not json", ""]).is_err());
+    }
+}

@@ -103,6 +103,7 @@ pub const fn encoded_len(payload_len: usize) -> usize {
 
 /// Wraps a message payload into one wire frame.
 pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>> {
+    let _span = pds_obs::obs_span("frame.encode");
     if payload.len() > MAX_PAYLOAD_LEN {
         return Err(PdsError::Wire(format!(
             "payload of {} bytes exceeds the {MAX_PAYLOAD_LEN}-byte frame limit",
@@ -125,6 +126,7 @@ pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>> {
 /// The input must be exactly one frame (trailing garbage is rejected —
 /// stream reassembly happens above this layer, using the length field).
 pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
+    let _span = pds_obs::obs_span("frame.decode");
     if bytes.len() < FRAME_OVERHEAD {
         return Err(PdsError::Wire(format!(
             "frame truncated: {} bytes, need at least {FRAME_OVERHEAD}",

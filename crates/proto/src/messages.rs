@@ -189,8 +189,12 @@ pub mod msg_tag {
     pub const OPAQUE: u8 = 7;
     /// [`super::Hello`].
     pub const HELLO: u8 = 8;
+    /// [`super::WireMessage::StatsRequest`].
+    pub const STATS_REQUEST: u8 = 9;
+    /// [`super::WireMessage::StatsSnapshot`].
+    pub const STATS_SNAPSHOT: u8 = 10;
     /// Number of distinct message types (tags are `1..=COUNT`).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Short human-readable name of a type tag (for experiment output).
     pub fn name(tag: u8) -> &'static str {
@@ -203,6 +207,8 @@ pub mod msg_tag {
             ERROR => "Error",
             OPAQUE => "Opaque",
             HELLO => "Hello",
+            STATS_REQUEST => "StatsRequest",
+            STATS_SNAPSHOT => "StatsSnapshot",
             _ => "unknown",
         }
     }
@@ -229,6 +235,12 @@ pub enum WireMessage {
     Opaque(Vec<u8>),
     /// Tenant handshake (first message of every service connection).
     Hello(Hello),
+    /// Ask the shard daemon for a metrics snapshot scoped to the
+    /// connection's tenant (own series plus global shard health).
+    StatsRequest,
+    /// Prometheus-text-format metrics snapshot answering a
+    /// [`WireMessage::StatsRequest`].
+    StatsSnapshot(String),
 }
 
 impl WireMessage {
@@ -243,6 +255,8 @@ impl WireMessage {
             WireMessage::Error(_) => msg_tag::ERROR,
             WireMessage::Opaque(_) => msg_tag::OPAQUE,
             WireMessage::Hello(_) => msg_tag::HELLO,
+            WireMessage::StatsRequest => msg_tag::STATS_REQUEST,
+            WireMessage::StatsSnapshot(_) => msg_tag::STATS_SNAPSHOT,
         }
     }
 
@@ -257,6 +271,8 @@ impl WireMessage {
             WireMessage::Error(_) => "Error",
             WireMessage::Opaque(_) => "Opaque",
             WireMessage::Hello(_) => "Hello",
+            WireMessage::StatsRequest => "StatsRequest",
+            WireMessage::StatsSnapshot(_) => "StatsSnapshot",
         }
     }
 
@@ -325,6 +341,10 @@ impl WireMessage {
             }
             WireMessage::Hello(m) => {
                 payload.extend_from_slice(&m.tenant.to_be_bytes());
+            }
+            WireMessage::StatsRequest => {}
+            WireMessage::StatsSnapshot(text) => {
+                write_bytes(&mut payload, text.as_bytes());
             }
         }
         encode_frame(self.msg_type(), &payload)
@@ -403,6 +423,8 @@ impl WireMessage {
             }
             7 => WireMessage::Opaque(r.rest().to_vec()),
             8 => WireMessage::Hello(Hello { tenant: r.u64()? }),
+            9 => WireMessage::StatsRequest,
+            10 => WireMessage::StatsSnapshot(r.string()?),
             other => {
                 return Err(PdsError::Wire(format!("unknown message type tag {other}")));
             }
@@ -729,6 +751,11 @@ mod tests {
             WireMessage::Error(error_frame(&PdsError::Cloud("no such shard".into()))),
             WireMessage::Opaque(vec![0xAB; 33]),
             WireMessage::Hello(Hello { tenant: u64::MAX }),
+            WireMessage::StatsRequest,
+            WireMessage::StatsSnapshot(
+                "# TYPE pds_requests_total counter\npds_requests_total{tenant=\"1\"} 4\n"
+                    .to_string(),
+            ),
         ]
     }
 
@@ -868,13 +895,15 @@ mod tests {
     }
 
     #[test]
-    fn hello_tag_is_the_count() {
-        // The handshake is the newest message: its tag must close the
-        // 1..=COUNT range the metrics layer sizes its counters from.
-        assert_eq!(msg_tag::HELLO as usize, msg_tag::COUNT);
-        assert_eq!(msg_tag::name(msg_tag::HELLO), "Hello");
-        let msg = WireMessage::Hello(Hello { tenant: 7 });
-        assert_eq!(msg.msg_type(), msg_tag::HELLO);
-        assert_eq!(msg.name(), "Hello");
+    fn newest_tag_is_the_count() {
+        // The stats snapshot is the newest message: its tag must close
+        // the 1..=COUNT range the metrics layer sizes its counters from.
+        assert_eq!(msg_tag::STATS_SNAPSHOT as usize, msg_tag::COUNT);
+        assert_eq!(msg_tag::name(msg_tag::STATS_SNAPSHOT), "StatsSnapshot");
+        let msg = WireMessage::StatsSnapshot(String::new());
+        assert_eq!(msg.msg_type(), msg_tag::STATS_SNAPSHOT);
+        assert_eq!(msg.name(), "StatsSnapshot");
+        assert_eq!(msg_tag::name(msg_tag::STATS_REQUEST), "StatsRequest");
+        assert_eq!(WireMessage::StatsRequest.msg_type(), msg_tag::STATS_REQUEST);
     }
 }

@@ -166,6 +166,7 @@ pub fn fine_grained_bin_episode<E: SecureSelectionEngine + ?Sized>(
     session: &mut dyn EpisodeChannel,
     request: &BinEpisodeRequest,
 ) -> Result<BinEpisodeOutcome> {
+    let _span = pds_obs::obs_span("engine.fine_grained");
     let nonsensitive = if request.nonsensitive_values.is_empty() {
         Vec::new()
     } else {
