@@ -1,0 +1,107 @@
+//! Pass 5 — the **hot-path allocation lint**.
+//!
+//! The wire codec runs once per frame on every daemon connection; a fresh
+//! heap allocation there (a `Vec::new()` that grows per frame, a
+//! `.to_vec()` copy of a payload slice) is exactly the cost the
+//! thread-local buffer pool (`pds_proto::pool`) exists to kill, and a
+//! regression is invisible to the type checker: the code still works, it
+//! just silently re-allocates per frame and the
+//! `pds_wire_buf_reuse_total` hit counters flatline.
+//!
+//! Policy: in the per-frame codec files (the frame codec and the pool
+//! itself), non-test code must not call `Vec::new(..)`,
+//! `Vec::with_capacity(..)`, `vec![..]` or `.to_vec()`.  Buffers come
+//! from the pool's free list.  The audited escape hatch is
+//! `// pds-allow: hot-alloc(<reason>)` on or directly above the line —
+//! the pool's own cold path (first frame on a thread, empty free list)
+//! carries one, and that should stay the only warm-blooded allocation in
+//! the loop.
+//!
+//! Matching is exact-token, per the workspace lexer: `Vec :: new (` /
+//! `Vec :: with_capacity (`, the `vec !` macro, and `to_vec` preceded by
+//! `.` and followed by `(`.  Type positions (`Vec<Vec<u8>>`) never match
+//! — no call parenthesis — and `#[cfg(test)]` items are stripped before
+//! the scan, so test fixtures allocate freely.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Pass name, as used in findings and `pds-allow` annotations.
+pub const PASS: &str = "hot-alloc";
+
+/// One detected allocation site.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// File the site is in.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What matched (`Vec::new`, `vec!`, `.to_vec()`, ...).
+    pub what: String,
+}
+
+/// Scans one file for unsuppressed per-frame allocation sites.
+/// Suppressed sites push their annotation onto `used` instead of being
+/// returned.
+pub fn sites_in(file: &SourceFile, used: &mut Vec<(String, u32)>) -> Vec<AllocSite> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let what = if t.is_ident("Vec")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| n.is_ident("new") || n.is_ident("with_capacity"))
+            && toks.get(i + 4).is_some_and(|n| n.is_punct('('))
+        {
+            format!("Vec::{}", toks[i + 3].text)
+        } else if t.is_ident("vec") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            "vec!".to_string()
+        } else if t.is_ident("to_vec")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            ".to_vec()".to_string()
+        } else {
+            continue;
+        };
+        if let Some(allow) = file.allow_at(PASS, t.line) {
+            used.push((file.rel.clone(), allow.line));
+            continue;
+        }
+        out.push(AllocSite {
+            file: file.rel.clone(),
+            line: t.line,
+            what,
+        });
+    }
+    out
+}
+
+/// Runs the lint over the per-frame codec files.
+///
+/// Returns `(findings, used_allows)`.
+pub fn check(files: &[&SourceFile]) -> (Vec<Finding>, Vec<(String, u32)>) {
+    let mut findings = Vec::new();
+    let mut used = Vec::new();
+    for &file in files {
+        for site in sites_in(file, &mut used) {
+            findings.push(Finding {
+                pass: PASS,
+                file: site.file.clone(),
+                line: site.line,
+                message: format!(
+                    "`{}` allocates in the per-frame codec loop; take a pooled \
+                     buffer (`pds_proto::pool`) so steady-state frames reuse \
+                     the free list, or annotate with \
+                     `// pds-allow: hot-alloc(<reason>)` if this provably runs \
+                     off the per-frame path",
+                    site.what
+                ),
+            });
+        }
+    }
+    (findings, used)
+}

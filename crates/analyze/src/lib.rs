@@ -17,11 +17,16 @@
 //! 5. **[`redaction`]** — the telemetry-redaction lint.  No `pds-obs`
 //!    trace/metric emission call may take sensitive-plaintext
 //!    identifiers in its argument list, anywhere in the workspace.
+//! 6. **[`alloc`]** — the hot-path allocation lint.  The per-frame wire
+//!    codec must not allocate fresh buffers (`Vec::new`, `vec!`,
+//!    `.to_vec()`) outside the buffer pool's audited cold path; frames
+//!    reuse the thread-local free list.
 //!
 //! Suppressions use one audited grammar, checked for staleness: a
 //! `// pds-allow: <pass>(<reason>)` comment on (or directly above) the
 //! offending line, where `<pass>` is one of `plaintext-egress`,
-//! `lock-order`, `panic-path` and `<reason>` is mandatory free text.  An
+//! `lock-order`, `panic-path`, `hot-alloc` and `<reason>` is mandatory
+//! free text.  An
 //! annotation that no longer suppresses anything, or that names an
 //! unknown pass, is itself a finding — the suppression inventory cannot
 //! rot.
@@ -33,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alloc;
 pub mod attributes;
 pub mod egress;
 pub mod lexer;
@@ -50,7 +56,13 @@ use report::{Finding, Report};
 use source::SourceFile;
 
 /// Pass names a `pds-allow` annotation may legitimately target.
-pub const KNOWN_PASSES: &[&str] = &[egress::PASS, lockorder::PASS, panics::PASS, redaction::PASS];
+pub const KNOWN_PASSES: &[&str] = &[
+    alloc::PASS,
+    egress::PASS,
+    lockorder::PASS,
+    panics::PASS,
+    redaction::PASS,
+];
 
 /// Directories whose non-test functions get the plaintext-egress lint:
 /// the wire-adjacent crates.
@@ -74,6 +86,11 @@ pub const HOT_FILES: &[&str] = &[
     "crates/proto/src/frame.rs",
     "crates/proto/src/messages.rs",
 ];
+
+/// Files forming the per-frame wire codec loop, where fresh heap
+/// allocations defeat the buffer pool: the frame codec and the pool
+/// itself (whose single cold-path allocation carries an audited allow).
+pub const HOT_ALLOC_FILES: &[&str] = &["crates/proto/src/frame.rs", "crates/proto/src/pool.rs"];
 
 /// Workspace-relative path of the committed panic-site ratchet.
 pub const RATCHET_FILE: &str = "crates/analyze/ratchet.toml";
@@ -154,12 +171,26 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
     report.findings.extend(findings);
     used.extend(u);
 
-    // Pass 5: unsafe-code attribute on every workspace crate root.
+    // Pass 5: hot-path allocation lint over the per-frame codec files.
+    let alloc_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| HOT_ALLOC_FILES.contains(&f.rel.as_str()))
+        .collect();
+    let (findings, u) = alloc::check(&alloc_files);
+    report.summary.push(format!(
+        "hot-alloc: {} codec file(s), {} finding(s)",
+        alloc_files.len(),
+        findings.len()
+    ));
+    report.findings.extend(findings);
+    used.extend(u);
+
+    // Pass 6: unsafe-code attribute on every workspace crate root.
     let (findings, summary) = attributes::check(root, &manifest);
     report.summary.push(summary);
     report.findings.extend(findings);
 
-    // Pass 6: annotation hygiene.  Every harvested allow must name a
+    // Pass 7: annotation hygiene.  Every harvested allow must name a
     // known pass and have suppressed something this run.
     let mut stale = 0usize;
     for file in &files {
@@ -226,6 +257,12 @@ mod tests {
         }
         for f in HOT_FILES {
             assert!(EGRESS_DIRS.iter().any(|d| f.starts_with(d)));
+        }
+        for f in HOT_ALLOC_FILES {
+            assert!(
+                EGRESS_DIRS.iter().any(|d| f.starts_with(d)),
+                "codec files live in wire-adjacent crates"
+            );
         }
     }
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use pds_analyze::source::SourceFile;
-use pds_analyze::{egress, lockorder, panics, redaction};
+use pds_analyze::{alloc, egress, lockorder, panics, redaction};
 
 fn fixture(name: &str) -> SourceFile {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -91,6 +91,38 @@ fn redaction_lint_accepts_instrumented_functions_and_audited_allows() {
     let file = fixture("redaction_clean.rs");
     let (findings, used) = redaction::check(&[&file]);
     assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+    assert_eq!(used.len(), 1, "the annotation must register as in-use");
+}
+
+#[test]
+fn alloc_lint_flags_every_fresh_allocation_shape() {
+    let file = fixture("alloc_leak.rs");
+    let (findings, used) = alloc::check(&[&file]);
+    // Vec::new, Vec::with_capacity, vec!, .to_vec() — and NOT the
+    // `Vec<Vec<u8>>` type decoy, the `into_vec` call, or the test module.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("`Vec::new`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`Vec::with_capacity`")));
+    assert!(findings.iter().any(|f| f.message.contains("`vec!`")));
+    assert!(findings.iter().any(|f| f.message.contains("`.to_vec()`")));
+    assert!(used.is_empty());
+}
+
+#[test]
+fn alloc_lint_accepts_the_pooled_codec_path() {
+    let file = fixture("alloc_clean.rs");
+    let (findings, used) = alloc::check(&[&file]);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+    assert!(used.is_empty());
+}
+
+#[test]
+fn alloc_lint_honors_the_audited_cold_path_allow() {
+    let file = fixture("alloc_allowed.rs");
+    let (findings, used) = alloc::check(&[&file]);
+    assert!(findings.is_empty(), "allowed fixture flagged: {findings:?}");
     assert_eq!(used.len(), 1, "the annotation must register as in-use");
 }
 
@@ -194,7 +226,11 @@ fn fixtures_are_excluded_from_workspace_scans() {
 #[test]
 fn scope_lists_point_at_real_files() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    for rel in pds_analyze::HOT_FILES.iter().chain(pds_analyze::LOCK_FILES) {
+    for rel in pds_analyze::HOT_FILES
+        .iter()
+        .chain(pds_analyze::LOCK_FILES)
+        .chain(pds_analyze::HOT_ALLOC_FILES)
+    {
         assert!(root.join(rel).is_file(), "scope entry {rel} does not exist");
     }
     for dir in pds_analyze::EGRESS_DIRS {

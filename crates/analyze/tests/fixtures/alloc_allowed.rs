@@ -1,0 +1,13 @@
+// Fixture: NEGATIVE for the hot-alloc lint — the one allocation is the
+// pool's audited cold path, annotated with a reason.
+
+pub fn checkout(free: &mut Vec<Vec<u8>>) -> Vec<u8> {
+    match free.pop() {
+        Some(mut buf) => {
+            buf.clear();
+            buf
+        }
+        // pds-allow: hot-alloc(cold path: empty free list on first use; every warm-path frame reuses a returned buffer)
+        None => Vec::new(),
+    }
+}

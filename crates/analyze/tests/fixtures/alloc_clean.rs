@@ -1,0 +1,17 @@
+// Fixture: NEGATIVE for the hot-alloc lint — the codec path takes its
+// buffer from the pool's free list, grows it in place, and hands it
+// back; nothing starts a fresh heap allocation per frame.
+
+pub fn encode_pooled(payload: &[u8], free: &mut Vec<Vec<u8>>) -> Vec<u8> {
+    let mut out: Vec<u8> = free.pop().unwrap_or_default();
+    out.clear();
+    out.extend_from_slice(payload);
+    // a comment saying Vec::new() does not count
+    let label = "neither does .to_vec() in a string";
+    debug_assert!(!label.is_empty());
+    out
+}
+
+pub fn recycle(buf: Vec<u8>, free: &mut Vec<Vec<u8>>) {
+    free.push(buf);
+}

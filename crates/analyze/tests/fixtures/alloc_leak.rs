@@ -1,0 +1,44 @@
+// Fixture: POSITIVE for the hot-alloc lint when treated as a codec file.
+//
+// Four distinct site shapes: `Vec::new()`, `Vec::with_capacity(..)`,
+// `vec![..]`, `.to_vec()`.  The `Vec<Vec<u8>>` type position and the
+// `into_vec` call are decoys — exact-token matching must not count them.
+
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(payload);
+    out
+}
+
+pub fn encode_sized(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(payload);
+    out
+}
+
+pub fn trailer(crc: u32) -> Vec<u8> {
+    vec![
+        (crc >> 24) as u8,
+        (crc >> 16) as u8,
+        (crc >> 8) as u8,
+        crc as u8,
+    ]
+}
+
+pub fn copy_out(frame: &[u8], free: &mut Vec<Vec<u8>>) -> Vec<u8> {
+    let copy = frame.to_vec();
+    let recycled: Vec<u8> = free.pop().unwrap_or_default();
+    drop(recycled);
+    let boxed: Box<[u8]> = Box::from(frame);
+    boxed.into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_allocates_freely() {
+        let scratch = vec![0u8; 64];
+        let copy = scratch.to_vec();
+        assert_eq!(super::encode(&copy).len(), 64);
+    }
+}

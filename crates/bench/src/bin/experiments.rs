@@ -3,7 +3,7 @@
 //! the numbers reported in EXPERIMENTS.md.
 //!
 //! Usage:
-//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|planner|rwmix|service|employee|all]
+//!   experiments [fig6a|fig6b|fig6c|table6|arx|headline|sharded|zipf|wire|hetero|planner|rwmix|service|pipeline|employee|all]
 //!               [--scale <f64>] [--shards <n>] [--skew <f64>] [--cache <n>]
 //!               [--latency <sec>] [--bandwidth <mbps>] [--workers <n>] [--owners <n>]
 //!
@@ -24,12 +24,13 @@
 //! count, default 2).
 
 use pds_bench::{
-    attacks, fig6a, fig6b, fig6c, hetero, planner, rwmix, service, sharded, table6, wire, zipf,
+    attacks, fig6a, fig6b, fig6c, hetero, pipeline, planner, rwmix, service, sharded, table6, wire,
+    zipf,
 };
 
-const KNOWN: [&str; 15] = [
+const KNOWN: [&str; 16] = [
     "all", "fig6a", "fig6b", "fig6c", "table6", "arx", "headline", "sharded", "zipf", "wire",
-    "hetero", "planner", "rwmix", "service", "employee",
+    "hetero", "planner", "rwmix", "service", "pipeline", "employee",
 ];
 
 fn usage_exit(message: &str) -> ! {
@@ -233,6 +234,9 @@ fn main() {
     }
     if run_all || which == "service" {
         sharded_ok &= print_service(shards.unwrap_or(2), workers, owners.unwrap_or(8));
+    }
+    if run_all || which == "pipeline" {
+        sharded_ok &= print_pipeline(shards.unwrap_or(2).max(2));
     }
     if run_all || which == "employee" {
         print_employee();
@@ -953,6 +957,68 @@ fn print_service(shards: usize, workers: Option<usize>, owners: usize) -> bool {
         }
         Err(e) => {
             eprintln!("service run failed: {e}");
+            println!();
+            false
+        }
+    }
+}
+
+/// Prints the pipelined-vs-lock-step comparison and the experiment's own
+/// metrics registry (buffer-pool reuse counters); returns whether the
+/// gate held (strictly faster, blocked-read self-time shrank, identical
+/// answers, security intact, pool hits nonzero, v1 frames still decode).
+fn print_pipeline(shards: usize) -> bool {
+    println!(
+        "== Pipelined wire dispatch vs lock-step over {shards} loopback shard daemons \
+         (Employee workload) =="
+    );
+    match pipeline::run(shards, 4, pds_core::DEFAULT_PIPELINE_WINDOW, 3, 42) {
+        Ok(o) => {
+            println!(
+                "{:>8} {:>8} {:>8} {:>14} {:>14} {:>9} {:>7} {:>8} {:>8}",
+                "shards",
+                "queries",
+                "window",
+                "lock-step s",
+                "pipelined s",
+                "speedup",
+                "exact?",
+                "secure?",
+                "v1 ok?"
+            );
+            println!(
+                "{:>8} {:>8} {:>8} {:>14.6} {:>14.6} {:>8.2}x {:>7} {:>8} {:>8}",
+                o.shards,
+                o.queries,
+                o.window,
+                o.lock_step_sec,
+                o.pipelined_sec,
+                o.speedup(),
+                o.exact,
+                o.secure,
+                o.v1_compat
+            );
+            println!(
+                "wire.call self-time (client blocked on response reads, {} reps): \
+                 lock-step {:.3} ms -> pipelined {:.3} ms",
+                o.reps,
+                o.wire_call_lock_ns as f64 / 1e6,
+                o.wire_call_pipe_ns as f64 / 1e6
+            );
+            let registry = pds_obs::Registry::new();
+            o.flush_pool_metrics(&registry);
+            print!("{}", registry.render(pds_obs::StatsScope::All));
+            if !o.holds() {
+                eprintln!(
+                    "pipeline failed its gate (needs strictly faster wall-clock, shrinking \
+                     wire.call self-time, identical answers, security, pool hits, v1 compat)"
+                );
+            }
+            println!();
+            o.holds()
+        }
+        Err(e) => {
+            eprintln!("pipeline run failed: {e}");
             println!();
             false
         }

@@ -74,6 +74,6 @@ pub use service::{ServiceConfig, ShardDaemon};
 pub use session::{BinEpisodeRequest, CloudSession, EpisodeChannel};
 pub use shard::{BinPlacement, BinRoutedCloud, ShardRouter};
 pub use store::{EncryptedRow, EncryptedStore};
-pub use tcp::{RemoteSession, TcpCloudClient, TcpShardConn};
+pub use tcp::{CorrelationWindow, RemoteSession, TcpCloudClient, TcpShardConn};
 pub use transport::{simulate_wire_traffic, BinTransport, DispatchReport};
 pub use view::{AdversarialView, QueryEpisode};

@@ -111,6 +111,10 @@ impl ServiceConfig {
 /// One unit of compute work: a decoded request plus where to answer.
 struct Job {
     tenant: u64,
+    /// Correlation id from the request frame's header, stamped verbatim on
+    /// the response frame so a pipelining client can demux out-of-order
+    /// answers (0 for legacy v1 requests).
+    corr: u64,
     msg: WireMessage,
     writer: Arc<OrderedMutex<TcpStream>>,
     /// Set by a worker whose handler panicked, *before* it writes the
@@ -309,10 +313,10 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
 
     // Handshake: the first frame must be a Hello naming a known tenant.
     let tenant = match frames.read(&mut reader) {
-        Ok(ReadFrame::Frame(bytes)) => match WireMessage::decode(&bytes) {
-            Ok(WireMessage::Hello(hello)) => {
+        Ok(ReadFrame::Frame(bytes)) => match WireMessage::decode_corr(&bytes) {
+            Ok((corr, WireMessage::Hello(hello))) => {
                 if state.tenants.contains_key(&hello.tenant) {
-                    if write_msg(&writer, &WireMessage::Hello(hello)).is_err() {
+                    if write_msg(&writer, corr, &WireMessage::Hello(hello)).is_err() {
                         close(&writer);
                         return;
                     }
@@ -320,14 +324,16 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
                 } else {
                     refuse(
                         &writer,
+                        corr,
                         &PdsError::Cloud(format!("unknown tenant {}", hello.tenant)),
                     );
                     return;
                 }
             }
-            Ok(other) => {
+            Ok((corr, other)) => {
                 refuse(
                     &writer,
+                    corr,
                     &PdsError::Wire(format!(
                         "connection must open with a Hello handshake, got {}",
                         other.name()
@@ -341,8 +347,12 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
                 return;
             }
         },
-        Ok(ReadFrame::Oversized { msg_type, declared }) => {
-            refuse(&writer, &oversized_error(state, msg_type, declared));
+        Ok(ReadFrame::Oversized {
+            msg_type,
+            corr,
+            declared,
+        }) => {
+            refuse(&writer, corr, &oversized_error(state, msg_type, declared));
             return;
         }
         // Garbage bytes, truncation, or immediate close: just drop it.
@@ -359,8 +369,8 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
                 // Covers decode + enqueue, not the blocking wait for bytes:
                 // idle socket time is not daemon work.
                 let read_span = obs_span("daemon.read");
-                match WireMessage::decode(&bytes) {
-                    Ok(msg) => {
+                match WireMessage::decode_corr(&bytes) {
+                    Ok((corr, msg)) => {
                         // A panicked handler condemned this connection; the flag
                         // was raised before its Error frame went out, so any
                         // frame arriving after the client read it lands here.
@@ -369,6 +379,7 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
                         }
                         let job = Job {
                             tenant,
+                            corr,
                             msg,
                             writer: Arc::clone(&writer),
                             dead: Arc::clone(&dead),
@@ -386,13 +397,17 @@ fn run_connection(stream: TcpStream, state: &SharedState, jobs: &Sender<Job>) {
                     }
                     Err(e) => {
                         drop(read_span);
-                        refuse(&writer, &e);
+                        refuse(&writer, 0, &e);
                         return;
                     }
                 }
             }
-            Ok(ReadFrame::Oversized { msg_type, declared }) => {
-                refuse(&writer, &oversized_error(state, msg_type, declared));
+            Ok(ReadFrame::Oversized {
+                msg_type,
+                corr,
+                declared,
+            }) => {
+                refuse(&writer, corr, &oversized_error(state, msg_type, declared));
                 return;
             }
             // Truncated mid-frame or the peer died: nothing to answer.
@@ -434,7 +449,7 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
         // perturbs the snapshot.
         if matches!(job.msg, WireMessage::StatsRequest) {
             let text = stats_snapshot(state, job.tenant);
-            let _ = write_msg(&job.writer, &WireMessage::StatsSnapshot(text));
+            let _ = write_msg(&job.writer, job.corr, &WireMessage::StatsSnapshot(text));
             continue;
         }
         let tenant_label = job.tenant.to_string();
@@ -454,7 +469,7 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
         // [`OrderedMutex::lock`] resolves poison to the inner value.
         match catch_unwind(AssertUnwindSafe(|| serve(state, job.tenant, &job.msg))) {
             Ok(Ok(resp)) => {
-                let _ = write_msg(&job.writer, &resp);
+                let _ = write_msg(&job.writer, job.corr, &resp);
             }
             Ok(Err(e)) => {
                 state.registry.counter_add(
@@ -462,7 +477,7 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
                     &[("shard", &state.shard_label), ("tenant", &tenant_label)],
                     1,
                 );
-                let _ = write_msg(&job.writer, &WireMessage::Error(error_frame(&e)));
+                let _ = write_msg(&job.writer, job.corr, &WireMessage::Error(error_frame(&e)));
             }
             Err(_) => {
                 state.registry.counter_add(
@@ -477,6 +492,7 @@ fn run_worker(state: &SharedState, jobs: &OrderedMutex<Receiver<Job>>) {
                 job.dead.store(true, Ordering::SeqCst);
                 let _ = write_msg(
                     &job.writer,
+                    job.corr,
                     &WireMessage::Error(error_frame(&PdsError::Cloud(
                         "request handler panicked; dropping this connection".into(),
                     ))),
@@ -521,8 +537,10 @@ fn serve(state: &SharedState, tenant: u64, msg: &WireMessage) -> Result<WireMess
     resp
 }
 
-fn write_msg(writer: &OrderedMutex<TcpStream>, msg: &WireMessage) -> Result<()> {
-    let frame = msg.encode()?;
+/// Writes one response frame stamped with the request's correlation id.
+/// The pooled frame buffer is recycled once the bytes are on the socket.
+fn write_msg(writer: &OrderedMutex<TcpStream>, corr: u64, msg: &WireMessage) -> Result<()> {
+    let frame = msg.encode_framed(corr)?;
     let mut stream = writer.lock();
     stream
         .write_all(&frame)
@@ -530,8 +548,8 @@ fn write_msg(writer: &OrderedMutex<TcpStream>, msg: &WireMessage) -> Result<()> 
 }
 
 /// Best-effort typed refusal: Error frame out, then close.
-fn refuse(writer: &OrderedMutex<TcpStream>, err: &PdsError) {
-    let _ = write_msg(writer, &WireMessage::Error(error_frame(err)));
+fn refuse(writer: &OrderedMutex<TcpStream>, corr: u64, err: &PdsError) {
+    let _ = write_msg(writer, corr, &WireMessage::Error(error_frame(err)));
     close(writer);
 }
 

@@ -13,14 +13,26 @@
 //! message, so the same engine code drives either side of the wire.  Every
 //! exchange counts as one owner↔cloud round, mirroring the in-process
 //! session's `round_trips` delta accounting.
+//!
+//! Connections support two dispatch disciplines.  The classic lock-step
+//! [`TcpShardConn::call`] writes one frame and awaits its response.  The
+//! pipelined path splits that into [`TcpShardConn::enqueue`] (frame the
+//! request under a fresh correlation id, buffer it), [`TcpShardConn::flush`]
+//! (put the whole batch on the socket with vectored writes), and
+//! [`TcpShardConn::recv_response`] (read one response frame, returning the
+//! correlation id its header carries).  [`CorrelationWindow`] matches those
+//! possibly-out-of-order responses back to request slots with typed errors
+//! on duplicate or unknown ids.
 
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::collections::HashMap;
+use std::io::{BufReader, IoSlice, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pds_common::{OrderedMutex, PdsError, Result, TupleId, Value};
 use pds_crypto::Ciphertext;
-use pds_proto::{FetchBinRequest, FrameReader, Hello, ReadFrame, WireMessage};
+use pds_proto::{FetchBinRequest, FrameReader, Hello, PooledBuf, ReadFrame, WireMessage};
 use pds_storage::Tuple;
 
 use crate::server::{BinPairResult, CloudServer};
@@ -32,6 +44,12 @@ pub struct TcpShardConn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     frames: FrameReader,
+    /// Next correlation id; starts at 1 so 0 stays "uncorrelated" (the v1
+    /// wire value), and never repeats within a connection's lifetime.
+    next_corr: u64,
+    /// Frames enqueued but not yet flushed to the socket (pooled buffers —
+    /// flushing returns them to the codec pool).
+    outbox: Vec<PooledBuf>,
 }
 
 impl TcpShardConn {
@@ -49,6 +67,8 @@ impl TcpShardConn {
             writer,
             reader: BufReader::new(read_half),
             frames: FrameReader::default(),
+            next_corr: 1,
+            outbox: Vec::new(),
         };
         match conn.call(&WireMessage::Hello(Hello { tenant }))? {
             WireMessage::Hello(echo) if echo.tenant == tenant => Ok(conn),
@@ -60,16 +80,61 @@ impl TcpShardConn {
         }
     }
 
-    /// One request/response exchange: write the encoded frame, read and
-    /// decode exactly one response frame.
-    pub fn call(&mut self, msg: &WireMessage) -> Result<WireMessage> {
+    /// Frames `msg` under a fresh correlation id and buffers it for the
+    /// next [`Self::flush`].  Returns the id the response will carry.
+    pub fn enqueue(&mut self, msg: &WireMessage) -> Result<u64> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.outbox.push(msg.encode_framed(corr)?);
+        Ok(corr)
+    }
+
+    /// Puts every buffered frame on the socket back-to-back with vectored
+    /// writes (header + payload of many requests coalesced into few
+    /// syscalls), then recycles the buffers.  No response is read here.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.outbox.is_empty() {
+            return Ok(());
+        }
+        let _span = pds_obs::obs_span("wire.flush");
+        let slices: Vec<&[u8]> = self.outbox.iter().map(|b| b.as_ref()).collect();
+        // Hand-rolled advance loop over (slice index, offset): write_vectored
+        // may stop anywhere, including mid-slice.
+        let mut idx = 0;
+        let mut off = 0;
+        while idx < slices.len() {
+            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(slices.len() - idx);
+            iov.push(IoSlice::new(&slices[idx][off..]));
+            iov.extend(slices[idx + 1..].iter().map(|s| IoSlice::new(s)));
+            let mut wrote = match self.writer.write_vectored(&iov) {
+                Ok(0) => {
+                    return Err(PdsError::Wire(
+                        "batch write stalled: socket accepted 0 bytes".into(),
+                    ))
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PdsError::Wire(format!("batch write failed: {e}"))),
+            };
+            while idx < slices.len() && wrote >= slices[idx].len() - off {
+                wrote -= slices[idx].len() - off;
+                idx += 1;
+                off = 0;
+            }
+            off += wrote;
+        }
+        self.outbox.clear();
+        Ok(())
+    }
+
+    /// Reads and decodes exactly one response frame, returning the
+    /// correlation id its header carries alongside the message.  This is
+    /// the blocking wait of both dispatch disciplines, so its `wire.call`
+    /// span measures genuine time-waiting-on-the-cloud either way.
+    pub fn recv_response(&mut self) -> Result<(u64, WireMessage)> {
         let _span = pds_obs::obs_span("wire.call");
-        let frame = msg.encode()?;
-        self.writer
-            .write_all(&frame)
-            .map_err(|e| PdsError::Wire(format!("request write failed: {e}")))?;
         match self.frames.read(&mut self.reader)? {
-            ReadFrame::Frame(bytes) => WireMessage::decode(&bytes),
+            ReadFrame::Frame(bytes) => WireMessage::decode_corr(&bytes),
             ReadFrame::Eof => Err(PdsError::Wire(
                 "daemon closed the connection mid-call".into(),
             )),
@@ -78,6 +143,128 @@ impl TcpShardConn {
             ))),
         }
     }
+
+    /// One lock-step request/response exchange: write the encoded frame,
+    /// read exactly one response frame, and check it answers this request.
+    pub fn call(&mut self, msg: &WireMessage) -> Result<WireMessage> {
+        let sent = self.enqueue(msg)?;
+        self.flush()?;
+        let (corr, resp) = self.recv_response()?;
+        // A v1 daemon answers with corr 0; only a *different* request's id
+        // is a protocol violation.
+        if corr != sent && corr != 0 {
+            return Err(PdsError::Wire(format!(
+                "response correlation id {corr} does not answer request {sent}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Frames one composed bin-pair episode under a fresh correlation id
+    /// and buffers it for the next [`Self::flush`] — the typed uplink half
+    /// of the pipelined dispatch discipline.
+    pub fn enqueue_bin_pair(
+        &mut self,
+        request: &BinEpisodeRequest,
+        tags: Vec<Vec<u8>>,
+    ) -> Result<u64> {
+        self.enqueue(&WireMessage::BinPairRequest(request.to_wire(tags)))
+    }
+
+    /// Reads one pipelined response frame and interprets it as a composed
+    /// episode answer.  The two error levels are deliberate:
+    ///
+    /// * **outer `Err`** — the stream itself failed (EOF mid-call, I/O
+    ///   error, corrupt frame): the connection is unusable and the caller
+    ///   may reconnect and replay its unanswered window;
+    /// * **inner `Err`** — the daemon answered *this* correlation id with
+    ///   a typed error frame: the connection is still healthy, but the
+    ///   episode was refused and replaying it would be refused again.
+    pub fn recv_bin_pair(&mut self) -> Result<(u64, Result<BinPairResult>)> {
+        let (corr, resp) = self.recv_response()?;
+        let result = match resp {
+            WireMessage::BinPayload(p) => Ok((
+                p.plain_tuples,
+                p.encrypted_rows
+                    .into_iter()
+                    .map(|row| (TupleId::new(row.id), Ciphertext(row.tuple_ct)))
+                    .collect(),
+            )),
+            WireMessage::Error(e) => Err(e.into_error()),
+            other => Err(PdsError::Wire(format!(
+                "expected a BinPayload answer, got {}",
+                other.name()
+            ))),
+        };
+        Ok((corr, result))
+    }
+
+    /// Tears down both socket halves, so the next read or write on this
+    /// connection errors immediately.  Used by fault-injection tests to
+    /// simulate a daemon dying mid-batch.
+    pub fn shutdown(&self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+/// Tracks the in-flight requests of one pipelined batch: correlation id →
+/// caller-chosen slot.  Resolving a response id not in the window (stale
+/// after a reconnect, forged, or delivered twice) is a typed error — demux
+/// never guesses.
+#[derive(Debug, Default)]
+pub struct CorrelationWindow {
+    pending: HashMap<u64, usize>,
+}
+
+impl CorrelationWindow {
+    /// An empty window.
+    pub fn new() -> CorrelationWindow {
+        CorrelationWindow::default()
+    }
+
+    /// Registers an in-flight request under `corr`.  Enqueuing the same id
+    /// twice is a local bookkeeping bug and comes back as a typed error.
+    pub fn track(&mut self, corr: u64, slot: usize) -> Result<()> {
+        match self.pending.entry(corr) {
+            std::collections::hash_map::Entry::Occupied(_) => Err(PdsError::Wire(format!(
+                "correlation id {corr} enqueued twice in one window"
+            ))),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(slot);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves a response id to its request slot, removing it from the
+    /// window.  Unknown ids (stale after reconnect, duplicate delivery,
+    /// forged) are typed errors.
+    pub fn resolve(&mut self, corr: u64) -> Result<usize> {
+        self.pending.remove(&corr).ok_or_else(|| {
+            PdsError::Wire(format!(
+                "response carries unknown correlation id {corr} \
+                 (stale, duplicate, or never sent)"
+            ))
+        })
+    }
+
+    /// Abandons the window, returning the unanswered slots in ascending
+    /// order — the replay list after a connection is torn down.
+    pub fn drain_slots(&mut self) -> Vec<usize> {
+        let mut slots: Vec<usize> = self.pending.drain().map(|(_, slot)| slot).collect();
+        slots.sort_unstable();
+        slots
+    }
+
+    /// In-flight request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no request is awaiting its response.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
 }
 
 #[derive(Debug)]
@@ -85,6 +272,7 @@ struct ClientInner {
     tenant: u64,
     addrs: Vec<SocketAddr>,
     pools: Vec<OrderedMutex<Vec<TcpShardConn>>>,
+    reconnects: AtomicU64,
 }
 
 /// One tenant's pooled client to a sharded daemon deployment.  Cloning is
@@ -107,6 +295,7 @@ impl TcpCloudClient {
                 tenant,
                 addrs,
                 pools,
+                reconnects: AtomicU64::new(0),
             }),
         }
     }
@@ -143,6 +332,38 @@ impl TcpCloudClient {
         if let Some(pool) = self.inner.pools.get(shard) {
             pool.lock().push(conn);
         }
+    }
+
+    /// Replaces a dead connection to `shard` with a freshly dialed one —
+    /// eagerly, so a mid-batch failure costs one reconnect now instead of a
+    /// full dial on the next unrelated call.  Retries the dial once (two
+    /// attempts total) before giving up with a typed wire error; the pool
+    /// is bypassed, since its idle connections may share the failed
+    /// daemon's fate and the caller needs a stream that is provably fresh.
+    pub fn reconnect(&self, shard: usize) -> Result<TcpShardConn> {
+        let addr = *self.inner.addrs.get(shard).ok_or_else(|| {
+            PdsError::Cloud(format!(
+                "no shard {shard} in a {}-shard deployment",
+                self.inner.addrs.len()
+            ))
+        })?;
+        self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
+        let first = match TcpShardConn::connect(addr, self.inner.tenant) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => e,
+        };
+        TcpShardConn::connect(addr, self.inner.tenant).map_err(|e| {
+            PdsError::Wire(format!(
+                "shard {shard} daemon at {addr} unreachable after retry: \
+                 first attempt: {first}; retry: {e}"
+            ))
+        })
+    }
+
+    /// How many eager reconnects this client has performed (regression
+    /// hook for the kill-mid-batch recovery tests).
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
     }
 
     /// Whether two handles share the same pools (identity, not config).
@@ -285,5 +506,46 @@ impl EpisodeChannel for RemoteSession<'_> {
 
     fn local_server(&mut self) -> Option<&mut CloudServer> {
         None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CorrelationWindow;
+
+    #[test]
+    fn window_resolves_out_of_order() {
+        let mut w = CorrelationWindow::new();
+        for (corr, slot) in [(10u64, 0usize), (11, 1), (12, 2)] {
+            w.track(corr, slot).unwrap();
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.resolve(12).unwrap(), 2);
+        assert_eq!(w.resolve(10).unwrap(), 0);
+        assert_eq!(w.resolve(11).unwrap(), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duplicate_track_and_unknown_resolve_are_typed_errors() {
+        let mut w = CorrelationWindow::new();
+        w.track(5, 0).unwrap();
+        assert!(w.track(5, 1).is_err(), "double-enqueue must be rejected");
+        assert!(w.resolve(99).is_err(), "unknown id must be rejected");
+        // A delivered-then-replayed id is unknown the second time.
+        assert_eq!(w.resolve(5).unwrap(), 0);
+        assert!(w.resolve(5).is_err(), "duplicate delivery must be rejected");
+    }
+
+    #[test]
+    fn drain_returns_unanswered_slots_sorted() {
+        let mut w = CorrelationWindow::new();
+        for (corr, slot) in [(3u64, 7usize), (1, 2), (2, 9)] {
+            w.track(corr, slot).unwrap();
+        }
+        w.resolve(1).unwrap();
+        assert_eq!(w.drain_slots(), vec![7, 9]);
+        assert!(w.is_empty());
+        assert!(w.drain_slots().is_empty());
     }
 }

@@ -36,10 +36,42 @@ use pds_systems::SecureSelectionEngine;
 
 use crate::binning::{BinPair, QueryBinning};
 use crate::plan::{
-    execute_episode, execute_episode_remote, CacheServed, EpisodeResult, EpisodeStep, PlanMode,
-    QueryPlan,
+    execute_episode, execute_episode_remote, execute_shard_pipelined, CacheServed, EpisodeResult,
+    EpisodeStep, PlanMode, QueryPlan,
 };
 use crate::planner::{reorder_for_locality, PlannerConfig};
+
+/// Default in-flight window of [`WireMode::Pipelined`]: deep enough to
+/// keep a multi-worker daemon busy, small enough that a torn connection
+/// never has more than a handful of idempotent episodes to replay.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 8;
+
+/// How episodes are dispatched over a [`BinTransport::Tcp`] connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// One request on the socket, then block for its response — the
+    /// classic discipline, and the fallback whenever a shard's engine
+    /// cannot split its composed episode into pipeline halves.
+    LockStep,
+    /// Up to `window` composed requests written back-to-back before any
+    /// response is read; responses demultiplex by correlation id and may
+    /// arrive out of order.  Requires a correlation-aware (frame v2)
+    /// daemon and an engine whose
+    /// [`SecureSelectionEngine::pipelines_composed`] holds — other shards
+    /// of the same batch silently run lock-step.
+    Pipelined {
+        /// Maximum in-flight (unanswered) requests per shard connection.
+        window: usize,
+    },
+}
+
+impl Default for WireMode {
+    fn default() -> Self {
+        WireMode::Pipelined {
+            window: DEFAULT_PIPELINE_WINDOW,
+        }
+    }
+}
 
 /// Counters describing one QB selection (used by experiments).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,6 +115,9 @@ pub struct QbExecutor<E: SecureSelectionEngine> {
     shard_engines: Vec<E>,
     /// How episodes are shaped on the wire (composed vs fine-grained).
     plan_mode: PlanMode,
+    /// How episodes are dispatched over a TCP transport (lock-step vs
+    /// pipelined with a bounded in-flight window).
+    wire_mode: WireMode,
     /// The cost-based planner's per-batch behaviour: episode reordering,
     /// residual predicate, and whether the residual pushes down the wire.
     planner: PlannerConfig,
@@ -112,6 +147,7 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
             engine,
             shard_engines: Vec::new(),
             plan_mode: PlanMode::default(),
+            wire_mode: WireMode::default(),
             planner: PlannerConfig::default(),
             sensitive_attr: None,
             nonsensitive_attr: None,
@@ -168,6 +204,28 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
     /// multi-round path everywhere, for baseline comparisons).
     pub fn set_plan_mode(&mut self, mode: PlanMode) {
         self.plan_mode = mode;
+    }
+
+    /// Sets how episodes are dispatched over TCP (builder form).
+    pub fn with_wire_mode(mut self, mode: WireMode) -> Self {
+        self.wire_mode = mode;
+        self
+    }
+
+    /// How episodes are dispatched over a TCP transport.
+    pub fn wire_mode(&self) -> WireMode {
+        self.wire_mode
+    }
+
+    /// Sets how episodes are dispatched over a TCP transport:
+    /// [`WireMode::Pipelined`] (the default — a bounded window of composed
+    /// requests in flight per shard, demultiplexed by correlation id) or
+    /// [`WireMode::LockStep`] (one request, one awaited response — the
+    /// pre-pipelining behaviour, kept selectable so the equivalence tests
+    /// and the `experiments pipeline` gate can compare both disciplines on
+    /// identical deployments).
+    pub fn set_wire_mode(&mut self, mode: WireMode) {
+        self.wire_mode = mode;
     }
 
     /// Installs a planner configuration (builder form).
@@ -776,8 +834,13 @@ impl<E: SecureSelectionEngine> QbExecutor<E> {
         let per_shard_steps = std::mem::take(&mut plan.per_shard);
         let (slots, wall_clock_sec, sim_wall_clock_sec, mut rounds) = match transport {
             BinTransport::Tcp(client) => {
-                let (slots, wall, rounds) =
-                    tcp_fan_out(owner, &mut self.shard_engines, client, per_shard_steps);
+                let (slots, wall, rounds) = tcp_fan_out(
+                    owner,
+                    &mut self.shard_engines,
+                    client,
+                    per_shard_steps,
+                    self.wire_mode,
+                );
                 (slots, wall, None, rounds)
             }
             local => {
@@ -983,11 +1046,19 @@ type ShardSlot = (Metrics, Result<Vec<(usize, BinPair, EpisodeResult)>>);
 /// desynchronised and is dropped instead).  Returns the per-shard slots,
 /// the measured wall-clock seconds, and the total owner↔cloud rounds
 /// counted client-side (one per framed exchange).
+///
+/// With [`WireMode::Pipelined`], a shard whose engine splits its composed
+/// episodes ([`SecureSelectionEngine::pipelines_composed`]) and whose
+/// steps are all composed runs [`execute_shard_pipelined`] instead: the
+/// whole episode stream written ahead under a bounded in-flight window,
+/// responses demultiplexed by correlation id.  Shards that don't qualify
+/// fall back to lock-step within the same batch.
 fn tcp_fan_out<E: SecureSelectionEngine>(
     owner: &mut DbOwner,
     engines: &mut [E],
     client: &TcpCloudClient,
     per_shard_steps: Vec<Vec<EpisodeStep>>,
+    mode: WireMode,
 ) -> (Vec<Option<ShardSlot>>, f64, u64) {
     let mut tasks: Vec<Option<_>> = Vec::with_capacity(per_shard_steps.len());
     for (engine, (shard_idx, steps)) in engines
@@ -1001,6 +1072,21 @@ fn tcp_fan_out<E: SecureSelectionEngine>(
         let mut task_owner = owner.fork(shard_idx as u64 + 1);
         let client = client.clone();
         tasks.push(Some(move || -> (Metrics, u64, Result<Vec<_>>) {
+            if let WireMode::Pipelined { window } = mode {
+                if engine.pipelines_composed() && steps.iter().all(|s| s.composed) {
+                    return match execute_shard_pipelined(
+                        &mut task_owner,
+                        &client,
+                        shard_idx,
+                        engine,
+                        &steps,
+                        window,
+                    ) {
+                        Ok((episodes, rounds)) => (*task_owner.metrics(), rounds, Ok(episodes)),
+                        Err(e) => (*task_owner.metrics(), 0, Err(e)),
+                    };
+                }
+            }
             let mut conn = match client.checkout(shard_idx) {
                 Ok(conn) => conn,
                 Err(e) => return (*task_owner.metrics(), 0, Err(e)),

@@ -76,7 +76,7 @@ pub mod shape;
 
 pub use binning::{BinAssignment, BinPair, BinningConfig, QueryBinning};
 pub use cost::EtaModel;
-pub use executor::{QbExecutor, SelectionStats, TransportedRun};
-pub use plan::{EpisodeStep, PlanMode, QueryPlan};
+pub use executor::{QbExecutor, SelectionStats, TransportedRun, WireMode, DEFAULT_PIPELINE_WINDOW};
+pub use plan::{execute_shard_pipelined, EpisodeStep, PlanMode, QueryPlan};
 pub use planner::{choose_engines, CostModel, EngineCandidate, PlannerConfig, ShardPlan};
 pub use shape::BinShape;

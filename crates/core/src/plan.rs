@@ -23,7 +23,12 @@
 //! [`SecureSelectionEngine::composes_episodes`] capability and the
 //! executor's [`PlanMode`].
 
-use pds_cloud::{BinEpisodeRequest, CloudServer, CloudSession, DbOwner, RemoteSession};
+use std::collections::VecDeque;
+
+use pds_cloud::{
+    BinEpisodeRequest, CloudServer, CloudSession, CorrelationWindow, DbOwner, RemoteSession,
+    TcpCloudClient,
+};
 use pds_common::{PdsError, Result};
 use pds_storage::Tuple;
 use pds_systems::{fine_grained_bin_episode, BinEpisodeOutcome, SecureSelectionEngine};
@@ -155,6 +160,120 @@ pub fn execute_episode<E: SecureSelectionEngine + ?Sized>(
 /// in-process server access, which the channel reports by construction
 /// (`local_server()` is `None`), and rejecting it here keeps the error
 /// message about the *plan* rather than a failed call mid-episode.
+/// One shard's pipelined batch results: each episode's workload slot,
+/// its bin pair and its engine outcome, plus the number of receive
+/// rounds the batch took (the lock-step discipline would take one per
+/// episode).
+pub type PipelinedBatch = (Vec<(usize, BinPair, EpisodeResult)>, u64);
+
+/// Executes one shard's planned episodes **pipelined** over a daemon
+/// connection: up to `window` composed requests are framed and written
+/// back-to-back (vectored writes, no response awaited in between), and
+/// responses are matched back to their episodes by correlation id in
+/// whatever order the daemon's worker pool finishes them.  Each episode's
+/// owner-side work is split across the engine's two pipeline halves —
+/// [`SecureSelectionEngine::composed_wire_tags`] before the uplink,
+/// [`SecureSelectionEngine::finish_composed`] after the downlink — so the
+/// client keeps issuing requests while earlier responses are still being
+/// computed cloud-side.
+///
+/// The executor only chooses this path when every step is composed and the
+/// shard's engine reports [`SecureSelectionEngine::pipelines_composed`];
+/// a step that nevertheless cannot split is a typed plan error.
+///
+/// Failure handling:
+///
+/// * a transported **error frame** aborts the shard — the daemon refused
+///   the episode, and replaying it would be refused again;
+/// * a **transport failure** (daemon died mid-batch, stream torn) triggers
+///   one eager [`TcpCloudClient::reconnect`]; the unanswered episodes are
+///   replayed on the fresh connection (safe: composed bin-pair episodes
+///   are idempotent reads).  A second failure aborts with a typed error;
+/// * a response with an **unknown or uncorrelated id** is a protocol
+///   violation: typed error, no replay — a stream that misattributes
+///   responses cannot be trusted with a retry.
+pub fn execute_shard_pipelined<E: SecureSelectionEngine + ?Sized>(
+    owner: &mut DbOwner,
+    client: &TcpCloudClient,
+    shard: usize,
+    engine: &mut E,
+    steps: &[EpisodeStep],
+    window: usize,
+) -> Result<PipelinedBatch> {
+    let _span = pds_obs::obs_span("episode.pipelined");
+    let window = window.max(1);
+    let mut conn = client.checkout(shard)?;
+    let mut inflight = CorrelationWindow::new();
+    let mut queue: VecDeque<usize> = (0..steps.len()).collect();
+    let mut episodes: Vec<(usize, BinPair, EpisodeResult)> = Vec::with_capacity(steps.len());
+    let mut reconnected = false;
+
+    while !queue.is_empty() || !inflight.is_empty() {
+        // Fill the window: frame and buffer requests, reading nothing back.
+        while inflight.len() < window {
+            let Some(slot) = queue.pop_front() else { break };
+            let step = &steps[slot];
+            let tags = engine
+                .composed_wire_tags(owner, &step.request)?
+                .ok_or_else(|| {
+                    PdsError::Query(format!(
+                        "the {} back-end cannot split composed episodes; the plan \
+                         should not have chosen pipelined dispatch",
+                        engine.name()
+                    ))
+                })?;
+            let corr = conn.enqueue_bin_pair(&step.request, tags)?;
+            inflight.track(corr, slot)?;
+        }
+        if let Err(e) = conn.flush() {
+            if reconnected {
+                return Err(e);
+            }
+            reconnected = true;
+            for slot in inflight.drain_slots().into_iter().rev() {
+                queue.push_front(slot);
+            }
+            conn = client.reconnect(shard)?;
+            continue;
+        }
+        // Drain one response; out-of-order completion is expected.
+        let (corr, answer) = match conn.recv_bin_pair() {
+            Ok(ok) => ok,
+            Err(e) => {
+                if reconnected {
+                    return Err(e);
+                }
+                reconnected = true;
+                for slot in inflight.drain_slots().into_iter().rev() {
+                    queue.push_front(slot);
+                }
+                conn = client.reconnect(shard)?;
+                continue;
+            }
+        };
+        if corr == 0 {
+            return Err(PdsError::Wire(
+                "daemon answered without a correlation id (v1 frames); pipelined \
+                 dispatch needs a correlation-aware daemon"
+                    .into(),
+            ));
+        }
+        let slot = inflight.resolve(corr)?;
+        let step = &steps[slot];
+        let (nonsensitive, rows) = answer?;
+        let outcome = engine.finish_composed(owner, &step.request, nonsensitive, rows)?;
+        episodes.push((step.index, step.pair, EpisodeResult { outcome, rounds: 1 }));
+    }
+    let rounds = episodes.len() as u64;
+    client.checkin(shard, conn);
+    Ok((episodes, rounds))
+}
+
+/// Runs one composed episode over a lock-step [`RemoteSession`]: the
+/// write-then-read discipline `execute_shard_pipelined` replaces when the
+/// back-end can split its composed episode.  Fine-grained multi-round
+/// engines are refused with a typed error — their chatty protocols need
+/// in-process server access.
 pub fn execute_episode_remote<E: SecureSelectionEngine + ?Sized>(
     owner: &mut DbOwner,
     session: &mut RemoteSession<'_>,

@@ -2,16 +2,27 @@
 //! owners driving loopback [`ShardDaemon`]s must get answers identical to
 //! the in-process threaded transport, with partitioned security holding
 //! on every tenant's composed adversarial view afterwards.
+//!
+//! The pipelined-dispatch half of the file covers the correlation-id
+//! demux: byte-identical answers whatever the in-flight window, recovery
+//! from a mid-batch connection death with exactly one eager reconnect,
+//! and typed errors (never misattributed answers) when a rogue daemon
+//! replies with duplicate, unknown, or missing correlation ids.
 
-use std::net::SocketAddr;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
 
 use pds_cloud::{
-    BinRoutedCloud, BinTransport, CloudServer, DbOwner, NetworkModel, ServiceConfig, ShardDaemon,
-    ShardRouter, TcpCloudClient,
+    BinEpisodeRequest, BinRoutedCloud, BinTransport, CloudServer, DbOwner, NetworkModel,
+    ServiceConfig, ShardDaemon, ShardRouter, TcpCloudClient,
 };
-use pds_common::{PdsError, Value};
-use pds_core::{BinningConfig, QbExecutor, QueryBinning};
-use pds_storage::{PartitionedRelation, Partitioner, Tuple};
+use pds_common::{PdsError, TupleId, Value};
+use pds_core::{
+    execute_shard_pipelined, BinPair, BinningConfig, EpisodeStep, QbExecutor, QueryBinning,
+    WireMode,
+};
+use pds_proto::{read_frame, BinPayload, ReadFrame, WireMessage};
+use pds_storage::{DataType, PartitionedRelation, Partitioner, Relation, Schema, Tuple};
 use pds_systems::{DeterministicIndexEngine, NonDetScanEngine, SecureSelectionEngine};
 use pds_workload::{employee_relation, employee_sensitivity_policy};
 use proptest::prelude::*;
@@ -202,6 +213,266 @@ fn a_client_for_the_wrong_tenant_is_refused_before_dialing() {
     assert!(err.to_string().contains("tenant"), "{err}");
 }
 
+#[test]
+fn a_poisoned_pooled_connection_recovers_with_one_eager_reconnect_per_shard() {
+    const SHARDS: usize = 2;
+    let mut tenants = vec![tenant_deployment(
+        1,
+        SHARDS,
+        DeterministicIndexEngine::new(),
+    )];
+    let t0 = &mut tenants[0];
+    let workload = t0.workload.clone();
+    let expected = t0
+        .executor
+        .run_workload_transported(
+            &mut t0.owner,
+            &mut t0.router,
+            &workload,
+            &BinTransport::Threaded,
+        )
+        .unwrap()
+        .answers;
+    t0.executor.set_cache_capacity(32);
+
+    let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::with_workers(2));
+    let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+    let client = TcpCloudClient::new(1, addrs);
+    // Poison every shard's pool with a connection whose socket is already
+    // torn down — exactly what a daemon dying mid-batch leaves behind.
+    for shard in 0..SHARDS {
+        let conn = client.checkout(shard).unwrap();
+        conn.shutdown();
+        client.checkin(shard, conn);
+    }
+
+    let t = &mut tenants[0];
+    let transport = BinTransport::Tcp(client.clone());
+    let run = t
+        .executor
+        .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+        .unwrap();
+    assert_eq!(run.answers, expected, "replayed answers must be identical");
+    let reconnects = client.reconnects();
+    assert!(
+        (1..=SHARDS as u64).contains(&reconnects),
+        "each shard with work reconnects exactly once, got {reconnects}"
+    );
+    reclaim_servers(daemons, &mut tenants);
+}
+
+#[test]
+fn a_dead_daemon_is_a_typed_error_after_one_bounded_retry() {
+    const SHARDS: usize = 2;
+    let mut tenants = vec![tenant_deployment(
+        1,
+        SHARDS,
+        DeterministicIndexEngine::new(),
+    )];
+    let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::default());
+    let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+    let client = TcpCloudClient::new(1, addrs);
+    // Pool one healthy connection per shard, then kill every daemon: the
+    // batch must fail through the reconnect path (one eager redial, one
+    // retry), not hang and not panic.
+    for shard in 0..SHARDS {
+        let conn = client.checkout(shard).unwrap();
+        client.checkin(shard, conn);
+    }
+    reclaim_servers(daemons, &mut tenants);
+
+    let t = &mut tenants[0];
+    let workload = t.workload.clone();
+    let transport = BinTransport::Tcp(client.clone());
+    let err = t
+        .executor
+        .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+        .unwrap_err();
+    assert!(matches!(err, PdsError::Wire(_)), "{err:?}");
+    assert!(
+        err.to_string().contains("after retry"),
+        "the error must say the redial was bounded: {err}"
+    );
+    assert!(
+        client.reconnects() >= 1,
+        "the eager reconnect must have run"
+    );
+}
+
+/// What a rogue daemon does with the correlation ids of one pipelined
+/// batch — each mode probes one failure path of the client-side demux.
+#[derive(Clone, Copy, Debug)]
+enum RogueMode {
+    /// Answer every request with its own id, in reverse arrival order.
+    Reverse,
+    /// Answer the first request twice with the same id.
+    Duplicate,
+    /// Answer with an id that was never issued.
+    Unknown,
+    /// Answer with correlation id 0, like a pre-correlation v1 daemon.
+    Uncorrelated,
+}
+
+/// A daemon that handshakes properly, reads `batch` composed requests,
+/// and then answers according to `mode`.  Each answer's payload encodes
+/// which request it serves (a tuple built from the request's bin index),
+/// so the test can prove responses were matched to the right episodes.
+fn rogue_daemon(mode: RogueMode, batch: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = match read_frame(&mut stream).unwrap() {
+            ReadFrame::Frame(frame) => frame,
+            other => panic!("expected the Hello frame, got {other:?}"),
+        };
+        let (corr, msg) = WireMessage::decode_corr(&hello).unwrap();
+        stream
+            .write_all(msg.encode_framed(corr).unwrap().as_ref())
+            .unwrap();
+
+        let mut pending: Vec<(u64, WireMessage)> = Vec::new();
+        for _ in 0..batch {
+            let frame = match read_frame(&mut stream).unwrap() {
+                ReadFrame::Frame(frame) => frame,
+                other => panic!("expected a request frame, got {other:?}"),
+            };
+            let (corr, msg) = WireMessage::decode_corr(&frame).unwrap();
+            let WireMessage::BinPairRequest(req) = msg else {
+                panic!("expected a BinPairRequest, got {}", msg.name());
+            };
+            let marker = Tuple::new(
+                TupleId::new(1000 + u64::from(req.nonsensitive_bin)),
+                vec![Value::Int(i64::from(req.nonsensitive_bin))],
+            );
+            let resp = WireMessage::BinPayload(BinPayload {
+                plain_tuples: vec![marker],
+                encrypted_rows: Vec::new(),
+            });
+            pending.push((corr, resp));
+        }
+        let mut send = |corr: u64, resp: &WireMessage| {
+            stream
+                .write_all(resp.encode_framed(corr).unwrap().as_ref())
+                .unwrap();
+        };
+        match mode {
+            RogueMode::Reverse => {
+                for (corr, resp) in pending.iter().rev() {
+                    send(*corr, resp);
+                }
+            }
+            RogueMode::Duplicate => {
+                send(pending[0].0, &pending[0].1);
+                send(pending[0].0, &pending[0].1);
+            }
+            RogueMode::Unknown => send(pending[0].0 + 999, &pending[0].1),
+            RogueMode::Uncorrelated => send(0, &pending[0].1),
+        }
+    });
+    (addr, handle)
+}
+
+/// A det-index engine with outsourced state (so its pipeline halves work)
+/// plus the owner holding its keys; the cloud it outsourced to is
+/// throwaway — the rogue daemon fabricates every response.
+fn outsourced_det() -> (DbOwner, DeterministicIndexEngine) {
+    let schema = Schema::from_pairs(&[("K", DataType::Int)]).unwrap();
+    let mut rel = Relation::new("T", schema);
+    for k in 0..4 {
+        rel.insert(vec![Value::Int(k)]).unwrap();
+    }
+    let attr = rel.schema().attr_id("K").unwrap();
+    let mut owner = DbOwner::new(5);
+    let mut cloud = CloudServer::new(NetworkModel::paper_wan());
+    let mut engine = DeterministicIndexEngine::new();
+    engine
+        .outsource(&mut owner, &mut cloud, &rel, attr)
+        .unwrap();
+    (owner, engine)
+}
+
+/// `n` composed single-shard steps with distinct bin indices, so every
+/// response is attributable to exactly one episode.
+fn pipeline_steps(n: usize) -> Vec<EpisodeStep> {
+    (0..n)
+        .map(|i| EpisodeStep {
+            index: i,
+            pair: BinPair {
+                sensitive_bin: i,
+                nonsensitive_bin: i,
+            },
+            shard: 0,
+            composed: true,
+            request: BinEpisodeRequest {
+                sensitive_bin: i,
+                nonsensitive_bin: i,
+                sensitive_values: vec![Value::Int(i as i64)],
+                nonsensitive_values: vec![Value::Int(100 + i as i64)],
+                pushdown: None,
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn out_of_order_responses_are_matched_to_the_right_episodes() {
+    let (addr, daemon) = rogue_daemon(RogueMode::Reverse, 4);
+    let client = TcpCloudClient::new(7, vec![addr]);
+    let (mut owner, mut engine) = outsourced_det();
+    let steps = pipeline_steps(4);
+    let (episodes, rounds) =
+        execute_shard_pipelined(&mut owner, &client, 0, &mut engine, &steps, 4).unwrap();
+    daemon.join().unwrap();
+
+    assert_eq!(rounds, 4);
+    // Responses arrived in reverse, and the demux must have attributed
+    // each to its own episode: the marker tuple the rogue daemon built
+    // from request i must surface on episode i.
+    let arrival: Vec<usize> = episodes.iter().map(|(idx, _, _)| *idx).collect();
+    assert_eq!(
+        arrival,
+        vec![3, 2, 1, 0],
+        "completion order is the wire order"
+    );
+    for (idx, _pair, res) in &episodes {
+        let want = Tuple::new(
+            TupleId::new(1000 + *idx as u64),
+            vec![Value::Int(*idx as i64)],
+        );
+        assert_eq!(res.outcome.nonsensitive, vec![want], "episode {idx}");
+        assert!(res.outcome.sensitive.is_empty());
+    }
+    assert_eq!(client.reconnects(), 0);
+}
+
+#[test]
+fn rogue_correlation_ids_are_typed_errors_not_misattributed_answers() {
+    for (mode, needle) in [
+        (RogueMode::Duplicate, "correlation id"),
+        (RogueMode::Unknown, "correlation id"),
+        (RogueMode::Uncorrelated, "without a correlation id"),
+    ] {
+        let (addr, daemon) = rogue_daemon(mode, 2);
+        let client = TcpCloudClient::new(7, vec![addr]);
+        let (mut owner, mut engine) = outsourced_det();
+        let steps = pipeline_steps(2);
+        let err =
+            execute_shard_pipelined(&mut owner, &client, 0, &mut engine, &steps, 2).unwrap_err();
+        daemon.join().unwrap();
+        assert!(matches!(err, PdsError::Wire(_)), "{mode:?}: {err:?}");
+        assert!(
+            err.to_string().contains(needle),
+            "{mode:?} must name the protocol violation: {err}"
+        );
+        assert_eq!(
+            client.reconnects(),
+            0,
+            "{mode:?}: a protocol violation must not be replayed"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -248,6 +519,55 @@ proptest! {
         let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::with_workers(2));
         let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
         run_concurrently(&mut tenants, &addrs, &expected);
+        reclaim_servers(daemons, &mut tenants);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Seed-replayable (`PROPTEST_SEED`) equivalence: whatever the query
+    /// order and whatever the in-flight window, pipelined dispatch
+    /// returns answers byte-identical to the lock-step discipline on the
+    /// same daemons.
+    #[test]
+    fn pipelined_answers_match_lock_step_for_any_window(
+        seed in proptest::arbitrary::any::<u64>(),
+        window in 1usize..=16,
+    ) {
+        use pds_common::rng::derive_seed;
+
+        const SHARDS: usize = 2;
+        let mut tenants = vec![tenant_deployment(1, SHARDS, DeterministicIndexEngine::new())];
+        // Seed-derived query order (with repeats) so every failure
+        // replays from the printed seed alone.
+        let len = 4 + (derive_seed(seed, "len") % 8) as usize;
+        let workload: Vec<Value> = (0..len)
+            .map(|k| {
+                let idx =
+                    derive_seed(seed, &format!("q{k}")) as usize % tenants[0].workload.len();
+                tenants[0].workload[idx].clone()
+            })
+            .collect();
+        tenants[0].workload = workload.clone();
+
+        let daemons = spawn_daemons(&mut tenants, SHARDS, &ServiceConfig::with_workers(4));
+        let addrs: Vec<SocketAddr> = daemons.iter().map(ShardDaemon::addr).collect();
+
+        let t = &mut tenants[0];
+        let transport = BinTransport::Tcp(TcpCloudClient::new(1, addrs));
+        t.executor.set_wire_mode(WireMode::LockStep);
+        let lock_step = t
+            .executor
+            .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+            .unwrap();
+        t.executor.set_cache_capacity(32); // reset the bin cache between passes
+        t.executor.set_wire_mode(WireMode::Pipelined { window });
+        let pipelined = t
+            .executor
+            .run_workload_transported(&mut t.owner, &mut t.router, &workload, &transport)
+            .unwrap();
+        prop_assert_eq!(lock_step.answers, pipelined.answers);
         reclaim_servers(daemons, &mut tenants);
     }
 }

@@ -12,7 +12,7 @@ use rand::Rng;
 
 use crate::aes::Aes128;
 use crate::ctr::{ctr_transform, NONCE_LEN};
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacKey;
 use crate::Key128;
 
 /// Length of the authentication tag stored with each ciphertext.
@@ -40,10 +40,15 @@ impl Ciphertext {
 }
 
 /// Randomised authenticated encryption (encrypt-then-MAC over AES-CTR).
+///
+/// Both key schedules are expanded once at construction: the AES round keys
+/// inside [`Aes128`] and the HMAC pad midstates inside [`HmacKey`].  Per
+/// bin operation the cipher only runs the block and compression functions —
+/// no per-call key expansion.
 #[derive(Clone)]
 pub struct NonDetCipher {
     aes: Aes128,
-    mac_key: Key128,
+    mac: HmacKey,
 }
 
 impl NonDetCipher {
@@ -51,7 +56,7 @@ impl NonDetCipher {
     pub fn new(enc_key: Key128, mac_key: Key128) -> Self {
         NonDetCipher {
             aes: Aes128::new(&enc_key),
-            mac_key,
+            mac: HmacKey::new(mac_key.bytes()),
         }
     }
 
@@ -77,7 +82,7 @@ impl NonDetCipher {
         let mut out = Vec::with_capacity(NONCE_LEN + body.len() + TAG_LEN);
         out.extend_from_slice(nonce);
         out.extend_from_slice(&body);
-        let tag = hmac_sha256(self.mac_key.bytes(), &out);
+        let tag = self.mac.mac(&out);
         out.extend_from_slice(&tag[..TAG_LEN]);
         Ciphertext(out)
     }
@@ -89,7 +94,7 @@ impl NonDetCipher {
             return Err(PdsError::Crypto("ciphertext too short".into()));
         }
         let (payload, tag) = data.split_at(data.len() - TAG_LEN);
-        let expected = hmac_sha256(self.mac_key.bytes(), payload);
+        let expected = self.mac.mac(payload);
         if tag != &expected[..TAG_LEN] {
             return Err(PdsError::Crypto("authentication tag mismatch".into()));
         }

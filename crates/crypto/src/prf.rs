@@ -4,24 +4,30 @@
 //! counter tokens and anywhere a keyed, unpredictable-but-repeatable mapping
 //! from values to byte strings is needed.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacKey;
 use crate::Key128;
 
 /// A pseudo-random function keyed by a [`Key128`].
+///
+/// The HMAC key schedule (pad midstates) is expanded once at construction,
+/// not per evaluation — a tag-generation loop over a bin's values pays only
+/// the data hashing.
 #[derive(Clone)]
 pub struct Prf {
-    key: Key128,
+    key: HmacKey,
 }
 
 impl Prf {
     /// Creates a PRF instance from a key.
     pub fn new(key: Key128) -> Self {
-        Prf { key }
+        Prf {
+            key: HmacKey::new(key.bytes()),
+        }
     }
 
     /// Evaluates the PRF on arbitrary input, returning 32 bytes.
     pub fn eval(&self, input: &[u8]) -> [u8; 32] {
-        hmac_sha256(self.key.bytes(), input)
+        self.key.mac(input)
     }
 
     /// Evaluates the PRF and truncates the result to a `u64`.

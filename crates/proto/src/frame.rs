@@ -1,48 +1,78 @@
 //! Length-delimited, checksummed frames — the outermost layer of the wire
 //! protocol.
 //!
-//! Every owner↔cloud message travels inside exactly one frame:
+//! Every owner↔cloud message travels inside exactly one frame.  The
+//! current layout (protocol version 2) carries a correlation id so
+//! responses can be matched to requests out of order:
 //!
 //! ```text
 //!  offset  size  field
 //!  ------  ----  -----------------------------------------------------
 //!       0     2  magic  0x50 0x44 ("PD")
-//!       2     1  protocol version (currently 1)
+//!       2     1  protocol version (currently 2)
 //!       3     1  message type tag (see `pds_proto::messages`)
-//!       4     4  payload length, big-endian u32
-//!       8     n  payload (message body, see `pds_proto::messages`)
-//!     8+n     4  CRC-32 (IEEE) over bytes [0, 8+n), big-endian
+//!       4     8  correlation id, big-endian u64 (0 = uncorrelated)
+//!      12     4  payload length, big-endian u32
+//!      16     n  payload (message body, see `pds_proto::messages`)
+//!    16+n     4  CRC-32 (IEEE) over bytes [0, 16+n), big-endian
 //! ```
+//!
+//! Version-1 frames (no correlation-id field; the length sits at offset 4
+//! and the payload at offset 8) still **decode**: the decoders switch on
+//! the version byte and report correlation id 0 for v1 input, so a peer
+//! speaking the old protocol keeps working.  Encoders always emit v2.
+//! `tests/proto_roundtrip.rs` property-tests the compat path.
 //!
 //! Decoding is total: any truncated, oversized, or corrupted input yields
 //! `Err(PdsError::Wire(..))` — never a panic.  The CRC trailer guarantees
 //! that *any* single-byte corruption anywhere in the frame is detected
 //! (CRC-32 detects all error bursts up to 32 bits), which the property
 //! tests in `tests/proto_roundtrip.rs` fuzz.
+//!
+//! Buffers on both sides come from the thread-local [`crate::pool`]:
+//! encoding builds header, payload and trailer in **one** pooled buffer
+//! (no intermediate payload `Vec`), and [`FrameReader`] fills a pooled
+//! buffer in bounded chunks — so steady-state traffic allocates nothing
+//! per frame once each thread's working set is warm.
 
 use std::io::Read;
 
 use pds_common::{PdsError, Result};
 
+use crate::pool::{self, PooledBuf};
+
 /// Frame magic: ASCII "PD".
 pub const MAGIC: [u8; 2] = [0x50, 0x44];
 
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (with the correlation-id header field).
+pub const VERSION: u8 = 2;
 
-/// Bytes before the payload: magic + version + type + length.
-pub const HEADER_LEN: usize = 8;
+/// The previous protocol version, still accepted by every decoder.
+pub const VERSION_V1: u8 = 1;
+
+/// Bytes before the payload in a **v2** frame:
+/// magic + version + type + correlation id + length.
+pub const HEADER_LEN: usize = 16;
+
+/// Bytes before the payload in a legacy **v1** frame (no correlation id).
+pub const HEADER_LEN_V1: usize = 8;
 
 /// Bytes after the payload: the CRC-32 trailer.
 pub const TRAILER_LEN: usize = 4;
 
-/// Fixed per-frame overhead added on top of the payload.
+/// Fixed per-frame overhead added on top of the payload (v2 layout, which
+/// is what every encoder emits).
 pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
 
 /// Hard ceiling on a frame's payload length.  Protects decoders against
 /// pathological length fields (a forged frame could otherwise request a
 /// multi-gigabyte allocation before the CRC is ever checked).
 pub const MAX_PAYLOAD_LEN: usize = 1 << 30;
+
+/// The frame reader grows its buffer in steps of at most this many bytes,
+/// so growth events stay proportional to bytes actually received — never
+/// to the declared length, and never to the number of `read` calls.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Byte-indexed CRC-32 lookup table for the reflected IEEE polynomial,
 /// built once at compile time (the bit-at-a-time loop would otherwise run
@@ -101,8 +131,41 @@ pub const fn encoded_len(payload_len: usize) -> usize {
     FRAME_OVERHEAD + payload_len
 }
 
-/// Wraps a message payload into one wire frame.
+/// Starts a v2 frame in `buf`: magic, version, type, correlation id, and a
+/// zeroed length placeholder that [`finish_frame`] patches.  The caller
+/// appends the payload directly after this — one buffer end to end, which
+/// is what lets the codec hot path run without a per-frame allocation.
+pub fn begin_frame(buf: &mut Vec<u8>, msg_type: u8, corr: u64) {
+    buf.clear();
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(msg_type);
+    buf.extend_from_slice(&corr.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+}
+
+/// Completes a frame begun with [`begin_frame`]: validates the payload
+/// length, patches the header's length field, and appends the CRC trailer.
+pub fn finish_frame(buf: &mut Vec<u8>) -> Result<()> {
+    let payload_len = buf.len().saturating_sub(HEADER_LEN);
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(PdsError::Wire(format!(
+            "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD_LEN}-byte frame limit"
+        )));
+    }
+    buf[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    Ok(())
+}
+
+/// Wraps a message payload into one wire frame (correlation id 0).
 pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>> {
+    encode_frame_corr(msg_type, 0, payload)
+}
+
+/// Wraps a message payload into one wire frame carrying `corr`.
+pub fn encode_frame_corr(msg_type: u8, corr: u64, payload: &[u8]) -> Result<Vec<u8>> {
     let _span = pds_obs::obs_span("frame.encode");
     if payload.len() > MAX_PAYLOAD_LEN {
         return Err(PdsError::Wire(format!(
@@ -110,27 +173,34 @@ pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>> {
             payload.len()
         )));
     }
-    let mut out = Vec::with_capacity(encoded_len(payload.len()));
-    out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
-    out.push(msg_type);
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    let mut out = pool::take_buf();
+    out.reserve(encoded_len(payload.len()));
+    begin_frame(&mut out, msg_type, corr);
     out.extend_from_slice(payload);
-    let crc = crc32(&out);
-    out.extend_from_slice(&crc.to_be_bytes());
-    Ok(out)
+    finish_frame(&mut out)?;
+    Ok(out.into_vec())
 }
 
 /// Unwraps one wire frame, returning `(msg_type, payload)`.
 ///
+/// Accepts both protocol versions; see [`decode_frame_corr`] for the form
+/// that also surfaces the correlation id.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
+    decode_frame_corr(bytes).map(|(msg_type, _, payload)| (msg_type, payload))
+}
+
+/// Unwraps one wire frame, returning `(msg_type, correlation id, payload)`.
+///
 /// The input must be exactly one frame (trailing garbage is rejected —
 /// stream reassembly happens above this layer, using the length field).
-pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
+/// Legacy v1 frames decode with correlation id 0.
+pub fn decode_frame_corr(bytes: &[u8]) -> Result<(u8, u64, &[u8])> {
     let _span = pds_obs::obs_span("frame.decode");
-    if bytes.len() < FRAME_OVERHEAD {
+    if bytes.len() < HEADER_LEN_V1 + TRAILER_LEN {
         return Err(PdsError::Wire(format!(
-            "frame truncated: {} bytes, need at least {FRAME_OVERHEAD}",
-            bytes.len()
+            "frame truncated: {} bytes, need at least {}",
+            bytes.len(),
+            HEADER_LEN_V1 + TRAILER_LEN
         )));
     }
     if bytes[..2] != MAGIC {
@@ -139,20 +209,31 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
             bytes[0], bytes[1]
         )));
     }
-    if bytes[2] != VERSION {
-        return Err(PdsError::Wire(format!(
-            "unsupported protocol version {}",
-            bytes[2]
-        )));
-    }
+    let (header_len, corr) = match bytes[2] {
+        VERSION_V1 => (HEADER_LEN_V1, 0),
+        VERSION => {
+            if bytes.len() < FRAME_OVERHEAD {
+                return Err(PdsError::Wire(format!(
+                    "v2 frame truncated: {} bytes, need at least {FRAME_OVERHEAD}",
+                    bytes.len()
+                )));
+            }
+            (HEADER_LEN, be_u64(&bytes[4..12]))
+        }
+        other => {
+            return Err(PdsError::Wire(format!(
+                "unsupported protocol version {other}"
+            )));
+        }
+    };
     let msg_type = bytes[3];
-    let len = be_u32(&bytes[4..8]) as usize;
+    let len = be_u32(&bytes[header_len - 4..header_len]) as usize;
     if len > MAX_PAYLOAD_LEN {
         return Err(PdsError::Wire(format!(
             "declared payload of {len} bytes exceeds the {MAX_PAYLOAD_LEN}-byte frame limit"
         )));
     }
-    let expected_total = match HEADER_LEN
+    let expected_total = match header_len
         .checked_add(len)
         .and_then(|n| n.checked_add(TRAILER_LEN))
     {
@@ -166,7 +247,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
             bytes.len()
         )));
     }
-    let body_end = HEADER_LEN + len;
+    let body_end = header_len + len;
     let declared_crc = be_u32(&bytes[body_end..]);
     let actual_crc = crc32(&bytes[..body_end]);
     if declared_crc != actual_crc {
@@ -174,7 +255,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
             "frame checksum mismatch: header {declared_crc:08x}, computed {actual_crc:08x}"
         )));
     }
-    Ok((msg_type, &bytes[HEADER_LEN..body_end]))
+    Ok((msg_type, corr, &bytes[header_len..body_end]))
 }
 
 /// Outcome of one streaming frame read.
@@ -182,9 +263,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8])> {
 pub enum ReadFrame {
     /// The peer closed the stream cleanly on a frame boundary.
     Eof,
-    /// One complete frame (header + payload + CRC trailer), ready for
-    /// [`decode_frame`] / `WireMessage::decode`.
-    Frame(Vec<u8>),
+    /// One complete frame (header + payload + CRC trailer) in a pooled
+    /// buffer, ready for [`decode_frame`] / `WireMessage::decode`.
+    /// Dropping the buffer recycles it for the next read on this thread.
+    Frame(PooledBuf),
     /// A well-formed header declared more payload than this reader's limit.
     /// The payload was **not** read (and not allocated); the stream is now
     /// desynchronised, so the caller must close the connection after
@@ -192,6 +274,9 @@ pub enum ReadFrame {
     Oversized {
         /// Message type tag from the offending header.
         msg_type: u8,
+        /// Correlation id from the offending header (0 for v1 frames), so
+        /// the refusal can be stamped onto the right in-flight request.
+        corr: u64,
         /// Payload length the header declared.
         declared: usize,
     },
@@ -204,9 +289,14 @@ pub enum ReadFrame {
 /// frame from any [`Read`], handling short reads, and maps every truncation
 /// (EOF mid-header, EOF mid-payload) to `Err(PdsError::Wire)` — never a
 /// hang or a panic.  The declared payload length is validated against the
-/// ceiling *before* any payload byte is read, and the receive buffer grows
-/// with the bytes actually received, never with the declared length — so a
-/// hostile peer cannot turn a forged length field into a large allocation.
+/// ceiling *before* any payload byte is read, and the pooled receive
+/// buffer grows in bounded [`READ_CHUNK`] steps as bytes actually arrive,
+/// never pre-sized from the declared length — so a hostile peer cannot
+/// turn a forged length field into a large allocation, and a 1-byte
+/// dribble schedule cannot force per-read reallocation: growth events are
+/// bounded by `ceil(frame len / READ_CHUNK)`, not by the number of `read`
+/// calls, and are counted in [`pool::pool_stats`]'s `reader_grows` so
+/// tests can assert the bound.  Accepts both protocol versions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameReader {
     max_payload: usize,
@@ -244,12 +334,14 @@ impl FrameReader {
     pub fn read<R: Read>(&self, r: &mut R) -> Result<ReadFrame> {
         let mut header = [0u8; HEADER_LEN];
         let mut got = 0;
-        while got < HEADER_LEN {
-            match r.read(&mut header[got..]) {
+        // Both versions share the first 8 bytes' magic/version/type prefix;
+        // only after the version byte do we know whether 8 more follow.
+        while got < HEADER_LEN_V1 {
+            match r.read(&mut header[got..HEADER_LEN_V1]) {
                 Ok(0) if got == 0 => return Ok(ReadFrame::Eof),
                 Ok(0) => {
                     return Err(PdsError::Wire(format!(
-                        "stream ended mid-header: got {got} of {HEADER_LEN} bytes"
+                        "stream ended mid-header: got {got} of {HEADER_LEN_V1} bytes"
                     )))
                 }
                 Ok(n) => got += n,
@@ -263,32 +355,80 @@ impl FrameReader {
                 header[0], header[1]
             )));
         }
-        if header[2] != VERSION {
-            return Err(PdsError::Wire(format!(
-                "unsupported protocol version {}",
-                header[2]
-            )));
-        }
+        let (header_len, corr, declared) = match header[2] {
+            VERSION_V1 => (
+                HEADER_LEN_V1,
+                0u64,
+                be_u32(&header[4..HEADER_LEN_V1]) as usize,
+            ),
+            VERSION => {
+                while got < HEADER_LEN {
+                    match r.read(&mut header[got..HEADER_LEN]) {
+                        Ok(0) => {
+                            return Err(PdsError::Wire(format!(
+                                "stream ended mid-header: got {got} of {HEADER_LEN} bytes"
+                            )))
+                        }
+                        Ok(n) => got += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            return Err(PdsError::Wire(format!("frame header read failed: {e}")))
+                        }
+                    }
+                }
+                (
+                    HEADER_LEN,
+                    be_u64(&header[4..12]),
+                    be_u32(&header[12..16]) as usize,
+                )
+            }
+            other => {
+                return Err(PdsError::Wire(format!(
+                    "unsupported protocol version {other}"
+                )));
+            }
+        };
         let msg_type = header[3];
-        let declared = be_u32(&header[4..8]) as usize;
         if declared > self.max_payload {
-            return Ok(ReadFrame::Oversized { msg_type, declared });
+            return Ok(ReadFrame::Oversized {
+                msg_type,
+                corr,
+                declared,
+            });
         }
         let rest = declared + TRAILER_LEN;
-        // Grow the buffer with bytes actually received (read_to_end through
-        // a `take` limit), never pre-sized from the declared length: a peer
-        // that declares big and sends nothing costs us nothing.
-        let mut frame = Vec::with_capacity(HEADER_LEN + rest.min(64 * 1024));
-        frame.extend_from_slice(&header);
-        let read = r
-            .by_ref()
-            .take(rest as u64)
-            .read_to_end(&mut frame)
-            .map_err(|e| PdsError::Wire(format!("frame payload read failed: {e}")))?;
-        if read < rest {
-            return Err(PdsError::Wire(format!(
-                "stream ended mid-frame: got {read} of {rest} payload+trailer bytes"
-            )));
+        // Fill a pooled buffer in bounded chunks as bytes actually arrive:
+        // a peer that declares big and sends nothing costs at most one
+        // READ_CHUNK of reserve, and a warm pool buffer (capacity from the
+        // last frame of this size) grows zero times.
+        let mut frame = pool::take_buf();
+        frame.extend_from_slice(&header[..header_len]);
+        let mut remaining = rest;
+        while remaining > 0 {
+            let chunk = remaining.min(READ_CHUNK);
+            let filled_start = frame.len();
+            let cap_before = frame.capacity();
+            frame.resize(filled_start + chunk, 0);
+            if frame.capacity() != cap_before {
+                pool::note_reader_grow();
+            }
+            let mut filled = 0;
+            while filled < chunk {
+                match r.read(&mut frame[filled_start + filled..filled_start + chunk]) {
+                    Ok(0) => {
+                        let got = rest - remaining + filled;
+                        return Err(PdsError::Wire(format!(
+                            "stream ended mid-frame: got {got} of {rest} payload+trailer bytes"
+                        )));
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        return Err(PdsError::Wire(format!("frame payload read failed: {e}")))
+                    }
+                }
+            }
+            remaining -= chunk;
         }
         Ok(ReadFrame::Frame(frame))
     }
@@ -303,6 +443,20 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<ReadFrame> {
 mod tests {
     use super::*;
 
+    /// Builds a legacy v1 frame (length at offset 4, payload at offset 8,
+    /// no correlation id) — the compat fixture every decoder must accept.
+    fn encode_frame_v1(msg_type: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN_V1 + payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION_V1);
+        out.push(msg_type);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
     #[test]
     fn roundtrip() {
         let frame = encode_frame(3, b"hello wire").unwrap();
@@ -310,6 +464,36 @@ mod tests {
         let (ty, payload) = decode_frame(&frame).unwrap();
         assert_eq!(ty, 3);
         assert_eq!(payload, b"hello wire");
+    }
+
+    #[test]
+    fn correlation_id_roundtrips() {
+        for corr in [0u64, 1, 7, u64::MAX] {
+            let frame = encode_frame_corr(9, corr, b"tagged").unwrap();
+            let (ty, got, payload) = decode_frame_corr(&frame).unwrap();
+            assert_eq!(ty, 9);
+            assert_eq!(got, corr);
+            assert_eq!(payload, b"tagged");
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_with_corr_zero() {
+        let frame = encode_frame_v1(3, b"legacy peer");
+        let (ty, corr, payload) = decode_frame_corr(&frame).unwrap();
+        assert_eq!(ty, 3);
+        assert_eq!(corr, 0);
+        assert_eq!(payload, b"legacy peer");
+        // And through the streaming reader.
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor).unwrap() {
+            ReadFrame::Frame(bytes) => {
+                let (ty, corr, payload) = decode_frame_corr(&bytes).unwrap();
+                assert_eq!((ty, corr), (3, 0));
+                assert_eq!(payload, b"legacy peer");
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
     }
 
     #[test]
@@ -330,22 +514,30 @@ mod tests {
 
     #[test]
     fn every_truncation_is_an_error() {
-        let frame = encode_frame(2, b"payload bytes").unwrap();
-        for cut in 0..frame.len() {
-            assert!(
-                decode_frame(&frame[..cut]).is_err(),
-                "truncation to {cut} bytes must fail"
-            );
+        for frame in [
+            encode_frame(2, b"payload bytes").unwrap(),
+            encode_frame_v1(2, b"payload bytes"),
+        ] {
+            for cut in 0..frame.len() {
+                assert!(
+                    decode_frame(&frame[..cut]).is_err(),
+                    "truncation to {cut} bytes must fail"
+                );
+            }
         }
     }
 
     #[test]
     fn every_single_byte_flip_is_detected() {
-        let frame = encode_frame(5, b"tamper with me").unwrap();
-        for i in 0..frame.len() {
-            let mut bad = frame.clone();
-            bad[i] ^= 0x01;
-            assert!(decode_frame(&bad).is_err(), "flip at byte {i} must fail");
+        for frame in [
+            encode_frame(5, b"tamper with me").unwrap(),
+            encode_frame_v1(5, b"tamper with me"),
+        ] {
+            for i in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[i] ^= 0x01;
+                assert!(decode_frame(&bad).is_err(), "flip at byte {i} must fail");
+            }
         }
     }
 
@@ -366,7 +558,7 @@ mod tests {
     #[test]
     fn absurd_declared_length_rejected_before_alloc() {
         let mut frame = encode_frame(1, b"x").unwrap();
-        frame[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        frame[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(decode_frame(&frame).is_err());
     }
 
@@ -408,9 +600,58 @@ mod tests {
     }
 
     #[test]
-    fn streaming_read_reassembles_back_to_back_frames() {
+    fn dribble_reallocation_is_bounded_by_frame_size_not_read_count() {
+        // ~200 KiB payload delivered one byte at a time: hundreds of
+        // thousands of read calls, but capacity growth must stay bounded by
+        // the frame's chunk count, not the read count.  Thread-local stats
+        // keep the delta deterministic under the parallel test runner.
+        let payload = vec![0xA5u8; 200 * 1024];
+        let frame = encode_frame(7, &payload).unwrap();
+        let before = pool::thread_pool_stats().reader_grows;
+        let mut r = ByteAtATime {
+            bytes: &frame,
+            pos: 0,
+        };
+        match read_frame(&mut r).unwrap() {
+            ReadFrame::Frame(bytes) => assert_eq!(bytes.len(), frame.len()),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        let grows = pool::thread_pool_stats().reader_grows - before;
+        let chunks = (frame.len() / READ_CHUNK + 2) as u64;
+        assert!(
+            grows <= chunks,
+            "{grows} capacity growths for {} bytes dribbled byte-by-byte \
+             (bound: {chunks})",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn pooled_read_buffer_is_reused_across_frames() {
+        let frame = encode_frame(3, b"recycled").unwrap();
+        // Warm the pool: the first read may miss, later reads must hit.
+        for _ in 0..2 {
+            let mut cursor = std::io::Cursor::new(frame.clone());
+            match read_frame(&mut cursor).unwrap() {
+                ReadFrame::Frame(bytes) => drop(bytes),
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        let before = pool::thread_pool_stats();
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor).unwrap() {
+            ReadFrame::Frame(bytes) => drop(bytes),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        let after = pool::thread_pool_stats();
+        assert_eq!(after.hits - before.hits, 1, "warm read must hit the pool");
+        assert_eq!(after.misses, before.misses, "warm read must not allocate");
+    }
+
+    #[test]
+    fn streaming_read_reassembles_back_to_back_mixed_version_frames() {
         let mut stream = encode_frame(1, b"first").unwrap();
-        stream.extend_from_slice(&encode_frame(2, b"second").unwrap());
+        stream.extend_from_slice(&encode_frame_v1(2, b"second"));
         let mut cursor = std::io::Cursor::new(stream);
         for expected in [(1u8, b"first".as_slice()), (2u8, b"second".as_slice())] {
             match read_frame(&mut cursor).unwrap() {
@@ -432,6 +673,14 @@ mod tests {
             assert!(
                 read_frame(&mut cursor).is_err(),
                 "EOF after {cut} header bytes must be Err(Wire), not a hang or Eof"
+            );
+        }
+        let v1 = encode_frame_v1(4, b"cut me off");
+        for cut in 1..HEADER_LEN_V1 {
+            let mut cursor = std::io::Cursor::new(v1[..cut].to_vec());
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "EOF after {cut} v1 header bytes must be Err(Wire)"
             );
         }
     }
@@ -462,18 +711,25 @@ mod tests {
     #[test]
     fn oversized_declared_length_reported_before_payload_read() {
         // Header declares 1 MiB but the configured ceiling is 1 KiB; the
-        // reader must report Oversized without consuming payload bytes.
+        // reader must report Oversized — with the header's correlation id —
+        // without consuming payload bytes.
         let mut stream = Vec::new();
         stream.extend_from_slice(&MAGIC);
         stream.push(VERSION);
         stream.push(7);
+        stream.extend_from_slice(&0xDEAD_BEEFu64.to_be_bytes());
         stream.extend_from_slice(&(1_048_576u32).to_be_bytes());
         stream.extend_from_slice(b"payload bytes that must not be consumed");
         let mut cursor = std::io::Cursor::new(stream);
         let reader = FrameReader::new(1024);
         match reader.read(&mut cursor).unwrap() {
-            ReadFrame::Oversized { msg_type, declared } => {
+            ReadFrame::Oversized {
+                msg_type,
+                corr,
+                declared,
+            } => {
                 assert_eq!(msg_type, 7);
+                assert_eq!(corr, 0xDEAD_BEEF);
                 assert_eq!(declared, 1_048_576);
             }
             other => panic!("expected Oversized, got {other:?}"),
@@ -494,6 +750,7 @@ mod tests {
         stream.extend_from_slice(&MAGIC);
         stream.push(VERSION);
         stream.push(1);
+        stream.extend_from_slice(&0u64.to_be_bytes());
         stream.extend_from_slice(&((MAX_PAYLOAD_LEN as u32) - 1).to_be_bytes());
         stream.extend_from_slice(b"abc");
         let mut cursor = std::io::Cursor::new(stream);

@@ -18,6 +18,9 @@
 //!   of every owner↔cloud interaction through these and charges the
 //!   encoded frame lengths to its metrics, so bytes moved are measured off
 //!   the wire.
+//! * [`pool`] — a thread-local reusable buffer pool backing both codec
+//!   directions, so steady-state wire traffic allocates nothing per frame
+//!   (reuse counters feed the `pds_wire_buf_reuse_total` metrics).
 //! * [`netsim`] — a deterministic discrete-event simulator over per-shard
 //!   FIFO links.  Round trips on different links overlap on one virtual
 //!   clock, so the reported makespan shows per-shard latency genuinely
@@ -34,13 +37,16 @@
 pub mod frame;
 pub mod messages;
 pub mod netsim;
+pub mod pool;
 
 pub use frame::{
-    crc32, decode_frame, encode_frame, encoded_len, read_frame, FrameReader, ReadFrame,
-    FRAME_OVERHEAD, MAX_PAYLOAD_LEN, VERSION,
+    crc32, decode_frame, decode_frame_corr, encode_frame, encode_frame_corr, encoded_len,
+    read_frame, FrameReader, ReadFrame, FRAME_OVERHEAD, HEADER_LEN, HEADER_LEN_V1, MAX_PAYLOAD_LEN,
+    TRAILER_LEN, VERSION, VERSION_V1,
 };
 pub use messages::{
     error_frame, msg_tag, Ack, BinPairRequest, BinPayload, ErrorFrame, FetchBinRequest, Hello,
     InsertRequest, WireMessage, WireRow,
 };
 pub use netsim::{LinkSpec, NetSim, RoundTrip, SimReport};
+pub use pool::{pool_stats, thread_pool_stats, PoolStats, PooledBuf};

@@ -15,7 +15,8 @@
 use pds_common::{AttrId, PdsError, Result, Value};
 use pds_storage::{Predicate, Tuple};
 
-use crate::frame::{be_u32, be_u64, decode_frame, encode_frame};
+use crate::frame::{be_u32, be_u64, begin_frame, decode_frame_corr, finish_frame};
+use crate::pool::{self, PooledBuf};
 
 /// One encrypted row as it travels over the wire.
 ///
@@ -277,64 +278,83 @@ impl WireMessage {
     }
 
     /// Encodes the message into one complete wire frame
-    /// (header + payload + CRC trailer).
+    /// (header + payload + CRC trailer) with correlation id 0.
     pub fn encode(&self) -> Result<Vec<u8>> {
-        let mut payload = Vec::new();
+        self.encode_framed(0).map(PooledBuf::into_vec)
+    }
+
+    /// Encodes the message into one complete wire frame carrying `corr`,
+    /// in a pooled buffer: header, payload, and trailer are written into a
+    /// single recycled `Vec`, so a warm thread encodes a frame with zero
+    /// allocations.  Dropping the returned buffer (e.g. after the bytes
+    /// are on the socket) returns it to the pool.
+    pub fn encode_framed(&self, corr: u64) -> Result<PooledBuf> {
+        let _span = pds_obs::obs_span("frame.encode");
+        let mut frame = pool::take_buf();
+        begin_frame(&mut frame, self.msg_type(), corr);
+        self.write_payload(&mut frame)?;
+        finish_frame(&mut frame)?;
+        Ok(frame)
+    }
+
+    /// Appends this message's payload encoding to `payload` (which already
+    /// holds the frame header when called from [`Self::encode_framed`]).
+    fn write_payload(&self, payload: &mut Vec<u8>) -> Result<()> {
         match self {
             WireMessage::FetchBinRequest(m) => {
-                write_u32(&mut payload, m.values.len() as u32);
+                write_u32(payload, m.values.len() as u32);
                 for v in &m.values {
-                    write_bytes(&mut payload, &v.encode());
+                    write_bytes(payload, &v.encode());
                 }
-                write_u32(&mut payload, m.ids.len() as u32);
+                write_u32(payload, m.ids.len() as u32);
                 for id in &m.ids {
                     payload.extend_from_slice(&id.to_be_bytes());
                 }
-                write_u32(&mut payload, m.tags.len() as u32);
+                write_u32(payload, m.tags.len() as u32);
                 for tag in &m.tags {
-                    write_bytes(&mut payload, tag);
+                    write_bytes(payload, tag);
                 }
-                write_opt_predicate(&mut payload, m.predicate.as_ref())?;
+                write_opt_predicate(payload, m.predicate.as_ref())?;
             }
             WireMessage::BinPairRequest(m) => {
-                write_u32(&mut payload, m.sensitive_bin);
-                write_u32(&mut payload, m.nonsensitive_bin);
-                write_u32(&mut payload, m.encrypted_values.len() as u32);
+                write_u32(payload, m.sensitive_bin);
+                write_u32(payload, m.nonsensitive_bin);
+                write_u32(payload, m.encrypted_values.len() as u32);
                 for ev in &m.encrypted_values {
-                    write_bytes(&mut payload, ev);
+                    write_bytes(payload, ev);
                 }
-                write_u32(&mut payload, m.nonsensitive_values.len() as u32);
+                write_u32(payload, m.nonsensitive_values.len() as u32);
                 for v in &m.nonsensitive_values {
-                    write_bytes(&mut payload, &v.encode());
+                    write_bytes(payload, &v.encode());
                 }
-                write_opt_predicate(&mut payload, m.predicate.as_ref())?;
+                write_opt_predicate(payload, m.predicate.as_ref())?;
             }
             WireMessage::BinPayload(m) => {
-                write_u32(&mut payload, m.plain_tuples.len() as u32);
+                write_u32(payload, m.plain_tuples.len() as u32);
                 for t in &m.plain_tuples {
-                    write_bytes(&mut payload, &t.encode());
+                    write_bytes(payload, &t.encode());
                 }
-                write_u32(&mut payload, m.encrypted_rows.len() as u32);
+                write_u32(payload, m.encrypted_rows.len() as u32);
                 for row in &m.encrypted_rows {
-                    row.write(&mut payload);
+                    row.write(payload);
                 }
             }
             WireMessage::InsertRequest(m) => {
-                write_u32(&mut payload, m.plain_tuples.len() as u32);
+                write_u32(payload, m.plain_tuples.len() as u32);
                 for t in &m.plain_tuples {
-                    write_bytes(&mut payload, &t.encode());
+                    write_bytes(payload, &t.encode());
                 }
-                write_u32(&mut payload, m.encrypted_rows.len() as u32);
+                write_u32(payload, m.encrypted_rows.len() as u32);
                 for row in &m.encrypted_rows {
-                    row.write(&mut payload);
+                    row.write(payload);
                 }
             }
             WireMessage::Ack(m) => {
                 payload.extend_from_slice(&m.items.to_be_bytes());
             }
             WireMessage::Error(m) => {
-                write_bytes(&mut payload, m.category.as_bytes());
-                write_bytes(&mut payload, m.message.as_bytes());
+                write_bytes(payload, m.category.as_bytes());
+                write_bytes(payload, m.message.as_bytes());
             }
             WireMessage::Opaque(body) => {
                 payload.extend_from_slice(body);
@@ -344,15 +364,23 @@ impl WireMessage {
             }
             WireMessage::StatsRequest => {}
             WireMessage::StatsSnapshot(text) => {
-                write_bytes(&mut payload, text.as_bytes());
+                write_bytes(payload, text.as_bytes());
             }
         }
-        encode_frame(self.msg_type(), &payload)
+        Ok(())
     }
 
-    /// Decodes one complete wire frame back into a message.
+    /// Decodes one complete wire frame back into a message, discarding the
+    /// correlation id (lock-step callers pair request and response by
+    /// position, so the id is redundant for them).
     pub fn decode(frame: &[u8]) -> Result<WireMessage> {
-        let (msg_type, payload) = decode_frame(frame)?;
+        Self::decode_corr(frame).map(|(_, msg)| msg)
+    }
+
+    /// Decodes one complete wire frame back into a message plus the
+    /// correlation id its header carried (0 for legacy v1 frames).
+    pub fn decode_corr(frame: &[u8]) -> Result<(u64, WireMessage)> {
+        let (msg_type, corr, payload) = decode_frame_corr(frame)?;
         let mut r = Reader::new(payload);
         let msg = match msg_type {
             1 => {
@@ -430,7 +458,7 @@ impl WireMessage {
             }
         };
         r.finish()?;
-        Ok(msg)
+        Ok((corr, msg))
     }
 
     /// Convenience: the encoded frame length of this message in bytes.
@@ -766,6 +794,20 @@ mod tests {
             let back = WireMessage::decode(&frame).unwrap();
             assert_eq!(back, msg, "{} roundtrip", msg.name());
             assert_eq!(frame.len(), msg.encoded_len().unwrap());
+        }
+    }
+
+    #[test]
+    fn correlated_encode_roundtrips_and_matches_uncorrelated_payload() {
+        for (i, msg) in sample_messages().into_iter().enumerate() {
+            let corr = (i as u64) * 7 + 1;
+            let framed = msg.encode_framed(corr).unwrap();
+            let (got_corr, back) = WireMessage::decode_corr(&framed).unwrap();
+            assert_eq!(got_corr, corr, "{} correlation id", msg.name());
+            assert_eq!(back, msg, "{} roundtrip", msg.name());
+            // The correlation id lives in the header only: the payload (and
+            // total length) are identical to the uncorrelated encoding.
+            assert_eq!(framed.len(), msg.encode().unwrap().len());
         }
     }
 

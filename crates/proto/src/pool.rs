@@ -1,0 +1,260 @@
+//! Thread-local reusable buffer pool for the wire hot path.
+//!
+//! Every frame that travels — encode side and decode side — needs one
+//! contiguous byte buffer.  Before this module existed each of those was a
+//! fresh `Vec<u8>` (one in `WireMessage::encode` for the payload, another
+//! in `encode_frame` for the frame, a third in `FrameReader::read`), so a
+//! daemon serving a pipelined batch paid three allocations per frame.  The
+//! pool turns that into a check-out/check-in of recycled buffers:
+//!
+//! * [`take_buf`] pops a cleared buffer off a **thread-local free list**
+//!   (no locks on the hot path — reader threads, worker threads and client
+//!   shard threads each recycle their own buffers);
+//! * dropping the returned [`PooledBuf`] pushes the buffer back, capacity
+//!   intact, so steady-state traffic reaches zero allocations per frame
+//!   once each thread's working set is warm;
+//! * [`PooledBuf::into_vec`] releases the underlying `Vec` to callers that
+//!   must own one (the legacy `encode_frame` signature) — that buffer
+//!   leaves the pool for good.
+//!
+//! Accounting is two-tier: process-wide atomics ([`pool_stats`]) feed the
+//! `pds_wire_buf_reuse_total` metrics and the `experiments pipeline` gate,
+//! while per-thread counters ([`thread_pool_stats`]) give tests a
+//! deterministic view unaffected by concurrent test threads.
+
+use std::cell::{Cell, RefCell};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buffers retained per thread; excess check-ins are dropped.
+pub const POOL_CAPACITY: usize = 16;
+
+/// Capacity ceiling for a retained buffer.  A one-off giant frame must not
+/// pin its allocation in the free list forever.
+pub const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RETURNS: AtomicU64 = AtomicU64::new(0);
+static READER_GROWS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // pds-allow: hot-alloc(const thread-local initializer, evaluated once per thread; Vec::new is allocation-free until first push)
+    static FREE_LIST: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static TL_HITS: Cell<u64> = const { Cell::new(0) };
+    static TL_MISSES: Cell<u64> = const { Cell::new(0) };
+    static TL_RETURNS: Cell<u64> = const { Cell::new(0) };
+    static TL_READER_GROWS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the pool's reuse counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Check-outs served from the free list (no allocation).
+    pub hits: u64,
+    /// Check-outs that had to start from an empty buffer.
+    pub misses: u64,
+    /// Buffers returned to the free list.
+    pub returns: u64,
+    /// Buffer-capacity growth events inside `FrameReader::read` — the
+    /// bounded-realloc witness the hostile-dribble test asserts on.
+    pub reader_grows: u64,
+}
+
+/// Process-wide pool counters (all threads).
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        returns: RETURNS.load(Ordering::Relaxed),
+        reader_grows: READER_GROWS.load(Ordering::Relaxed),
+    }
+}
+
+/// This thread's pool counters — deterministic under concurrent tests.
+pub fn thread_pool_stats() -> PoolStats {
+    PoolStats {
+        hits: TL_HITS.with(Cell::get),
+        misses: TL_MISSES.with(Cell::get),
+        returns: TL_RETURNS.with(Cell::get),
+        reader_grows: TL_READER_GROWS.with(Cell::get),
+    }
+}
+
+/// Records one buffer-capacity growth inside the frame reader's chunked
+/// fill loop (called by `FrameReader::read`, not by pool users).
+pub(crate) fn note_reader_grow() {
+    READER_GROWS.fetch_add(1, Ordering::Relaxed);
+    TL_READER_GROWS.with(|c| c.set(c.get() + 1));
+}
+
+/// A byte buffer checked out of the thread-local pool.  Dereferences to
+/// `Vec<u8>`; dropping it returns the buffer (capacity intact) to the pool.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+}
+
+impl PooledBuf {
+    /// Releases the underlying `Vec`, removing it from the pool for good.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        // Leaves a zero-capacity Vec behind, which Drop declines to pool.
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        FREE_LIST.with(|fl| {
+            let mut fl = fl.borrow_mut();
+            if fl.len() < POOL_CAPACITY {
+                fl.push(buf);
+                RETURNS.fetch_add(1, Ordering::Relaxed);
+                TL_RETURNS.with(|c| c.set(c.get() + 1));
+            }
+        });
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.buf.len())
+            .field("capacity", &self.buf.capacity())
+            .finish()
+    }
+}
+
+impl Clone for PooledBuf {
+    fn clone(&self) -> Self {
+        let mut out = take_buf();
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+impl PartialEq for PooledBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl Eq for PooledBuf {}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Checks a cleared buffer out of this thread's free list, falling back to
+/// an empty buffer when the list is dry (cold path — the only allocation
+/// site the wire codec is allowed).
+pub fn take_buf() -> PooledBuf {
+    let recycled = FREE_LIST.with(|fl| fl.borrow_mut().pop());
+    match recycled {
+        Some(mut buf) => {
+            buf.clear();
+            HITS.fetch_add(1, Ordering::Relaxed);
+            TL_HITS.with(|c| c.set(c.get() + 1));
+            PooledBuf { buf }
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            TL_MISSES.with(|c| c.set(c.get() + 1));
+            // pds-allow: hot-alloc(pool cold path: the one place the codec may start a fresh buffer; every warm-path frame reuses it through the free list)
+            PooledBuf { buf: Vec::new() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_checkin_reuses_capacity() {
+        // Drain whatever earlier tests left in this thread's list so the
+        // hit/miss deltas below are exact.
+        while FREE_LIST.with(|fl| fl.borrow_mut().pop()).is_some() {}
+        let before = thread_pool_stats();
+        let mut buf = take_buf();
+        buf.extend_from_slice(&[7u8; 4096]);
+        let cap = buf.capacity();
+        drop(buf);
+        let reused = take_buf();
+        assert!(reused.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(reused.capacity(), cap, "capacity survives the round trip");
+        let after = thread_pool_stats();
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.returns - before.returns, 1);
+    }
+
+    #[test]
+    fn into_vec_removes_the_buffer_from_the_pool() {
+        let before = thread_pool_stats();
+        let mut buf = take_buf();
+        buf.push(1);
+        let v = buf.into_vec();
+        assert_eq!(v, vec![1]);
+        let after = thread_pool_stats();
+        assert_eq!(
+            after.returns, before.returns,
+            "a released buffer must not be returned to the pool"
+        );
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let before = thread_pool_stats();
+        let mut buf = take_buf();
+        buf.reserve(MAX_POOLED_CAPACITY + 1);
+        drop(buf);
+        let after = thread_pool_stats();
+        assert_eq!(
+            after.returns, before.returns,
+            "a giant buffer must not pin its allocation in the free list"
+        );
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let bufs: Vec<PooledBuf> = (0..POOL_CAPACITY * 2)
+            .map(|_| {
+                let mut b = take_buf();
+                b.push(0);
+                b
+            })
+            .collect();
+        drop(bufs);
+        let len = FREE_LIST.with(|fl| fl.borrow().len());
+        assert!(len <= POOL_CAPACITY, "free list holds {len} buffers");
+    }
+
+    #[test]
+    fn clone_and_eq_follow_contents() {
+        let mut a = take_buf();
+        a.extend_from_slice(b"abc");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_ref(), b"abc");
+        assert_ne!(format!("{a:?}"), "");
+    }
+}

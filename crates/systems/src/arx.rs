@@ -15,7 +15,8 @@
 use std::collections::HashMap;
 
 use pds_cloud::{BinEpisodeRequest, CloudServer, DbOwner, EpisodeChannel};
-use pds_common::{AttrId, PdsError, Result, Value};
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
+use pds_crypto::Ciphertext;
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
@@ -113,16 +114,33 @@ impl SecureSelectionEngine for ArxEngine {
     /// value rides the `BinPairRequest` next to the clear-text
     /// non-sensitive values; the cloud matches the tokens against its
     /// counter-token index and answers both sides in a single payload.
+    /// Built from the two pipeline halves so the lock-step and pipelined
+    /// dispatch disciplines share one code path.
     fn select_bin_episode(
         &mut self,
         owner: &mut DbOwner,
         session: &mut dyn EpisodeChannel,
         request: &BinEpisodeRequest,
     ) -> Result<BinEpisodeOutcome> {
+        let tokens = self
+            .composed_wire_tags(owner, request)?
+            .expect("arx-index always splits its composed episode");
+        let (nonsensitive, rows) = session.bin_pair_by_tags(request, tokens)?;
+        self.finish_composed(owner, request, nonsensitive, rows)
+    }
+
+    fn pipelines_composed(&self) -> bool {
+        true
+    }
+
+    fn composed_wire_tags(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+    ) -> Result<Option<Vec<Vec<u8>>>> {
         if !self.outsourced {
             return Err(PdsError::Query("relation not outsourced yet".into()));
         }
-        let attr = self.attr.expect("attr set at outsource time");
         let mut tokens = Vec::new();
         for v in &request.sensitive_values {
             let count = self.histogram.get(v).copied().unwrap_or(0);
@@ -130,7 +148,19 @@ impl SecureSelectionEngine for ArxEngine {
                 tokens.push(owner.counter_tag(v, i));
             }
         }
-        let (nonsensitive, rows) = session.bin_pair_by_tags(request, tokens)?;
+        Ok(Some(tokens))
+    }
+
+    fn finish_composed(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+        nonsensitive: Vec<Tuple>,
+        rows: Vec<(TupleId, Ciphertext)>,
+    ) -> Result<BinEpisodeOutcome> {
+        let attr = self
+            .attr
+            .ok_or_else(|| PdsError::Query("relation not outsourced yet".into()))?;
         let sensitive = decrypt_real_matches(owner, attr, &request.sensitive_values, &rows)?;
         Ok(BinEpisodeOutcome {
             nonsensitive,

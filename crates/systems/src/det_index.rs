@@ -8,7 +8,8 @@
 //! `pds-adversary` exploits, and which QB removes (§VI of the paper).
 
 use pds_cloud::{BinEpisodeRequest, CloudServer, DbOwner, EpisodeChannel};
-use pds_common::{AttrId, PdsError, Result, Value};
+use pds_common::{AttrId, PdsError, Result, TupleId, Value};
+use pds_crypto::Ciphertext;
 use pds_storage::{Relation, Tuple};
 
 use crate::cost::CostProfile;
@@ -88,23 +89,52 @@ impl SecureSelectionEngine for DeterministicIndexEngine {
     /// One composed round: the deterministic tags of the whole sensitive
     /// bin ride the `BinPairRequest` next to the clear-text non-sensitive
     /// values, and the cloud answers both sides from its indexes in a
-    /// single `BinPayload`.
+    /// single `BinPayload`.  Built from the two pipeline halves so the
+    /// lock-step and pipelined dispatch disciplines share one code path.
     fn select_bin_episode(
         &mut self,
         owner: &mut DbOwner,
         session: &mut dyn EpisodeChannel,
         request: &BinEpisodeRequest,
     ) -> Result<BinEpisodeOutcome> {
+        let tags = self
+            .composed_wire_tags(owner, request)?
+            .expect("det-index always splits its composed episode");
+        let (nonsensitive, rows) = session.bin_pair_by_tags(request, tags)?;
+        self.finish_composed(owner, request, nonsensitive, rows)
+    }
+
+    fn pipelines_composed(&self) -> bool {
+        true
+    }
+
+    fn composed_wire_tags(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+    ) -> Result<Option<Vec<Vec<u8>>>> {
         if !self.outsourced {
             return Err(PdsError::Query("relation not outsourced yet".into()));
         }
-        let attr = self.attr.expect("attr set at outsource time");
-        let tags: Vec<Vec<u8>> = request
-            .sensitive_values
-            .iter()
-            .map(|v| owner.det_tag(v))
-            .collect();
-        let (nonsensitive, rows) = session.bin_pair_by_tags(request, tags)?;
+        Ok(Some(
+            request
+                .sensitive_values
+                .iter()
+                .map(|v| owner.det_tag(v))
+                .collect(),
+        ))
+    }
+
+    fn finish_composed(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+        nonsensitive: Vec<Tuple>,
+        rows: Vec<(TupleId, Ciphertext)>,
+    ) -> Result<BinEpisodeOutcome> {
+        let attr = self
+            .attr
+            .ok_or_else(|| PdsError::Query("relation not outsourced yet".into()))?;
         let sensitive = decrypt_real_matches(owner, attr, &request.sensitive_values, &rows)?;
         Ok(BinEpisodeOutcome {
             nonsensitive,

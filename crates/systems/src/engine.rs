@@ -122,6 +122,54 @@ pub trait SecureSelectionEngine: Send {
     fn hides_access_pattern(&self) -> bool {
         false
     }
+
+    /// Whether this back-end's composed episode splits into the two
+    /// pipeline-able halves below: an uplink half that only *builds* the
+    /// wire tokens ([`SecureSelectionEngine::composed_wire_tags`]) and a
+    /// downlink half that only *post-processes* the response
+    /// ([`SecureSelectionEngine::finish_composed`]), with no owner↔cloud
+    /// exchange in between.  Such episodes can be dispatched pipelined: a
+    /// whole window of requests written back-to-back before any response
+    /// is read.  Back-ends whose composed episode needs the response to
+    /// form the next request (or that do not compose at all) return
+    /// `false` and run lock-step.
+    fn pipelines_composed(&self) -> bool {
+        false
+    }
+
+    /// The uplink half of a pipelined composed episode: the opaque search
+    /// tokens of the sensitive bin, ready to ride a `BinPairRequest`.
+    /// Returns `Ok(None)` when this back-end cannot split the episode
+    /// (then [`SecureSelectionEngine::select_bin_episode`] is the only
+    /// path); `Err` for owner-side failures such as querying before
+    /// outsourcing.
+    fn composed_wire_tags(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        let _ = (owner, request);
+        Ok(None)
+    }
+
+    /// The downlink half of a pipelined composed episode: owner-side
+    /// decrypt-and-filter of a `BinPayload` that answered the tokens from
+    /// [`SecureSelectionEngine::composed_wire_tags`].  Pure per-episode
+    /// post-processing — it must not talk to the cloud, which is what
+    /// makes out-of-order completion safe.
+    fn finish_composed(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+        nonsensitive: Vec<Tuple>,
+        rows: Vec<(TupleId, Ciphertext)>,
+    ) -> Result<BinEpisodeOutcome> {
+        let _ = (owner, request, nonsensitive, rows);
+        Err(PdsError::Query(format!(
+            "the {} back-end does not split composed episodes",
+            self.name()
+        )))
+    }
 }
 
 /// Owner-side decrypt-and-filter over fetched sensitive rows: decrypts
@@ -244,6 +292,28 @@ impl SecureSelectionEngine for Box<dyn SecureSelectionEngine> {
 
     fn hides_access_pattern(&self) -> bool {
         (**self).hides_access_pattern()
+    }
+
+    fn pipelines_composed(&self) -> bool {
+        (**self).pipelines_composed()
+    }
+
+    fn composed_wire_tags(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        (**self).composed_wire_tags(owner, request)
+    }
+
+    fn finish_composed(
+        &mut self,
+        owner: &mut DbOwner,
+        request: &BinEpisodeRequest,
+        nonsensitive: Vec<Tuple>,
+        rows: Vec<(TupleId, Ciphertext)>,
+    ) -> Result<BinEpisodeOutcome> {
+        (**self).finish_composed(owner, request, nonsensitive, rows)
     }
 }
 
